@@ -1,0 +1,86 @@
+// Ablation: path-selection strategy (DESIGN.md design-choice #2).
+//
+// The paper's BinSym uses depth-first search. This harness compares DFS
+// against BFS on the evaluation workloads: identical final path counts
+// (completeness is search-order independent on fully-explorable programs),
+// but different worklist footprints and different time-to-first-failure —
+// the trade SE engines actually care about.
+#include <cstdio>
+#include <cstring>
+
+#include "engines.hpp"
+
+using namespace binsym;
+
+namespace {
+
+struct Run {
+  uint64_t paths = 0;
+  uint64_t first_failure_path = 0;  // 0 == none found
+  double seconds = 0;
+};
+
+Run explore(bench::EngineInstance& engine, core::SearchOrder order,
+            uint64_t max_paths) {
+  core::EngineOptions options;
+  options.max_paths = max_paths;
+  options.search_order = order;
+  core::DseEngine dse(*engine.executor, smt::make_z3_solver(*engine.ctx),
+                      options);
+  Run run;
+  core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
+    if (!path.trace.failures.empty() && run.first_failure_path == 0)
+      run.first_failure_path = path.index + 1;
+  });
+  run.paths = stats.paths;
+  run.seconds = stats.seconds;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  uint64_t max_paths = quick ? 150 : 2000;
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder(table);
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+
+  std::printf("ABLATION: PATH SELECTION (BinSym engine, %llu-path budget)\n",
+              static_cast<unsigned long long>(max_paths));
+  std::printf("%-16s %10s %10s %12s %12s\n", "Benchmark", "DFS paths",
+              "BFS paths", "DFS time(s)", "BFS time(s)");
+
+  bool counts_agree = true;
+  std::vector<std::string> names;
+  for (const workloads::WorkloadInfo& info : workloads::table1_workloads())
+    names.push_back(info.name);
+  names.push_back("parse-word");  // has a reachable failure
+
+  for (const std::string& name : names) {
+    core::Program program = workloads::load_workload(table, name);
+    bench::EngineSetup setup{decoder, registry, program};
+
+    bench::EngineInstance dfs_engine = bench::make_binsym(setup);
+    Run dfs = explore(dfs_engine, core::SearchOrder::kDepthFirst, max_paths);
+    bench::EngineInstance bfs_engine = bench::make_binsym(setup);
+    Run bfs = explore(bfs_engine, core::SearchOrder::kBreadthFirst, max_paths);
+
+    std::printf("%-16s %10llu %10llu %12.3f %12.3f", name.c_str(),
+                static_cast<unsigned long long>(dfs.paths),
+                static_cast<unsigned long long>(bfs.paths), dfs.seconds,
+                bfs.seconds);
+    if (dfs.first_failure_path || bfs.first_failure_path)
+      std::printf("   first-failure: dfs@%llu bfs@%llu",
+                  static_cast<unsigned long long>(dfs.first_failure_path),
+                  static_cast<unsigned long long>(bfs.first_failure_path));
+    std::printf("\n");
+    counts_agree = counts_agree && dfs.paths == bfs.paths;
+  }
+
+  std::printf("\npath counts search-order independent: %s\n",
+              counts_agree ? "yes" : "NO (bug!)");
+  return counts_agree ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Shared benchmark plumbing: construct each of the four engines of the
+// paper's evaluation for a given workload.
+//
+//   angr-like   = BoxedIrExecutor (re-lift + boxed values); Table I uses
+//                 LifterBugs::all(), Fig. 6 the fixed lifter
+//   binsec-like = IrExecutor (cached lifting, correct)
+//   symex-vp    = VpExecutor (spec interpretation behind a modelled bus)
+//   binsym      = BinSymExecutor (spec interpretation, direct)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/ir_exec.hpp"
+#include "core/engine.hpp"
+#include "isa/decoder.hpp"
+#include "smt/solver.hpp"
+#include "spec/registry.hpp"
+#include "vp/vp_executor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace binsym::bench {
+
+/// Everything one engine instance needs, with owned lifetimes.
+struct EngineInstance {
+  std::string label;
+  std::unique_ptr<smt::Context> ctx;
+  std::unique_ptr<baseline::Lifter> lifter;  // baseline engines only
+  std::unique_ptr<core::Executor> executor;
+
+  core::EngineStats explore(core::EngineOptions options = {}) {
+    core::DseEngine engine(*executor, smt::make_z3_solver(*ctx), options);
+    return engine.explore();
+  }
+};
+
+struct EngineSetup {
+  const isa::Decoder& decoder;
+  const spec::Registry& registry;
+  const core::Program& program;
+};
+
+inline EngineInstance make_binsym(const EngineSetup& s) {
+  EngineInstance e;
+  e.label = "BinSym";
+  e.ctx = std::make_unique<smt::Context>();
+  e.executor = std::make_unique<core::BinSymExecutor>(*e.ctx, s.decoder,
+                                                      s.registry, s.program);
+  return e;
+}
+
+inline EngineInstance make_vp(const EngineSetup& s) {
+  EngineInstance e;
+  e.label = "SymEx-VP";
+  e.ctx = std::make_unique<smt::Context>();
+  e.executor = std::make_unique<vp::VpExecutor>(*e.ctx, s.decoder, s.registry,
+                                                s.program);
+  return e;
+}
+
+inline EngineInstance make_binsec(const EngineSetup& s) {
+  EngineInstance e;
+  e.label = "BinSec";
+  e.ctx = std::make_unique<smt::Context>();
+  e.lifter = std::make_unique<baseline::Lifter>(baseline::LifterBugs::none());
+  e.executor = std::make_unique<baseline::IrExecutor>(*e.ctx, s.decoder,
+                                                      *e.lifter, s.program);
+  return e;
+}
+
+inline EngineInstance make_angr(const EngineSetup& s, baseline::LifterBugs bugs) {
+  EngineInstance e;
+  e.label = bugs.any() ? "angr(buggy)" : "angr(fixed)";
+  e.ctx = std::make_unique<smt::Context>();
+  e.lifter = std::make_unique<baseline::Lifter>(bugs);
+  e.executor = std::make_unique<baseline::BoxedIrExecutor>(*e.ctx, s.decoder,
+                                                           *e.lifter, s.program);
+  return e;
+}
+
+}  // namespace binsym::bench

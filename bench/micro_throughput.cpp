@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark): decoder, disassembler, the three
+// instruction execution paths (concrete spec interpretation, concolic spec
+// interpretation, IR lifting+execution), expression building and the
+// solver backends on a representative branch-flip query.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hpp"
+#include "baseline/ir_exec.hpp"
+#include "core/executor.hpp"
+#include "elf/elf32.hpp"
+#include "interp/concrete.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "smt/solver.hpp"
+#include "spec/registry.hpp"
+#include "support/rng.hpp"
+
+using namespace binsym;
+
+namespace {
+
+struct Fixture {
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+  std::vector<uint32_t> words;
+
+  Fixture() {
+    spec::install_rv32im(registry, table);
+    // A pool of valid instruction words covering the RV32IM ALU space.
+    Rng rng(99);
+    for (const isa::OpcodeInfo& info : table.entries()) {
+      if (info.format == isa::Format::kCsr || info.format == isa::Format::kSystem)
+        continue;
+      for (int i = 0; i < 4; ++i)
+        words.push_back(info.match | (rng.next32() & ~info.mask));
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Decode(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto d = f.decoder.decode(f.words[i++ % f.words.size()]);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decode);
+
+void BM_Disassemble(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string s =
+        isa::disassemble_word(f.decoder, f.words[i++ % f.words.size()], 0x1000);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Disassemble);
+
+constexpr const char* kLoopSource = R"(
+_start:
+    li t0, 1000
+loop:
+    addi t1, t1, 3
+    slli t2, t1, 4
+    xor t3, t2, t1
+    sltu t4, t3, t2
+    add t5, t5, t4
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+
+void BM_ConcreteSpecInterp(benchmark::State& state) {
+  Fixture& f = fixture();
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(f.table, kLoopSource);
+  for (auto _ : state) {
+    interp::Iss iss(f.decoder, f.registry);
+    for (const elf::Segment& seg : assembled.image.segments)
+      for (size_t i = 0; i < seg.bytes.size(); ++i)
+        iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                     seg.bytes[i]);
+    iss.machine().pc_ = assembled.image.entry;
+    uint64_t steps = iss.run();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(steps));
+  }
+}
+BENCHMARK(BM_ConcreteSpecInterp);
+
+void BM_ConcolicSpecInterp(benchmark::State& state) {
+  Fixture& f = fixture();
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(f.table, kLoopSource);
+  core::Program program = elf::to_program(assembled.image);
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, f.decoder, f.registry, program);
+  core::PathTrace trace;
+  for (auto _ : state) {
+    executor.run(smt::Assignment{}, trace);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(trace.steps));
+  }
+}
+BENCHMARK(BM_ConcolicSpecInterp);
+
+void BM_LifterIrExec(benchmark::State& state) {
+  Fixture& f = fixture();
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(f.table, kLoopSource);
+  core::Program program = elf::to_program(assembled.image);
+  smt::Context ctx;
+  baseline::Lifter lifter;
+  baseline::IrExecutor executor(ctx, f.decoder, lifter, program);
+  core::PathTrace trace;
+  for (auto _ : state) {
+    executor.run(smt::Assignment{}, trace);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(trace.steps));
+  }
+}
+BENCHMARK(BM_LifterIrExec);
+
+void BM_ExpressionBuilding(benchmark::State& state) {
+  for (auto _ : state) {
+    smt::Context ctx;
+    smt::ExprRef x = ctx.var("x", 32);
+    smt::ExprRef acc = ctx.constant(0, 32);
+    for (int i = 0; i < 64; ++i) {
+      acc = ctx.add(ctx.xor_(acc, x), ctx.constant(i, 32));
+      acc = ctx.ite(ctx.ult(acc, x), acc, ctx.lshr(acc, ctx.constant(1, 32)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ExpressionBuilding);
+
+void solver_query(benchmark::State& state,
+                  std::unique_ptr<smt::Solver> (*make)(smt::Context&)) {
+  smt::Context ctx;
+  auto solver = make(ctx);
+  // Representative branch-flip query: byte classification chain.
+  smt::ExprRef b = ctx.var("in_0", 8);
+  std::vector<smt::ExprRef> query = {
+      ctx.uge(b, ctx.constant(26, 8)),
+      ctx.ult(b, ctx.constant(52, 8)),
+      ctx.not_(ctx.eq(ctx.mul(b, ctx.constant(3, 8)), ctx.constant(77, 8)))};
+  for (auto _ : state) {
+    smt::Assignment model;
+    auto result = solver->check(query, &model);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_SolverZ3(benchmark::State& state) {
+  solver_query(state, &smt::make_z3_solver);
+}
+BENCHMARK(BM_SolverZ3);
+
+void BM_SolverBitblast(benchmark::State& state) {
+  solver_query(state, &smt::make_bitblast_solver);
+}
+BENCHMARK(BM_SolverBitblast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

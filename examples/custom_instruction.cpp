@@ -1,0 +1,75 @@
+// The paper's Sect. IV case study, as a runnable walkthrough: add a custom
+// MADD instruction (rd = rs1*rs2 + rs3) to the entire toolchain with
+//   (1) the 7-line riscv-opcodes encoding description (Fig. 3), and
+//   (2) the 7-line formal semantics (Fig. 4),
+// then assemble, disassemble, concretely execute and symbolically execute
+// a kernel that uses it — with zero changes to any engine.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "dsl/pretty.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/solver.hpp"
+#include "spec/registry.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace binsym;
+
+int main() {
+  isa::OpcodeTable table;
+  isa::Decoder decoder(table);
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+
+  std::printf("=== 1. the Fig. 3 encoding description ===\n%s\n",
+              spec::madd_opcode_description());
+
+  auto madd_id = spec::install_custom_madd(table, registry);
+  if (!madd_id) {
+    std::fprintf(stderr, "MADD registration failed\n");
+    return 1;
+  }
+  const isa::OpcodeInfo& info = table.by_id(*madd_id);
+  std::printf("registered: %s mask=0x%x match=0x%x format=%s ext=%s\n\n",
+              info.name.c_str(), info.mask, info.match,
+              isa::format_name(info.format), info.extension.c_str());
+
+  std::printf("=== 2. the Fig. 4 formal semantics ===\n%s\n",
+              dsl::pretty_semantics("MADD", *registry.get(*madd_id)).c_str());
+
+  // Decoder + disassembler pick the instruction up automatically.
+  uint32_t word = 0x2000043 | (10u << 7) | (11u << 15) | (12u << 20) |
+                  (13u << 27);  // madd a0, a1, a2, a3
+  std::printf("=== 3. decode/disassemble 0x%08x ===\n%s\n\n", word,
+              isa::disassemble_word(decoder, word).c_str());
+
+  // ... and so does the SE engine: explore the madd-kernel workload, which
+  // branches on x*x + x == 30 over a symbolic byte x.
+  std::printf("=== 4. symbolic execution of the MADD kernel ===\n");
+  core::Program program = workloads::load_workload(table, "madd-kernel");
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  core::DseEngine engine(executor, smt::make_z3_solver(ctx));
+  bool solved = false;
+  core::EngineStats stats = engine.explore([&](const core::PathResult& path) {
+    uint8_t x = static_cast<uint8_t>(path.seed.get(path.trace.input_vars[0]));
+    std::printf("  path %llu: x=%3u output=\"%s\"",
+                static_cast<unsigned long long>(path.index), x,
+                path.trace.output.c_str());
+    if (path.trace.output == "!") {
+      std::printf("   <- engine solved x*x + x == 30");
+      solved = true;
+    }
+    std::printf("\n");
+    if (!path.trace.branches.empty()) {
+      std::printf("  branch condition (SMT-LIB): %s\n",
+                  smt::to_smtlib(ctx, path.trace.branches.back().cond).c_str());
+    }
+  });
+  std::printf("paths=%llu — no engine, interpreter or solver code was "
+              "modified for MADD\n",
+              static_cast<unsigned long long>(stats.paths));
+  return solved ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// explore: command-line driver — symbolically execute a shipped workload
+// (or any RISC-V ELF produced by the in-tree assembler) with a chosen
+// engine and print exploration statistics.
+//
+//   explore <workload|path.elf> [binsym|vp|binsec|angr|angr-buggy]
+//           [--max-paths N] [--show-failures]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "../bench/engines.hpp"
+#include "elf/elf32.hpp"
+
+using namespace binsym;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <workload|file.elf> [engine] [--max-paths N] "
+                 "[--show-failures]\n  engines: binsym (default), vp, "
+                 "binsec, angr, angr-buggy\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string target = argv[1];
+  std::string engine_name = "binsym";
+  uint64_t max_paths = UINT64_MAX;
+  bool show_failures = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-paths") == 0 && i + 1 < argc) {
+      max_paths = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--show-failures") == 0) {
+      show_failures = true;
+    } else {
+      engine_name = argv[i];
+    }
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder(table);
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  // Custom instructions and runtime extensions participate in everything,
+  // including this driver.
+  spec::install_custom_madd(table, registry);
+  spec::install_zbb(table, registry);
+
+  core::Program program;
+  if (target.size() > 4 && target.substr(target.size() - 4) == ".elf") {
+    std::string error;
+    auto image = elf::read_elf_file(target, &error);
+    if (!image) {
+      std::fprintf(stderr, "cannot load %s: %s\n", target.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    program = elf::to_program(*image);
+  } else {
+    program = workloads::load_workload(table, target);
+  }
+
+  bench::EngineSetup setup{decoder, registry, program};
+  bench::EngineInstance engine;
+  if (engine_name == "binsym") engine = bench::make_binsym(setup);
+  else if (engine_name == "vp") engine = bench::make_vp(setup);
+  else if (engine_name == "binsec") engine = bench::make_binsec(setup);
+  else if (engine_name == "angr") engine = bench::make_angr(setup, baseline::LifterBugs::none());
+  else if (engine_name == "angr-buggy") engine = bench::make_angr(setup, baseline::LifterBugs::all());
+  else {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    return 2;
+  }
+
+  core::EngineOptions options;
+  options.max_paths = max_paths;
+  core::DseEngine dse(*engine.executor, smt::make_z3_solver(*engine.ctx),
+                      options);
+  core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
+    if (show_failures && !path.trace.failures.empty()) {
+      for (const core::Failure& f : path.trace.failures) {
+        std::printf("failure id=%u at pc=0x%x on path %llu, inputs:", f.id,
+                    f.pc, static_cast<unsigned long long>(path.index));
+        for (uint32_t var : path.trace.input_vars)
+          std::printf(" %02x",
+                      static_cast<unsigned>(path.seed.get(var) & 0xff));
+        std::printf("\n");
+      }
+    }
+  });
+
+  std::printf(
+      "engine=%s target=%s\n"
+      "paths=%llu failures=%llu instructions=%llu seconds=%.3f\n"
+      "flips: attempted=%llu feasible=%llu infeasible=%llu divergences=%llu\n"
+      "solver[%s]: queries=%llu sat=%llu unsat=%llu cache-hits=%llu "
+      "solve-time=%.3fs\n",
+      engine.executor->name().c_str(), target.c_str(),
+      static_cast<unsigned long long>(stats.paths),
+      static_cast<unsigned long long>(stats.failures),
+      static_cast<unsigned long long>(stats.instructions), stats.seconds,
+      static_cast<unsigned long long>(stats.flip_attempts),
+      static_cast<unsigned long long>(stats.feasible_flips),
+      static_cast<unsigned long long>(stats.infeasible_flips),
+      static_cast<unsigned long long>(stats.divergences),
+      dse.solver().name().c_str(),
+      static_cast<unsigned long long>(stats.solver.queries),
+      static_cast<unsigned long long>(stats.solver.sat),
+      static_cast<unsigned long long>(stats.solver.unsat),
+      static_cast<unsigned long long>(stats.solver.cache_hits),
+      stats.solver.solve_seconds);
+  return 0;
+}

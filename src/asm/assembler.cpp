@@ -1,0 +1,615 @@
+#include "asm/assembler.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "asm/lexer.hpp"
+#include "isa/encoding.hpp"
+#include "support/bits.hpp"
+#include "support/format.hpp"
+
+namespace binsym::rvasm {
+
+namespace {
+
+/// Result of evaluating an immediate expression. `uses_symbol` drives the
+/// pass-1 sizing rule for `li` (symbolic operands always take two
+/// instructions so both passes agree on layout).
+struct ExprValue {
+  uint32_t value = 0;
+  bool uses_symbol = false;
+  bool ok = false;
+};
+
+class Assembler {
+ public:
+  Assembler(const isa::OpcodeTable& table, AsmOptions options)
+      : table_(table), options_(options) {}
+
+  std::optional<AsmResult> run(const std::string& source,
+                               std::vector<AsmError>* errors) {
+    std::vector<SourceLine> lines = tokenize(source);
+
+    for (int pass = 1; pass <= 2; ++pass) {
+      pass2_ = pass == 2;
+      text_ = Section{options_.text_base, {}};
+      data_ = Section{options_.data_base, {}};
+      current_ = &text_;
+      for (const SourceLine& line : lines) process(line);
+      if (!pass2_ && !errors_.empty()) break;  // pass-1 structural errors
+    }
+
+    if (!errors_.empty()) {
+      if (errors) *errors = errors_;
+      return std::nullopt;
+    }
+
+    AsmResult result;
+    if (!text_.bytes.empty())
+      result.image.segments.push_back(elf::Segment{text_.base, text_.bytes});
+    if (!data_.bytes.empty())
+      result.image.segments.push_back(elf::Segment{data_.base, data_.bytes});
+    auto start = symbols_.find("_start");
+    result.image.entry =
+        start != symbols_.end() ? start->second : options_.text_base;
+    result.symbols = symbols_;
+    return result;
+  }
+
+ private:
+  struct Section {
+    uint32_t base = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  // -- Diagnostics. -----------------------------------------------------------
+
+  // Structural errors surface in pass 1 (which then aborts); diagnostics
+  // that need resolved symbols are guarded by `pass2_` at their call sites,
+  // so no error is ever reported twice.
+  void error(const std::string& message) {
+    errors_.push_back(AsmError{line_no_, message});
+  }
+
+  // -- Layout helpers. ----------------------------------------------------------
+
+  uint32_t here() const {
+    return current_->base + static_cast<uint32_t>(current_->bytes.size());
+  }
+
+  void emit8(uint8_t byte) { current_->bytes.push_back(byte); }
+
+  void emit32(uint32_t word) {
+    for (int i = 0; i < 4; ++i) emit8(static_cast<uint8_t>(word >> (8 * i)));
+  }
+
+  void define(const std::string& name, uint32_t value) {
+    if (!pass2_) {
+      if (symbols_.count(name) && symbols_[name] != value) {
+        error("symbol redefined: " + name);
+        return;
+      }
+    }
+    symbols_[name] = value;
+  }
+
+  // -- Expression evaluation. -------------------------------------------------------
+  //
+  // Grammar: expr := term (('+'|'-') term)* ; term := '-' term | number |
+  // char | symbol | %hi(expr) | %lo(expr) | '(' expr ')'
+
+  ExprValue eval(const std::string& text) {
+    const char* p = text.c_str();
+    ExprValue v = eval_sum(p);
+    skip_ws(p);
+    if (v.ok && *p != '\0') v.ok = false;
+    if (!v.ok && pass2_) error("bad expression: '" + text + "'");
+    return v;
+  }
+
+  static void skip_ws(const char*& p) {
+    while (*p == ' ' || *p == '\t') ++p;
+  }
+
+  ExprValue eval_sum(const char*& p) {
+    ExprValue left = eval_term(p);
+    if (!left.ok) return left;
+    for (;;) {
+      skip_ws(p);
+      if (*p != '+' && *p != '-') return left;
+      char op = *p++;
+      ExprValue right = eval_term(p);
+      if (!right.ok) return right;
+      left.value = op == '+' ? left.value + right.value
+                             : left.value - right.value;
+      left.uses_symbol |= right.uses_symbol;
+    }
+  }
+
+  ExprValue eval_term(const char*& p) {
+    skip_ws(p);
+    ExprValue out;
+    if (*p == '-') {
+      ++p;
+      ExprValue inner = eval_term(p);
+      if (!inner.ok) return inner;
+      inner.value = 0u - inner.value;
+      return inner;
+    }
+    if (*p == '(') {
+      ++p;
+      ExprValue inner = eval_sum(p);
+      skip_ws(p);
+      if (!inner.ok || *p != ')') { inner.ok = false; return inner; }
+      ++p;
+      return inner;
+    }
+    if (*p == '%') {
+      ++p;
+      std::string fn;
+      while (std::isalpha(static_cast<unsigned char>(*p))) fn += *p++;
+      skip_ws(p);
+      if (*p != '(') return out;
+      ++p;
+      ExprValue inner = eval_sum(p);
+      skip_ws(p);
+      if (!inner.ok || *p != ')') return out;
+      ++p;
+      if (fn == "hi") {
+        inner.value = (inner.value + 0x800) >> 12;
+      } else if (fn == "lo") {
+        inner.value = truncate(sext(inner.value & 0xfff, 12, 32), 32);
+      } else {
+        return out;
+      }
+      return inner;
+    }
+    if (*p == '\'') {
+      ++p;
+      char c = *p;
+      if (c == '\\') {
+        ++p;
+        switch (*p) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '\'': c = '\''; break;
+          default: return out;
+        }
+      }
+      ++p;
+      if (*p != '\'') return out;
+      ++p;
+      out.value = static_cast<uint8_t>(c);
+      out.ok = true;
+      return out;
+    }
+    if (std::isdigit(static_cast<unsigned char>(*p))) {
+      char* end = nullptr;
+      unsigned long value;
+      if (p[0] == '0' && (p[1] == 'b' || p[1] == 'B')) {
+        value = std::strtoul(p + 2, &end, 2);
+      } else {
+        value = std::strtoul(p, &end, 0);
+      }
+      if (end == p) return out;
+      p = end;
+      out.value = static_cast<uint32_t>(value);
+      out.ok = true;
+      return out;
+    }
+    if (std::isalpha(static_cast<unsigned char>(*p)) || *p == '_' ||
+        *p == '.') {
+      std::string name;
+      while (std::isalnum(static_cast<unsigned char>(*p)) || *p == '_' ||
+             *p == '.' || *p == '$')
+        name += *p++;
+      out.uses_symbol = true;
+      out.ok = true;
+      if (auto it = symbols_.find(name); it != symbols_.end()) {
+        out.value = it->second;
+      } else if (pass2_) {
+        error("undefined symbol: " + name);
+        out.ok = false;
+      } else {
+        out.value = 0;  // forward reference, resolved in pass 2
+      }
+      return out;
+    }
+    return out;
+  }
+
+  // -- Operand parsing. -------------------------------------------------------------
+
+  int parse_reg(const std::string& text) {
+    int reg = isa::parse_reg_name(trim(text));
+    if (reg < 0) error("expected register, got '" + text + "'");
+    return reg < 0 ? 0 : reg;
+  }
+
+  /// "offset(reg)" memory operand; offset may be empty (== 0).
+  bool parse_mem(const std::string& text, uint32_t* offset, int* reg) {
+    size_t open = text.rfind('(');
+    size_t close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      error("expected mem operand 'off(reg)', got '" + text + "'");
+      return false;
+    }
+    std::string off = trim(text.substr(0, open));
+    *offset = off.empty() ? 0 : eval(off).value;
+    *reg = parse_reg(text.substr(open + 1, close - open - 1));
+    return true;
+  }
+
+  bool check_signed_range(uint32_t value, unsigned bits,
+                          const char* what) {
+    // Accept both sign-extended 32-bit forms and small unsigned literals.
+    if (truncate(sext(value & mask_bits(bits), bits, 32), 32) == value)
+      return true;
+    if (pass2_) error(strprintf("%s out of %u-bit range: 0x%x", what, bits, value));
+    return false;
+  }
+
+  // -- Instruction encoding (generic, by operand format). ------------------------------
+
+  void encode_with_info(const isa::OpcodeInfo& info,
+                        const std::vector<std::string>& ops) {
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        error(strprintf("%s expects %zu operands, got %zu", info.name.c_str(),
+                        n, ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    switch (info.format) {
+      case isa::Format::kR: {
+        if (!need(3)) break;
+        uint32_t rd = parse_reg(ops[0]), rs1 = parse_reg(ops[1]),
+                 rs2 = parse_reg(ops[2]);
+        emit32(info.match | (rd << 7) | (rs1 << 15) | (rs2 << 20));
+        break;
+      }
+      case isa::Format::kR4: {
+        if (!need(4)) break;
+        uint32_t rd = parse_reg(ops[0]), rs1 = parse_reg(ops[1]),
+                 rs2 = parse_reg(ops[2]), rs3 = parse_reg(ops[3]);
+        emit32(info.match | (rd << 7) | (rs1 << 15) | (rs2 << 20) |
+               (rs3 << 27));
+        break;
+      }
+      case isa::Format::kI: {
+        uint32_t rd, rs1, imm;
+        // Unary I-space instructions (imm fully pinned by the mask) take
+        // just rd, rs1 — e.g. Zbb clz/ctz/cpop.
+        if ((info.mask & 0xfff00000) == 0xfff00000) {
+          if (!need(2)) break;
+          rd = parse_reg(ops[0]);
+          rs1 = parse_reg(ops[1]);
+          emit32(info.match | (rd << 7) | (rs1 << 15));
+          break;
+        }
+        bool is_load = info.id == isa::kLB || info.id == isa::kLH ||
+                       info.id == isa::kLW || info.id == isa::kLBU ||
+                       info.id == isa::kLHU;
+        if (is_load || (ops.size() == 2 && ops[1].find('(') != std::string::npos)) {
+          if (!need(2)) break;
+          rd = parse_reg(ops[0]);
+          int base;
+          if (!parse_mem(ops[1], &imm, &base)) break;
+          rs1 = static_cast<uint32_t>(base);
+        } else {
+          if (!need(3)) break;
+          rd = parse_reg(ops[0]);
+          rs1 = parse_reg(ops[1]);
+          imm = eval(ops[2]).value;
+        }
+        check_signed_range(imm, 12, "immediate");
+        emit32(info.match | (rd << 7) | (rs1 << 15) | ((imm & 0xfff) << 20));
+        break;
+      }
+      case isa::Format::kIShift: {
+        if (!need(3)) break;
+        uint32_t rd = parse_reg(ops[0]), rs1 = parse_reg(ops[1]);
+        uint32_t amount = eval(ops[2]).value;
+        if (amount > 31) error("shift amount out of range");
+        emit32(info.match | (rd << 7) | (rs1 << 15) | ((amount & 0x1f) << 20));
+        break;
+      }
+      case isa::Format::kS: {
+        if (!need(2)) break;
+        uint32_t rs2 = parse_reg(ops[0]), imm;
+        int base;
+        if (!parse_mem(ops[1], &imm, &base)) break;
+        check_signed_range(imm, 12, "store offset");
+        emit32(info.match | ((imm & 0x1f) << 7) | (base << 15) | (rs2 << 20) |
+               (((imm >> 5) & 0x7f) << 25));
+        break;
+      }
+      case isa::Format::kB: {
+        if (!need(3)) break;
+        uint32_t rs1 = parse_reg(ops[0]), rs2 = parse_reg(ops[1]);
+        uint32_t target = eval(ops[2]).value;
+        uint32_t offset = target - here();
+        if (pass2_ && (offset & 1)) error("branch target misaligned");
+        check_signed_range(offset, 13, "branch offset");
+        emit32(info.match | (isa::encode_b(0, 0, 0, 0, offset)) | (rs1 << 15) |
+               (rs2 << 20));
+        break;
+      }
+      case isa::Format::kU: {
+        if (!need(2)) break;
+        uint32_t rd = parse_reg(ops[0]);
+        uint32_t value = eval(ops[1]).value;
+        if (value > 0xfffff) error("20-bit immediate out of range");
+        emit32(info.match | (rd << 7) | ((value & 0xfffff) << 12));
+        break;
+      }
+      case isa::Format::kJ: {
+        uint32_t rd, target;
+        if (ops.size() == 1) {
+          rd = 1;  // jal target  ==  jal ra, target
+          target = eval(ops[0]).value;
+        } else if (ops.size() == 2) {
+          rd = parse_reg(ops[0]);
+          target = eval(ops[1]).value;
+        } else {
+          error("jal expects 1 or 2 operands");
+          break;
+        }
+        uint32_t offset = target - here();
+        if (pass2_ && (offset & 1)) error("jump target misaligned");
+        check_signed_range(offset, 21, "jump offset");
+        emit32(info.match | (rd << 7) | isa::encode_j(0, 0, offset));
+        break;
+      }
+      case isa::Format::kSystem: {
+        if (!ops.empty()) error(info.name + " takes no operands");
+        emit32(info.match);
+        break;
+      }
+      case isa::Format::kCsr: {
+        if (!need(3)) break;
+        uint32_t rd = parse_reg(ops[0]);
+        uint32_t csr = eval(ops[1]).value;
+        if (csr > 0xfff) error("csr index out of range");
+        bool imm_form = info.name.back() == 'i';
+        uint32_t field;
+        if (imm_form) {
+          field = eval(ops[2]).value;
+          if (field > 31) error("csr zimm out of range");
+        } else {
+          field = static_cast<uint32_t>(parse_reg(ops[2]));
+        }
+        emit32(info.match | (rd << 7) | (field << 15) | (csr << 20));
+        break;
+      }
+    }
+  }
+
+  void encode_real(const std::string& mnemonic,
+                   const std::vector<std::string>& ops) {
+    const isa::OpcodeInfo* info = table_.by_name(mnemonic);
+    if (!info) {
+      error("unknown instruction '" + mnemonic + "'");
+      emit32(0);  // keep layout stable so later errors are accurate
+      return;
+    }
+    encode_with_info(*info, ops);
+  }
+
+  /// `li` needs two instructions unless the value is a non-symbolic literal
+  /// fitting a 12-bit signed immediate; both passes apply the same rule.
+  void encode_li(const std::string& rd, const std::string& expr) {
+    ExprValue v = eval(expr);
+    bool small = !v.uses_symbol &&
+                 truncate(sext(v.value & 0xfff, 12, 32), 32) == v.value;
+    if (small) {
+      encode_real("addi", {rd, "zero", std::to_string(static_cast<int32_t>(v.value))});
+      return;
+    }
+    uint32_t hi = (v.value + 0x800) >> 12;
+    int32_t lo = static_cast<int32_t>(sext(v.value & 0xfff, 12, 32));
+    encode_real("lui", {rd, std::to_string(hi & 0xfffff)});
+    encode_real("addi", {rd, rd, std::to_string(lo)});
+  }
+
+  bool encode_pseudo(const std::string& mnemonic,
+                     const std::vector<std::string>& ops) {
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        error(strprintf("%s expects %zu operands", mnemonic.c_str(), n));
+        return false;
+      }
+      return true;
+    };
+
+    if (mnemonic == "nop") { encode_real("addi", {"zero", "zero", "0"}); return true; }
+    if (mnemonic == "li") { if (need(2)) encode_li(ops[0], ops[1]); return true; }
+    if (mnemonic == "la") {
+      if (!need(2)) return true;
+      // Absolute addressing (no PIC): lui %hi / addi %lo.
+      encode_real("lui", {ops[0], "%hi(" + ops[1] + ")"});
+      encode_real("addi", {ops[0], ops[0], "%lo(" + ops[1] + ")"});
+      return true;
+    }
+    if (mnemonic == "mv") { if (need(2)) encode_real("addi", {ops[0], ops[1], "0"}); return true; }
+    if (mnemonic == "not") { if (need(2)) encode_real("xori", {ops[0], ops[1], "-1"}); return true; }
+    if (mnemonic == "neg") { if (need(2)) encode_real("sub", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "seqz") { if (need(2)) encode_real("sltiu", {ops[0], ops[1], "1"}); return true; }
+    if (mnemonic == "snez") { if (need(2)) encode_real("sltu", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "sltz") { if (need(2)) encode_real("slt", {ops[0], ops[1], "zero"}); return true; }
+    if (mnemonic == "sgtz") { if (need(2)) encode_real("slt", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "beqz") { if (need(2)) encode_real("beq", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "bnez") { if (need(2)) encode_real("bne", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "blez") { if (need(2)) encode_real("bge", {"zero", ops[0], ops[1]}); return true; }
+    if (mnemonic == "bgez") { if (need(2)) encode_real("bge", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "bltz") { if (need(2)) encode_real("blt", {ops[0], "zero", ops[1]}); return true; }
+    if (mnemonic == "bgtz") { if (need(2)) encode_real("blt", {"zero", ops[0], ops[1]}); return true; }
+    if (mnemonic == "bgt") { if (need(3)) encode_real("blt", {ops[1], ops[0], ops[2]}); return true; }
+    if (mnemonic == "ble") { if (need(3)) encode_real("bge", {ops[1], ops[0], ops[2]}); return true; }
+    if (mnemonic == "bgtu") { if (need(3)) encode_real("bltu", {ops[1], ops[0], ops[2]}); return true; }
+    if (mnemonic == "bleu") { if (need(3)) encode_real("bgeu", {ops[1], ops[0], ops[2]}); return true; }
+    if (mnemonic == "j") { if (need(1)) encode_real("jal", {"zero", ops[0]}); return true; }
+    if (mnemonic == "call") { if (need(1)) encode_real("jal", {"ra", ops[0]}); return true; }
+    if (mnemonic == "jr") { if (need(1)) encode_real("jalr", {"zero", ops[0], "0"}); return true; }
+    if (mnemonic == "ret") { encode_real("jalr", {"zero", "ra", "0"}); return true; }
+    if (mnemonic == "jalr" && ops.size() == 1) {
+      encode_real("jalr", {"ra", ops[0], "0"});
+      return true;
+    }
+    if (mnemonic == "jalr" && ops.size() == 2) {
+      encode_real("jalr", {ops[0], ops[1], "0"});
+      return true;
+    }
+    if (mnemonic == "csrr") { if (need(2)) encode_real("csrrs", {ops[0], ops[1], "zero"}); return true; }
+    if (mnemonic == "csrw") { if (need(2)) encode_real("csrrw", {"zero", ops[0], ops[1]}); return true; }
+    return false;
+  }
+
+  // -- Directives. ----------------------------------------------------------------------
+
+  bool process_directive(const SourceLine& line) {
+    const std::string& d = line.mnemonic;
+    const auto& ops = line.operands;
+    if (d == ".text") { current_ = &text_; return true; }
+    if (d == ".data" || d == ".bss" || d == ".rodata") { current_ = &data_; return true; }
+    if (d == ".global" || d == ".globl" || d == ".section" || d == ".option" ||
+        d == ".type" || d == ".size" || d == ".file" || d == ".attribute")
+      return true;  // accepted, no effect in this flat model
+    if (d == ".equ" || d == ".set") {
+      if (ops.size() != 2) { error(d + " expects name, value"); return true; }
+      define(trim(ops[0]), eval(ops[1]).value);
+      return true;
+    }
+    if (d == ".word" || d == ".long") {
+      for (const std::string& op : ops) emit32(eval(op).value);
+      return true;
+    }
+    if (d == ".half" || d == ".short") {
+      for (const std::string& op : ops) {
+        uint32_t v = eval(op).value;
+        emit8(static_cast<uint8_t>(v));
+        emit8(static_cast<uint8_t>(v >> 8));
+      }
+      return true;
+    }
+    if (d == ".byte") {
+      for (const std::string& op : ops)
+        emit8(static_cast<uint8_t>(eval(op).value));
+      return true;
+    }
+    if (d == ".ascii" || d == ".asciz" || d == ".string") {
+      for (const std::string& op : ops) {
+        std::string s = trim(op);
+        if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+          error(d + " expects a string literal");
+          continue;
+        }
+        for (size_t i = 1; i + 1 < s.size(); ++i) {
+          char c = s[i];
+          if (c == '\\' && i + 2 < s.size()) {
+            ++i;
+            switch (s[i]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default: c = s[i]; break;
+            }
+          }
+          emit8(static_cast<uint8_t>(c));
+        }
+        if (d != ".ascii") emit8(0);
+      }
+      return true;
+    }
+    if (d == ".space" || d == ".zero" || d == ".skip") {
+      if (ops.empty()) { error(d + " expects a size"); return true; }
+      uint32_t n = eval(ops[0]).value;
+      uint8_t fill = ops.size() > 1
+                         ? static_cast<uint8_t>(eval(ops[1]).value)
+                         : 0;
+      for (uint32_t i = 0; i < n; ++i) emit8(fill);
+      return true;
+    }
+    if (d == ".align" || d == ".balign" || d == ".p2align") {
+      if (ops.empty()) { error(d + " expects an amount"); return true; }
+      uint32_t amount = eval(ops[0]).value;
+      uint32_t alignment =
+          d == ".balign" ? amount : (1u << (amount > 16 ? 16 : amount));
+      if (alignment == 0) alignment = 1;
+      while (here() % alignment) emit8(0);
+      return true;
+    }
+    return false;
+  }
+
+  // -- Main statement dispatch. --------------------------------------------------------
+
+  void process(const SourceLine& line) {
+    line_no_ = line.line_no;
+    for (const std::string& label : line.labels) define(label, here());
+    if (line.mnemonic.empty()) return;
+    if (line.mnemonic[0] == '.') {
+      if (!process_directive(line))
+        error("unknown directive '" + line.mnemonic + "'");
+      return;
+    }
+    if (encode_pseudo(line.mnemonic, line.operands)) return;
+    encode_real(line.mnemonic, line.operands);
+  }
+
+  const isa::OpcodeTable& table_;
+  AsmOptions options_;
+  Section text_, data_;
+  Section* current_ = nullptr;
+  std::map<std::string, uint32_t> symbols_;
+  std::vector<AsmError> errors_;
+  bool pass2_ = false;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+std::optional<AsmResult> assemble(const isa::OpcodeTable& table,
+                                  const std::string& source,
+                                  std::vector<AsmError>* errors,
+                                  AsmOptions options) {
+  return Assembler(table, options).run(source, errors);
+}
+
+std::optional<AsmResult> assemble_file(const isa::OpcodeTable& table,
+                                       const std::string& path,
+                                       std::vector<AsmError>* errors,
+                                       AsmOptions options) {
+  std::ifstream file(path);
+  if (!file) {
+    if (errors) errors->push_back(AsmError{0, "cannot open " + path});
+    return std::nullopt;
+  }
+  std::string source((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+  return assemble(table, source, errors, options);
+}
+
+AsmResult assemble_or_die(const isa::OpcodeTable& table,
+                          const std::string& source, AsmOptions options) {
+  std::vector<AsmError> errors;
+  auto result = assemble(table, source, &errors, options);
+  if (!result) {
+    for (const AsmError& e : errors)
+      std::fprintf(stderr, "asm error (line %d): %s\n", e.line,
+                   e.message.c_str());
+    std::abort();
+  }
+  return *result;
+}
+
+}  // namespace binsym::rvasm

@@ -1,0 +1,55 @@
+// RV32IM(+custom) assembler.
+//
+// Two-pass assembler with GNU-as-flavoured syntax: labels, the common
+// directives (.text/.data/.global/.word/.byte/.half/.ascii/.asciz/.space/
+// .align/.equ), %hi()/%lo() relocation operators and the standard pseudo
+// instructions (li/la/mv/not/neg/j/call/ret/beqz/bgt/...). Real mnemonics
+// are encoded *generically from the OpcodeTable by operand format*, so an
+// instruction registered at runtime (e.g. the MADD case study) assembles
+// with no assembler changes — the whole toolchain extends from the one
+// encoding description, as the paper advocates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elf/elf32.hpp"
+#include "isa/opcodes.hpp"
+
+namespace binsym::rvasm {
+
+struct AsmError {
+  int line = 0;
+  std::string message;
+};
+
+struct AsmOptions {
+  uint32_t text_base = 0x0000'1000;
+  uint32_t data_base = 0x0001'0000;
+};
+
+struct AsmResult {
+  elf::Image image;  // entry = `_start` if defined, else text base
+  std::map<std::string, uint32_t> symbols;
+};
+
+/// Assemble `source`; on failure returns nullopt and fills `errors`.
+std::optional<AsmResult> assemble(const isa::OpcodeTable& table,
+                                  const std::string& source,
+                                  std::vector<AsmError>* errors = nullptr,
+                                  AsmOptions options = {});
+
+/// Assemble a file from disk.
+std::optional<AsmResult> assemble_file(const isa::OpcodeTable& table,
+                                       const std::string& path,
+                                       std::vector<AsmError>* errors = nullptr,
+                                       AsmOptions options = {});
+
+/// Test/bench helper: assemble or abort with a diagnostic.
+AsmResult assemble_or_die(const isa::OpcodeTable& table,
+                          const std::string& source, AsmOptions options = {});
+
+}  // namespace binsym::rvasm

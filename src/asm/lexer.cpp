@@ -1,0 +1,128 @@
+#include "asm/lexer.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace binsym::rvasm {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+namespace {
+
+/// Strip `#` and `//` comments, respecting string/char literals.
+std::string strip_comment(const std::string& line) {
+  bool in_string = false, in_char = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') ++i;
+      else if (c == '\'') in_char = false;
+      continue;
+    }
+    if (c == '"') { in_string = true; continue; }
+    if (c == '\'') { in_char = true; continue; }
+    if (c == '#') return line.substr(0, i);
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+      return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Split operands by commas at paren depth 0, outside literals.
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false, in_char = false;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      current += c;
+      if (c == '\\' && i + 1 < text.size()) current += text[++i];
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (in_char) {
+      current += c;
+      if (c == '\\' && i + 1 < text.size()) current += text[++i];
+      else if (c == '\'') in_char = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; current += c; break;
+      case '\'': in_char = true; current += c; break;
+      case '(': ++depth; current += c; break;
+      case ')': --depth; current += c; break;
+      case ',':
+        if (depth == 0) {
+          out.push_back(trim(current));
+          current.clear();
+        } else {
+          current += c;
+        }
+        break;
+      default: current += c; break;
+    }
+  }
+  if (!trim(current).empty() || !out.empty()) out.push_back(trim(current));
+  return out;
+}
+
+bool is_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '$';
+}
+
+}  // namespace
+
+std::vector<SourceLine> tokenize(const std::string& source) {
+  std::vector<SourceLine> out;
+  std::stringstream stream(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string text = trim(strip_comment(raw));
+    if (text.empty()) continue;
+
+    SourceLine line;
+    line.line_no = line_no;
+
+    // Peel off leading "label:" prefixes.
+    for (;;) {
+      size_t i = 0;
+      while (i < text.size() && is_label_char(text[i])) ++i;
+      if (i > 0 && i < text.size() && text[i] == ':') {
+        line.labels.push_back(text.substr(0, i));
+        text = trim(text.substr(i + 1));
+      } else {
+        break;
+      }
+    }
+
+    if (!text.empty()) {
+      size_t space = text.find_first_of(" \t");
+      std::string mnemonic =
+          space == std::string::npos ? text : text.substr(0, space);
+      for (char& c : mnemonic)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      line.mnemonic = mnemonic;
+      if (space != std::string::npos)
+        line.operands = split_operands(trim(text.substr(space + 1)));
+    }
+    if (!line.labels.empty() || !line.mnemonic.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace binsym::rvasm

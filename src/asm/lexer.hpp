@@ -1,0 +1,25 @@
+// Line-level tokenization for the assembler: comment stripping, label
+// extraction and operand splitting (commas at paren depth 0 only; string
+// literals kept intact).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace binsym::rvasm {
+
+struct SourceLine {
+  int line_no = 0;
+  std::vector<std::string> labels;    // "name:" prefixes on this line
+  std::string mnemonic;               // instruction or directive (lowercased)
+  std::vector<std::string> operands;  // raw operand strings, trimmed
+};
+
+/// Split a full source text into logical lines. Blank/comment-only lines are
+/// dropped; lines carrying only labels are kept (empty mnemonic).
+std::vector<SourceLine> tokenize(const std::string& source);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+}  // namespace binsym::rvasm

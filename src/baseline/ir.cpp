@@ -1,0 +1,56 @@
+#include "baseline/ir.hpp"
+
+#include "support/format.hpp"
+
+namespace binsym::baseline {
+
+std::string dump(const IrBlock& block) {
+  std::string out;
+  for (const IrStmt& s : block.stmts) {
+    switch (s.op) {
+      case IrStmt::Op::kConst:
+        out += strprintf("t%u = 0x%llx:%u\n", s.dst,
+                         static_cast<unsigned long long>(s.imm), s.width);
+        break;
+      case IrStmt::Op::kGetReg:
+        out += strprintf("t%u = GET(x%u)\n", s.dst, s.reg);
+        break;
+      case IrStmt::Op::kPutReg:
+        out += strprintf("PUT(x%u) = t%u\n", s.reg, s.a);
+        break;
+      case IrStmt::Op::kGetPc:
+        out += strprintf("t%u = GET(pc)\n", s.dst);
+        break;
+      case IrStmt::Op::kPutPc:
+        out += strprintf("PUT(pc) = t%u\n", s.a);
+        break;
+      case IrStmt::Op::kUn:
+        out += strprintf("t%u = %s(t%u, %u, %u)\n", s.dst,
+                         dsl::expr_op_name(s.eop), s.a, s.aux0, s.aux1);
+        break;
+      case IrStmt::Op::kBin:
+        out += strprintf("t%u = %s(t%u, t%u)\n", s.dst,
+                         dsl::expr_op_name(s.eop), s.a, s.b);
+        break;
+      case IrStmt::Op::kIte:
+        out += strprintf("t%u = ITE(t%u, t%u, t%u)\n", s.dst, s.a, s.b, s.c);
+        break;
+      case IrStmt::Op::kLoad:
+        out += strprintf("t%u = LD%u(t%u)\n", s.dst, s.aux0 * 8, s.a);
+        break;
+      case IrStmt::Op::kStore:
+        out += strprintf("ST%u(t%u) = t%u\n", s.aux0 * 8, s.a, s.b);
+        break;
+      case IrStmt::Op::kBranch:
+        out += strprintf("if (t%u) goto 0x%llx\n", s.a,
+                         static_cast<unsigned long long>(s.imm));
+        break;
+      case IrStmt::Op::kEcall:  out += "ecall\n"; break;
+      case IrStmt::Op::kEbreak: out += "ebreak\n"; break;
+      case IrStmt::Op::kFence:  out += "fence\n"; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace binsym::baseline

@@ -1,0 +1,61 @@
+// The mini-IR of the indirect (lifter-based) baseline engines.
+//
+// A deliberately VEX-flavoured, architecture-neutral register-transfer IR:
+// flat statement lists over numbered temporaries with explicit GET/PUT
+// guest-register accesses. The baseline engines translate binary code
+// *twice* (RISC-V -> IR -> SMT), exactly the methodology the paper compares
+// against (Fig. 1, "indirect IR-based"); the five angr lifter bugs are
+// reproduced as flags on the lifter (lifter.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace binsym::baseline {
+
+/// Temp index inside one lifted block.
+using Temp = uint16_t;
+
+struct IrStmt {
+  enum class Op : uint8_t {
+    kConst,   // dst <- imm:width
+    kGetReg,  // dst <- guest register [reg]
+    kPutReg,  // guest register [reg] <- a
+    kGetPc,   // dst <- guest pc (of this instruction)
+    kPutPc,   // guest next-pc <- a (jumps)
+    kUn,      // dst <- eop(a) with aux0/aux1
+    kBin,     // dst <- eop(a, b)
+    kIte,     // dst <- a ? b : c
+    kLoad,    // dst <- mem[a], aux0 bytes
+    kStore,   // mem[a] <- b, aux0 bytes
+    kBranch,  // if (a) guest next-pc <- imm (conditional exit)
+    kEcall,
+    kEbreak,
+    kFence,
+  };
+
+  Op op;
+  dsl::ExprOp eop = dsl::ExprOp::kAdd;  // kUn/kBin operator
+  Temp dst = 0, a = 0, b = 0, c = 0;
+  uint32_t reg = 0;      // kGetReg/kPutReg guest register index
+  uint32_t aux0 = 0;     // kUn extract-hi / ext width; kLoad/kStore bytes
+  uint32_t aux1 = 0;     // kUn extract-lo
+  uint64_t imm = 0;      // kConst value; kBranch target address
+  uint32_t width = 32;   // kConst width
+};
+
+/// One guest instruction lifted at a specific address (targets of jumps and
+/// branches are materialized as absolute constants, as VEX does).
+struct IrBlock {
+  std::vector<IrStmt> stmts;
+  Temp num_temps = 0;
+  unsigned instr_size = 4;  // encoding size (2 for expanded compressed)
+};
+
+/// Debug/bench aid: textual dump of a block.
+std::string dump(const IrBlock& block);
+
+}  // namespace binsym::baseline

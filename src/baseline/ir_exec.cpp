@@ -1,0 +1,108 @@
+#include "baseline/ir_exec.hpp"
+
+namespace binsym::baseline {
+
+void execute_block(const IrBlock& block, core::SymMachine& machine,
+                   std::vector<interp::SymValue>& temps) {
+  temps.assign(block.num_temps, interp::SymValue{});
+  for (const IrStmt& s : block.stmts) {
+    switch (s.op) {
+      case IrStmt::Op::kConst:
+        temps[s.dst] = interp::sval(s.imm, s.width);
+        break;
+      case IrStmt::Op::kGetReg:
+        temps[s.dst] = machine.read_register(s.reg);
+        break;
+      case IrStmt::Op::kPutReg:
+        machine.write_register(s.reg, temps[s.a]);
+        break;
+      case IrStmt::Op::kGetPc:
+        temps[s.dst] = machine.pc_value();
+        break;
+      case IrStmt::Op::kPutPc:
+        machine.write_pc(temps[s.a]);
+        break;
+      case IrStmt::Op::kUn:
+        temps[s.dst] = machine.apply_un(s.eop, temps[s.a], s.aux0, s.aux1);
+        break;
+      case IrStmt::Op::kBin:
+        temps[s.dst] = machine.apply_bin(s.eop, temps[s.a], temps[s.b]);
+        break;
+      case IrStmt::Op::kIte:
+        temps[s.dst] = machine.apply_ite(temps[s.a], temps[s.b], temps[s.c]);
+        break;
+      case IrStmt::Op::kLoad:
+        temps[s.dst] = machine.load(s.aux0, temps[s.a]);
+        break;
+      case IrStmt::Op::kStore:
+        machine.store(s.aux0, temps[s.a], temps[s.b]);
+        break;
+      case IrStmt::Op::kBranch:
+        if (machine.choose(temps[s.a]))
+          machine.set_next_pc(static_cast<uint32_t>(s.imm));
+        break;
+      case IrStmt::Op::kEcall:
+        machine.ecall();
+        break;
+      case IrStmt::Op::kEbreak:
+        machine.ebreak();
+        break;
+      case IrStmt::Op::kFence:
+        machine.fence();
+        break;
+    }
+  }
+}
+
+IrExecutor::IrExecutor(smt::Context& ctx, const isa::Decoder& decoder,
+                       const Lifter& lifter, const core::Program& program,
+                       core::MachineConfig config)
+    : ctx_(ctx),
+      decoder_(decoder),
+      lifter_(lifter),
+      program_(program),
+      config_(config),
+      machine_(ctx) {}
+
+void IrExecutor::run(const smt::Assignment& seed, core::PathTrace& trace) {
+  trace.clear();
+  machine_.reset(program_.image, program_.entry, config_.stack_top, seed,
+                 trace);
+
+  while (machine_.running()) {
+    if (trace.steps >= config_.max_steps) {
+      machine_.stop(core::ExitReason::kMaxSteps);
+      break;
+    }
+    if (!machine_.fetch_mapped()) {
+      machine_.stop(core::ExitReason::kBadFetch);
+      break;
+    }
+    uint32_t pc = machine_.pc();
+
+    const IrBlock* block;
+    if (auto it = lift_cache_.find(pc); it != lift_cache_.end()) {
+      block = &it->second;
+    } else {
+      auto decoded = decoder_.decode(machine_.fetch_word());
+      if (!decoded) {
+        machine_.stop(core::ExitReason::kIllegalInstr);
+        break;
+      }
+      auto lifted = lifter_.lift(*decoded, pc);
+      if (!lifted) {
+        machine_.stop(core::ExitReason::kIllegalInstr);
+        break;
+      }
+      block = &lift_cache_.emplace(pc, std::move(*lifted)).first->second;
+    }
+
+    machine_.set_next_pc(pc + block->instr_size);
+    execute_block(*block, machine_, temps_);
+    machine_.advance();
+    ++trace.steps;
+    ++retired_;
+  }
+}
+
+}  // namespace binsym::baseline

@@ -1,0 +1,79 @@
+// IR-based concolic executors (the baseline engines).
+//
+// IrExecutor ("binsec-like"): lifts each instruction once, caches the block
+// per address, and interprets the flat statement list directly over the
+// shared concolic machine. This stands in for a mature, optimized binary SE
+// engine: fastest in Fig. 6.
+//
+// BoxedIrExecutor ("angr-like"): same lifter, but re-lifts on every
+// execution and evaluates through per-statement heap-boxed values and
+// freshly-built closures — an honest structural model of a dynamically
+// typed, interpreted engine, which the paper (citing Poeplau & Francillon)
+// blames for angr's slowness. Combined with `LifterBugs::all()` this is the
+// Table-I "angr" configuration; with no bugs it is the fixed-angr
+// configuration of Fig. 6.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "baseline/lifter.hpp"
+#include "core/executor.hpp"
+
+namespace binsym::baseline {
+
+/// Executes one lifted block over the shared concolic machine. Returns
+/// false if the machine stopped inside the block.
+void execute_block(const IrBlock& block, core::SymMachine& machine,
+                   std::vector<interp::SymValue>& temps);
+
+class IrExecutor : public core::Executor {
+ public:
+  IrExecutor(smt::Context& ctx, const isa::Decoder& decoder,
+             const Lifter& lifter, const core::Program& program,
+             core::MachineConfig config = {});
+
+  std::string name() const override {
+    return lifter_.bugs().any() ? "ir-lifter(buggy)" : "ir-lifter";
+  }
+  smt::Context& context() override { return ctx_; }
+  void run(const smt::Assignment& seed, core::PathTrace& trace) override;
+  uint64_t instructions_retired() const override { return retired_; }
+
+ protected:
+  smt::Context& ctx_;
+  const isa::Decoder& decoder_;
+  const Lifter& lifter_;
+  const core::Program& program_;
+  core::MachineConfig config_;
+  core::SymMachine machine_;
+  std::vector<interp::SymValue> temps_;
+  std::unordered_map<uint32_t, IrBlock> lift_cache_;  // keyed by pc
+  uint64_t retired_ = 0;
+};
+
+class BoxedIrExecutor final : public core::Executor {
+ public:
+  BoxedIrExecutor(smt::Context& ctx, const isa::Decoder& decoder,
+                  const Lifter& lifter, const core::Program& program,
+                  core::MachineConfig config = {});
+
+  std::string name() const override {
+    return lifter_.bugs().any() ? "boxed-ir(buggy)" : "boxed-ir";
+  }
+  smt::Context& context() override { return ctx_; }
+  void run(const smt::Assignment& seed, core::PathTrace& trace) override;
+  uint64_t instructions_retired() const override { return retired_; }
+
+ private:
+  smt::Context& ctx_;
+  const isa::Decoder& decoder_;
+  const Lifter& lifter_;
+  const core::Program& program_;
+  core::MachineConfig config_;
+  core::SymMachine machine_;
+  uint64_t retired_ = 0;
+};
+
+}  // namespace binsym::baseline

@@ -1,0 +1,352 @@
+#include "baseline/lifter.hpp"
+
+#include "support/bits.hpp"
+
+namespace binsym::baseline {
+
+namespace {
+
+/// Incremental builder for one lifted block.
+class BlockBuilder {
+ public:
+  Temp fresh() { return block_.num_temps++; }
+
+  Temp constant(uint64_t value, unsigned width = 32) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kConst;
+    s.dst = t;
+    s.imm = truncate(value, width);
+    s.width = width;
+    push(s);
+    return t;
+  }
+
+  Temp get_reg(uint32_t reg) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kGetReg;
+    s.dst = t;
+    s.reg = reg;
+    push(s);
+    return t;
+  }
+
+  void put_reg(uint32_t reg, Temp a) {
+    IrStmt s;
+    s.op = IrStmt::Op::kPutReg;
+    s.reg = reg;
+    s.a = a;
+    push(s);
+  }
+
+  Temp get_pc() {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kGetPc;
+    s.dst = t;
+    push(s);
+    return t;
+  }
+
+  void put_pc(Temp a) {
+    IrStmt s;
+    s.op = IrStmt::Op::kPutPc;
+    s.a = a;
+    push(s);
+  }
+
+  Temp un(dsl::ExprOp op, Temp a, uint32_t aux0 = 0, uint32_t aux1 = 0) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kUn;
+    s.eop = op;
+    s.dst = t;
+    s.a = a;
+    s.aux0 = aux0;
+    s.aux1 = aux1;
+    push(s);
+    return t;
+  }
+
+  Temp bin(dsl::ExprOp op, Temp a, Temp b) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kBin;
+    s.eop = op;
+    s.dst = t;
+    s.a = a;
+    s.b = b;
+    push(s);
+    return t;
+  }
+
+  Temp ite(Temp cond, Temp then_t, Temp else_t) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kIte;
+    s.dst = t;
+    s.a = cond;
+    s.b = then_t;
+    s.c = else_t;
+    push(s);
+    return t;
+  }
+
+  Temp load(unsigned bytes, Temp addr) {
+    Temp t = fresh();
+    IrStmt s;
+    s.op = IrStmt::Op::kLoad;
+    s.dst = t;
+    s.a = addr;
+    s.aux0 = bytes;
+    push(s);
+    return t;
+  }
+
+  void store(unsigned bytes, Temp addr, Temp value) {
+    IrStmt s;
+    s.op = IrStmt::Op::kStore;
+    s.a = addr;
+    s.b = value;
+    s.aux0 = bytes;
+    push(s);
+  }
+
+  void branch(Temp cond, uint32_t target) {
+    IrStmt s;
+    s.op = IrStmt::Op::kBranch;
+    s.a = cond;
+    s.imm = target;
+    push(s);
+  }
+
+  void simple(IrStmt::Op op) {
+    IrStmt s;
+    s.op = op;
+    push(s);
+  }
+
+  IrBlock take() { return std::move(block_); }
+
+ private:
+  void push(const IrStmt& s) { block_.stmts.push_back(s); }
+  IrBlock block_;
+};
+
+}  // namespace
+
+std::optional<IrBlock> Lifter::lift(const isa::Decoded& d, uint32_t pc) const {
+  using dsl::ExprOp;
+  BlockBuilder b;
+  const uint32_t imm = d.immediate();
+
+  // Shift-amount helpers with the injectable bugs.
+  auto rtype_shift_amount = [&]() -> Temp {
+    if (bugs_.rtype_shift_uses_index) {
+      // Bug #2: the *index* of rs2 is used as the amount. Indices are < 32,
+      // so the 5-bit mask is a no-op and the bug manifests directly.
+      return b.constant(d.rs2());
+    }
+    Temp rs2 = b.get_reg(d.rs2());
+    return b.bin(ExprOp::kAnd, rs2, b.constant(0x1f));
+  };
+  auto itype_shift_amount = [&]() -> Temp {
+    if (bugs_.itype_shamt_signed) {
+      // Bug #4: the 5-bit immediate is sign-extended; 31 becomes -1 ==
+      // 0xffffffff, and the saturating IR shift then produces 0.
+      return b.constant(sext(d.shamt(), 5, 32));
+    }
+    return b.constant(d.shamt());
+  };
+  ExprOp sra_op = bugs_.sra_as_logical ? ExprOp::kLShr : ExprOp::kAShr;  // bug #1
+  ExprOp slt_op = bugs_.signed_cmp_as_unsigned ? ExprOp::kUlt : ExprOp::kSlt;  // bug #5
+  ExprOp sge_op_neg = bugs_.signed_cmp_as_unsigned ? ExprOp::kUlt : ExprOp::kSlt;
+
+  auto bool_to_reg = [&](Temp cond) {
+    return b.ite(cond, b.constant(1), b.constant(0));
+  };
+
+  auto lift_alu_r = [&](ExprOp op) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp rs2 = b.get_reg(d.rs2());
+    b.put_reg(d.rd(), b.bin(op, rs1, rs2));
+  };
+  auto lift_alu_i = [&](ExprOp op) {
+    Temp rs1 = b.get_reg(d.rs1());
+    b.put_reg(d.rd(), b.bin(op, rs1, b.constant(imm)));
+  };
+  auto lift_branch = [&](ExprOp cmp, bool negate) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp rs2 = b.get_reg(d.rs2());
+    Temp cond = b.bin(cmp, rs1, rs2);
+    if (negate) cond = b.un(ExprOp::kNot, cond);
+    b.branch(cond, pc + imm);
+  };
+  auto lift_load = [&](unsigned bytes, bool sign_extend) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp addr = b.bin(ExprOp::kAdd, rs1, b.constant(imm));
+    Temp value = b.load(bytes, addr);
+    if (bugs_.load_wrong_extension) sign_extend = !sign_extend;  // bug #3
+    if (bytes < 4)
+      value = b.un(sign_extend ? ExprOp::kSExt : ExprOp::kZExt, value, 32);
+    b.put_reg(d.rd(), value);
+  };
+  auto lift_store = [&](unsigned bytes) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp addr = b.bin(ExprOp::kAdd, rs1, b.constant(imm));
+    Temp value = b.get_reg(d.rs2());
+    if (bytes < 4) value = b.un(ExprOp::kExtract, value, bytes * 8 - 1, 0);
+    b.store(bytes, addr, value);
+  };
+  /// MULH family: widen both operands to 64 bits, multiply, take [63:32].
+  auto lift_mulh = [&](bool sext1, bool sext2) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp rs2 = b.get_reg(d.rs2());
+    Temp w1 = b.un(sext1 ? ExprOp::kSExt : ExprOp::kZExt, rs1, 64);
+    Temp w2 = b.un(sext2 ? ExprOp::kSExt : ExprOp::kZExt, rs2, 64);
+    Temp product = b.bin(ExprOp::kMul, w1, w2);
+    b.put_reg(d.rd(), b.un(ExprOp::kExtract, product, 63, 32));
+  };
+  /// Division: branch-free ite encoding of the /0 special cases (unlike the
+  /// formal spec, which forks via runIfElse — a real modelling difference
+  /// between lifter-based engines and BinSym).
+  auto lift_div = [&](ExprOp op, uint64_t on_zero, bool zero_gives_rs1) {
+    Temp rs1 = b.get_reg(d.rs1());
+    Temp rs2 = b.get_reg(d.rs2());
+    Temp is_zero = b.bin(ExprOp::kEq, rs2, b.constant(0));
+    Temp result = b.bin(op, rs1, rs2);
+    Temp special = zero_gives_rs1 ? rs1 : b.constant(on_zero);
+    b.put_reg(d.rd(), b.ite(is_zero, special, result));
+  };
+
+  switch (d.id()) {
+    case isa::kLUI:
+      b.put_reg(d.rd(), b.constant(imm));
+      break;
+    case isa::kAUIPC: {
+      Temp pc_t = b.get_pc();
+      b.put_reg(d.rd(), b.bin(ExprOp::kAdd, pc_t, b.constant(imm)));
+      break;
+    }
+    case isa::kJAL:
+      b.put_reg(d.rd(), b.constant(pc + d.size));  // link: next sequential pc
+      b.put_pc(b.constant(pc + imm));
+      break;
+    case isa::kJALR: {
+      Temp rs1 = b.get_reg(d.rs1());
+      Temp target = b.bin(ExprOp::kAdd, rs1, b.constant(imm));
+      target = b.bin(ExprOp::kAnd, target, b.constant(0xfffffffe));
+      b.put_reg(d.rd(), b.constant(pc + d.size));
+      b.put_pc(target);
+      break;
+    }
+
+    case isa::kBEQ:  lift_branch(ExprOp::kEq, false); break;
+    case isa::kBNE:  lift_branch(ExprOp::kEq, true); break;
+    case isa::kBLT:  lift_branch(slt_op, false); break;
+    case isa::kBGE:  lift_branch(sge_op_neg, true); break;
+    case isa::kBLTU: lift_branch(ExprOp::kUlt, false); break;
+    case isa::kBGEU: lift_branch(ExprOp::kUlt, true); break;
+
+    case isa::kLB:  lift_load(1, true); break;
+    case isa::kLH:  lift_load(2, true); break;
+    case isa::kLW:  lift_load(4, true); break;
+    case isa::kLBU: lift_load(1, false); break;
+    case isa::kLHU: lift_load(2, false); break;
+    case isa::kSB:  lift_store(1); break;
+    case isa::kSH:  lift_store(2); break;
+    case isa::kSW:  lift_store(4); break;
+
+    case isa::kADDI: lift_alu_i(ExprOp::kAdd); break;
+    case isa::kXORI: lift_alu_i(ExprOp::kXor); break;
+    case isa::kORI:  lift_alu_i(ExprOp::kOr); break;
+    case isa::kANDI: lift_alu_i(ExprOp::kAnd); break;
+    case isa::kSLTI: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), bool_to_reg(b.bin(slt_op, rs1, b.constant(imm))));
+      break;
+    }
+    case isa::kSLTIU: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(),
+                bool_to_reg(b.bin(ExprOp::kUlt, rs1, b.constant(imm))));
+      break;
+    }
+
+    case isa::kSLLI: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(ExprOp::kShl, rs1, itype_shift_amount()));
+      break;
+    }
+    case isa::kSRLI: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(ExprOp::kLShr, rs1, itype_shift_amount()));
+      break;
+    }
+    case isa::kSRAI: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(sra_op, rs1, itype_shift_amount()));
+      break;
+    }
+
+    case isa::kADD: lift_alu_r(ExprOp::kAdd); break;
+    case isa::kSUB: lift_alu_r(ExprOp::kSub); break;
+    case isa::kXOR: lift_alu_r(ExprOp::kXor); break;
+    case isa::kOR:  lift_alu_r(ExprOp::kOr); break;
+    case isa::kAND: lift_alu_r(ExprOp::kAnd); break;
+    case isa::kSLT: {
+      Temp rs1 = b.get_reg(d.rs1());
+      Temp rs2 = b.get_reg(d.rs2());
+      b.put_reg(d.rd(), bool_to_reg(b.bin(slt_op, rs1, rs2)));
+      break;
+    }
+    case isa::kSLTU: {
+      Temp rs1 = b.get_reg(d.rs1());
+      Temp rs2 = b.get_reg(d.rs2());
+      b.put_reg(d.rd(), bool_to_reg(b.bin(ExprOp::kUlt, rs1, rs2)));
+      break;
+    }
+    case isa::kSLL: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(ExprOp::kShl, rs1, rtype_shift_amount()));
+      break;
+    }
+    case isa::kSRL: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(ExprOp::kLShr, rs1, rtype_shift_amount()));
+      break;
+    }
+    case isa::kSRA: {
+      Temp rs1 = b.get_reg(d.rs1());
+      b.put_reg(d.rd(), b.bin(sra_op, rs1, rtype_shift_amount()));
+      break;
+    }
+
+    case isa::kMUL: lift_alu_r(ExprOp::kMul); break;
+    case isa::kMULH:   lift_mulh(true, true); break;
+    case isa::kMULHSU: lift_mulh(true, false); break;
+    case isa::kMULHU:  lift_mulh(false, false); break;
+    case isa::kDIV:  lift_div(ExprOp::kSDiv, 0xffffffff, false); break;
+    case isa::kDIVU: lift_div(ExprOp::kUDiv, 0xffffffff, false); break;
+    case isa::kREM:  lift_div(ExprOp::kSRem, 0, true); break;
+    case isa::kREMU: lift_div(ExprOp::kURem, 0, true); break;
+
+    case isa::kFENCE: b.simple(IrStmt::Op::kFence); break;
+    case isa::kECALL: b.simple(IrStmt::Op::kEcall); break;
+    case isa::kEBREAK: b.simple(IrStmt::Op::kEbreak); break;
+    case isa::kMRET:
+    case isa::kWFI:
+      break;  // no-ops at this abstraction level
+
+    default:
+      // CSR family and custom instructions: outside this lifter's coverage
+      // (real binary lifters lag the ISA — the paper's extensibility point).
+      return std::nullopt;
+  }
+  IrBlock block = b.take();
+  block.instr_size = d.size;
+  return block;
+}
+
+}  // namespace binsym::baseline

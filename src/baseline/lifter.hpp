@@ -1,0 +1,54 @@
+// RISC-V -> mini-IR lifter, with the paper's five angr bugs injectable.
+//
+// This is a deliberately *hand-written* translation of the natural-language
+// ISA manual — the error-prone methodology the paper critiques. The bug
+// flags reproduce the five real angr RISC-V lifter defects reported and
+// fixed via https://github.com/angr/angr-platforms/pull/64 (paper
+// Sect. V-A); with all flags off the lifter is correct (differentially
+// tested against the formal spec).
+#pragma once
+
+#include <optional>
+
+#include "baseline/ir.hpp"
+#include "isa/decoder.hpp"
+
+namespace binsym::baseline {
+
+struct LifterBugs {
+  /// #1: arithmetic right shift modeled as a logical shift (SRA/SRAI).
+  bool sra_as_logical = false;
+  /// #2: R-type shifts use the rs2 register *index*, not its value.
+  bool rtype_shift_uses_index = false;
+  /// #3: loads extend incorrectly (LB/LH zero-extend, LBU/LHU sign-extend).
+  bool load_wrong_extension = false;
+  /// #4: I-type shift amount treated as a signed 5-bit integer.
+  bool itype_shamt_signed = false;
+  /// #5: signed comparisons compare unsigned (SLT/SLTI/BLT/BGE).
+  bool signed_cmp_as_unsigned = false;
+
+  static LifterBugs none() { return {}; }
+  static LifterBugs all() {
+    return LifterBugs{true, true, true, true, true};
+  }
+  bool any() const {
+    return sra_as_logical || rtype_shift_uses_index || load_wrong_extension ||
+           itype_shamt_signed || signed_cmp_as_unsigned;
+  }
+};
+
+class Lifter {
+ public:
+  explicit Lifter(LifterBugs bugs = {}) : bugs_(bugs) {}
+
+  /// Lift one decoded instruction at address `pc`. nullopt for instructions
+  /// outside the lifter's RV32IM+system coverage.
+  std::optional<IrBlock> lift(const isa::Decoded& decoded, uint32_t pc) const;
+
+  const LifterBugs& bugs() const { return bugs_; }
+
+ private:
+  LifterBugs bugs_;
+};
+
+}  // namespace binsym::baseline

@@ -1,0 +1,124 @@
+#include "core/engine.hpp"
+
+#include <chrono>
+#include <deque>
+#include <fstream>
+
+#include "smt/smtlib.hpp"
+#include "support/format.hpp"
+
+namespace binsym::core {
+
+namespace {
+
+void dump_query(const std::string& dir, uint64_t index, smt::Context& ctx,
+                const std::vector<smt::ExprRef>& query) {
+  std::ofstream file(dir + strprintf("/query-%06llu.smt2",
+                                     static_cast<unsigned long long>(index)));
+  if (file) smt::print_query(file, ctx, query);
+}
+
+}  // namespace
+
+DseEngine::DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
+                     EngineOptions options)
+    : executor_(executor), options_(options) {
+  if (options_.validate_models)
+    solver = std::make_unique<smt::ValidatingSolver>(std::move(solver));
+  if (options_.cache_queries)
+    solver = std::make_unique<smt::CachingSolver>(std::move(solver));
+  solver_ = std::move(solver);
+}
+
+std::vector<smt::ExprRef> DseEngine::flip_query(const PathTrace& trace,
+                                                size_t flip_index) {
+  smt::Context& ctx = executor_.context();
+  std::vector<smt::ExprRef> constraints;
+  constraints.reserve(flip_index + trace.assumptions.size() + 1);
+  // Branch prefix, in as-taken form.
+  for (size_t j = 0; j < flip_index; ++j) {
+    const BranchRecord& branch = trace.branches[j];
+    constraints.push_back(branch.taken ? branch.cond : ctx.not_(branch.cond));
+  }
+  // Assumptions made before the flip point (address concretizations).
+  for (const Assumption& assumption : trace.assumptions) {
+    if (assumption.branch_index <= flip_index)
+      constraints.push_back(assumption.expr);
+  }
+  // The negated branch.
+  const BranchRecord& flip = trace.branches[flip_index];
+  constraints.push_back(flip.taken ? ctx.not_(flip.cond) : flip.cond);
+  return constraints;
+}
+
+EngineStats DseEngine::explore(const PathCallback& on_path) {
+  auto start = std::chrono::steady_clock::now();
+  EngineStats stats;
+
+  struct WorkItem {
+    smt::Assignment seed;
+    size_t bound;  // flip only branches with index >= bound on this run
+  };
+
+  // Worklist; the initial seed is all-zeros (every sym_input byte defaults
+  // to 0 under Assignment::get). Depth-first pops from the back,
+  // breadth-first from the front.
+  std::deque<WorkItem> worklist;
+  worklist.push_back(WorkItem{smt::Assignment{}, 0});
+  const bool dfs = options_.search_order == SearchOrder::kDepthFirst;
+
+  PathTrace trace;
+  uint64_t instructions_before = executor_.instructions_retired();
+
+  while (!worklist.empty() && stats.paths < options_.max_paths) {
+    WorkItem item = dfs ? std::move(worklist.back()) : std::move(worklist.front());
+    if (dfs) {
+      worklist.pop_back();
+    } else {
+      worklist.pop_front();
+    }
+
+    executor_.run(item.seed, trace);
+    ++stats.paths;
+    stats.failures += trace.failures.size();
+    stats.max_branch_depth =
+        std::max<uint64_t>(stats.max_branch_depth, trace.branches.size());
+    if (on_path) on_path(PathResult{trace, item.seed, stats.paths - 1});
+
+    // A rerun must at least reach the branch it was scheduled to flip;
+    // otherwise the program diverged from the predicted prefix.
+    if (item.bound > 0 && trace.branches.size() < item.bound)
+      ++stats.divergences;
+
+    // Schedule flips. Pushing shallow flips first leaves the deepest flip
+    // on top of the stack: depth-first order.
+    for (size_t i = item.bound; i < trace.branches.size(); ++i) {
+      std::vector<smt::ExprRef> query = flip_query(trace, i);
+      ++stats.flip_attempts;
+      if (!options_.smtlib_dump_dir.empty())
+        dump_query(options_.smtlib_dump_dir, stats.flip_attempts,
+                   executor_.context(), query);
+      smt::Assignment model;
+      smt::CheckResult result = solver_->check(query, &model);
+      if (result != smt::CheckResult::kSat) {
+        ++stats.infeasible_flips;
+        continue;
+      }
+      ++stats.feasible_flips;
+      // New seed: parent values, overridden by the model, so variables the
+      // query does not mention keep their previous values.
+      smt::Assignment next_seed = item.seed;
+      for (const auto& [var, value] : model.values) next_seed.set(var, value);
+      worklist.push_back(WorkItem{std::move(next_seed), i + 1});
+    }
+  }
+
+  stats.instructions = executor_.instructions_retired() - instructions_before;
+  stats.solver = solver_->stats();
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace binsym::core

@@ -1,0 +1,67 @@
+#include "core/executor.hpp"
+
+namespace binsym::core {
+
+void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words) {
+  for (size_t i = 0; i < words.size(); ++i)
+    image.write(addr + static_cast<uint32_t>(4 * i), 4, words[i]);
+}
+
+void Program::load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
+  image.load_image(addr, bytes);
+}
+
+BinSymExecutor::BinSymExecutor(smt::Context& ctx, const isa::Decoder& decoder,
+                               const spec::Registry& registry,
+                               const Program& program, MachineConfig config)
+    : ctx_(ctx),
+      decoder_(decoder),
+      registry_(registry),
+      program_(program),
+      config_(config),
+      machine_(ctx) {}
+
+void BinSymExecutor::run(const smt::Assignment& seed, PathTrace& trace) {
+  trace.clear();
+  machine_.reset(program_.image, program_.entry, config_.stack_top, seed,
+                 trace);
+
+  while (machine_.running()) {
+    if (trace.steps >= config_.max_steps) {
+      machine_.stop(ExitReason::kMaxSteps);
+      break;
+    }
+    if (!machine_.fetch_mapped()) {
+      machine_.stop(ExitReason::kBadFetch);
+      break;
+    }
+    uint32_t word = machine_.fetch_word();
+
+    const isa::Decoded* decoded;
+    if (auto it = decode_cache_.find(word); it != decode_cache_.end()) {
+      decoded = &it->second;
+    } else {
+      auto result = decoder_.decode(word);
+      if (!result) {
+        machine_.stop(ExitReason::kIllegalInstr);
+        break;
+      }
+      decoded = &decode_cache_.emplace(word, *result).first->second;
+    }
+
+    const dsl::Semantics* semantics = registry_.get(decoded->id());
+    if (!semantics) {
+      machine_.stop(ExitReason::kIllegalInstr);
+      break;
+    }
+
+    if (trace_hook_) trace_hook_(machine_.pc(), *decoded);
+    machine_.set_next_pc(machine_.pc() + decoded->size);
+    evaluator_.execute(*semantics, *decoded, machine_);
+    machine_.advance();
+    ++trace.steps;
+    ++retired_;
+  }
+}
+
+}  // namespace binsym::core

@@ -1,0 +1,87 @@
+// Executor abstraction + the BinSym executor.
+//
+// An Executor runs the program once, concolically, under a given input seed
+// and fills a PathTrace. The DSE driver (engine.hpp) is generic over this
+// interface; the four engines of the paper's evaluation are four executors:
+//
+//   BinSymExecutor      — interprets the formal spec DSL (this file),
+//   IrExecutor          — lifts to the mini-IR, optimized  ("BINSEC-like"),
+//   BoxedIrExecutor     — boxed, uncached IR interpretation ("angr-like"),
+//   VpExecutor          — BinSym behind a modelled bus      ("SymEx-VP-like").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/path.hpp"
+#include "interp/evaluator.hpp"
+#include "isa/decoder.hpp"
+#include "smt/context.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::core {
+
+/// A loaded guest program: memory image + entry point.
+struct Program {
+  ConcreteMemory image;
+  uint32_t entry = 0;
+
+  /// Convenience: place raw words at an address (tests, examples).
+  void load_words(uint32_t addr, const std::vector<uint32_t>& words);
+  void load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+};
+
+struct MachineConfig {
+  uint32_t stack_top = 0x0010'0000;
+  uint64_t max_steps = 10'000'000;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual std::string name() const = 0;
+  virtual smt::Context& context() = 0;
+  /// Execute one concrete+symbolic run from the entry point.
+  virtual void run(const smt::Assignment& seed, PathTrace& trace) = 0;
+  /// Instructions retired across all runs (throughput statistics).
+  virtual uint64_t instructions_retired() const = 0;
+};
+
+/// The paper's engine: per-instruction interpretation of the formal
+/// specification AST over the concolic machine.
+class BinSymExecutor final : public Executor {
+ public:
+  BinSymExecutor(smt::Context& ctx, const isa::Decoder& decoder,
+                 const spec::Registry& registry, const Program& program,
+                 MachineConfig config = {});
+
+  std::string name() const override { return "binsym"; }
+  smt::Context& context() override { return ctx_; }
+  void run(const smt::Assignment& seed, PathTrace& trace) override;
+  uint64_t instructions_retired() const override { return retired_; }
+
+  /// Per-retired-instruction observer (tracing/coverage tooling); called
+  /// before the instruction's semantics execute. Keep it cheap.
+  using TraceHook = std::function<void(uint32_t pc, const isa::Decoded&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+ private:
+  TraceHook trace_hook_;
+  smt::Context& ctx_;
+  const isa::Decoder& decoder_;
+  const spec::Registry& registry_;
+  const Program& program_;
+  MachineConfig config_;
+  SymMachine machine_;
+  interp::Evaluator<SymMachine> evaluator_;
+  // Decode results are immutable per word; cache them (decode is shared
+  // infrastructure, not part of the translation under comparison).
+  std::unordered_map<uint32_t, isa::Decoded> decode_cache_;
+  uint64_t retired_ = 0;
+};
+
+}  // namespace binsym::core

@@ -1,0 +1,141 @@
+// The concolic RISC-V machine: symbolic register file, CSR file and memory,
+// plus the primitive implementations the modular interpreter needs.
+//
+// This is BinSym's "symbolic interpreter" state (paper Sect. III-B): the
+// register file and memory are the generic LibRISCV components instantiated
+// over symbolic values. The same object also serves the baseline IR
+// executors, which keeps the engine comparison about *translation*, not
+// state handling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/memory.hpp"
+#include "core/path.hpp"
+#include "core/syscalls.hpp"
+#include "dsl/ast.hpp"
+#include "interp/value.hpp"
+#include "smt/eval.hpp"
+
+namespace binsym::core {
+
+class SymMachine {
+ public:
+  using Value = interp::SymValue;
+
+  SymMachine(smt::Context& ctx) : ctx_(ctx), memory_(ctx) {}
+
+  /// Start a new path: restore the memory image, zero the registers, seed
+  /// the stack pointer, and attach the run's trace + input seed.
+  void reset(const ConcreteMemory& image, uint32_t entry, uint32_t stack_top,
+             const smt::Assignment& seed, PathTrace& trace);
+
+  // -- Machine stepping support (used by executors). ---------------------------
+
+  uint32_t pc() const { return pc_; }
+  void set_next_pc(uint32_t next_pc) { next_pc_ = next_pc; }
+  void advance() { pc_ = next_pc_; }
+  bool running() const { return trace_->exit == ExitReason::kRunning; }
+  void stop(ExitReason reason, uint32_t code = 0) {
+    trace_->exit = reason;
+    trace_->exit_code = code;
+  }
+  uint32_t fetch_word() const { return static_cast<uint32_t>(memory_.read_concrete(pc_, 4)); }
+  bool fetch_mapped() const { return memory_.mapped(pc_); }
+  PathTrace& trace() { return *trace_; }
+  ConcolicMemory& memory() { return memory_; }
+  smt::Context& context() { return ctx_; }
+
+  /// Total global symbolic input bytes created so far (stable naming).
+  unsigned input_counter() const { return input_counter_; }
+
+  // -- Primitives (interp::Evaluator interface). --------------------------------
+
+  Value constant(uint64_t value, unsigned width) {
+    return interp::sval(value, width);
+  }
+
+  Value read_register(unsigned index) {
+    return index == 0 ? interp::sval(0, 32) : regs_[index];
+  }
+
+  void write_register(unsigned index, const Value& value) {
+    if (index != 0) regs_[index] = value;
+  }
+
+  Value read_csr(uint32_t csr) {
+    auto it = csrs_.find(csr);
+    return it == csrs_.end() ? interp::sval(0, 32) : it->second;
+  }
+
+  void write_csr(uint32_t csr, const Value& value) { csrs_[csr] = value; }
+
+  Value pc_value() { return interp::sval(pc_, 32); }
+
+  /// WritePC: control flow must be concrete in a concolic engine — a
+  /// symbolic target is concretized with an assumption, the standard
+  /// address-concretization strategy (paper Sect. III-B).
+  void write_pc(const Value& target) {
+    next_pc_ = static_cast<uint32_t>(concretize(target));
+  }
+
+  Value load(unsigned bytes, const Value& addr) {
+    uint32_t a = static_cast<uint32_t>(concretize(addr));
+    return memory_.load(a, bytes);
+  }
+
+  void store(unsigned bytes, const Value& addr, const Value& value) {
+    uint32_t a = static_cast<uint32_t>(concretize(addr));
+    memory_.store(a, bytes, value);
+  }
+
+  Value apply_un(dsl::ExprOp op, const Value& a, unsigned aux0, unsigned aux1) {
+    return interp::s_un(ctx_, op, a, aux0, aux1);
+  }
+
+  Value apply_bin(dsl::ExprOp op, const Value& a, const Value& b) {
+    return interp::s_bin(ctx_, op, a, b);
+  }
+
+  Value apply_ite(const Value& cond, const Value& a, const Value& b) {
+    return interp::s_ite(ctx_, cond, a, b);
+  }
+
+  /// runIfElse: concolic branch — follow the concrete shadow and record the
+  /// symbolic condition for the DFS driver to flip later.
+  bool choose(const Value& cond) {
+    bool taken = cond.conc != 0;
+    if (cond.symbolic())
+      trace_->branches.push_back(BranchRecord{cond.sym, taken, pc_});
+    return taken;
+  }
+
+  void ecall();
+  void ebreak() { stop(ExitReason::kEbreak); }
+  void fence() {}
+
+  /// Mint `bytes` fresh symbolic input bytes (globally numbered, concrete
+  /// shadows from the seed) and return them as one little-endian value.
+  /// Backs both the sym_input syscall and MMIO input peripherals.
+  Value fresh_input(unsigned bytes);
+
+ protected:
+  /// Force a concrete view of `value`; symbolic values contribute an
+  /// `expr == concrete` assumption so later flips stay consistent.
+  uint64_t concretize(const Value& value);
+
+ private:
+  smt::Context& ctx_;
+  std::array<Value, 32> regs_{};
+  std::unordered_map<uint32_t, Value> csrs_;
+  ConcolicMemory memory_;
+  uint32_t pc_ = 0;
+  uint32_t next_pc_ = 0;
+  unsigned input_counter_ = 0;
+  const smt::Assignment* seed_ = nullptr;
+  PathTrace* trace_ = nullptr;
+};
+
+}  // namespace binsym::core

@@ -1,0 +1,100 @@
+// Guest memory.
+//
+// ConcreteMemory is a sparse paged byte store with value semantics (cheap
+// reset-per-run by copying the loaded image). ConcolicMemory layers a
+// symbolic shadow over it: any byte may additionally carry an 8-bit
+// expression; loads reassemble wide values from the shadow, stores scatter
+// them. Unwritten, unmapped bytes read as zero — the deterministic
+// initial-state convention shared by all engines here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.hpp"
+#include "smt/context.hpp"
+
+namespace binsym::core {
+
+class ConcreteMemory {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+  uint8_t read8(uint32_t addr) const {
+    auto it = pages_.find(addr >> kPageBits);
+    if (it == pages_.end()) return 0;
+    return it->second[addr & (kPageSize - 1)];
+  }
+
+  void write8(uint32_t addr, uint8_t value) {
+    page(addr)[addr & (kPageSize - 1)] = value;
+  }
+
+  /// Little-endian multi-byte read (bytes in [1, 8]).
+  uint64_t read(uint32_t addr, unsigned bytes) const;
+
+  /// Little-endian multi-byte write.
+  void write(uint32_t addr, unsigned bytes, uint64_t value);
+
+  /// True if the page containing `addr` has ever been written/loaded.
+  bool mapped(uint32_t addr) const {
+    return pages_.count(addr >> kPageBits) != 0;
+  }
+
+  void load_image(uint32_t addr, const std::vector<uint8_t>& bytes);
+
+  size_t num_pages() const { return pages_.size(); }
+
+ private:
+  std::array<uint8_t, kPageSize>& page(uint32_t addr) {
+    auto [it, inserted] = pages_.try_emplace(addr >> kPageBits);
+    if (inserted) it->second.fill(0);
+    return it->second;
+  }
+
+  std::unordered_map<uint32_t, std::array<uint8_t, kPageSize>> pages_;
+};
+
+class ConcolicMemory {
+ public:
+  explicit ConcolicMemory(smt::Context& ctx) : ctx_(ctx) {}
+
+  /// Reset to a concrete image (start of a new path).
+  void reset(const ConcreteMemory& image) {
+    concrete_ = image;
+    symbolic_.clear();
+  }
+
+  const ConcreteMemory& concrete() const { return concrete_; }
+
+  /// Concrete n-byte load of the shadow (used for instruction fetch).
+  uint64_t read_concrete(uint32_t addr, unsigned bytes) const {
+    return concrete_.read(addr, bytes);
+  }
+
+  bool mapped(uint32_t addr) const { return concrete_.mapped(addr); }
+
+  /// Load `bytes` bytes at a concrete address, reassembling symbolic bytes
+  /// into a (bytes*8)-wide value.
+  interp::SymValue load(uint32_t addr, unsigned bytes) const;
+
+  /// Store a (bytes*8)-wide value at a concrete address.
+  void store(uint32_t addr, unsigned bytes, const interp::SymValue& value);
+
+  /// Bind one byte to a symbolic expression with concrete shadow `conc`
+  /// (used by sym_input).
+  void poke_symbolic(uint32_t addr, smt::ExprRef byte_expr, uint8_t conc);
+
+  size_t num_symbolic_bytes() const { return symbolic_.size(); }
+
+ private:
+  smt::Context& ctx_;
+  ConcreteMemory concrete_;
+  std::unordered_map<uint32_t, smt::ExprRef> symbolic_;
+};
+
+}  // namespace binsym::core

@@ -1,0 +1,66 @@
+// Per-run artifacts of the concolic executor: which symbolic branches were
+// taken, which assumptions (address concretizations) were made, what the
+// program reported. This is the engine-facing contract every executor
+// (BinSym, baseline lifters, VP) fills in identically — path search is
+// translation-agnostic, as in the paper's framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smt/expr.hpp"
+
+namespace binsym::core {
+
+/// One symbolic runIfElse decision. `cond` is the (non-constant) branch
+/// condition expression; `taken` records which arm the concrete shadow
+/// selected.
+struct BranchRecord {
+  smt::ExprRef cond = nullptr;
+  bool taken = false;
+  uint32_t pc = 0;
+};
+
+/// A non-flippable path constraint (e.g. "symbolic address == concrete
+/// value" from address concretization), ordered relative to the branch
+/// sequence: it holds for any flip of branch index >= branch_index.
+struct Assumption {
+  size_t branch_index = 0;
+  smt::ExprRef expr = nullptr;
+};
+
+/// A report_fail() event raised by the software under test (assertion
+/// failures in the workloads are branches into a report_fail stub).
+struct Failure {
+  uint32_t id = 0;
+  uint32_t pc = 0;
+};
+
+enum class ExitReason : uint8_t {
+  kRunning,
+  kExit,            // SYS_exit
+  kEbreak,
+  kMaxSteps,
+  kBadFetch,        // pc outside mapped memory
+  kIllegalInstr,
+  kBadSyscall,
+  kSymbolicControl, // symbolic value where concrete control state required
+};
+
+const char* exit_reason_name(ExitReason reason);
+
+struct PathTrace {
+  std::vector<BranchRecord> branches;
+  std::vector<Assumption> assumptions;
+  std::vector<Failure> failures;
+  std::vector<uint32_t> input_vars;  // smt var ids created by sym_input
+  std::string output;                // bytes written via putchar
+  ExitReason exit = ExitReason::kRunning;
+  uint32_t exit_code = 0;
+  uint64_t steps = 0;
+
+  void clear() { *this = PathTrace{}; }
+};
+
+}  // namespace binsym::core

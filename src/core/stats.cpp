@@ -1,0 +1,21 @@
+#include "core/stats.hpp"
+
+#include "support/format.hpp"
+
+namespace binsym::core {
+
+std::string BranchCoverage::report() const {
+  std::string out = strprintf(
+      "branch sites: %zu, fully covered (both directions): %zu\n",
+      num_sites(), num_fully_covered());
+  for (const auto& [pc, entry] : sites_) {
+    out += strprintf("  %s  taken=%8llu  not-taken=%8llu%s\n",
+                     hex32(pc).c_str(),
+                     static_cast<unsigned long long>(entry.taken),
+                     static_cast<unsigned long long>(entry.not_taken),
+                     entry.both_directions() ? "" : "   <- one-sided");
+  }
+  return out;
+}
+
+}  // namespace binsym::core

@@ -1,0 +1,62 @@
+// Exploration-level analysis helpers built on PathTrace streams: branch
+// coverage accounting and a per-branch-site summary. SE tools report these
+// to users ("which branches were only ever taken one way?"), and the
+// coverage map doubles as a regression oracle in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/path.hpp"
+
+namespace binsym::core {
+
+/// Accumulates branch-direction coverage across explored paths, keyed by
+/// the branch site's pc.
+class BranchCoverage {
+ public:
+  void record(const PathTrace& trace) {
+    for (const BranchRecord& branch : trace.branches) {
+      Entry& entry = sites_[branch.pc];
+      if (branch.taken) {
+        ++entry.taken;
+      } else {
+        ++entry.not_taken;
+      }
+    }
+  }
+
+  struct Entry {
+    uint64_t taken = 0;
+    uint64_t not_taken = 0;
+    bool both_directions() const { return taken > 0 && not_taken > 0; }
+  };
+
+  const std::map<uint32_t, Entry>& sites() const { return sites_; }
+
+  size_t num_sites() const { return sites_.size(); }
+
+  size_t num_fully_covered() const {
+    size_t n = 0;
+    for (const auto& [pc, entry] : sites_) n += entry.both_directions();
+    return n;
+  }
+
+  /// Branch sites that only ever resolved one way — where exploration (or
+  /// the program) leaves dead arms.
+  std::vector<uint32_t> one_sided_sites() const {
+    std::vector<uint32_t> out;
+    for (const auto& [pc, entry] : sites_)
+      if (!entry.both_directions()) out.push_back(pc);
+    return out;
+  }
+
+  /// Human-readable summary table.
+  std::string report() const;
+
+ private:
+  std::map<uint32_t, Entry> sites_;
+};
+
+}  // namespace binsym::core

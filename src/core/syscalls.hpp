@@ -1,0 +1,28 @@
+// The engine <-> software-under-test interface.
+//
+// Workloads communicate with the SE engine through ECALL with the call
+// number in a7 and arguments in a0/a1, mirroring how SymEx-VP exposes
+// symbolic inputs to firmware. Crucially, assertions are *not* a syscall:
+// workloads branch to a stub that reports failure and exits, so false
+// positives/negatives manifest purely as path differences (paper Fig. 5).
+#pragma once
+
+#include <cstdint>
+
+namespace binsym::core {
+
+enum Syscall : uint32_t {
+  /// a0 = character to append to the path's output log.
+  kSysPutChar = 1,
+  /// a0 = buffer address, a1 = length: mark `length` bytes as fresh symbolic
+  /// input. Concrete shadow values come from the engine's current seed;
+  /// bytes are numbered globally in call order ("in_0", "in_1", ...), which
+  /// keeps variable identities stable across re-executions.
+  kSysSymInput = 2,
+  /// a0 = failure id: record an assertion/fault report on this path.
+  kSysReportFail = 3,
+  /// a0 = exit code: stop this path.
+  kSysExit = 93,
+};
+
+}  // namespace binsym::core

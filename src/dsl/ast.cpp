@@ -1,0 +1,71 @@
+#include "dsl/ast.hpp"
+
+namespace binsym::dsl {
+
+const char* operand_name(Operand operand) {
+  switch (operand) {
+    case Operand::kRs1Val:   return "rs1-val";
+    case Operand::kRs2Val:   return "rs2-val";
+    case Operand::kRs3Val:   return "rs3-val";
+    case Operand::kImm:      return "imm";
+    case Operand::kShamt:    return "shamt";
+    case Operand::kPC:       return "pc";
+    case Operand::kCsrVal:   return "csr-val";
+    case Operand::kRs1Index: return "rs1-index";
+    case Operand::kRs2Index: return "rs2-index";
+    case Operand::kInstrSize: return "instr-size";
+  }
+  return "?";
+}
+
+const char* expr_op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst:   return "Const";
+    case ExprOp::kOperand: return "Operand";
+    case ExprOp::kLetRef:  return "LetRef";
+    case ExprOp::kLoad:    return "Load";
+    case ExprOp::kNot:     return "Not";
+    case ExprOp::kNeg:     return "Neg";
+    case ExprOp::kExtract: return "Extract";
+    case ExprOp::kZExt:    return "ZExt";
+    case ExprOp::kSExt:    return "Sext";
+    case ExprOp::kAdd:     return "Add";
+    case ExprOp::kSub:     return "Sub";
+    case ExprOp::kMul:     return "Mul";
+    case ExprOp::kUDiv:    return "UDiv";
+    case ExprOp::kURem:    return "URem";
+    case ExprOp::kSDiv:    return "SDiv";
+    case ExprOp::kSRem:    return "SRem";
+    case ExprOp::kAnd:     return "And";
+    case ExprOp::kOr:      return "Or";
+    case ExprOp::kXor:     return "Xor";
+    case ExprOp::kShl:     return "Shl";
+    case ExprOp::kLShr:    return "LShr";
+    case ExprOp::kAShr:    return "AShr";
+    case ExprOp::kEq:      return "EqInt";
+    case ExprOp::kUlt:     return "ULt";
+    case ExprOp::kUle:     return "ULe";
+    case ExprOp::kSlt:     return "SLt";
+    case ExprOp::kSle:     return "SLe";
+    case ExprOp::kConcat:  return "Concat";
+    case ExprOp::kIte:     return "Ite";
+  }
+  return "?";
+}
+
+const char* stmt_op_name(StmtOp op) {
+  switch (op) {
+    case StmtOp::kLet:           return "Let";
+    case StmtOp::kWriteRegister: return "WriteRegister";
+    case StmtOp::kWritePC:       return "WritePC";
+    case StmtOp::kStore:         return "Store";
+    case StmtOp::kWriteCsr:      return "WriteCsr";
+    case StmtOp::kIfElse:        return "runIfElse";
+    case StmtOp::kEcall:         return "Ecall";
+    case StmtOp::kEbreak:        return "Ebreak";
+    case StmtOp::kFence:         return "Fence";
+  }
+  return "?";
+}
+
+}  // namespace binsym::dsl

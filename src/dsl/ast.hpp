@@ -1,0 +1,106 @@
+// The formal ISA specification language (deep embedding).
+//
+// This is the C++ twin of LibRISCV's free-monad DSL (paper Sect. III-A):
+// instruction behaviour is *data* — a small AST over two groups of language
+// primitives:
+//
+//   * arithmetic/logic primitives (AddOp, UDivOp, SextOp, ...), appearing as
+//     expression nodes, and
+//   * stateful primitives (WriteRegister, Load, Store, WritePC, runIfElse,
+//     ...), appearing as statement nodes.
+//
+// Interpreters (concrete ISS, concolic SE, ...) process this AST through the
+// primitive interface in interp/prims.hpp; none of them ever mention an
+// instruction by name. New instructions that can be expressed in these
+// primitives therefore work in every interpreter with zero engine changes —
+// the property the paper's Sect. IV case study demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace binsym::dsl {
+
+/// Decoded-operand sources available to semantics, the output of the
+/// `decodeAndRead*Type` step in LibRISCV notation. All are 32 bits wide.
+enum class Operand : uint8_t {
+  kRs1Val,   // value of the register selected by the rs1 field
+  kRs2Val,
+  kRs3Val,   // R4 formats only
+  kImm,      // format-specific immediate, already sign-/zero-extended
+  kShamt,    // 5-bit shift amount field, zero-extended
+  kPC,       // address of the executing instruction
+  kCsrVal,   // value of the CSR addressed by the csr field
+  kRs1Index, // raw rs1 field (the CSR zimm, and deliberately available so
+             // tests can express the angr bug #2 as a *spec* mutation)
+  kRs2Index, // raw rs2 field
+  kInstrSize,// size of the executing instruction's encoding in bytes (4, or
+             // 2 for compressed forms) — link values are pc + size
+};
+
+const char* operand_name(Operand operand);
+
+/// Expression operators; semantics follow SMT-LIB (shifts saturate, division
+/// is total). The spec layer masks shift amounts explicitly, as the RISC-V
+/// manual prescribes.
+enum class ExprOp : uint8_t {
+  kConst, kOperand, kLetRef, kLoad,
+  kNot, kNeg, kExtract, kZExt, kSExt,
+  kAdd, kSub, kMul, kUDiv, kURem, kSDiv, kSRem,
+  kAnd, kOr, kXor, kShl, kLShr, kAShr,
+  kEq, kUlt, kUle, kSlt, kSle,
+  kConcat, kIte,
+};
+
+const char* expr_op_name(ExprOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  unsigned width = 0;     // filled by construction; validated by typecheck
+  uint64_t constant = 0;  // kConst
+  Operand operand{};      // kOperand
+  unsigned let_index = 0; // kLetRef
+  unsigned aux0 = 0;      // kExtract hi / kZExt,kSExt target width / kLoad bytes
+  unsigned aux1 = 0;      // kExtract lo / kLoad: 1 when sign-extending load
+  ExprPtr a, b, c;
+};
+
+/// Statement primitives (the stateful half of the language).
+enum class StmtOp : uint8_t {
+  kLet,           // bind expression value to the next let index
+  kWriteRegister, // destination is always the rd field
+  kWritePC,
+  kStore,         // aux = access size in bytes
+  kWriteCsr,
+  kIfElse,        // the paper's runIfElse primitive — the only fork point
+  kEcall,
+  kEbreak,
+  kFence,
+};
+
+const char* stmt_op_name(StmtOp op);
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  StmtOp op;
+  unsigned aux = 0;  // kStore: bytes; kLet: assigned let index
+  ExprPtr value;     // kLet/kWriteRegister/kWritePC/kWriteCsr/kStore value
+  ExprPtr addr;      // kStore address / kIfElse condition
+  Block then_block;  // kIfElse
+  Block else_block;  // kIfElse
+};
+
+/// Complete formal semantics of one instruction.
+struct Semantics {
+  Block body;
+  unsigned num_lets = 0;  // number of kLet bindings anywhere in the body
+};
+
+}  // namespace binsym::dsl

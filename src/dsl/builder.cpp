@@ -1,0 +1,211 @@
+#include "dsl/builder.hpp"
+
+#include <cassert>
+
+#include "support/bits.hpp"
+
+namespace binsym::dsl {
+
+namespace {
+
+ExprPtr make_expr(Expr expr) { return std::make_shared<const Expr>(std::move(expr)); }
+
+StmtPtr make_stmt(Stmt stmt) { return std::make_shared<const Stmt>(std::move(stmt)); }
+
+}  // namespace
+
+E constant(uint64_t value, unsigned width) {
+  Expr e;
+  e.op = ExprOp::kConst;
+  e.width = width;
+  e.constant = truncate(value, width);
+  return E{make_expr(std::move(e))};
+}
+
+E operand(Operand op) {
+  Expr e;
+  e.op = ExprOp::kOperand;
+  e.width = 32;
+  e.operand = op;
+  return E{make_expr(std::move(e))};
+}
+
+E un(ExprOp op, E a) {
+  Expr e;
+  e.op = op;
+  e.width = a.node->width;
+  e.a = a.node;
+  return E{make_expr(std::move(e))};
+}
+
+E bin(ExprOp op, E a, E b) {
+  Expr e;
+  e.op = op;
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kUlt:
+    case ExprOp::kUle:
+    case ExprOp::kSlt:
+    case ExprOp::kSle:
+      e.width = 1;
+      break;
+    case ExprOp::kConcat:
+      e.width = a.node->width + b.node->width;
+      break;
+    default:
+      e.width = a.node->width;
+      break;
+  }
+  e.a = a.node;
+  e.b = b.node;
+  return E{make_expr(std::move(e))};
+}
+
+E extract(E a, unsigned hi, unsigned lo) {
+  assert(hi >= lo);
+  Expr e;
+  e.op = ExprOp::kExtract;
+  e.width = hi - lo + 1;
+  e.aux0 = hi;
+  e.aux1 = lo;
+  e.a = a.node;
+  return E{make_expr(std::move(e))};
+}
+
+E zext(E a, unsigned to_width) {
+  if (a.node->width == to_width) return a;
+  Expr e;
+  e.op = ExprOp::kZExt;
+  e.width = to_width;
+  e.aux0 = to_width;
+  e.a = a.node;
+  return E{make_expr(std::move(e))};
+}
+
+E sext(E a, unsigned to_width) {
+  if (a.node->width == to_width) return a;
+  Expr e;
+  e.op = ExprOp::kSExt;
+  e.width = to_width;
+  e.aux0 = to_width;
+  e.a = a.node;
+  return E{make_expr(std::move(e))};
+}
+
+E ite(E cond, E then_value, E else_value) {
+  Expr e;
+  e.op = ExprOp::kIte;
+  e.width = then_value.node->width;
+  e.a = cond.node;
+  e.b = then_value.node;
+  e.c = else_value.node;
+  return E{make_expr(std::move(e))};
+}
+
+void SemBuilder::write_register(E value) {
+  Stmt s;
+  s.op = StmtOp::kWriteRegister;
+  s.value = value.node;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::write_pc(E target) {
+  Stmt s;
+  s.op = StmtOp::kWritePC;
+  s.value = target.node;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+E SemBuilder::let_(E value) {
+  unsigned index = (*let_counter_)++;
+  Stmt s;
+  s.op = StmtOp::kLet;
+  s.aux = index;
+  s.value = value.node;
+  block_.push_back(make_stmt(std::move(s)));
+
+  Expr ref;
+  ref.op = ExprOp::kLetRef;
+  ref.width = value.node->width;
+  ref.let_index = index;
+  return E{make_expr(std::move(ref))};
+}
+
+E SemBuilder::load(unsigned bytes, E addr, bool sign_extend) {
+  assert(bytes == 1 || bytes == 2 || bytes == 4);
+  Expr e;
+  e.op = ExprOp::kLoad;
+  e.width = bytes * 8;
+  e.aux0 = bytes;
+  e.aux1 = sign_extend ? 1 : 0;
+  e.a = addr.node;
+  // Loads are stateful: bind the result so the access happens exactly once,
+  // in statement order.
+  return let_(E{make_expr(std::move(e))});
+}
+
+void SemBuilder::store(unsigned bytes, E addr, E value) {
+  assert(bytes == 1 || bytes == 2 || bytes == 4);
+  Stmt s;
+  s.op = StmtOp::kStore;
+  s.aux = bytes;
+  s.addr = addr.node;
+  s.value = value.node;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::write_csr(E value) {
+  Stmt s;
+  s.op = StmtOp::kWriteCsr;
+  s.value = value.node;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::run_if(E cond, const BlockFn& then_fn) {
+  run_if_else(cond, then_fn, [](SemBuilder&) {});
+}
+
+void SemBuilder::run_if_else(E cond, const BlockFn& then_fn,
+                             const BlockFn& else_fn) {
+  SemBuilder then_builder(let_counter_);
+  then_fn(then_builder);
+  SemBuilder else_builder(let_counter_);
+  else_fn(else_builder);
+
+  Stmt s;
+  s.op = StmtOp::kIfElse;
+  s.addr = cond.node;
+  s.then_block = std::move(then_builder.block_);
+  s.else_block = std::move(else_builder.block_);
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::ecall() {
+  Stmt s;
+  s.op = StmtOp::kEcall;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::ebreak() {
+  Stmt s;
+  s.op = StmtOp::kEbreak;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+void SemBuilder::fence() {
+  Stmt s;
+  s.op = StmtOp::kFence;
+  block_.push_back(make_stmt(std::move(s)));
+}
+
+Semantics define_semantics(const SemBuilder::BlockFn& body) {
+  unsigned let_counter = 0;
+  SemBuilder builder(&let_counter);
+  body(builder);
+  Semantics semantics;
+  semantics.body = builder.block();
+  semantics.num_lets = let_counter;
+  return semantics;
+}
+
+}  // namespace binsym::dsl

@@ -1,0 +1,124 @@
+// Fluent construction API for the specification DSL.
+//
+// Lets C++ semantics read close to the paper's Haskell (Fig. 2, Fig. 4):
+//
+//   // instrSemantics DIVU = do
+//   Semantics divu = define_semantics([](SemBuilder& s) {
+//     E rs1 = s.rs1(), rs2 = s.rs2();
+//     s.run_if_else(eq(rs2, c32(0)),
+//                   [&](SemBuilder& t) { t.write_register(c32(0xffffffff)); },
+//                   [&](SemBuilder& t) { t.write_register(udiv(rs1, rs2)); });
+//   });
+//
+// Free functions build expressions; SemBuilder methods append statements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dsl/ast.hpp"
+
+namespace binsym::dsl {
+
+/// Lightweight expression handle used by the builder combinators.
+struct E {
+  ExprPtr node;
+};
+
+// -- Expression constructors (pure). -----------------------------------------
+
+E constant(uint64_t value, unsigned width);
+inline E c32(uint32_t value) { return constant(value, 32); }
+E operand(Operand op);
+
+E un(ExprOp op, E a);
+E bin(ExprOp op, E a, E b);
+
+inline E not_(E a) { return un(ExprOp::kNot, a); }
+inline E neg(E a) { return un(ExprOp::kNeg, a); }
+E extract(E a, unsigned hi, unsigned lo);
+E zext(E a, unsigned to_width);
+E sext(E a, unsigned to_width);
+
+inline E add(E a, E b) { return bin(ExprOp::kAdd, a, b); }
+inline E sub(E a, E b) { return bin(ExprOp::kSub, a, b); }
+inline E mul(E a, E b) { return bin(ExprOp::kMul, a, b); }
+inline E udiv(E a, E b) { return bin(ExprOp::kUDiv, a, b); }
+inline E urem(E a, E b) { return bin(ExprOp::kURem, a, b); }
+inline E sdiv(E a, E b) { return bin(ExprOp::kSDiv, a, b); }
+inline E srem(E a, E b) { return bin(ExprOp::kSRem, a, b); }
+inline E and_(E a, E b) { return bin(ExprOp::kAnd, a, b); }
+inline E or_(E a, E b) { return bin(ExprOp::kOr, a, b); }
+inline E xor_(E a, E b) { return bin(ExprOp::kXor, a, b); }
+inline E shl(E a, E amount) { return bin(ExprOp::kShl, a, amount); }
+inline E lshr(E a, E amount) { return bin(ExprOp::kLShr, a, amount); }
+inline E ashr(E a, E amount) { return bin(ExprOp::kAShr, a, amount); }
+
+inline E eq(E a, E b) { return bin(ExprOp::kEq, a, b); }
+inline E ne(E a, E b) { return not_(eq(a, b)); }
+inline E ult(E a, E b) { return bin(ExprOp::kUlt, a, b); }
+inline E ule(E a, E b) { return bin(ExprOp::kUle, a, b); }
+inline E ugt(E a, E b) { return ult(b, a); }
+inline E uge(E a, E b) { return ule(b, a); }
+inline E slt(E a, E b) { return bin(ExprOp::kSlt, a, b); }
+inline E sle(E a, E b) { return bin(ExprOp::kSle, a, b); }
+inline E sgt(E a, E b) { return slt(b, a); }
+inline E sge(E a, E b) { return sle(b, a); }
+
+inline E concat(E hi, E lo) { return bin(ExprOp::kConcat, hi, lo); }
+E ite(E cond, E then_value, E else_value);
+
+// Operator sugar.
+inline E operator+(E a, E b) { return add(a, b); }
+inline E operator-(E a, E b) { return sub(a, b); }
+inline E operator*(E a, E b) { return mul(a, b); }
+inline E operator&(E a, E b) { return and_(a, b); }
+inline E operator|(E a, E b) { return or_(a, b); }
+inline E operator^(E a, E b) { return xor_(a, b); }
+
+/// Statement-level builder; one instance per (possibly nested) block.
+class SemBuilder {
+ public:
+  using BlockFn = std::function<void(SemBuilder&)>;
+
+  // Decoded operands (LibRISCV's decodeAndRead*Type results).
+  E rs1() const { return operand(Operand::kRs1Val); }
+  E rs2() const { return operand(Operand::kRs2Val); }
+  E rs3() const { return operand(Operand::kRs3Val); }
+  E imm() const { return operand(Operand::kImm); }
+  E shamt() const { return operand(Operand::kShamt); }
+  E pc() const { return operand(Operand::kPC); }
+  E csr_val() const { return operand(Operand::kCsrVal); }
+  E rs1_index() const { return operand(Operand::kRs1Index); }
+  E instr_size() const { return operand(Operand::kInstrSize); }
+
+  // Stateful primitives.
+  void write_register(E value);             // destination: rd field
+  void write_pc(E target);
+  E load(unsigned bytes, E addr, bool sign_extend);  // value via fresh Let
+  void store(unsigned bytes, E addr, E value);
+  void write_csr(E value);
+  void run_if(E cond, const BlockFn& then_fn);
+  void run_if_else(E cond, const BlockFn& then_fn, const BlockFn& else_fn);
+  void ecall();
+  void ebreak();
+  void fence();
+
+  /// Explicit let binding (evaluate once, reuse the value).
+  E let_(E value);
+
+  const Block& block() const { return block_; }
+  unsigned num_lets() const { return *let_counter_; }
+
+ private:
+  friend Semantics define_semantics(const SemBuilder::BlockFn& body);
+  explicit SemBuilder(unsigned* let_counter) : let_counter_(let_counter) {}
+
+  Block block_;
+  unsigned* let_counter_;  // shared across nested blocks of one semantics
+};
+
+/// Build a complete instruction semantics.
+Semantics define_semantics(const SemBuilder::BlockFn& body);
+
+}  // namespace binsym::dsl

@@ -1,0 +1,95 @@
+#include "dsl/pretty.hpp"
+
+#include "support/format.hpp"
+
+namespace binsym::dsl {
+
+namespace {
+
+std::string indent_str(unsigned n) { return std::string(n, ' '); }
+
+}  // namespace
+
+std::string pretty_expr(const ExprPtr& expr) {
+  if (!expr) return "<null>";
+  const Expr& e = *expr;
+  switch (e.op) {
+    case ExprOp::kConst:
+      return strprintf("0x%llx", static_cast<unsigned long long>(e.constant));
+    case ExprOp::kOperand:
+      return operand_name(e.operand);
+    case ExprOp::kLetRef:
+      return strprintf("v%u", e.let_index);
+    case ExprOp::kLoad:
+      return strprintf("(Load%u%s %s)", e.aux0 * 8, e.aux1 ? "s" : "u",
+                       pretty_expr(e.a).c_str());
+    case ExprOp::kNot:
+      return "(Not " + pretty_expr(e.a) + ")";
+    case ExprOp::kNeg:
+      return "(Neg " + pretty_expr(e.a) + ")";
+    case ExprOp::kExtract:
+      return strprintf("(extract%u_%u %s)", e.aux0, e.aux1,
+                       pretty_expr(e.a).c_str());
+    case ExprOp::kZExt:
+      return strprintf("(zext%u %s)", e.aux0, pretty_expr(e.a).c_str());
+    case ExprOp::kSExt:
+      return strprintf("(sext%u %s)", e.aux0, pretty_expr(e.a).c_str());
+    case ExprOp::kIte:
+      return "(Ite " + pretty_expr(e.a) + " " + pretty_expr(e.b) + " " +
+             pretty_expr(e.c) + ")";
+    default:
+      return "(" + pretty_expr(e.a) + " `" + expr_op_name(e.op) + "` " +
+             pretty_expr(e.b) + ")";
+  }
+}
+
+std::string pretty_block(const Block& block, unsigned indent) {
+  std::string out;
+  for (const StmtPtr& stmt : block) {
+    const Stmt& s = *stmt;
+    out += indent_str(indent);
+    switch (s.op) {
+      case StmtOp::kLet:
+        out += strprintf("v%u <- ", s.aux) + pretty_expr(s.value) + "\n";
+        break;
+      case StmtOp::kWriteRegister:
+        out += "WriteRegister rd " + pretty_expr(s.value) + "\n";
+        break;
+      case StmtOp::kWritePC:
+        out += "WritePC " + pretty_expr(s.value) + "\n";
+        break;
+      case StmtOp::kStore:
+        out += strprintf("Store%u ", s.aux * 8) + pretty_expr(s.addr) + " " +
+               pretty_expr(s.value) + "\n";
+        break;
+      case StmtOp::kWriteCsr:
+        out += "WriteCsr csr " + pretty_expr(s.value) + "\n";
+        break;
+      case StmtOp::kIfElse:
+        out += "runIfElse " + pretty_expr(s.addr) + "\n";
+        out += indent_str(indent + 2) + "do\n" +
+               pretty_block(s.then_block, indent + 4);
+        out += indent_str(indent + 2) + "do\n" +
+               pretty_block(s.else_block, indent + 4);
+        break;
+      case StmtOp::kEcall:
+        out += "Ecall\n";
+        break;
+      case StmtOp::kEbreak:
+        out += "Ebreak\n";
+        break;
+      case StmtOp::kFence:
+        out += "Fence\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string pretty_semantics(const std::string& name,
+                             const Semantics& semantics) {
+  return "instrSemantics " + name + " = do\n" +
+         pretty_block(semantics.body, 2);
+}
+
+}  // namespace binsym::dsl

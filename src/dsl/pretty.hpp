@@ -1,0 +1,25 @@
+// Pretty printer for specification ASTs.
+//
+// Renders semantics in a LibRISCV-flavoured notation (paper Fig. 2/4), e.g.
+//
+//   instrSemantics DIVU = do
+//     runIfElse (rs2-val `EqInt` 0x0)
+//       do WriteRegister rd 0xffffffff
+//       do WriteRegister rd (rs1-val `UDiv` rs2-val)
+//
+// Used for documentation generation, golden tests and debugging; together
+// with the typechecker it makes the spec inspectable as an artifact.
+#pragma once
+
+#include <string>
+
+#include "dsl/ast.hpp"
+
+namespace binsym::dsl {
+
+std::string pretty_expr(const ExprPtr& expr);
+std::string pretty_block(const Block& block, unsigned indent = 2);
+std::string pretty_semantics(const std::string& name,
+                             const Semantics& semantics);
+
+}  // namespace binsym::dsl

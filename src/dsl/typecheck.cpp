@@ -1,0 +1,211 @@
+#include "dsl/typecheck.hpp"
+
+#include "support/format.hpp"
+
+namespace binsym::dsl {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(isa::Format format) : format_(format) {}
+
+  std::vector<TypeError> run(const Semantics& semantics) {
+    let_width_.assign(semantics.num_lets, 0);
+    check_block(semantics.body);
+    return std::move(errors_);
+  }
+
+ private:
+  void error(std::string message) { errors_.push_back({std::move(message)}); }
+
+  bool operand_available(Operand operand) const {
+    using isa::Format;
+    switch (operand) {
+      case Operand::kRs1Val:
+      case Operand::kRs1Index:
+        return format_ == Format::kR || format_ == Format::kR4 ||
+               format_ == Format::kI || format_ == Format::kIShift ||
+               format_ == Format::kS || format_ == Format::kB ||
+               format_ == Format::kCsr;
+      case Operand::kRs2Val:
+      case Operand::kRs2Index:
+        return format_ == Format::kR || format_ == Format::kR4 ||
+               format_ == Format::kS || format_ == Format::kB;
+      case Operand::kRs3Val:
+        return format_ == Format::kR4;
+      case Operand::kImm:
+        return format_ == Format::kI || format_ == Format::kS ||
+               format_ == Format::kB || format_ == Format::kU ||
+               format_ == Format::kJ || format_ == Format::kCsr;
+      case Operand::kShamt:
+        return format_ == Format::kIShift;
+      case Operand::kPC:
+      case Operand::kInstrSize:
+        return true;
+      case Operand::kCsrVal:
+        return format_ == Format::kCsr;
+    }
+    return false;
+  }
+
+  bool writes_rd_allowed() const {
+    using isa::Format;
+    return format_ != Format::kS && format_ != Format::kB &&
+           format_ != Format::kSystem;
+  }
+
+  unsigned check_expr(const ExprPtr& expr) {
+    if (!expr) {
+      error("null expression");
+      return 0;
+    }
+    const Expr& e = *expr;
+    switch (e.op) {
+      case ExprOp::kConst:
+        if (e.width < 1 || e.width > 64) error("constant width out of range");
+        return e.width;
+      case ExprOp::kOperand:
+        if (!operand_available(e.operand))
+          error(strprintf("operand %s not provided by format %s",
+                          operand_name(e.operand), isa::format_name(format_)));
+        return 32;
+      case ExprOp::kLetRef:
+        if (e.let_index >= let_width_.size() || let_width_[e.let_index] == 0) {
+          error("let reference before binding");
+          return e.width ? e.width : 32;
+        }
+        if (let_width_[e.let_index] != e.width)
+          error("let reference width mismatch");
+        return let_width_[e.let_index];
+      case ExprOp::kLoad:
+        error("Load must be bound directly by a Let (stateful primitive)");
+        return e.width;
+      case ExprOp::kNot:
+      case ExprOp::kNeg:
+        return check_expr(e.a);
+      case ExprOp::kExtract: {
+        unsigned w = check_expr(e.a);
+        if (e.aux0 < e.aux1 || e.aux0 >= w)
+          error(strprintf("extract [%u:%u] out of range for width %u", e.aux0,
+                          e.aux1, w));
+        return e.aux0 - e.aux1 + 1;
+      }
+      case ExprOp::kZExt:
+      case ExprOp::kSExt: {
+        unsigned w = check_expr(e.a);
+        if (e.aux0 < w) error("extension must not shrink a value");
+        return e.aux0;
+      }
+      case ExprOp::kIte: {
+        unsigned wc = check_expr(e.a);
+        unsigned wt = check_expr(e.b);
+        unsigned we = check_expr(e.c);
+        if (wc != 1) error("ite condition must have width 1");
+        if (wt != we) error("ite arms must have equal widths");
+        return wt;
+      }
+      case ExprOp::kConcat:
+        return check_expr(e.a) + check_expr(e.b);
+      default: {
+        unsigned wa = check_expr(e.a);
+        unsigned wb = check_expr(e.b);
+        if (wa != wb)
+          error(strprintf("%s operand widths differ (%u vs %u)",
+                          expr_op_name(e.op), wa, wb));
+        switch (e.op) {
+          case ExprOp::kEq:
+          case ExprOp::kUlt:
+          case ExprOp::kUle:
+          case ExprOp::kSlt:
+          case ExprOp::kSle:
+            return 1;
+          default:
+            return wa;
+        }
+      }
+    }
+  }
+
+  /// Loads may only appear as the direct value of a Let.
+  unsigned check_let_value(const ExprPtr& expr) {
+    if (expr && expr->op == ExprOp::kLoad) {
+      const Expr& e = *expr;
+      unsigned wa = check_expr(e.a);
+      if (wa != 32) error("load address must have width 32");
+      if (e.aux0 != 1 && e.aux0 != 2 && e.aux0 != 4)
+        error("load size must be 1, 2 or 4 bytes");
+      if (e.width != e.aux0 * 8) error("load width inconsistent with size");
+      return e.width;
+    }
+    return check_expr(expr);
+  }
+
+  void check_block(const Block& block) {
+    for (const StmtPtr& stmt : block) {
+      const Stmt& s = *stmt;
+      switch (s.op) {
+        case StmtOp::kLet: {
+          unsigned w = check_let_value(s.value);
+          if (s.aux >= let_width_.size()) {
+            error("let index out of range");
+          } else if (let_width_[s.aux] != 0) {
+            error("let index bound twice");
+          } else {
+            let_width_[s.aux] = w;
+          }
+          break;
+        }
+        case StmtOp::kWriteRegister:
+          if (!writes_rd_allowed())
+            error(strprintf("format %s has no rd field to write",
+                            isa::format_name(format_)));
+          if (check_expr(s.value) != 32)
+            error("WriteRegister value must have width 32");
+          break;
+        case StmtOp::kWritePC:
+          if (check_expr(s.value) != 32) error("WritePC target must have width 32");
+          break;
+        case StmtOp::kStore:
+          if (check_expr(s.addr) != 32) error("store address must have width 32");
+          if (s.aux != 1 && s.aux != 2 && s.aux != 4)
+            error("store size must be 1, 2 or 4 bytes");
+          if (check_expr(s.value) != s.aux * 8)
+            error("store value width inconsistent with size");
+          break;
+        case StmtOp::kWriteCsr:
+          if (format_ != isa::Format::kCsr)
+            error("WriteCsr outside a CSR-format instruction");
+          if (check_expr(s.value) != 32) error("WriteCsr value must have width 32");
+          break;
+        case StmtOp::kIfElse:
+          if (check_expr(s.addr) != 1)
+            error("runIfElse condition must have width 1");
+          check_block(s.then_block);
+          check_block(s.else_block);
+          break;
+        case StmtOp::kEcall:
+        case StmtOp::kEbreak:
+        case StmtOp::kFence:
+          break;
+      }
+    }
+  }
+
+  isa::Format format_;
+  std::vector<unsigned> let_width_;
+  std::vector<TypeError> errors_;
+};
+
+}  // namespace
+
+std::vector<TypeError> typecheck(const Semantics& semantics,
+                                 isa::Format format) {
+  return Checker(format).run(semantics);
+}
+
+bool well_formed(const Semantics& semantics, isa::Format format) {
+  return typecheck(semantics, format).empty();
+}
+
+}  // namespace binsym::dsl

@@ -1,0 +1,31 @@
+// Static width/shape checker for specification ASTs.
+//
+// The paper argues a formal spec is an "independently test- and verifiable
+// artifact"; this checker is the first line of that verification: it
+// rejects semantics with width-incoherent operations, out-of-range
+// extracts, operands that the instruction's format does not provide,
+// forward let references, or state writes of the wrong width — all before
+// any interpreter runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "isa/encoding.hpp"
+
+namespace binsym::dsl {
+
+struct TypeError {
+  std::string message;
+};
+
+/// Check `semantics` against the operand `format` it will be attached to.
+/// Returns the list of problems (empty == well-formed).
+std::vector<TypeError> typecheck(const Semantics& semantics,
+                                 isa::Format format);
+
+/// Convenience: true when typecheck() returns no errors.
+bool well_formed(const Semantics& semantics, isa::Format format);
+
+}  // namespace binsym::dsl

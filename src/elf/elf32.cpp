@@ -1,0 +1,13 @@
+#include "elf/elf32.hpp"
+
+namespace binsym::elf {
+
+core::Program to_program(const Image& image) {
+  core::Program program;
+  program.entry = image.entry;
+  for (const Segment& segment : image.segments)
+    program.image.load_image(segment.addr, segment.bytes);
+  return program;
+}
+
+}  // namespace binsym::elf

@@ -1,0 +1,51 @@
+// ELF32 images for RISC-V: shared segment representation, a writer that
+// emits minimal executable files (ELF header + one PT_LOAD per segment) and
+// a reader that loads them back. The paper's toolchain consumes RISC-V ELF
+// binaries (LibRISCV "takes RISC-V binary code (in the ELF format) as an
+// input"); here the project's own assembler produces them, closing the
+// compile+link -> semanticize loop offline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace binsym::elf {
+
+struct Segment {
+  uint32_t addr = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct Image {
+  std::vector<Segment> segments;
+  uint32_t entry = 0;
+};
+
+// -- ELF constants (subset needed for EM_RISCV executables). -------------------
+
+inline constexpr uint16_t kEtExec = 2;
+inline constexpr uint16_t kEmRiscv = 243;
+inline constexpr uint32_t kPtLoad = 1;
+inline constexpr uint32_t kPfX = 1, kPfW = 2, kPfR = 4;
+
+/// Serialize an image as a little-endian ELF32 executable.
+std::vector<uint8_t> write_elf(const Image& image);
+
+/// Parse an ELF32 executable; returns nullopt (with `error`) if the file is
+/// not a valid little-endian RISC-V ELF32 executable.
+std::optional<Image> read_elf(const std::vector<uint8_t>& bytes,
+                              std::string* error = nullptr);
+
+// File-level convenience wrappers.
+bool write_elf_file(const std::string& path, const Image& image);
+std::optional<Image> read_elf_file(const std::string& path,
+                                   std::string* error = nullptr);
+
+/// Materialize an image as an executable guest program.
+core::Program to_program(const Image& image);
+
+}  // namespace binsym::elf

@@ -1,0 +1,85 @@
+#include <cstring>
+#include <fstream>
+
+#include "elf/elf32.hpp"
+
+namespace binsym::elf {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+uint16_t get16(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint16_t>(b[off] | (b[off + 1] << 8));
+}
+
+uint32_t get32(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint32_t>(b[off]) | (static_cast<uint32_t>(b[off + 1]) << 8) |
+         (static_cast<uint32_t>(b[off + 2]) << 16) |
+         (static_cast<uint32_t>(b[off + 3]) << 24);
+}
+
+bool parse(const std::vector<uint8_t>& bytes, Image* image,
+           std::string* error) {
+  if (bytes.size() < 52) return fail(error, "file too short for an ELF header");
+  static const uint8_t magic[4] = {0x7f, 'E', 'L', 'F'};
+  if (std::memcmp(bytes.data(), magic, 4) != 0)
+    return fail(error, "bad ELF magic");
+  if (bytes[4] != 1) return fail(error, "not ELFCLASS32");
+  if (bytes[5] != 1) return fail(error, "not little-endian");
+  if (get16(bytes, 16) != kEtExec) return fail(error, "not ET_EXEC");
+  if (get16(bytes, 18) != kEmRiscv) return fail(error, "not EM_RISCV");
+
+  image->entry = get32(bytes, 24);
+  uint32_t phoff = get32(bytes, 28);
+  uint16_t phentsize = get16(bytes, 42);
+  uint16_t phnum = get16(bytes, 44);
+  if (phentsize < 32) return fail(error, "bad e_phentsize");
+
+  for (uint16_t i = 0; i < phnum; ++i) {
+    size_t ph = static_cast<size_t>(phoff) + static_cast<size_t>(i) * phentsize;
+    if (ph + 32 > bytes.size())
+      return fail(error, "program header outside file");
+    if (get32(bytes, ph + 0) != kPtLoad) continue;
+    uint32_t offset = get32(bytes, ph + 4);
+    uint32_t vaddr = get32(bytes, ph + 8);
+    uint32_t filesz = get32(bytes, ph + 16);
+    uint32_t memsz = get32(bytes, ph + 20);
+    if (static_cast<size_t>(offset) + filesz > bytes.size())
+      return fail(error, "segment payload outside file");
+    Segment segment;
+    segment.addr = vaddr;
+    segment.bytes.assign(bytes.begin() + offset,
+                         bytes.begin() + offset + filesz);
+    // BSS-style trailing zeroes (memsz > filesz).
+    segment.bytes.resize(memsz, 0);
+    image->segments.push_back(std::move(segment));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Image> read_elf(const std::vector<uint8_t>& bytes,
+                              std::string* error) {
+  Image image;
+  if (!parse(bytes, &image, error)) return std::nullopt;
+  return image;
+}
+
+std::optional<Image> read_elf_file(const std::string& path,
+                                   std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  return read_elf(bytes, error);
+}
+
+}  // namespace binsym::elf

@@ -1,0 +1,82 @@
+#include <cstring>
+#include <fstream>
+
+#include "elf/elf32.hpp"
+
+namespace binsym::elf {
+
+namespace {
+
+constexpr uint32_t kEhdrSize = 52;
+constexpr uint32_t kPhdrSize = 32;
+
+void put16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::vector<uint8_t> write_elf(const Image& image) {
+  const uint32_t phnum = static_cast<uint32_t>(image.segments.size());
+  std::vector<uint8_t> out;
+
+  // ELF header.
+  const uint8_t ident[16] = {0x7f, 'E', 'L', 'F',
+                             1,  // ELFCLASS32
+                             1,  // ELFDATA2LSB
+                             1,  // EV_CURRENT
+                             0, 0, 0, 0, 0, 0, 0, 0, 0};
+  out.insert(out.end(), ident, ident + 16);
+  put16(out, kEtExec);
+  put16(out, kEmRiscv);
+  put32(out, 1);            // e_version
+  put32(out, image.entry);  // e_entry
+  put32(out, kEhdrSize);    // e_phoff: program headers right after ehdr
+  put32(out, 0);            // e_shoff: no sections
+  put32(out, 0);            // e_flags
+  put16(out, kEhdrSize);    // e_ehsize
+  put16(out, kPhdrSize);    // e_phentsize
+  put16(out, static_cast<uint16_t>(phnum));
+  put16(out, 0);            // e_shentsize
+  put16(out, 0);            // e_shnum
+  put16(out, 0);            // e_shstrndx
+
+  // Program headers; payload follows all headers, 4-byte aligned.
+  uint32_t offset = kEhdrSize + phnum * kPhdrSize;
+  for (const Segment& segment : image.segments) {
+    offset = (offset + 3) & ~3u;
+    uint32_t size = static_cast<uint32_t>(segment.bytes.size());
+    put32(out, kPtLoad);
+    put32(out, offset);          // p_offset
+    put32(out, segment.addr);    // p_vaddr
+    put32(out, segment.addr);    // p_paddr
+    put32(out, size);            // p_filesz
+    put32(out, size);            // p_memsz
+    put32(out, kPfR | kPfW | kPfX);
+    put32(out, 4);               // p_align
+    offset += size;
+  }
+
+  // Payload.
+  for (const Segment& segment : image.segments) {
+    while (out.size() % 4) out.push_back(0);
+    out.insert(out.end(), segment.bytes.begin(), segment.bytes.end());
+  }
+  return out;
+}
+
+bool write_elf_file(const std::string& path, const Image& image) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::vector<uint8_t> bytes = write_elf(image);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return file.good();
+}
+
+}  // namespace binsym::elf

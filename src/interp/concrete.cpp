@@ -1,0 +1,68 @@
+#include "interp/concrete.hpp"
+
+namespace binsym::interp {
+
+void ConcreteMachine::ecall() {
+  uint32_t number = static_cast<uint32_t>(read_register(17).v);  // a7
+  uint32_t a0 = static_cast<uint32_t>(read_register(10).v);
+  uint32_t a1 = static_cast<uint32_t>(read_register(11).v);
+  switch (number) {
+    case core::kSysExit:
+      stop(core::ExitReason::kExit, a0);
+      break;
+    case core::kSysPutChar:
+      output_.push_back(static_cast<char>(a0 & 0xff));
+      break;
+    case core::kSysReportFail:
+      // The concrete ISS just logs the report into the output stream.
+      output_ += "[fail " + std::to_string(a0) + "]";
+      break;
+    case core::kSysSymInput:
+      for (uint32_t i = 0; i < a1; ++i) {
+        uint8_t value =
+            input_provider_ ? input_provider_(input_counter_) : 0;
+        ++input_counter_;
+        memory_.write8(a0 + i, value);
+      }
+      break;
+    default:
+      stop(core::ExitReason::kBadSyscall, number);
+      break;
+  }
+}
+
+void Iss::execute_one(const isa::Decoded& decoded) {
+  const dsl::Semantics* semantics = registry_.get(decoded.id());
+  if (!semantics) {
+    machine_.stop(core::ExitReason::kIllegalInstr);
+    return;
+  }
+  machine_.next_pc_ = machine_.pc_ + decoded.size;
+  evaluator_.execute(*semantics, decoded, machine_);
+  machine_.pc_ = machine_.next_pc_;
+}
+
+uint64_t Iss::run(uint64_t max_steps) {
+  uint64_t steps = 0;
+  while (machine_.exit_ == core::ExitReason::kRunning) {
+    if (steps >= max_steps) {
+      machine_.stop(core::ExitReason::kMaxSteps);
+      break;
+    }
+    if (!machine_.memory_.mapped(machine_.pc_)) {
+      machine_.stop(core::ExitReason::kBadFetch);
+      break;
+    }
+    uint32_t word = static_cast<uint32_t>(machine_.memory_.read(machine_.pc_, 4));
+    auto decoded = decoder_.decode(word);
+    if (!decoded) {
+      machine_.stop(core::ExitReason::kIllegalInstr);
+      break;
+    }
+    execute_one(*decoded);
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace binsym::interp

@@ -1,0 +1,144 @@
+// The modular interpreter: executes a specification AST against any
+// implementation of the language primitives.
+//
+// `P` supplies a value domain plus the stateful and arithmetic primitives;
+// this template contains everything that is the same for every interpreter
+// (operand plumbing, let environments, statement sequencing). Adding a new
+// analysis — concrete execution, SE, taint tracking, fault injection — means
+// writing a new `P`, never touching instruction semantics. This is the
+// architecture the paper inherits from LibRISCV (Sect. III-B).
+//
+// Required interface of P:
+//
+//   using Value = ...;                       // default-constructible
+//   Value constant(uint64_t value, unsigned width);
+//   Value read_register(unsigned index);     // x0 reads as zero
+//   void  write_register(unsigned index, const Value&);
+//   Value read_csr(uint32_t csr);
+//   void  write_csr(uint32_t csr, const Value&);
+//   Value pc_value();                        // pc of the current instruction
+//   void  write_pc(const Value&);
+//   Value load(unsigned bytes, const Value& addr);
+//   void  store(unsigned bytes, const Value& addr, const Value& value);
+//   Value apply_un(dsl::ExprOp, const Value&, unsigned aux0, unsigned aux1);
+//   Value apply_bin(dsl::ExprOp, const Value&, const Value&);
+//   Value apply_ite(const Value& cond, const Value&, const Value&);
+//   bool  choose(const Value& cond);         // runIfElse: pick + record
+//   void  ecall(); void ebreak(); void fence();
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "isa/decoder.hpp"
+
+namespace binsym::interp {
+
+template <class P>
+class Evaluator {
+ public:
+  using Value = typename P::Value;
+
+  /// Execute one instruction's semantics. The caller is responsible for the
+  /// default PC advance (setting next-pc to pc + decoded.size before
+  /// calling) — WritePC inside the semantics overrides it, as in LibRISCV.
+  void execute(const dsl::Semantics& semantics, const isa::Decoded& decoded,
+               P& prims) {
+    env_.assign(semantics.num_lets, Value{});
+    decoded_ = &decoded;
+    exec_block(semantics.body, prims);
+  }
+
+ private:
+  Value eval_operand(dsl::Operand operand, P& p) {
+    const isa::Decoded& d = *decoded_;
+    switch (operand) {
+      case dsl::Operand::kRs1Val:   return p.read_register(d.rs1());
+      case dsl::Operand::kRs2Val:   return p.read_register(d.rs2());
+      case dsl::Operand::kRs3Val:   return p.read_register(d.rs3());
+      case dsl::Operand::kImm:      return p.constant(d.immediate(), 32);
+      case dsl::Operand::kShamt:    return p.constant(d.shamt(), 32);
+      case dsl::Operand::kPC:       return p.pc_value();
+      case dsl::Operand::kCsrVal:   return p.read_csr(d.csr());
+      case dsl::Operand::kRs1Index: return p.constant(d.rs1(), 32);
+      case dsl::Operand::kRs2Index: return p.constant(d.rs2(), 32);
+      case dsl::Operand::kInstrSize: return p.constant(d.size, 32);
+    }
+    return Value{};
+  }
+
+  Value eval(const dsl::ExprPtr& expr, P& p) {
+    const dsl::Expr& e = *expr;
+    switch (e.op) {
+      case dsl::ExprOp::kConst:   return p.constant(e.constant, e.width);
+      case dsl::ExprOp::kOperand: return eval_operand(e.operand, p);
+      case dsl::ExprOp::kLetRef:  return env_[e.let_index];
+      case dsl::ExprOp::kLoad:
+        assert(false && "Load outside Let rejected by typecheck");
+        return Value{};
+      case dsl::ExprOp::kNot:
+      case dsl::ExprOp::kNeg:
+      case dsl::ExprOp::kExtract:
+      case dsl::ExprOp::kZExt:
+      case dsl::ExprOp::kSExt:
+        return p.apply_un(e.op, eval(e.a, p), e.aux0, e.aux1);
+      case dsl::ExprOp::kIte: {
+        Value cond = eval(e.a, p);
+        return p.apply_ite(cond, eval(e.b, p), eval(e.c, p));
+      }
+      default: {
+        Value a = eval(e.a, p);
+        Value b = eval(e.b, p);
+        return p.apply_bin(e.op, a, b);
+      }
+    }
+  }
+
+  void exec_block(const dsl::Block& block, P& p) {
+    for (const dsl::StmtPtr& stmt : block) {
+      const dsl::Stmt& s = *stmt;
+      switch (s.op) {
+        case dsl::StmtOp::kLet:
+          if (s.value->op == dsl::ExprOp::kLoad) {
+            Value addr = eval(s.value->a, p);
+            env_[s.aux] = p.load(s.value->aux0, addr);
+          } else {
+            env_[s.aux] = eval(s.value, p);
+          }
+          break;
+        case dsl::StmtOp::kWriteRegister:
+          p.write_register(decoded_->rd(), eval(s.value, p));
+          break;
+        case dsl::StmtOp::kWritePC:
+          p.write_pc(eval(s.value, p));
+          break;
+        case dsl::StmtOp::kStore: {
+          Value addr = eval(s.addr, p);
+          Value value = eval(s.value, p);
+          p.store(s.aux, addr, value);
+          break;
+        }
+        case dsl::StmtOp::kWriteCsr:
+          p.write_csr(decoded_->csr(), eval(s.value, p));
+          break;
+        case dsl::StmtOp::kIfElse:
+          // The runIfElse primitive: the fork point of the SE engine.
+          if (p.choose(eval(s.addr, p))) {
+            exec_block(s.then_block, p);
+          } else {
+            exec_block(s.else_block, p);
+          }
+          break;
+        case dsl::StmtOp::kEcall:  p.ecall(); break;
+        case dsl::StmtOp::kEbreak: p.ebreak(); break;
+        case dsl::StmtOp::kFence:  p.fence(); break;
+      }
+    }
+  }
+
+  std::vector<Value> env_;
+  const isa::Decoded* decoded_ = nullptr;
+};
+
+}  // namespace binsym::interp

@@ -1,0 +1,66 @@
+#include "interp/taint.hpp"
+
+namespace binsym::interp {
+
+void TaintMachine::ecall() {
+  uint32_t number = static_cast<uint32_t>(read_register(17).v);
+  uint32_t a0 = static_cast<uint32_t>(read_register(10).v);
+  uint32_t a1 = static_cast<uint32_t>(read_register(11).v);
+  switch (number) {
+    case core::kSysExit:
+      exit_ = core::ExitReason::kExit;
+      exit_code_ = a0;
+      break;
+    case core::kSysPutChar:
+      output_.push_back(static_cast<char>(a0 & 0xff));
+      break;
+    case core::kSysReportFail:
+      output_ += "[fail " + std::to_string(a0) + "]";
+      break;
+    case core::kSysSymInput:
+      // The taint sources: every requested input byte becomes tainted.
+      for (uint32_t i = 0; i < a1; ++i) {
+        uint8_t value =
+            input_provider_ ? input_provider_(input_counter_) : 0;
+        ++input_counter_;
+        memory_[a0 + i] = value;
+        taint_bytes_.insert(a0 + i);
+      }
+      break;
+    default:
+      exit_ = core::ExitReason::kBadSyscall;
+      exit_code_ = number;
+      break;
+  }
+}
+
+uint64_t TaintTracker::run(uint64_t max_steps) {
+  uint64_t steps = 0;
+  while (machine_.exit_ == core::ExitReason::kRunning) {
+    if (steps >= max_steps) {
+      machine_.exit_ = core::ExitReason::kMaxSteps;
+      break;
+    }
+    uint32_t word = 0;
+    for (unsigned i = 0; i < 4; ++i)
+      word |= static_cast<uint32_t>(machine_.memory_byte(machine_.pc_ + i))
+              << (8 * i);
+    auto decoded = decoder_.decode(word);
+    if (!decoded) {
+      machine_.exit_ = core::ExitReason::kIllegalInstr;
+      break;
+    }
+    const dsl::Semantics* semantics = registry_.get(decoded->id());
+    if (!semantics) {
+      machine_.exit_ = core::ExitReason::kIllegalInstr;
+      break;
+    }
+    machine_.next_pc_ = machine_.pc_ + decoded->size;
+    evaluator_.execute(*semantics, *decoded, machine_);
+    machine_.pc_ = machine_.next_pc_;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace binsym::interp

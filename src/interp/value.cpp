@@ -1,0 +1,162 @@
+#include "interp/value.hpp"
+
+#include <cassert>
+
+#include "support/bits.hpp"
+
+namespace binsym::interp {
+
+uint64_t apply_concrete_un(dsl::ExprOp op, uint64_t a, unsigned a_width,
+                           unsigned aux0, unsigned aux1) {
+  switch (op) {
+    case dsl::ExprOp::kNot:     return truncate(~a, a_width);
+    case dsl::ExprOp::kNeg:     return truncate(~a + 1, a_width);
+    case dsl::ExprOp::kExtract: return extract_bits(a, aux0, aux1);
+    case dsl::ExprOp::kZExt:    return a;
+    case dsl::ExprOp::kSExt:    return sext(a, a_width, aux0);
+    default: assert(false && "not a unary op"); return 0;
+  }
+}
+
+uint64_t apply_concrete_bin(dsl::ExprOp op, uint64_t a, uint64_t b,
+                            unsigned width) {
+  switch (op) {
+    case dsl::ExprOp::kAdd:  return truncate(a + b, width);
+    case dsl::ExprOp::kSub:  return truncate(a - b, width);
+    case dsl::ExprOp::kMul:  return truncate(a * b, width);
+    case dsl::ExprOp::kUDiv: return udiv_bv(a, b, width);
+    case dsl::ExprOp::kURem: return urem_bv(a, b, width);
+    case dsl::ExprOp::kSDiv: return sdiv_bv(a, b, width);
+    case dsl::ExprOp::kSRem: return srem_bv(a, b, width);
+    case dsl::ExprOp::kAnd:  return a & b;
+    case dsl::ExprOp::kOr:   return a | b;
+    case dsl::ExprOp::kXor:  return a ^ b;
+    case dsl::ExprOp::kShl:  return shl_bv(a, b, width);
+    case dsl::ExprOp::kLShr: return lshr_bv(a, b, width);
+    case dsl::ExprOp::kAShr: return ashr_bv(a, b, width);
+    case dsl::ExprOp::kEq:   return a == b;
+    case dsl::ExprOp::kUlt:  return a < b;
+    case dsl::ExprOp::kUle:  return a <= b;
+    case dsl::ExprOp::kSlt:  return to_signed(a, width) < to_signed(b, width);
+    case dsl::ExprOp::kSle:  return to_signed(a, width) <= to_signed(b, width);
+    case dsl::ExprOp::kConcat:
+      assert(false && "concat needs operand widths; handled by callers");
+      return 0;
+    default: assert(false && "not a binary op"); return 0;
+  }
+}
+
+namespace {
+
+bool is_compare(dsl::ExprOp op) {
+  switch (op) {
+    case dsl::ExprOp::kEq:
+    case dsl::ExprOp::kUlt:
+    case dsl::ExprOp::kUle:
+    case dsl::ExprOp::kSlt:
+    case dsl::ExprOp::kSle:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CValue cval(uint64_t value, unsigned width) {
+  return CValue{truncate(value, width), static_cast<uint8_t>(width)};
+}
+
+CValue c_un(dsl::ExprOp op, CValue a, unsigned aux0, unsigned aux1) {
+  unsigned out_width;
+  switch (op) {
+    case dsl::ExprOp::kExtract: out_width = aux0 - aux1 + 1; break;
+    case dsl::ExprOp::kZExt:
+    case dsl::ExprOp::kSExt:    out_width = aux0; break;
+    default:                    out_width = a.width; break;
+  }
+  return cval(apply_concrete_un(op, a.v, a.width, aux0, aux1), out_width);
+}
+
+CValue c_bin(dsl::ExprOp op, CValue a, CValue b) {
+  if (op == dsl::ExprOp::kConcat)
+    return cval((a.v << b.width) | b.v, a.width + b.width);
+  unsigned out_width = is_compare(op) ? 1 : a.width;
+  return cval(apply_concrete_bin(op, a.v, b.v, a.width), out_width);
+}
+
+CValue c_ite(CValue cond, CValue then_value, CValue else_value) {
+  return cond.v ? then_value : else_value;
+}
+
+SymValue sval(uint64_t value, unsigned width) {
+  return SymValue{truncate(value, width), static_cast<uint8_t>(width), nullptr};
+}
+
+SymValue sval_expr(smt::ExprRef expr, uint64_t concrete) {
+  if (expr->is_const()) return sval(expr->constant, expr->width);
+  return SymValue{truncate(concrete, expr->width), expr->width, expr};
+}
+
+smt::ExprRef to_expr(smt::Context& ctx, const SymValue& value) {
+  if (value.sym) return value.sym;
+  return ctx.constant(value.conc, value.width);
+}
+
+SymValue s_un(smt::Context& ctx, dsl::ExprOp op, const SymValue& a,
+              unsigned aux0, unsigned aux1) {
+  CValue conc = c_un(op, CValue{a.conc, a.width}, aux0, aux1);
+  if (!a.symbolic()) return sval(conc.v, conc.width);
+  smt::ExprRef expr = nullptr;
+  switch (op) {
+    case dsl::ExprOp::kNot:     expr = ctx.not_(a.sym); break;
+    case dsl::ExprOp::kNeg:     expr = ctx.neg(a.sym); break;
+    case dsl::ExprOp::kExtract: expr = ctx.extract(a.sym, aux0, aux1); break;
+    case dsl::ExprOp::kZExt:    expr = ctx.zext(a.sym, aux0); break;
+    case dsl::ExprOp::kSExt:    expr = ctx.sext(a.sym, aux0); break;
+    default: assert(false && "not a unary op"); return sval(0, 32);
+  }
+  return sval_expr(expr, conc.v);
+}
+
+SymValue s_bin(smt::Context& ctx, dsl::ExprOp op, const SymValue& a,
+               const SymValue& b) {
+  CValue conc = c_bin(op, CValue{a.conc, a.width}, CValue{b.conc, b.width});
+  if (!a.symbolic() && !b.symbolic()) return sval(conc.v, conc.width);
+  smt::ExprRef ea = to_expr(ctx, a);
+  smt::ExprRef eb = to_expr(ctx, b);
+  smt::ExprRef expr = nullptr;
+  switch (op) {
+    case dsl::ExprOp::kAdd:    expr = ctx.add(ea, eb); break;
+    case dsl::ExprOp::kSub:    expr = ctx.sub(ea, eb); break;
+    case dsl::ExprOp::kMul:    expr = ctx.mul(ea, eb); break;
+    case dsl::ExprOp::kUDiv:   expr = ctx.udiv(ea, eb); break;
+    case dsl::ExprOp::kURem:   expr = ctx.urem(ea, eb); break;
+    case dsl::ExprOp::kSDiv:   expr = ctx.sdiv(ea, eb); break;
+    case dsl::ExprOp::kSRem:   expr = ctx.srem(ea, eb); break;
+    case dsl::ExprOp::kAnd:    expr = ctx.and_(ea, eb); break;
+    case dsl::ExprOp::kOr:     expr = ctx.or_(ea, eb); break;
+    case dsl::ExprOp::kXor:    expr = ctx.xor_(ea, eb); break;
+    case dsl::ExprOp::kShl:    expr = ctx.shl(ea, eb); break;
+    case dsl::ExprOp::kLShr:   expr = ctx.lshr(ea, eb); break;
+    case dsl::ExprOp::kAShr:   expr = ctx.ashr(ea, eb); break;
+    case dsl::ExprOp::kEq:     expr = ctx.eq(ea, eb); break;
+    case dsl::ExprOp::kUlt:    expr = ctx.ult(ea, eb); break;
+    case dsl::ExprOp::kUle:    expr = ctx.ule(ea, eb); break;
+    case dsl::ExprOp::kSlt:    expr = ctx.slt(ea, eb); break;
+    case dsl::ExprOp::kSle:    expr = ctx.sle(ea, eb); break;
+    case dsl::ExprOp::kConcat: expr = ctx.concat(ea, eb); break;
+    default: assert(false && "not a binary op"); return sval(0, 32);
+  }
+  return sval_expr(expr, conc.v);
+}
+
+SymValue s_ite(smt::Context& ctx, const SymValue& cond, const SymValue& a,
+               const SymValue& b) {
+  if (!cond.symbolic()) return cond.conc ? a : b;
+  uint64_t conc = cond.conc ? a.conc : b.conc;
+  smt::ExprRef expr = ctx.ite(cond.sym, to_expr(ctx, a), to_expr(ctx, b));
+  return sval_expr(expr, conc);
+}
+
+}  // namespace binsym::interp

@@ -1,0 +1,67 @@
+// Value domains for the modular interpreters.
+//
+// The same specification AST is executed over different value types — the
+// "modular interpreter" idea (paper Sect. III-B, after Liang et al.):
+//
+//   * CValue   — plain canonical bitvectors (the concrete ISS),
+//   * SymValue — concolic pairs of a concrete shadow and an optional
+//                symbolic expression (the SE engines).
+//
+// A SymValue with sym == nullptr is pure concrete; expression building is
+// skipped entirely for such values, so untainted code runs near ISS speed.
+#pragma once
+
+#include <cstdint>
+
+#include "dsl/ast.hpp"
+#include "smt/context.hpp"
+
+namespace binsym::interp {
+
+/// Concrete value: canonical `width`-bit payload.
+struct CValue {
+  uint64_t v = 0;
+  uint8_t width = 32;
+};
+
+/// Concolic value: concrete shadow + optional symbolic expression. When
+/// `sym` is set, invariant: evaluating `sym` under the current input seed
+/// yields `conc` (checked by debug assertions in the machine).
+struct SymValue {
+  uint64_t conc = 0;
+  uint8_t width = 32;
+  smt::ExprRef sym = nullptr;
+
+  bool symbolic() const { return sym != nullptr; }
+};
+
+// -- Concrete operator application (SMT-LIB semantics, shared by both value
+//    domains and by the baseline IR executor). --------------------------------
+
+uint64_t apply_concrete_un(dsl::ExprOp op, uint64_t a, unsigned a_width,
+                           unsigned aux0, unsigned aux1);
+uint64_t apply_concrete_bin(dsl::ExprOp op, uint64_t a, uint64_t b,
+                            unsigned width);
+
+CValue cval(uint64_t value, unsigned width);
+
+CValue c_un(dsl::ExprOp op, CValue a, unsigned aux0, unsigned aux1);
+CValue c_bin(dsl::ExprOp op, CValue a, CValue b);
+CValue c_ite(CValue cond, CValue then_value, CValue else_value);
+
+// -- Concolic operator application. -------------------------------------------
+
+SymValue sval(uint64_t value, unsigned width);
+SymValue sval_expr(smt::ExprRef expr, uint64_t concrete);
+
+/// Materialize the symbolic form of `value` (constants intern on demand).
+smt::ExprRef to_expr(smt::Context& ctx, const SymValue& value);
+
+SymValue s_un(smt::Context& ctx, dsl::ExprOp op, const SymValue& a,
+              unsigned aux0, unsigned aux1);
+SymValue s_bin(smt::Context& ctx, dsl::ExprOp op, const SymValue& a,
+               const SymValue& b);
+SymValue s_ite(smt::Context& ctx, const SymValue& cond, const SymValue& a,
+               const SymValue& b);
+
+}  // namespace binsym::interp

@@ -1,0 +1,181 @@
+#include "isa/compressed.hpp"
+
+#include "isa/encoding.hpp"
+#include "support/bits.hpp"
+
+namespace binsym::isa {
+
+namespace {
+
+// Field helpers on the 16-bit word.
+constexpr uint32_t bits(uint16_t w, unsigned hi, unsigned lo) {
+  return extract_bits(w, hi, lo);
+}
+
+/// rd'/rs' 3-bit register fields map to x8..x15.
+constexpr uint32_t reg3(uint32_t field) { return 8 + field; }
+
+// Base-ISA opcodes used by the expansions.
+constexpr uint32_t kOpLoad = 0b0000011, kOpStore = 0b0100011;
+constexpr uint32_t kOpImm = 0b0010011, kOpReg = 0b0110011;
+constexpr uint32_t kOpLui = 0b0110111, kOpJal = 0b1101111;
+constexpr uint32_t kOpJalr = 0b1100111, kOpBranch = 0b1100011;
+
+/// CJ-format jump offset (c.j / c.jal): imm[11|4|9:8|10|6|7|3:1|5].
+constexpr uint32_t cj_offset(uint16_t w) {
+  uint32_t imm = (bits(w, 12, 12) << 11) | (bits(w, 11, 11) << 4) |
+                 (bits(w, 10, 9) << 8) | (bits(w, 8, 8) << 10) |
+                 (bits(w, 7, 7) << 6) | (bits(w, 6, 6) << 7) |
+                 (bits(w, 5, 3) << 1) | (bits(w, 2, 2) << 5);
+  return static_cast<uint32_t>(sext(imm, 12, 32));
+}
+
+/// CB-format branch offset (c.beqz / c.bnez): imm[8|4:3] ... [7:6|2:1|5].
+constexpr uint32_t cb_offset(uint16_t w) {
+  uint32_t imm = (bits(w, 12, 12) << 8) | (bits(w, 11, 10) << 3) |
+                 (bits(w, 6, 5) << 6) | (bits(w, 4, 3) << 1) |
+                 (bits(w, 2, 2) << 5);
+  return static_cast<uint32_t>(sext(imm, 9, 32));
+}
+
+/// CI-format 6-bit signed immediate: imm[5] = bit 12, imm[4:0] = bits 6:2.
+constexpr uint32_t ci_imm(uint16_t w) {
+  uint32_t imm = (bits(w, 12, 12) << 5) | bits(w, 6, 2);
+  return static_cast<uint32_t>(sext(imm, 6, 32));
+}
+
+std::optional<uint32_t> expand_q0(uint16_t w) {
+  switch (bits(w, 15, 13)) {
+    case 0b000: {  // c.addi4spn rd', nzuimm
+      uint32_t imm = (bits(w, 10, 7) << 6) | (bits(w, 12, 11) << 4) |
+                     (bits(w, 6, 6) << 2) | (bits(w, 5, 5) << 3);
+      if (imm == 0) return std::nullopt;  // includes the all-zero illegal
+      return encode_i(kOpImm, 0b000, reg3(bits(w, 4, 2)), 2, imm);
+    }
+    case 0b010: {  // c.lw rd', uimm(rs1')
+      uint32_t imm = (bits(w, 12, 10) << 3) | (bits(w, 6, 6) << 2) |
+                     (bits(w, 5, 5) << 6);
+      return encode_i(kOpLoad, 0b010, reg3(bits(w, 4, 2)),
+                      reg3(bits(w, 9, 7)), imm);
+    }
+    case 0b110: {  // c.sw rs2', uimm(rs1')
+      uint32_t imm = (bits(w, 12, 10) << 3) | (bits(w, 6, 6) << 2) |
+                     (bits(w, 5, 5) << 6);
+      return encode_s(kOpStore, 0b010, reg3(bits(w, 9, 7)),
+                      reg3(bits(w, 4, 2)), imm);
+    }
+    default:
+      return std::nullopt;  // FP loads/stores, reserved
+  }
+}
+
+std::optional<uint32_t> expand_q1(uint16_t w) {
+  uint32_t rd = bits(w, 11, 7);
+  switch (bits(w, 15, 13)) {
+    case 0b000:  // c.nop / c.addi rd, nzimm
+      return encode_i(kOpImm, 0b000, rd, rd, ci_imm(w));
+    case 0b001:  // c.jal (RV32)
+      return encode_j(kOpJal, 1, cj_offset(w));
+    case 0b010:  // c.li rd, imm
+      return encode_i(kOpImm, 0b000, rd, 0, ci_imm(w));
+    case 0b011: {
+      if (rd == 2) {  // c.addi16sp
+        uint32_t imm = (bits(w, 12, 12) << 9) | (bits(w, 6, 6) << 4) |
+                       (bits(w, 5, 5) << 6) | (bits(w, 4, 3) << 7) |
+                       (bits(w, 2, 2) << 5);
+        imm = static_cast<uint32_t>(sext(imm, 10, 32));
+        if (imm == 0) return std::nullopt;
+        return encode_i(kOpImm, 0b000, 2, 2, imm);
+      }
+      // c.lui rd, nzimm (rd != 0, 2): value nzimm6 << 12, sign-extended.
+      uint32_t imm6 = (bits(w, 12, 12) << 5) | bits(w, 6, 2);
+      if (imm6 == 0 || rd == 0) return std::nullopt;
+      uint32_t value = static_cast<uint32_t>(sext(imm6, 6, 32)) << 12;
+      return encode_u(kOpLui, rd, value);
+    }
+    case 0b100: {  // misc-alu on rd'
+      uint32_t rdp = reg3(bits(w, 9, 7));
+      uint32_t rs2p = reg3(bits(w, 4, 2));
+      switch (bits(w, 11, 10)) {
+        case 0b00: {  // c.srli
+          if (bits(w, 12, 12)) return std::nullopt;  // shamt[5] reserved RV32
+          return encode_i(kOpImm, 0b101, rdp, rdp, bits(w, 6, 2));
+        }
+        case 0b01: {  // c.srai
+          if (bits(w, 12, 12)) return std::nullopt;
+          return encode_i(kOpImm, 0b101, rdp, rdp, bits(w, 6, 2)) |
+                 (0b0100000u << 25);
+        }
+        case 0b10:  // c.andi
+          return encode_i(kOpImm, 0b111, rdp, rdp, ci_imm(w));
+        default:    // register-register
+          if (bits(w, 12, 12)) return std::nullopt;  // RV64 c.subw/addw
+          switch (bits(w, 6, 5)) {
+            case 0b00: return encode_r(kOpReg, 0b000, 0b0100000, rdp, rdp, rs2p);  // c.sub
+            case 0b01: return encode_r(kOpReg, 0b100, 0, rdp, rdp, rs2p);  // c.xor
+            case 0b10: return encode_r(kOpReg, 0b110, 0, rdp, rdp, rs2p);  // c.or
+            default:   return encode_r(kOpReg, 0b111, 0, rdp, rdp, rs2p);  // c.and
+          }
+      }
+    }
+    case 0b101:  // c.j
+      return encode_j(kOpJal, 0, cj_offset(w));
+    case 0b110:  // c.beqz rs1', offset
+      return encode_b(kOpBranch, 0b000, reg3(bits(w, 9, 7)), 0, cb_offset(w));
+    case 0b111:  // c.bnez
+      return encode_b(kOpBranch, 0b001, reg3(bits(w, 9, 7)), 0, cb_offset(w));
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<uint32_t> expand_q2(uint16_t w) {
+  uint32_t rd = bits(w, 11, 7);
+  uint32_t rs2 = bits(w, 6, 2);
+  switch (bits(w, 15, 13)) {
+    case 0b000: {  // c.slli
+      if (bits(w, 12, 12)) return std::nullopt;  // RV32 reserved
+      return encode_i(kOpImm, 0b001, rd, rd, bits(w, 6, 2));
+    }
+    case 0b010: {  // c.lwsp rd != 0
+      if (rd == 0) return std::nullopt;
+      uint32_t imm = (bits(w, 12, 12) << 5) | (bits(w, 6, 4) << 2) |
+                     (bits(w, 3, 2) << 6);
+      return encode_i(kOpLoad, 0b010, rd, 2, imm);
+    }
+    case 0b100: {
+      if (bits(w, 12, 12) == 0) {
+        if (rs2 == 0) {  // c.jr rs1 != 0
+          if (rd == 0) return std::nullopt;
+          return encode_i(kOpJalr, 0b000, 0, rd, 0);
+        }
+        // c.mv rd, rs2  (rd == 0 is a hint; expand anyway, x0 sinks it)
+        return encode_r(kOpReg, 0b000, 0, rd, 0, rs2);
+      }
+      if (rs2 == 0) {
+        if (rd == 0) return 0x00100073;  // c.ebreak
+        return encode_i(kOpJalr, 0b000, 1, rd, 0);  // c.jalr
+      }
+      return encode_r(kOpReg, 0b000, 0, rd, rd, rs2);  // c.add
+    }
+    case 0b110: {  // c.swsp rs2, uimm(x2)
+      uint32_t imm = (bits(w, 12, 9) << 2) | (bits(w, 8, 7) << 6);
+      return encode_s(kOpStore, 0b010, 2, rs2, imm);
+    }
+    default:
+      return std::nullopt;  // FP, reserved
+  }
+}
+
+}  // namespace
+
+std::optional<uint32_t> expand_compressed(uint16_t halfword) {
+  if (!is_compressed(halfword)) return std::nullopt;
+  switch (halfword & 3) {
+    case 0b00: return expand_q0(halfword);
+    case 0b01: return expand_q1(halfword);
+    default:   return expand_q2(halfword);
+  }
+}
+
+}  // namespace binsym::isa

@@ -1,0 +1,28 @@
+// RV32C compressed-instruction support: 16-bit -> 32-bit expansion.
+//
+// Every RVC instruction is defined by the ISA manual as an expansion to a
+// base-ISA instruction, so compressed support slots underneath the formal
+// semantics with no new spec code: the decoder expands the halfword and
+// decodes the result; only the instruction *size* (and therefore the next
+// pc and link values) differs, which the spec consumes through the
+// instr-size operand. Reference: RISC-V unprivileged manual v20191213,
+// Chapter 16 ("C" extension), Table 16.5-16.7.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace binsym::isa {
+
+/// True if `halfword` starts a 16-bit (compressed) instruction — i.e. its
+/// two low bits are not 0b11.
+constexpr bool is_compressed(uint32_t halfword) {
+  return (halfword & 3) != 3;
+}
+
+/// Expand a 16-bit RVC instruction into its 32-bit base-ISA equivalent.
+/// Returns nullopt for reserved/illegal encodings and for encodings whose
+/// expansion needs an unsupported extension (e.g. the FP loads).
+std::optional<uint32_t> expand_compressed(uint16_t halfword);
+
+}  // namespace binsym::isa

@@ -1,0 +1,37 @@
+#include "isa/decoder.hpp"
+
+#include "isa/compressed.hpp"
+
+namespace binsym::isa {
+
+std::optional<Decoded> Decoder::decode(uint32_t word) const {
+  unsigned size = 4;
+  if (is_compressed(word)) {
+    auto expanded = expand_compressed(static_cast<uint16_t>(word));
+    if (!expanded) return std::nullopt;
+    word = *expanded;
+    size = 2;
+  }
+  const OpcodeInfo* info = table_.lookup(word);
+  if (!info) return std::nullopt;
+  return Decoded{info, word, size};
+}
+
+uint32_t Decoded::immediate() const {
+  switch (format()) {
+    case Format::kI:      return imm_i(word);
+    case Format::kIShift: return shamt();
+    case Format::kS:      return imm_s(word);
+    case Format::kB:      return imm_b(word);
+    case Format::kU:      return imm_u(word);
+    case Format::kJ:      return imm_j(word);
+    case Format::kCsr:    return isa::rs1(word);  // zimm for CSRR*I
+    case Format::kR:
+    case Format::kR4:
+    case Format::kSystem:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace binsym::isa

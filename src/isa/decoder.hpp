@@ -1,0 +1,52 @@
+// Instruction decoder: word -> (opcode identity, operand fields).
+//
+// In LibRISCV terms this implements `decodeAndRead*Type`: the decoded
+// operand fields are exactly the inputs the formal semantics reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/opcodes.hpp"
+
+namespace binsym::isa {
+
+/// A decoded instruction. Field accessors are valid only when the
+/// instruction's format defines them (checked in debug builds). For
+/// compressed instructions, `word` holds the expanded 32-bit equivalent
+/// and `size` is 2 — operand extraction works on the expansion; only the
+/// pc advance and link values depend on `size`.
+struct Decoded {
+  const OpcodeInfo* info = nullptr;
+  uint32_t word = 0;
+  unsigned size = 4;
+
+  OpcodeId id() const { return info->id; }
+  Format format() const { return info->format; }
+
+  uint32_t rd() const { return isa::rd(word); }
+  uint32_t rs1() const { return isa::rs1(word); }
+  uint32_t rs2() const { return isa::rs2(word); }
+  uint32_t rs3() const { return isa::rs3(word); }
+  uint32_t shamt() const { return isa::shamt(word); }
+  uint32_t csr() const { return isa::csr_index(word); }
+
+  /// Immediate according to the instruction's format (sign-extended).
+  uint32_t immediate() const;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const OpcodeTable& table) : table_(table) {}
+
+  /// Decode one instruction from up to 32 fetched bits; compressed
+  /// instructions (low bits != 0b11) are expanded first and report size 2.
+  std::optional<Decoded> decode(uint32_t word) const;
+
+  const OpcodeTable& table() const { return table_; }
+
+ private:
+  const OpcodeTable& table_;
+};
+
+}  // namespace binsym::isa

@@ -1,0 +1,80 @@
+#include "isa/disasm.hpp"
+
+#include "support/format.hpp"
+
+namespace binsym::isa {
+
+namespace {
+std::string reg(uint32_t index) { return abi_reg_name(index); }
+}  // namespace
+
+std::string disassemble(const Decoded& decoded, uint32_t pc) {
+  const std::string& name = decoded.info->name;
+  switch (decoded.format()) {
+    case Format::kR:
+      return strprintf("%s %s, %s, %s", name.c_str(), reg(decoded.rd()).c_str(),
+                       reg(decoded.rs1()).c_str(), reg(decoded.rs2()).c_str());
+    case Format::kR4:
+      return strprintf("%s %s, %s, %s, %s", name.c_str(),
+                       reg(decoded.rd()).c_str(), reg(decoded.rs1()).c_str(),
+                       reg(decoded.rs2()).c_str(), reg(decoded.rs3()).c_str());
+    case Format::kI: {
+      // Unary instructions (e.g. Zbb clz/ctz) pin the whole imm field in
+      // their mask; only rd and rs1 are real operands.
+      if ((decoded.info->mask & 0xfff00000) == 0xfff00000)
+        return strprintf("%s %s, %s", name.c_str(), reg(decoded.rd()).c_str(),
+                         reg(decoded.rs1()).c_str());
+      int32_t imm = static_cast<int32_t>(decoded.immediate());
+      // Loads print with the address-offset syntax.
+      switch (decoded.id()) {
+        case kLB: case kLH: case kLW: case kLBU: case kLHU:
+          return strprintf("%s %s, %d(%s)", name.c_str(),
+                           reg(decoded.rd()).c_str(), imm,
+                           reg(decoded.rs1()).c_str());
+        default:
+          return strprintf("%s %s, %s, %d", name.c_str(),
+                           reg(decoded.rd()).c_str(),
+                           reg(decoded.rs1()).c_str(), imm);
+      }
+    }
+    case Format::kIShift:
+      return strprintf("%s %s, %s, %u", name.c_str(),
+                       reg(decoded.rd()).c_str(), reg(decoded.rs1()).c_str(),
+                       decoded.shamt());
+    case Format::kS:
+      return strprintf("%s %s, %d(%s)", name.c_str(),
+                       reg(decoded.rs2()).c_str(),
+                       static_cast<int32_t>(decoded.immediate()),
+                       reg(decoded.rs1()).c_str());
+    case Format::kB:
+      return strprintf("%s %s, %s, 0x%x", name.c_str(),
+                       reg(decoded.rs1()).c_str(), reg(decoded.rs2()).c_str(),
+                       pc + decoded.immediate());
+    case Format::kU:
+      return strprintf("%s %s, 0x%x", name.c_str(), reg(decoded.rd()).c_str(),
+                       decoded.immediate() >> 12);
+    case Format::kJ:
+      return strprintf("%s %s, 0x%x", name.c_str(), reg(decoded.rd()).c_str(),
+                       pc + decoded.immediate());
+    case Format::kSystem:
+      return name;
+    case Format::kCsr:
+      // Immediate forms (csrrwi/...) carry a 5-bit zimm in the rs1 field.
+      if (!name.empty() && name.back() == 'i')
+        return strprintf("%s %s, 0x%x, %u", name.c_str(),
+                         reg(decoded.rd()).c_str(), decoded.csr(),
+                         decoded.rs1());
+      return strprintf("%s %s, 0x%x, %s", name.c_str(),
+                       reg(decoded.rd()).c_str(), decoded.csr(),
+                       reg(decoded.rs1()).c_str());
+  }
+  return name;
+}
+
+std::string disassemble_word(const Decoder& decoder, uint32_t word,
+                             uint32_t pc) {
+  if (auto decoded = decoder.decode(word)) return disassemble(*decoded, pc);
+  return ".word " + hex32(word);
+}
+
+}  // namespace binsym::isa

@@ -1,0 +1,20 @@
+// Disassembler: decoded instruction -> canonical assembly text.
+//
+// Output round-trips through the project's assembler (tested), and is used
+// by execution traces and diagnostics.
+#pragma once
+
+#include <string>
+
+#include "isa/decoder.hpp"
+
+namespace binsym::isa {
+
+/// Render `decoded` at address `pc` (branch/jump targets print absolute).
+std::string disassemble(const Decoded& decoded, uint32_t pc = 0);
+
+/// Decode + render; returns ".word 0x…" for undecodable words.
+std::string disassemble_word(const Decoder& decoder, uint32_t word,
+                             uint32_t pc = 0);
+
+}  // namespace binsym::isa

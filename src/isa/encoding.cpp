@@ -1,0 +1,46 @@
+#include "isa/encoding.hpp"
+
+#include <array>
+
+namespace binsym::isa {
+
+const char* format_name(Format format) {
+  switch (format) {
+    case Format::kR:      return "R";
+    case Format::kR4:     return "R4";
+    case Format::kI:      return "I";
+    case Format::kIShift: return "I-shift";
+    case Format::kS:      return "S";
+    case Format::kB:      return "B";
+    case Format::kU:      return "U";
+    case Format::kJ:      return "J";
+    case Format::kSystem: return "system";
+    case Format::kCsr:    return "CSR";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::array<const char*, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+const char* abi_reg_name(uint32_t reg) {
+  return reg < 32 ? kAbiNames[reg] : "??";
+}
+
+int parse_reg_name(const std::string& name) {
+  if (name.size() >= 2 && (name[0] == 'x') &&
+      name.find_first_not_of("0123456789", 1) == std::string::npos) {
+    int n = std::stoi(name.substr(1));
+    return (n >= 0 && n < 32) ? n : -1;
+  }
+  for (int i = 0; i < 32; ++i)
+    if (name == kAbiNames[i]) return i;
+  if (name == "fp") return 8;  // frame pointer alias for s0
+  return -1;
+}
+
+}  // namespace binsym::isa

@@ -1,0 +1,126 @@
+// RV32 instruction word anatomy: operand formats and field extraction.
+//
+// This mirrors the riscv-opcodes "variable fields": every instruction names
+// the fields it uses, and decoding is pure bit slicing per the tables in the
+// RISC-V unprivileged specification (v20191213, Sect. 2.2/2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bits.hpp"
+
+namespace binsym::isa {
+
+/// Operand format — determines which fields (and which immediate encoding)
+/// an instruction's semantics may reference.
+enum class Format : uint8_t {
+  kR,       // rd, rs1, rs2
+  kR4,      // rd, rs1, rs2, rs3 (used by the custom MADD case study)
+  kI,       // rd, rs1, imm[11:0]
+  kIShift,  // rd, rs1, shamt[4:0] (SLLI/SRLI/SRAI)
+  kS,       // rs1, rs2, imm (store)
+  kB,       // rs1, rs2, imm (branch)
+  kU,       // rd, imm[31:12]
+  kJ,       // rd, imm (JAL)
+  kSystem,  // no operands (ECALL/EBREAK/MRET/WFI/FENCE)
+  kCsr,     // rd, rs1/zimm, csr
+};
+
+const char* format_name(Format format);
+
+// -- Register fields. --------------------------------------------------------
+
+constexpr uint32_t rd(uint32_t word) { return (word >> 7) & 0x1f; }
+constexpr uint32_t rs1(uint32_t word) { return (word >> 15) & 0x1f; }
+constexpr uint32_t rs2(uint32_t word) { return (word >> 20) & 0x1f; }
+constexpr uint32_t rs3(uint32_t word) { return (word >> 27) & 0x1f; }
+constexpr uint32_t funct3(uint32_t word) { return (word >> 12) & 0x7; }
+constexpr uint32_t funct7(uint32_t word) { return (word >> 25) & 0x7f; }
+constexpr uint32_t shamt(uint32_t word) { return (word >> 20) & 0x1f; }
+constexpr uint32_t csr_index(uint32_t word) { return (word >> 20) & 0xfff; }
+constexpr uint32_t major_opcode(uint32_t word) { return word & 0x7f; }
+
+// -- Immediates (already sign-extended to 32 bits where applicable). ---------
+
+constexpr uint32_t imm_i(uint32_t word) {
+  return static_cast<uint32_t>(sext(word >> 20, 12, 32));
+}
+
+constexpr uint32_t imm_s(uint32_t word) {
+  uint32_t imm = ((word >> 25) << 5) | ((word >> 7) & 0x1f);
+  return static_cast<uint32_t>(sext(imm, 12, 32));
+}
+
+constexpr uint32_t imm_b(uint32_t word) {
+  uint32_t imm = (extract_bits(word, 31, 31) << 12) |
+                 (extract_bits(word, 7, 7) << 11) |
+                 (extract_bits(word, 30, 25) << 5) |
+                 (extract_bits(word, 11, 8) << 1);
+  return static_cast<uint32_t>(sext(imm, 13, 32));
+}
+
+constexpr uint32_t imm_u(uint32_t word) { return word & 0xfffff000u; }
+
+constexpr uint32_t imm_j(uint32_t word) {
+  uint32_t imm = (extract_bits(word, 31, 31) << 20) |
+                 (extract_bits(word, 19, 12) << 12) |
+                 (extract_bits(word, 20, 20) << 11) |
+                 (extract_bits(word, 30, 21) << 1);
+  return static_cast<uint32_t>(sext(imm, 21, 32));
+}
+
+// -- Instruction word composition (used by the assembler). --------------------
+
+constexpr uint32_t encode_r(uint32_t opcode, uint32_t f3, uint32_t f7,
+                            uint32_t rd_, uint32_t rs1_, uint32_t rs2_) {
+  return opcode | (rd_ << 7) | (f3 << 12) | (rs1_ << 15) | (rs2_ << 20) |
+         (f7 << 25);
+}
+
+constexpr uint32_t encode_r4(uint32_t opcode, uint32_t f3, uint32_t f2,
+                             uint32_t rd_, uint32_t rs1_, uint32_t rs2_,
+                             uint32_t rs3_) {
+  return opcode | (rd_ << 7) | (f3 << 12) | (rs1_ << 15) | (rs2_ << 20) |
+         (f2 << 25) | (rs3_ << 27);
+}
+
+constexpr uint32_t encode_i(uint32_t opcode, uint32_t f3, uint32_t rd_,
+                            uint32_t rs1_, uint32_t imm) {
+  return opcode | (rd_ << 7) | (f3 << 12) | (rs1_ << 15) |
+         ((imm & 0xfff) << 20);
+}
+
+constexpr uint32_t encode_s(uint32_t opcode, uint32_t f3, uint32_t rs1_,
+                            uint32_t rs2_, uint32_t imm) {
+  return opcode | ((imm & 0x1f) << 7) | (f3 << 12) | (rs1_ << 15) |
+         (rs2_ << 20) | (((imm >> 5) & 0x7f) << 25);
+}
+
+constexpr uint32_t encode_b(uint32_t opcode, uint32_t f3, uint32_t rs1_,
+                            uint32_t rs2_, uint32_t imm) {
+  return opcode | (extract_bits(imm, 11, 11) << 7) |
+         (extract_bits(imm, 4, 1) << 8) | (f3 << 12) | (rs1_ << 15) |
+         (rs2_ << 20) | (static_cast<uint32_t>(extract_bits(imm, 10, 5)) << 25) |
+         (extract_bits(imm, 12, 12) << 31);
+}
+
+constexpr uint32_t encode_u(uint32_t opcode, uint32_t rd_, uint32_t imm) {
+  return opcode | (rd_ << 7) | (imm & 0xfffff000u);
+}
+
+constexpr uint32_t encode_j(uint32_t opcode, uint32_t rd_, uint32_t imm) {
+  return opcode | (rd_ << 7) |
+         (static_cast<uint32_t>(extract_bits(imm, 19, 12)) << 12) |
+         (extract_bits(imm, 11, 11) << 20) |
+         (static_cast<uint32_t>(extract_bits(imm, 10, 1)) << 21) |
+         (extract_bits(imm, 20, 20) << 31);
+}
+
+/// ABI register name ("zero", "ra", "sp", ... "t6") for x0..x31.
+const char* abi_reg_name(uint32_t reg);
+
+/// Parse a register name: both "x7" and ABI names; returns -1 on failure.
+int parse_reg_name(const std::string& name);
+
+}  // namespace binsym::isa

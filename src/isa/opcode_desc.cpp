@@ -1,0 +1,219 @@
+#include "isa/opcode_desc.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace binsym::isa {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string strip_quotes(std::string s) {
+  if (s.size() >= 2 && (s.front() == '\'' || s.front() == '"') &&
+      s.back() == s.front())
+    return s.substr(1, s.size() - 2);
+  return s;
+}
+
+/// Parse "[a, b, c]" or a bare scalar into a list.
+std::vector<std::string> parse_list(const std::string& value) {
+  std::string v = trim(value);
+  std::vector<std::string> out;
+  if (!v.empty() && v.front() == '[' && v.back() == ']') {
+    std::stringstream ss(v.substr(1, v.size() - 2));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      item = strip_quotes(trim(item));
+      if (!item.empty()) out.push_back(item);
+    }
+  } else if (!v.empty()) {
+    out.push_back(strip_quotes(v));
+  }
+  return out;
+}
+
+bool parse_u32(const std::string& text, uint32_t* out) {
+  std::string v = strip_quotes(trim(text));
+  if (v.empty()) return false;
+  try {
+    size_t pos = 0;
+    unsigned long value = std::stoul(v, &pos, 0);
+    if (pos != v.size() || value > 0xffffffffull) return false;
+    *out = static_cast<uint32_t>(value);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Derive mask/match from a 32-character pattern, bit 31 first.
+bool parse_encoding_pattern(const std::string& pattern, uint32_t* mask,
+                            uint32_t* match) {
+  std::string p = strip_quotes(trim(pattern));
+  if (p.size() != 32) return false;
+  *mask = 0;
+  *match = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    uint32_t bit = 31 - static_cast<uint32_t>(i);
+    switch (p[i]) {
+      case '0': *mask |= 1u << bit; break;
+      case '1': *mask |= 1u << bit; *match |= 1u << bit; break;
+      case '-': break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+bool fail(ParseError* error, int line, const std::string& message) {
+  if (error) *error = ParseError{line, message};
+  return false;
+}
+
+}  // namespace
+
+std::optional<Format> format_for_fields(
+    const std::vector<std::string>& fields) {
+  auto has = [&](const char* f) {
+    return std::find(fields.begin(), fields.end(), f) != fields.end();
+  };
+  bool rd_ = has("rd"), rs1_ = has("rs1"), rs2_ = has("rs2"), rs3_ = has("rs3");
+  if (rd_ && rs1_ && rs2_ && rs3_ && fields.size() == 4) return Format::kR4;
+  if (rd_ && rs1_ && rs2_ && fields.size() == 3) return Format::kR;
+  if (rd_ && rs1_ && has("shamtw") && fields.size() == 3) return Format::kIShift;
+  if (rd_ && rs1_ && has("imm12") && fields.size() == 3) return Format::kI;
+  if (rs1_ && rs2_ && (has("imm12hi") || has("bimm12hi"))) {
+    return has("bimm12hi") ? Format::kB : Format::kS;
+  }
+  if (rd_ && has("imm20") && fields.size() == 2) return Format::kU;
+  if (rd_ && has("jimm20") && fields.size() == 2) return Format::kJ;
+  if (fields.empty()) return Format::kSystem;
+  return std::nullopt;
+}
+
+std::optional<std::vector<OpcodeDesc>> parse_opcode_descs(
+    const std::string& text, ParseError* error) {
+  std::vector<OpcodeDesc> out;
+  OpcodeDesc current;
+  bool in_entry = false;
+  bool have_encoding = false, have_mask = false, have_match = false;
+  uint32_t enc_mask = 0, enc_match = 0;
+
+  auto finish_entry = [&](int line) -> bool {
+    if (!in_entry) return true;
+    if (have_encoding) {
+      if (have_mask && current.mask != enc_mask)
+        return fail(error, line, "mask disagrees with encoding pattern");
+      if (have_match && current.match != enc_match)
+        return fail(error, line, "match disagrees with encoding pattern");
+      current.mask = enc_mask;
+      current.match = enc_match;
+    } else if (!(have_mask && have_match)) {
+      return fail(error, line,
+                  "entry '" + current.name +
+                      "' needs either an encoding pattern or mask+match");
+    }
+    if (auto fmt = format_for_fields(current.variable_fields)) {
+      current.format = *fmt;
+    } else {
+      return fail(error, line,
+                  "unsupported variable_fields combination in '" +
+                      current.name + "'");
+    }
+    out.push_back(current);
+    return true;
+  };
+
+  std::stringstream ss(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (size_t hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    std::string t = trim(line);
+    if (t.empty()) continue;
+
+    bool indented = line[0] == ' ' || line[0] == '\t';
+    if (!indented && t.back() == ':') {
+      // New entry header.
+      if (!finish_entry(line_no)) return std::nullopt;
+      current = OpcodeDesc{};
+      current.name = trim(t.substr(0, t.size() - 1));
+      in_entry = true;
+      have_encoding = have_mask = have_match = false;
+      continue;
+    }
+
+    if (!in_entry) {
+      fail(error, line_no, "key outside of an instruction entry");
+      return std::nullopt;
+    }
+    size_t colon = t.find(':');
+    if (colon == std::string::npos) {
+      fail(error, line_no, "expected 'key: value'");
+      return std::nullopt;
+    }
+    std::string key = trim(t.substr(0, colon));
+    std::string value = trim(t.substr(colon + 1));
+
+    if (key == "encoding") {
+      if (!parse_encoding_pattern(value, &enc_mask, &enc_match)) {
+        fail(error, line_no, "encoding must be 32 chars of 0/1/-");
+        return std::nullopt;
+      }
+      have_encoding = true;
+    } else if (key == "mask") {
+      if (!parse_u32(value, &current.mask)) {
+        fail(error, line_no, "bad mask literal");
+        return std::nullopt;
+      }
+      have_mask = true;
+    } else if (key == "match") {
+      if (!parse_u32(value, &current.match)) {
+        fail(error, line_no, "bad match literal");
+        return std::nullopt;
+      }
+      have_match = true;
+    } else if (key == "extension") {
+      auto list = parse_list(value);
+      current.extension = list.empty() ? "" : list.front();
+    } else if (key == "variable_fields") {
+      current.variable_fields = parse_list(value);
+    } else {
+      // Unknown keys are ignored for forward compatibility, matching how
+      // riscv-opcodes tooling treats extra attributes.
+    }
+  }
+  if (!finish_entry(line_no)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<OpcodeId>> register_opcode_descs(
+    OpcodeTable& table, const std::string& text, ParseError* error) {
+  auto descs = parse_opcode_descs(text, error);
+  if (!descs) return std::nullopt;
+  std::vector<OpcodeId> ids;
+  for (const OpcodeDesc& desc : *descs) {
+    auto id = table.add(desc.name, desc.mask, desc.match, desc.format,
+                        desc.extension);
+    if (!id) {
+      if (error)
+        *error = ParseError{0, "registration failed for '" + desc.name +
+                                   "' (name or encoding collision)"};
+      return std::nullopt;
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+}  // namespace binsym::isa

@@ -1,0 +1,54 @@
+// Parser for riscv-opcodes-style instruction descriptions — the exact
+// format of the paper's Fig. 3:
+//
+//   madd:
+//     encoding: '-----01------------------1000011'
+//     extension: [rv_zimadd]
+//     mask: '0x600007f'
+//     match: '0x2000043'
+//     variable_fields: [rd, rs1, rs2, rs3]
+//
+// `encoding` is a 32-character pattern (bit 31 first, '-' = operand bit);
+// mask/match are optional and, when present, are validated against the
+// pattern. `variable_fields` selects the operand Format. Descriptions can be
+// loaded from files or strings and registered into an OpcodeTable, which is
+// how the MADD case study extends the toolchain without code changes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+
+namespace binsym::isa {
+
+struct OpcodeDesc {
+  std::string name;
+  uint32_t mask = 0;
+  uint32_t match = 0;
+  Format format = Format::kR;
+  std::string extension;
+  std::vector<std::string> variable_fields;
+};
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parse zero or more descriptions from `text`. On failure returns the
+/// error; on success the list of descriptions in file order.
+std::optional<std::vector<OpcodeDesc>> parse_opcode_descs(
+    const std::string& text, ParseError* error = nullptr);
+
+/// Map a variable_fields list onto an operand format; nullopt when the
+/// combination is not one the DSL supports.
+std::optional<Format> format_for_fields(const std::vector<std::string>& fields);
+
+/// Parse and register everything in `text`; returns the assigned ids or
+/// nullopt (with `error`) on parse/registration failure.
+std::optional<std::vector<OpcodeId>> register_opcode_descs(
+    OpcodeTable& table, const std::string& text, ParseError* error = nullptr);
+
+}  // namespace binsym::isa

@@ -1,0 +1,81 @@
+// Opcode registry — the C++ twin of the riscv-opcodes instruction tables.
+//
+// Every instruction is described by (mask, match, format, extension); the
+// registry is extensible at runtime exactly like the paper's Fig. 3 flow:
+// custom instructions register an encoding here and their semantics in
+// spec::Registry, and every downstream tool (decoder, disassembler, both
+// interpreters, the SE engines, the assembler) picks them up automatically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace binsym::isa {
+
+/// Dense instruction identity assigned at registration time. Builtin RV32IM
+/// instructions receive stable well-known ids (see `Op` below); custom
+/// instructions get the next free id.
+using OpcodeId = uint16_t;
+
+/// Well-known builtin instruction ids (RV32I + M + Zicsr subset).
+/// The numeric values are stable because spec/oracle tables index by them.
+enum Op : OpcodeId {
+  kLUI, kAUIPC, kJAL, kJALR,
+  kBEQ, kBNE, kBLT, kBGE, kBLTU, kBGEU,
+  kLB, kLH, kLW, kLBU, kLHU,
+  kSB, kSH, kSW,
+  kADDI, kSLTI, kSLTIU, kXORI, kORI, kANDI,
+  kSLLI, kSRLI, kSRAI,
+  kADD, kSUB, kSLL, kSLT, kSLTU, kXOR, kSRL, kSRA, kOR, kAND,
+  kFENCE,
+  kECALL, kEBREAK, kMRET, kWFI,
+  kCSRRW, kCSRRS, kCSRRC, kCSRRWI, kCSRRSI, kCSRRCI,
+  kMUL, kMULH, kMULHSU, kMULHU, kDIV, kDIVU, kREM, kREMU,
+  kNumBuiltinOps,
+};
+
+struct OpcodeInfo {
+  OpcodeId id;
+  std::string name;       // lower-case mnemonic, e.g. "divu"
+  uint32_t mask;
+  uint32_t match;
+  Format format;
+  std::string extension;  // e.g. "rv_i", "rv_m", "rv_zimadd"
+};
+
+class OpcodeTable {
+ public:
+  /// Table pre-populated with RV32I, RV32M and the Zicsr/system subset.
+  OpcodeTable();
+
+  /// Register a (custom) instruction. Returns the assigned id. Fails (via
+  /// returned nullopt) if the encoding overlaps an existing instruction,
+  /// i.e. some word would match both — the same check riscv-opcodes does.
+  std::optional<OpcodeId> add(const std::string& name, uint32_t mask,
+                              uint32_t match, Format format,
+                              const std::string& extension);
+
+  /// Decode lookup: most-specific (highest mask popcount) match wins.
+  const OpcodeInfo* lookup(uint32_t word) const;
+
+  const OpcodeInfo* by_name(const std::string& name) const;
+  const OpcodeInfo& by_id(OpcodeId id) const { return entries_[id]; }
+  size_t size() const { return entries_.size(); }
+  const std::vector<OpcodeInfo>& entries() const { return entries_; }
+
+ private:
+  void add_builtin(OpcodeId id, const char* name, uint32_t mask,
+                   uint32_t match, Format format, const char* extension);
+  void index(const OpcodeInfo& info);
+
+  std::vector<OpcodeInfo> entries_;
+  // Buckets by major opcode (bits [6:0]); each bucket is kept sorted by
+  // descending mask popcount so the first hit is the most specific one.
+  std::vector<std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace binsym::isa

@@ -1,0 +1,171 @@
+// Builtin RV32IM + Zicsr encoding table. Mask/match values follow
+// riscv-opcodes (https://github.com/riscv/riscv-opcodes) exactly.
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "isa/opcodes.hpp"
+
+namespace binsym::isa {
+
+namespace {
+
+// Major opcodes (bits [6:0]).
+constexpr uint32_t kOpLui = 0b0110111;
+constexpr uint32_t kOpAuipc = 0b0010111;
+constexpr uint32_t kOpJal = 0b1101111;
+constexpr uint32_t kOpJalr = 0b1100111;
+constexpr uint32_t kOpBranch = 0b1100011;
+constexpr uint32_t kOpLoad = 0b0000011;
+constexpr uint32_t kOpStore = 0b0100011;
+constexpr uint32_t kOpImm = 0b0010011;
+constexpr uint32_t kOpReg = 0b0110011;
+constexpr uint32_t kOpMiscMem = 0b0001111;
+constexpr uint32_t kOpSystem = 0b1110011;
+
+// Mask shapes.
+constexpr uint32_t kMaskOpcode = 0x0000007f;           // U/J formats
+constexpr uint32_t kMaskF3 = 0x0000707f;               // I/S/B formats
+constexpr uint32_t kMaskF7F3 = 0xfe00707f;             // R format + imm shifts
+constexpr uint32_t kMaskExact = 0xffffffff;            // ECALL et al.
+
+constexpr uint32_t match_f3(uint32_t opcode, uint32_t f3) {
+  return opcode | (f3 << 12);
+}
+constexpr uint32_t match_f7f3(uint32_t opcode, uint32_t f3, uint32_t f7) {
+  return opcode | (f3 << 12) | (f7 << 25);
+}
+
+}  // namespace
+
+OpcodeTable::OpcodeTable() : buckets_(128) {
+  auto B = [this](OpcodeId id, const char* name, uint32_t mask, uint32_t match,
+                  Format fmt, const char* ext) {
+    add_builtin(id, name, mask, match, fmt, ext);
+  };
+
+  B(kLUI,   "lui",   kMaskOpcode, kOpLui,   Format::kU, "rv_i");
+  B(kAUIPC, "auipc", kMaskOpcode, kOpAuipc, Format::kU, "rv_i");
+  B(kJAL,   "jal",   kMaskOpcode, kOpJal,   Format::kJ, "rv_i");
+  B(kJALR,  "jalr",  kMaskF3, match_f3(kOpJalr, 0), Format::kI, "rv_i");
+
+  B(kBEQ,  "beq",  kMaskF3, match_f3(kOpBranch, 0b000), Format::kB, "rv_i");
+  B(kBNE,  "bne",  kMaskF3, match_f3(kOpBranch, 0b001), Format::kB, "rv_i");
+  B(kBLT,  "blt",  kMaskF3, match_f3(kOpBranch, 0b100), Format::kB, "rv_i");
+  B(kBGE,  "bge",  kMaskF3, match_f3(kOpBranch, 0b101), Format::kB, "rv_i");
+  B(kBLTU, "bltu", kMaskF3, match_f3(kOpBranch, 0b110), Format::kB, "rv_i");
+  B(kBGEU, "bgeu", kMaskF3, match_f3(kOpBranch, 0b111), Format::kB, "rv_i");
+
+  B(kLB,  "lb",  kMaskF3, match_f3(kOpLoad, 0b000), Format::kI, "rv_i");
+  B(kLH,  "lh",  kMaskF3, match_f3(kOpLoad, 0b001), Format::kI, "rv_i");
+  B(kLW,  "lw",  kMaskF3, match_f3(kOpLoad, 0b010), Format::kI, "rv_i");
+  B(kLBU, "lbu", kMaskF3, match_f3(kOpLoad, 0b100), Format::kI, "rv_i");
+  B(kLHU, "lhu", kMaskF3, match_f3(kOpLoad, 0b101), Format::kI, "rv_i");
+
+  B(kSB, "sb", kMaskF3, match_f3(kOpStore, 0b000), Format::kS, "rv_i");
+  B(kSH, "sh", kMaskF3, match_f3(kOpStore, 0b001), Format::kS, "rv_i");
+  B(kSW, "sw", kMaskF3, match_f3(kOpStore, 0b010), Format::kS, "rv_i");
+
+  B(kADDI,  "addi",  kMaskF3, match_f3(kOpImm, 0b000), Format::kI, "rv_i");
+  B(kSLTI,  "slti",  kMaskF3, match_f3(kOpImm, 0b010), Format::kI, "rv_i");
+  B(kSLTIU, "sltiu", kMaskF3, match_f3(kOpImm, 0b011), Format::kI, "rv_i");
+  B(kXORI,  "xori",  kMaskF3, match_f3(kOpImm, 0b100), Format::kI, "rv_i");
+  B(kORI,   "ori",   kMaskF3, match_f3(kOpImm, 0b110), Format::kI, "rv_i");
+  B(kANDI,  "andi",  kMaskF3, match_f3(kOpImm, 0b111), Format::kI, "rv_i");
+
+  B(kSLLI, "slli", kMaskF7F3, match_f7f3(kOpImm, 0b001, 0b0000000),
+    Format::kIShift, "rv_i");
+  B(kSRLI, "srli", kMaskF7F3, match_f7f3(kOpImm, 0b101, 0b0000000),
+    Format::kIShift, "rv_i");
+  B(kSRAI, "srai", kMaskF7F3, match_f7f3(kOpImm, 0b101, 0b0100000),
+    Format::kIShift, "rv_i");
+
+  B(kADD,  "add",  kMaskF7F3, match_f7f3(kOpReg, 0b000, 0b0000000), Format::kR, "rv_i");
+  B(kSUB,  "sub",  kMaskF7F3, match_f7f3(kOpReg, 0b000, 0b0100000), Format::kR, "rv_i");
+  B(kSLL,  "sll",  kMaskF7F3, match_f7f3(kOpReg, 0b001, 0b0000000), Format::kR, "rv_i");
+  B(kSLT,  "slt",  kMaskF7F3, match_f7f3(kOpReg, 0b010, 0b0000000), Format::kR, "rv_i");
+  B(kSLTU, "sltu", kMaskF7F3, match_f7f3(kOpReg, 0b011, 0b0000000), Format::kR, "rv_i");
+  B(kXOR,  "xor",  kMaskF7F3, match_f7f3(kOpReg, 0b100, 0b0000000), Format::kR, "rv_i");
+  B(kSRL,  "srl",  kMaskF7F3, match_f7f3(kOpReg, 0b101, 0b0000000), Format::kR, "rv_i");
+  B(kSRA,  "sra",  kMaskF7F3, match_f7f3(kOpReg, 0b101, 0b0100000), Format::kR, "rv_i");
+  B(kOR,   "or",   kMaskF7F3, match_f7f3(kOpReg, 0b110, 0b0000000), Format::kR, "rv_i");
+  B(kAND,  "and",  kMaskF7F3, match_f7f3(kOpReg, 0b111, 0b0000000), Format::kR, "rv_i");
+
+  B(kFENCE, "fence", kMaskF3, match_f3(kOpMiscMem, 0b000), Format::kSystem, "rv_i");
+
+  B(kECALL,  "ecall",  kMaskExact, 0x00000073, Format::kSystem, "rv_i");
+  B(kEBREAK, "ebreak", kMaskExact, 0x00100073, Format::kSystem, "rv_i");
+  B(kMRET,   "mret",   kMaskExact, 0x30200073, Format::kSystem, "rv_system");
+  B(kWFI,    "wfi",    kMaskExact, 0x10500073, Format::kSystem, "rv_system");
+
+  B(kCSRRW,  "csrrw",  kMaskF3, match_f3(kOpSystem, 0b001), Format::kCsr, "rv_zicsr");
+  B(kCSRRS,  "csrrs",  kMaskF3, match_f3(kOpSystem, 0b010), Format::kCsr, "rv_zicsr");
+  B(kCSRRC,  "csrrc",  kMaskF3, match_f3(kOpSystem, 0b011), Format::kCsr, "rv_zicsr");
+  B(kCSRRWI, "csrrwi", kMaskF3, match_f3(kOpSystem, 0b101), Format::kCsr, "rv_zicsr");
+  B(kCSRRSI, "csrrsi", kMaskF3, match_f3(kOpSystem, 0b110), Format::kCsr, "rv_zicsr");
+  B(kCSRRCI, "csrrci", kMaskF3, match_f3(kOpSystem, 0b111), Format::kCsr, "rv_zicsr");
+
+  B(kMUL,    "mul",    kMaskF7F3, match_f7f3(kOpReg, 0b000, 1), Format::kR, "rv_m");
+  B(kMULH,   "mulh",   kMaskF7F3, match_f7f3(kOpReg, 0b001, 1), Format::kR, "rv_m");
+  B(kMULHSU, "mulhsu", kMaskF7F3, match_f7f3(kOpReg, 0b010, 1), Format::kR, "rv_m");
+  B(kMULHU,  "mulhu",  kMaskF7F3, match_f7f3(kOpReg, 0b011, 1), Format::kR, "rv_m");
+  B(kDIV,    "div",    kMaskF7F3, match_f7f3(kOpReg, 0b100, 1), Format::kR, "rv_m");
+  B(kDIVU,   "divu",   kMaskF7F3, match_f7f3(kOpReg, 0b101, 1), Format::kR, "rv_m");
+  B(kREM,    "rem",    kMaskF7F3, match_f7f3(kOpReg, 0b110, 1), Format::kR, "rv_m");
+  B(kREMU,   "remu",   kMaskF7F3, match_f7f3(kOpReg, 0b111, 1), Format::kR, "rv_m");
+
+  assert(entries_.size() == kNumBuiltinOps);
+}
+
+void OpcodeTable::add_builtin(OpcodeId id, const char* name, uint32_t mask,
+                              uint32_t match, Format format,
+                              const char* extension) {
+  assert(id == entries_.size() && "builtin ids must be registered in order");
+  entries_.push_back(OpcodeInfo{id, name, mask, match, format, extension});
+  index(entries_.back());
+}
+
+std::optional<OpcodeId> OpcodeTable::add(const std::string& name,
+                                         uint32_t mask, uint32_t match,
+                                         Format format,
+                                         const std::string& extension) {
+  if ((mask & 0x7f) != 0x7f) return std::nullopt;  // must pin the major opcode
+  if ((match & ~mask) != 0) return std::nullopt;   // match outside mask bits
+  if (by_name(name)) return std::nullopt;
+  // Overlap check: two encodings collide iff they agree on all jointly
+  // constrained bits — then a word matching the more constrained one also
+  // matches the other.
+  for (const OpcodeInfo& other : entries_) {
+    uint32_t joint = mask & other.mask;
+    if ((match & joint) == (other.match & joint)) return std::nullopt;
+  }
+  OpcodeId id = static_cast<OpcodeId>(entries_.size());
+  entries_.push_back(OpcodeInfo{id, name, mask, match, format, extension});
+  index(entries_.back());
+  return id;
+}
+
+void OpcodeTable::index(const OpcodeInfo& info) {
+  uint32_t major = info.match & 0x7f;
+  auto& bucket = buckets_[major];
+  bucket.push_back(info.id);
+  std::sort(bucket.begin(), bucket.end(), [this](uint32_t a, uint32_t b) {
+    return std::popcount(entries_[a].mask) > std::popcount(entries_[b].mask);
+  });
+}
+
+const OpcodeInfo* OpcodeTable::lookup(uint32_t word) const {
+  for (uint32_t id : buckets_[word & 0x7f]) {
+    const OpcodeInfo& info = entries_[id];
+    if ((word & info.mask) == info.match) return &info;
+  }
+  return nullptr;
+}
+
+const OpcodeInfo* OpcodeTable::by_name(const std::string& name) const {
+  for (const OpcodeInfo& info : entries_)
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+}  // namespace binsym::isa

@@ -1,0 +1,46 @@
+#include "smt/cache.hpp"
+
+#include <algorithm>
+
+namespace binsym::smt {
+
+CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
+                                 Assignment* model) {
+  std::vector<uint32_t> key;
+  key.reserve(assertions.size());
+  for (ExprRef assertion : assertions) {
+    // `true` assertions don't affect satisfiability and would fragment keys.
+    if (assertion->is_true()) continue;
+    key.push_back(assertion->id);
+  }
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  auto account = [this](CheckResult result) {
+    ++stats_.queries;
+    switch (result) {
+      case CheckResult::kSat:     ++stats_.sat; break;
+      case CheckResult::kUnsat:   ++stats_.unsat; break;
+      case CheckResult::kUnknown: ++stats_.unknown; break;
+    }
+  };
+
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    account(it->second.result);
+    if (model && it->second.result == CheckResult::kSat)
+      *model = it->second.model;
+    return it->second.result;
+  }
+
+  Assignment local;
+  CheckResult result = inner_->check(assertions, &local);
+  stats_.solve_seconds = inner_->stats().solve_seconds;
+  account(result);
+  if (model && result == CheckResult::kSat) *model = local;
+  if (result != CheckResult::kUnknown)
+    cache_.emplace(std::move(key), Entry{result, std::move(local)});
+  return result;
+}
+
+}  // namespace binsym::smt

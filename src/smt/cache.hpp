@@ -1,0 +1,41 @@
+// Query cache.
+//
+// DFS path exploration re-checks many structurally identical prefixes;
+// because expressions are hash-consed, a query is identified by the sorted
+// multiset of its assertion node ids, making cache lookups O(n log n) in the
+// number of assertions with no re-hashing of the DAG. Sat results keep their
+// model so a hit can reseed execution without a solver round trip.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "smt/solver.hpp"
+
+namespace binsym::smt {
+
+class CachingSolver final : public Solver {
+ public:
+  explicit CachingSolver(std::unique_ptr<Solver> inner)
+      : inner_(std::move(inner)) {}
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override;
+  std::string name() const override { return inner_->name() + "+cache"; }
+
+  Solver& inner() { return *inner_; }
+  size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  struct Entry {
+    CheckResult result;
+    Assignment model;  // valid when result == kSat
+  };
+
+  std::unique_ptr<Solver> inner_;
+  std::map<std::vector<uint32_t>, Entry> cache_;
+};
+
+}  // namespace binsym::smt

@@ -1,0 +1,81 @@
+#include "smt/eval.hpp"
+
+#include <cassert>
+
+#include "support/bits.hpp"
+
+namespace binsym::smt {
+
+namespace {
+
+uint64_t apply(ExprRef node, const uint64_t* op) {
+  unsigned w = node->width;
+  switch (node->kind) {
+    case Kind::kConst:   return node->constant;
+    case Kind::kVar:     assert(false && "handled by caller"); return 0;
+    case Kind::kNot:     return truncate(~op[0], w);
+    case Kind::kNeg:     return truncate(~op[0] + 1, w);
+    case Kind::kExtract: return extract_bits(op[0], node->aux0, node->aux1);
+    case Kind::kZExt:    return op[0];
+    case Kind::kSExt:    return sext(op[0], node->ops[0]->width, w);
+    case Kind::kAdd:     return truncate(op[0] + op[1], w);
+    case Kind::kSub:     return truncate(op[0] - op[1], w);
+    case Kind::kMul:     return truncate(op[0] * op[1], w);
+    case Kind::kUDiv:    return udiv_bv(op[0], op[1], w);
+    case Kind::kURem:    return urem_bv(op[0], op[1], w);
+    case Kind::kSDiv:    return sdiv_bv(op[0], op[1], w);
+    case Kind::kSRem:    return srem_bv(op[0], op[1], w);
+    case Kind::kAnd:     return op[0] & op[1];
+    case Kind::kOr:      return op[0] | op[1];
+    case Kind::kXor:     return op[0] ^ op[1];
+    case Kind::kShl:     return shl_bv(op[0], op[1], w);
+    case Kind::kLShr:    return lshr_bv(op[0], op[1], w);
+    case Kind::kAShr:    return ashr_bv(op[0], op[1], node->ops[0]->width);
+    case Kind::kEq:      return op[0] == op[1];
+    case Kind::kUlt:     return op[0] < op[1];
+    case Kind::kUle:     return op[0] <= op[1];
+    case Kind::kSlt:
+      return to_signed(op[0], node->ops[0]->width) <
+             to_signed(op[1], node->ops[0]->width);
+    case Kind::kSle:
+      return to_signed(op[0], node->ops[0]->width) <=
+             to_signed(op[1], node->ops[0]->width);
+    case Kind::kConcat:
+      return truncate((op[0] << node->ops[1]->width) | op[1], w);
+    case Kind::kIte:     return op[0] ? op[1] : op[2];
+  }
+  return 0;
+}
+
+void evaluate_into(ExprRef root, const Assignment& assignment,
+                   std::unordered_map<uint32_t, uint64_t>& memo) {
+  postorder(root, [&](ExprRef node) {
+    if (memo.count(node->id)) return;
+    uint64_t result;
+    if (node->kind == Kind::kVar) {
+      result = truncate(assignment.get(node->var_id), node->width);
+    } else {
+      uint64_t op[3] = {0, 0, 0};
+      for (unsigned i = 0; i < node->num_ops; ++i)
+        op[i] = memo.at(node->ops[i]->id);
+      result = apply(node, op);
+    }
+    memo.emplace(node->id, result);
+  });
+}
+
+}  // namespace
+
+uint64_t evaluate(ExprRef root, const Assignment& assignment) {
+  std::unordered_map<uint32_t, uint64_t> memo;
+  evaluate_into(root, assignment, memo);
+  return memo.at(root->id);
+}
+
+uint64_t CachingEvaluator::evaluate(ExprRef root) {
+  if (auto it = memo_.find(root->id); it != memo_.end()) return it->second;
+  evaluate_into(root, assignment_, memo_);
+  return memo_.at(root->id);
+}
+
+}  // namespace binsym::smt

@@ -1,0 +1,89 @@
+// Bit-blasting: expression DAGs -> CNF over the CDCL solver.
+//
+// Tseitin encoding with structural memoization per node. Arithmetic uses
+// ripple-carry adders and shift-add multipliers; shifts are barrel
+// networks with SMT saturation semantics; division introduces fresh
+// quotient/remainder vectors constrained by the multiplication identity
+// (guarded for the divisor==0 special cases); signed division/remainder
+// are built from the unsigned circuits via sign/magnitude conversion,
+// matching SMT-LIB exactly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "smt/context.hpp"
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/sat/cdcl.hpp"
+
+namespace binsym::smt::sat {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(CdclSolver& solver);
+
+  /// Assert a width-1 expression to be true.
+  void assert_true(ExprRef expr);
+
+  /// After a kSat solve(): read back the value of a context variable.
+  uint64_t var_value(uint32_t var_id, unsigned width) const;
+
+  /// Variables that received CNF bits (for model extraction).
+  const std::unordered_map<uint32_t, std::vector<Lit>>& vars() const {
+    return var_bits_;
+  }
+
+  /// True when the formula became unsat during encoding already.
+  bool inconsistent() const { return inconsistent_; }
+
+ private:
+  using Bits = std::vector<Lit>;  // LSB first
+
+  // -- gate layer -------------------------------------------------------------
+
+  Lit lit_true() const { return true_lit_; }
+  Lit lit_false() const { return lit_not(true_lit_); }
+  bool is_const(Lit lit, bool value) const {
+    return lit == (value ? true_lit_ : lit_not(true_lit_));
+  }
+
+  Lit fresh();
+  void clause(std::vector<Lit> lits);
+
+  Lit g_and(Lit a, Lit b);
+  Lit g_or(Lit a, Lit b);
+  Lit g_xor(Lit a, Lit b);
+  Lit g_mux(Lit sel, Lit then_lit, Lit else_lit);
+  Lit g_and_all(const Bits& lits);
+  Lit g_or_all(const Bits& lits);
+
+  // -- word layer -------------------------------------------------------------
+
+  Bits constant_bits(uint64_t value, unsigned width);
+  Bits adder(const Bits& a, const Bits& b, Lit carry_in, Lit* carry_out);
+  Bits negate(const Bits& a);
+  Bits multiply(const Bits& a, const Bits& b);
+  Bits mux_word(Lit sel, const Bits& then_bits, const Bits& else_bits);
+  Lit equals(const Bits& a, const Bits& b);
+  Lit unsigned_less(const Bits& a, const Bits& b);   // a < b
+  Lit signed_less(const Bits& a, const Bits& b);
+  Bits shift(const Bits& a, const Bits& amount, Kind kind);
+  void divide(const Bits& a, const Bits& b, Bits* quotient, Bits* remainder);
+
+  // -- expression layer ---------------------------------------------------------
+
+  const Bits& blast(ExprRef expr);
+  Bits blast_node(ExprRef expr);
+
+  CdclSolver& solver_;
+  Lit true_lit_;
+  bool inconsistent_ = false;
+  std::unordered_map<uint32_t, Bits> memo_;      // expr id -> bits
+  std::unordered_map<uint32_t, Bits> var_bits_;  // context var id -> bits
+};
+
+/// smt::Solver backend built on BitBlaster + CdclSolver; constructed via
+/// make_bitblast_solver() (declared in smt/solver.hpp).
+
+}  // namespace binsym::smt::sat

@@ -1,0 +1,94 @@
+#include "smt/simplify.hpp"
+
+#include <cassert>
+
+#include "support/bits.hpp"
+
+namespace binsym::smt {
+
+namespace {
+
+/// Extra rewrites on an already locally-folded node. Returns nullptr when no
+/// rule applies.
+ExprRef extra_rules(Context& ctx, Kind kind, ExprRef a, ExprRef b) {
+  // (x + c1) == c2  -->  x == (c2 - c1)
+  if (kind == Kind::kEq && b && b->is_const() && a->kind == Kind::kAdd &&
+      a->ops[1]->is_const()) {
+    return ctx.eq(a->ops[0],
+                  ctx.constant(b->constant - a->ops[1]->constant, a->width));
+  }
+  // (x ^ c1) == c2  -->  x == (c1 ^ c2)
+  if (kind == Kind::kEq && b && b->is_const() && a->kind == Kind::kXor &&
+      a->ops[1]->is_const()) {
+    return ctx.eq(a->ops[0], ctx.constant(b->constant ^ a->ops[1]->constant,
+                                          a->width));
+  }
+  // ult(x, 1)  -->  x == 0
+  if (kind == Kind::kUlt && b && b->is_const_val(1))
+    return ctx.eq(a, ctx.constant(0, a->width));
+  return nullptr;
+}
+
+ExprRef rebuild(Context& ctx, ExprRef node, ExprRef* op) {
+  switch (node->kind) {
+    case Kind::kConst:
+    case Kind::kVar:
+      return node;
+    case Kind::kNot:     return ctx.not_(op[0]);
+    case Kind::kNeg:     return ctx.neg(op[0]);
+    case Kind::kExtract: return ctx.extract(op[0], node->aux0, node->aux1);
+    case Kind::kZExt:    return ctx.zext(op[0], node->width);
+    case Kind::kSExt:    return ctx.sext(op[0], node->width);
+    case Kind::kAdd:     return ctx.add(op[0], op[1]);
+    case Kind::kSub:     return ctx.sub(op[0], op[1]);
+    case Kind::kMul:     return ctx.mul(op[0], op[1]);
+    case Kind::kUDiv:    return ctx.udiv(op[0], op[1]);
+    case Kind::kURem:    return ctx.urem(op[0], op[1]);
+    case Kind::kSDiv:    return ctx.sdiv(op[0], op[1]);
+    case Kind::kSRem:    return ctx.srem(op[0], op[1]);
+    case Kind::kAnd:     return ctx.and_(op[0], op[1]);
+    case Kind::kOr:      return ctx.or_(op[0], op[1]);
+    case Kind::kXor:     return ctx.xor_(op[0], op[1]);
+    case Kind::kShl:     return ctx.shl(op[0], op[1]);
+    case Kind::kLShr:    return ctx.lshr(op[0], op[1]);
+    case Kind::kAShr:    return ctx.ashr(op[0], op[1]);
+    case Kind::kEq:      return ctx.eq(op[0], op[1]);
+    case Kind::kUlt:     return ctx.ult(op[0], op[1]);
+    case Kind::kUle:     return ctx.ule(op[0], op[1]);
+    case Kind::kSlt:     return ctx.slt(op[0], op[1]);
+    case Kind::kSle:     return ctx.sle(op[0], op[1]);
+    case Kind::kConcat:  return ctx.concat(op[0], op[1]);
+    case Kind::kIte:     return ctx.ite(op[0], op[1], op[2]);
+  }
+  return node;
+}
+
+}  // namespace
+
+ExprRef simplify(Context& ctx, ExprRef root,
+                 std::unordered_map<uint32_t, ExprRef>& memo) {
+  if (auto it = memo.find(root->id); it != memo.end()) return it->second;
+  postorder(root, [&](ExprRef node) {
+    if (memo.count(node->id)) return;
+    ExprRef op[3] = {nullptr, nullptr, nullptr};
+    for (unsigned i = 0; i < node->num_ops; ++i)
+      op[i] = memo.at(node->ops[i]->id);
+    ExprRef rebuilt = rebuild(ctx, node, op);
+    if (rebuilt->num_ops >= 1) {
+      if (ExprRef extra = extra_rules(ctx, rebuilt->kind, rebuilt->ops[0],
+                                      rebuilt->num_ops >= 2 ? rebuilt->ops[1]
+                                                            : nullptr)) {
+        rebuilt = extra;
+      }
+    }
+    memo.emplace(node->id, rebuilt);
+  });
+  return memo.at(root->id);
+}
+
+ExprRef simplify(Context& ctx, ExprRef root) {
+  std::unordered_map<uint32_t, ExprRef> memo;
+  return simplify(ctx, root, memo);
+}
+
+}  // namespace binsym::smt

@@ -1,0 +1,34 @@
+#include "smt/solver.hpp"
+
+#include <stdexcept>
+
+namespace binsym::smt {
+
+const char* check_result_name(CheckResult result) {
+  switch (result) {
+    case CheckResult::kSat:     return "sat";
+    case CheckResult::kUnsat:   return "unsat";
+    case CheckResult::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+CheckResult ValidatingSolver::check(std::span<const ExprRef> assertions,
+                                    Assignment* model) {
+  Assignment local;
+  Assignment* target = model ? model : &local;
+  CheckResult result = inner_->check(assertions, target);
+  stats_ = inner_->stats();
+  if (result == CheckResult::kSat) {
+    for (ExprRef assertion : assertions) {
+      if (evaluate(assertion, *target) != 1) {
+        throw std::logic_error("solver '" + inner_->name() +
+                               "' returned a model that does not satisfy the "
+                               "query");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace binsym::smt

@@ -1,0 +1,76 @@
+// Solver abstraction.
+//
+// The engine asks one question, many times: "is this conjunction of width-1
+// expressions satisfiable, and if so under which variable assignment?". The
+// abstraction allows swapping Z3 (the paper's solver) for the built-in
+// bit-blasting backend, and lets the caching wrapper interpose transparently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "smt/context.hpp"
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+
+namespace binsym::smt {
+
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+const char* check_result_name(CheckResult result);
+
+struct SolverStats {
+  uint64_t queries = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t cache_hits = 0;   // filled in by CachingSolver
+  double solve_seconds = 0;  // wall time spent inside check()
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Check satisfiability of the conjunction of `assertions` (each width 1).
+  /// On kSat, `*model` (if non-null) receives values for at least every free
+  /// variable occurring in the assertions; missing variables may take any
+  /// value (the Assignment treats them as zero).
+  virtual CheckResult check(std::span<const ExprRef> assertions,
+                            Assignment* model) = 0;
+
+  /// Human-readable backend name for reports.
+  virtual std::string name() const = 0;
+
+  const SolverStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SolverStats{}; }
+
+ protected:
+  SolverStats stats_;
+};
+
+/// Construct the Z3-backed solver (see z3_solver.cpp).
+std::unique_ptr<Solver> make_z3_solver(Context& ctx);
+
+/// Construct the built-in bit-blasting solver (see sat/).
+std::unique_ptr<Solver> make_bitblast_solver(Context& ctx);
+
+/// Validates every kSat model by concrete evaluation before returning it —
+/// wraps another solver; used in tests and available as an engine option.
+class ValidatingSolver final : public Solver {
+ public:
+  explicit ValidatingSolver(std::unique_ptr<Solver> inner)
+      : inner_(std::move(inner)) {}
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override;
+  std::string name() const override { return inner_->name() + "+validate"; }
+
+ private:
+  std::unique_ptr<Solver> inner_;
+};
+
+}  // namespace binsym::smt

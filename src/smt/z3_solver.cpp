@@ -1,0 +1,179 @@
+// Z3 backend: translates the expression DAG to Z3 ASTs through the C API
+// (memoized per query) and extracts integer models. Z3 is the solver used
+// by the paper's evaluation; all engines in this repository share this
+// backend so comparisons never benchmark the solver (paper, Sect. V).
+#include <z3.h>
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "smt/solver.hpp"
+#include "support/bits.hpp"
+
+namespace binsym::smt {
+
+namespace {
+
+class Z3Solver final : public Solver {
+ public:
+  explicit Z3Solver(Context& ctx) : ctx_(ctx) {
+    Z3_config cfg = Z3_mk_config();
+    Z3_set_param_value(cfg, "model", "true");
+    z3_ = Z3_mk_context(cfg);
+    Z3_del_config(cfg);
+    // One incremental QF_BV solver reused across all queries (fresh
+    // general-purpose solvers pay multi-millisecond setup per check).
+    solver_ = Z3_mk_solver_for_logic(z3_, Z3_mk_string_symbol(z3_, "QF_BV"));
+    Z3_solver_inc_ref(z3_, solver_);
+  }
+
+  ~Z3Solver() override {
+    Z3_solver_dec_ref(z3_, solver_);
+    Z3_del_context(z3_);
+  }
+
+  Z3Solver(const Z3Solver&) = delete;
+  Z3Solver& operator=(const Z3Solver&) = delete;
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override {
+    auto start = std::chrono::steady_clock::now();
+    ++stats_.queries;
+
+    Z3_solver_push(z3_, solver_);
+    Z3_ast true_bit = bv_const(1, 1);
+    for (ExprRef assertion : assertions) {
+      assert(assertion->width == 1);
+      Z3_ast bit = translate(assertion);
+      Z3_solver_assert(z3_, solver_, Z3_mk_eq(z3_, bit, true_bit));
+    }
+
+    Z3_lbool result = Z3_solver_check(z3_, solver_);
+    CheckResult out;
+    switch (result) {
+      case Z3_L_TRUE:
+        out = CheckResult::kSat;
+        ++stats_.sat;
+        if (model) extract_model(solver_, model);
+        break;
+      case Z3_L_FALSE:
+        out = CheckResult::kUnsat;
+        ++stats_.unsat;
+        break;
+      default:
+        out = CheckResult::kUnknown;
+        ++stats_.unknown;
+        break;
+    }
+
+    Z3_solver_pop(z3_, solver_, 1);
+    stats_.solve_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return out;
+  }
+
+  std::string name() const override { return "z3"; }
+
+ private:
+  Z3_ast bv_const(uint64_t value, unsigned width) {
+    Z3_sort sort = Z3_mk_bv_sort(z3_, width);
+    return Z3_mk_unsigned_int64(z3_, value, sort);
+  }
+
+  Z3_ast translate(ExprRef root) {
+    if (auto it = translation_.find(root->id); it != translation_.end())
+      return it->second;
+    postorder(root, [&](ExprRef node) {
+      if (translation_.count(node->id)) return;
+      translation_.emplace(node->id, translate_node(node));
+    });
+    return translation_.at(root->id);
+  }
+
+  Z3_ast translate_node(ExprRef node) {
+    auto op = [&](unsigned i) { return translation_.at(node->ops[i]->id); };
+    auto to_bit = [&](Z3_ast boolean) {
+      // Comparisons return Bool in Z3; our algebra is width-1 bitvectors.
+      return Z3_mk_ite(z3_, boolean, bv_const(1, 1), bv_const(0, 1));
+    };
+    switch (node->kind) {
+      case Kind::kConst:
+        return bv_const(node->constant, node->width);
+      case Kind::kVar: {
+        const VarInfo& info = ctx_.var_info(node->var_id);
+        Z3_symbol symbol =
+            Z3_mk_string_symbol(z3_, info.name.c_str());
+        Z3_ast ast = Z3_mk_const(z3_, symbol, Z3_mk_bv_sort(z3_, info.width));
+        var_consts_.emplace_back(node->var_id, ast);
+        return ast;
+      }
+      case Kind::kNot:     return Z3_mk_bvnot(z3_, op(0));
+      case Kind::kNeg:     return Z3_mk_bvneg(z3_, op(0));
+      case Kind::kExtract: return Z3_mk_extract(z3_, node->aux0, node->aux1, op(0));
+      case Kind::kZExt:
+        return Z3_mk_zero_ext(z3_, node->width - node->ops[0]->width, op(0));
+      case Kind::kSExt:
+        return Z3_mk_sign_ext(z3_, node->width - node->ops[0]->width, op(0));
+      case Kind::kAdd:     return Z3_mk_bvadd(z3_, op(0), op(1));
+      case Kind::kSub:     return Z3_mk_bvsub(z3_, op(0), op(1));
+      case Kind::kMul:     return Z3_mk_bvmul(z3_, op(0), op(1));
+      case Kind::kUDiv:    return Z3_mk_bvudiv(z3_, op(0), op(1));
+      case Kind::kURem:    return Z3_mk_bvurem(z3_, op(0), op(1));
+      case Kind::kSDiv:    return Z3_mk_bvsdiv(z3_, op(0), op(1));
+      case Kind::kSRem:    return Z3_mk_bvsrem(z3_, op(0), op(1));
+      case Kind::kAnd:     return Z3_mk_bvand(z3_, op(0), op(1));
+      case Kind::kOr:      return Z3_mk_bvor(z3_, op(0), op(1));
+      case Kind::kXor:     return Z3_mk_bvxor(z3_, op(0), op(1));
+      case Kind::kShl:     return Z3_mk_bvshl(z3_, op(0), op(1));
+      case Kind::kLShr:    return Z3_mk_bvlshr(z3_, op(0), op(1));
+      case Kind::kAShr:    return Z3_mk_bvashr(z3_, op(0), op(1));
+      case Kind::kEq:      return to_bit(Z3_mk_eq(z3_, op(0), op(1)));
+      case Kind::kUlt:     return to_bit(Z3_mk_bvult(z3_, op(0), op(1)));
+      case Kind::kUle:     return to_bit(Z3_mk_bvule(z3_, op(0), op(1)));
+      case Kind::kSlt:     return to_bit(Z3_mk_bvslt(z3_, op(0), op(1)));
+      case Kind::kSle:     return to_bit(Z3_mk_bvsle(z3_, op(0), op(1)));
+      case Kind::kConcat:  return Z3_mk_concat(z3_, op(0), op(1));
+      case Kind::kIte: {
+        Z3_ast cond = Z3_mk_eq(z3_, op(0), bv_const(1, 1));
+        return Z3_mk_ite(z3_, cond, op(1), op(2));
+      }
+    }
+    throw std::logic_error("unhandled expression kind in Z3 translation");
+  }
+
+  void extract_model(Z3_solver solver, Assignment* model) {
+    Z3_model z3_model = Z3_solver_get_model(z3_, solver);
+    Z3_model_inc_ref(z3_, z3_model);
+    for (const auto& [var_id, ast] : var_consts_) {
+      Z3_ast value_ast = nullptr;
+      if (!Z3_model_eval(z3_, z3_model, ast, /*model_completion=*/true,
+                         &value_ast)) {
+        continue;
+      }
+      uint64_t value = 0;
+      if (Z3_get_numeral_uint64(z3_, value_ast, &value)) {
+        model->set(var_id, truncate(value, ctx_.var_info(var_id).width));
+      }
+    }
+    Z3_model_dec_ref(z3_, z3_model);
+  }
+
+  Context& ctx_;
+  Z3_context z3_;
+  Z3_solver solver_ = nullptr;
+  // Persistent across queries: the Z3 context outlives every check, so the
+  // per-node translation memo and the variable registry never invalidate.
+  std::unordered_map<uint32_t, Z3_ast> translation_;
+  std::vector<std::pair<uint32_t, Z3_ast>> var_consts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_z3_solver(Context& ctx) {
+  return std::make_unique<Z3Solver>(ctx);
+}
+
+}  // namespace binsym::smt

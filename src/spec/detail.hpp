@@ -1,0 +1,26 @@
+// Internal helpers shared by the spec translation units. Not part of the
+// public API.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsl/builder.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::spec::detail {
+
+/// Register a semantics and abort on type errors: the shipped specification
+/// must be well-formed by construction (tests verify the same property
+/// through the public typecheck API without aborting).
+inline void set_checked(Registry& registry, const isa::OpcodeTable& table,
+                        isa::OpcodeId id, dsl::Semantics semantics) {
+  auto errors = registry.set(table, id, std::move(semantics));
+  if (!errors.empty()) {
+    std::fprintf(stderr, "spec type error in %s: %s\n",
+                 table.by_id(id).name.c_str(), errors.front().message.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace binsym::spec::detail

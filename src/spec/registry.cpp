@@ -1,0 +1,26 @@
+#include "spec/registry.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace binsym::spec {
+
+std::vector<dsl::TypeError> Registry::set(const isa::OpcodeTable& table,
+                                          isa::OpcodeId id,
+                                          dsl::Semantics semantics) {
+  const isa::OpcodeInfo& info = table.by_id(id);
+  std::vector<dsl::TypeError> errors = dsl::typecheck(semantics, info.format);
+  if (!errors.empty()) return errors;
+  if (entries_.size() <= id) entries_.resize(id + 1);
+  entries_[id] = Entry{true, std::move(semantics)};
+  return {};
+}
+
+void install_rv32im(Registry& registry, const isa::OpcodeTable& table) {
+  install_rv32i(registry, table);
+  install_rv32m(registry, table);
+  install_system(registry, table);
+}
+
+}  // namespace binsym::spec

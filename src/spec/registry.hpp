@@ -1,0 +1,76 @@
+// Semantics registry: OpcodeId -> formal semantics AST.
+//
+// Together with isa::OpcodeTable this forms the complete "formal ISA
+// specification" artifact: the table says how instructions *look* (Fig. 3),
+// the registry says what they *do* (Fig. 4). Both are extensible at runtime;
+// registration typechecks the semantics against the instruction's operand
+// format so ill-formed specs are rejected before execution.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+#include "dsl/typecheck.hpp"
+#include "isa/opcodes.hpp"
+
+namespace binsym::spec {
+
+class Registry {
+ public:
+  /// Attach semantics to an instruction; fails (returning the type errors)
+  /// if the semantics reference operands the format does not provide or are
+  /// width-incoherent.
+  std::vector<dsl::TypeError> set(const isa::OpcodeTable& table,
+                                  isa::OpcodeId id, dsl::Semantics semantics);
+
+  const dsl::Semantics* get(isa::OpcodeId id) const {
+    if (id >= entries_.size() || !entries_[id].valid) return nullptr;
+    return &entries_[id].semantics;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Entry& e : entries_) n += e.valid;
+    return n;
+  }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    dsl::Semantics semantics;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Populate `registry` with the full RV32I base semantics.
+void install_rv32i(Registry& registry, const isa::OpcodeTable& table);
+
+/// Populate `registry` with the M extension (MUL/DIV family).
+void install_rv32m(Registry& registry, const isa::OpcodeTable& table);
+
+/// Populate `registry` with system/Zicsr semantics (ECALL, EBREAK, FENCE,
+/// CSR accesses, MRET/WFI as no-ops at this abstraction level).
+void install_system(Registry& registry, const isa::OpcodeTable& table);
+
+/// Everything above in one call. Aborts (assert) on any type error, which
+/// cannot happen for the shipped spec — covered by tests.
+void install_rv32im(Registry& registry, const isa::OpcodeTable& table);
+
+/// The paper's Sect. IV case study: register the custom MADD instruction
+/// (encoding via the Fig. 3 description, semantics via Fig. 4) into an
+/// existing table + registry. Returns the assigned opcode id.
+std::optional<isa::OpcodeId> install_custom_madd(isa::OpcodeTable& table,
+                                                 Registry& registry);
+
+/// The 7 lines of Fig. 3, verbatim, as shipped description text.
+const char* madd_opcode_description();
+
+/// Register the full RV32 Zbb bit-manipulation extension (18 instructions)
+/// at runtime — encodings + semantics only, no engine changes (see
+/// spec/zbb.cpp). Returns the assigned ids, or nullopt on collision.
+std::optional<std::vector<isa::OpcodeId>> install_zbb(isa::OpcodeTable& table,
+                                                      Registry& registry);
+
+}  // namespace binsym::spec

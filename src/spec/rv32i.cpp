@@ -1,0 +1,176 @@
+// Formal semantics of the RV32I base instruction set, written in the
+// specification DSL. Reference: The RISC-V Instruction Set Manual Volume I,
+// v20191213, Chapter 2. Structure intentionally mirrors LibRISCV: one
+// `instrSemantics` definition per instruction, in terms of the language
+// primitives only.
+#include "dsl/builder.hpp"
+#include "spec/detail.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::spec {
+
+namespace {
+
+using dsl::E;
+using dsl::SemBuilder;
+using dsl::Semantics;
+using dsl::c32;
+using dsl::define_semantics;
+using detail::set_checked;
+
+// Shift amounts use the *lower 5 bits* of the source (RISC-V manual
+// Sect. 2.4.1) — the masking is explicit in the spec, so the saturating SMT
+// shifts below never see an oversized amount.
+E shift_amount(E source) { return dsl::and_(source, c32(0x1f)); }
+
+/// Materialize a width-1 condition as a 0/1 register value (SLT family).
+E bool_to_reg(E cond) { return dsl::ite(cond, c32(1), c32(0)); }
+
+Semantics arith_r(dsl::ExprOp op) {
+  return define_semantics([op](SemBuilder& s) {
+    s.write_register(dsl::bin(op, s.rs1(), s.rs2()));
+  });
+}
+
+Semantics arith_i(dsl::ExprOp op) {
+  return define_semantics([op](SemBuilder& s) {
+    s.write_register(dsl::bin(op, s.rs1(), s.imm()));
+  });
+}
+
+/// Conditional branch: `runIfElse cond (WritePC pc+imm) (fallthrough)`.
+/// The empty else block leaves the default next-pc (pc+4) in place.
+Semantics branch(const std::function<E(SemBuilder&)>& cond) {
+  return define_semantics([cond](SemBuilder& s) {
+    s.run_if(cond(s), [](SemBuilder& t) {
+      t.write_pc(dsl::add(t.pc(), t.imm()));
+    });
+  });
+}
+
+Semantics load(unsigned bytes, bool sign_extend) {
+  return define_semantics([bytes, sign_extend](SemBuilder& s) {
+    E addr = dsl::add(s.rs1(), s.imm());
+    E value = s.load(bytes, addr, sign_extend);
+    s.write_register(sign_extend ? dsl::sext(value, 32)
+                                 : dsl::zext(value, 32));
+  });
+}
+
+Semantics store(unsigned bytes) {
+  return define_semantics([bytes](SemBuilder& s) {
+    E addr = dsl::add(s.rs1(), s.imm());
+    E value = bytes == 4 ? s.rs2() : dsl::extract(s.rs2(), bytes * 8 - 1, 0);
+    s.store(bytes, addr, value);
+  });
+}
+
+}  // namespace
+
+void install_rv32i(Registry& registry, const isa::OpcodeTable& table) {
+  auto def = [&](isa::OpcodeId id, Semantics semantics) {
+    set_checked(registry, table, id, std::move(semantics));
+  };
+
+  // -- Upper-immediate / control transfer. ------------------------------------
+
+  def(isa::kLUI, define_semantics([](SemBuilder& s) {
+        s.write_register(s.imm());
+      }));
+
+  def(isa::kAUIPC, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::add(s.pc(), s.imm()));
+      }));
+
+  def(isa::kJAL, define_semantics([](SemBuilder& s) {
+        // Link value is the next sequential pc: pc + encoding size (4, or
+        // 2 when reached through the compressed c.jal expansion).
+        s.write_register(dsl::add(s.pc(), s.instr_size()));
+        s.write_pc(dsl::add(s.pc(), s.imm()));
+      }));
+
+  def(isa::kJALR, define_semantics([](SemBuilder& s) {
+        // Target drops bit 0 (manual Sect. 2.5); link written after the
+        // target is computed so JALR rd==rs1 behaves correctly.
+        E target = s.let_(dsl::and_(dsl::add(s.rs1(), s.imm()),
+                                    c32(0xfffffffe)));
+        s.write_register(dsl::add(s.pc(), s.instr_size()));
+        s.write_pc(target);
+      }));
+
+  // -- Conditional branches. -----------------------------------------------------
+
+  def(isa::kBEQ,  branch([](SemBuilder& s) { return dsl::eq(s.rs1(), s.rs2()); }));
+  def(isa::kBNE,  branch([](SemBuilder& s) { return dsl::ne(s.rs1(), s.rs2()); }));
+  def(isa::kBLT,  branch([](SemBuilder& s) { return dsl::slt(s.rs1(), s.rs2()); }));
+  def(isa::kBGE,  branch([](SemBuilder& s) { return dsl::sge(s.rs1(), s.rs2()); }));
+  def(isa::kBLTU, branch([](SemBuilder& s) { return dsl::ult(s.rs1(), s.rs2()); }));
+  def(isa::kBGEU, branch([](SemBuilder& s) { return dsl::uge(s.rs1(), s.rs2()); }));
+
+  // -- Loads / stores. -------------------------------------------------------------
+
+  def(isa::kLB,  load(1, /*sign_extend=*/true));
+  def(isa::kLH,  load(2, /*sign_extend=*/true));
+  def(isa::kLW,  load(4, /*sign_extend=*/true));
+  def(isa::kLBU, load(1, /*sign_extend=*/false));
+  def(isa::kLHU, load(2, /*sign_extend=*/false));
+  def(isa::kSB,  store(1));
+  def(isa::kSH,  store(2));
+  def(isa::kSW,  store(4));
+
+  // -- Register-immediate ALU. -------------------------------------------------------
+
+  def(isa::kADDI, arith_i(dsl::ExprOp::kAdd));
+  def(isa::kXORI, arith_i(dsl::ExprOp::kXor));
+  def(isa::kORI,  arith_i(dsl::ExprOp::kOr));
+  def(isa::kANDI, arith_i(dsl::ExprOp::kAnd));
+
+  def(isa::kSLTI, define_semantics([](SemBuilder& s) {
+        s.write_register(bool_to_reg(dsl::slt(s.rs1(), s.imm())));
+      }));
+  def(isa::kSLTIU, define_semantics([](SemBuilder& s) {
+        s.write_register(bool_to_reg(dsl::ult(s.rs1(), s.imm())));
+      }));
+
+  // Immediate shifts: the 5-bit shamt field is an *unsigned* amount —
+  // exactly the property angr's lifter got wrong (paper bug #4).
+  def(isa::kSLLI, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::shl(s.rs1(), s.shamt()));
+      }));
+  def(isa::kSRLI, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::lshr(s.rs1(), s.shamt()));
+      }));
+  def(isa::kSRAI, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::ashr(s.rs1(), s.shamt()));
+      }));
+
+  // -- Register-register ALU. ------------------------------------------------------
+
+  def(isa::kADD, arith_r(dsl::ExprOp::kAdd));
+  def(isa::kSUB, arith_r(dsl::ExprOp::kSub));
+  def(isa::kXOR, arith_r(dsl::ExprOp::kXor));
+  def(isa::kOR,  arith_r(dsl::ExprOp::kOr));
+  def(isa::kAND, arith_r(dsl::ExprOp::kAnd));
+
+  def(isa::kSLT, define_semantics([](SemBuilder& s) {
+        s.write_register(bool_to_reg(dsl::slt(s.rs1(), s.rs2())));
+      }));
+  def(isa::kSLTU, define_semantics([](SemBuilder& s) {
+        s.write_register(bool_to_reg(dsl::ult(s.rs1(), s.rs2())));
+      }));
+
+  // Register shifts take the amount from the *value* of rs2 (low 5 bits) —
+  // not the rs2 register index (paper bug #2).
+  def(isa::kSLL, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::shl(s.rs1(), shift_amount(s.rs2())));
+      }));
+  def(isa::kSRL, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::lshr(s.rs1(), shift_amount(s.rs2())));
+      }));
+  def(isa::kSRA, define_semantics([](SemBuilder& s) {
+        // Arithmetic, not logical, right shift (paper bug #1).
+        s.write_register(dsl::ashr(s.rs1(), shift_amount(s.rs2())));
+      }));
+}
+
+}  // namespace binsym::spec

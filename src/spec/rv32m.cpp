@@ -1,0 +1,71 @@
+// Formal semantics of the RV32M multiply/divide extension. Reference:
+// RISC-V manual Volume I, v20191213, Chapter 7.
+#include "dsl/builder.hpp"
+#include "spec/detail.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::spec {
+
+namespace {
+using dsl::E;
+using dsl::SemBuilder;
+using dsl::Semantics;
+using dsl::c32;
+using dsl::define_semantics;
+using detail::set_checked;
+}  // namespace
+
+void install_rv32m(Registry& registry, const isa::OpcodeTable& table) {
+  auto def = [&](isa::OpcodeId id, Semantics semantics) {
+    set_checked(registry, table, id, std::move(semantics));
+  };
+
+  def(isa::kMUL, define_semantics([](SemBuilder& s) {
+        s.write_register(dsl::mul(s.rs1(), s.rs2()));
+      }));
+
+  // The MULH family computes the upper 32 bits of the 64-bit product under
+  // the respective signedness interpretation.
+  auto mulh = [](bool sext1, bool sext2) {
+    return define_semantics([sext1, sext2](SemBuilder& s) {
+      E a = sext1 ? dsl::sext(s.rs1(), 64) : dsl::zext(s.rs1(), 64);
+      E b = sext2 ? dsl::sext(s.rs2(), 64) : dsl::zext(s.rs2(), 64);
+      s.write_register(dsl::extract(dsl::mul(a, b), 63, 32));
+    });
+  };
+  def(isa::kMULH,   mulh(true, true));
+  def(isa::kMULHSU, mulh(true, false));
+  def(isa::kMULHU,  mulh(false, false));
+
+  // Division handles the divisor-by-zero case with an explicit runIfElse,
+  // exactly like the paper's Fig. 2 DIVU description. An SE engine therefore
+  // *forks* on a symbolic divisor — the behaviour Sect. III-B describes.
+  // The signed-overflow case (INT_MIN / -1 == INT_MIN) needs no extra branch
+  // because SMT bvsdiv wraps identically.
+  def(isa::kDIV, define_semantics([](SemBuilder& s) {
+        s.run_if_else(
+            dsl::eq(s.rs2(), c32(0)),
+            [](SemBuilder& t) { t.write_register(c32(0xffffffff)); },
+            [](SemBuilder& t) { t.write_register(dsl::sdiv(t.rs1(), t.rs2())); });
+      }));
+  def(isa::kDIVU, define_semantics([](SemBuilder& s) {
+        s.run_if_else(
+            dsl::eq(s.rs2(), c32(0)),
+            [](SemBuilder& t) { t.write_register(c32(0xffffffff)); },
+            [](SemBuilder& t) { t.write_register(dsl::udiv(t.rs1(), t.rs2())); });
+      }));
+  def(isa::kREM, define_semantics([](SemBuilder& s) {
+        s.run_if_else(
+            dsl::eq(s.rs2(), c32(0)),
+            [](SemBuilder& t) { t.write_register(t.rs1()); },
+            [](SemBuilder& t) { t.write_register(dsl::srem(t.rs1(), t.rs2())); });
+      }));
+  def(isa::kREMU, define_semantics([](SemBuilder& s) {
+        s.run_if_else(
+            dsl::eq(s.rs2(), c32(0)),
+            [](SemBuilder& t) { t.write_register(t.rs1()); },
+            [](SemBuilder& t) { t.write_register(dsl::urem(t.rs1(), t.rs2())); });
+      }));
+}
+
+}  // namespace binsym::spec

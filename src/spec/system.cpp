@@ -1,0 +1,69 @@
+// System / Zicsr semantics: environment calls, breakpoints, fences and the
+// CSR read-modify-write family. MRET/WFI are modelled as no-ops — at the
+// user-level abstraction the SE engine operates on, there is no privileged
+// trap state to return from (matching how SymEx-VP-class tools treat
+// firmware that never takes interrupts).
+#include "dsl/builder.hpp"
+#include "spec/detail.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::spec {
+
+namespace {
+using dsl::E;
+using dsl::SemBuilder;
+using dsl::Semantics;
+using dsl::c32;
+using dsl::define_semantics;
+using detail::set_checked;
+}  // namespace
+
+void install_system(Registry& registry, const isa::OpcodeTable& table) {
+  auto def = [&](isa::OpcodeId id, Semantics semantics) {
+    set_checked(registry, table, id, std::move(semantics));
+  };
+
+  def(isa::kFENCE, define_semantics([](SemBuilder& s) { s.fence(); }));
+  def(isa::kECALL, define_semantics([](SemBuilder& s) { s.ecall(); }));
+  def(isa::kEBREAK, define_semantics([](SemBuilder& s) { s.ebreak(); }));
+  def(isa::kMRET, define_semantics([](SemBuilder&) {}));
+  def(isa::kWFI, define_semantics([](SemBuilder&) {}));
+
+  // CSR instructions read the old value first, then apply the write rule.
+  // Write-back to rd of x0 is discarded by the register file itself (x0 is
+  // hardwired), so the spec needs no special case.
+  def(isa::kCSRRW, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(s.rs1());
+        s.write_register(old);
+      }));
+  def(isa::kCSRRS, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(dsl::or_(old, s.rs1()));
+        s.write_register(old);
+      }));
+  def(isa::kCSRRC, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(dsl::and_(old, dsl::not_(s.rs1())));
+        s.write_register(old);
+      }));
+  // Immediate forms use the 5-bit zimm (the rs1 field), zero-extended —
+  // exposed as the CSR format's immediate.
+  def(isa::kCSRRWI, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(s.imm());
+        s.write_register(old);
+      }));
+  def(isa::kCSRRSI, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(dsl::or_(old, s.imm()));
+        s.write_register(old);
+      }));
+  def(isa::kCSRRCI, define_semantics([](SemBuilder& s) {
+        E old = s.let_(s.csr_val());
+        s.write_csr(dsl::and_(old, dsl::not_(s.imm())));
+        s.write_register(old);
+      }));
+}
+
+}  // namespace binsym::spec

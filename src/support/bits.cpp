@@ -1,0 +1,21 @@
+#include "support/bits.hpp"
+
+// Header-only; this translation unit exists to compile the assertions in a
+// known context and keep the build graph uniform (one .cpp per header).
+namespace binsym {
+
+static_assert(mask_bits(1) == 1);
+static_assert(mask_bits(32) == 0xffffffffu);
+static_assert(mask_bits(64) == ~uint64_t{0});
+static_assert(sext(0x80, 8, 32) == 0xffffff80u);
+static_assert(sext(0x7f, 8, 32) == 0x7fu);
+static_assert(ashr_bv(0x80000000u, 31, 32) == 0xffffffffu);
+static_assert(ashr_bv(0x80000000u, 35, 32) == 0xffffffffu);
+static_assert(shl_bv(1, 35, 32) == 0);
+static_assert(udiv_bv(5, 0, 32) == 0xffffffffu);
+static_assert(sdiv_bv(5, 0, 32) == 0xffffffffu);
+static_assert(sdiv_bv(0xfffffffbu, 0, 32) == 1);  // -5 / 0 == 1 (SMT-LIB)
+static_assert(sdiv_bv(0x80000000u, 0xffffffffu, 32) == 0x80000000u);
+static_assert(srem_bv(0x80000000u, 0xffffffffu, 32) == 0);
+
+}  // namespace binsym

@@ -1,0 +1,51 @@
+#include "support/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/bits.hpp"
+
+namespace binsym {
+
+std::string hex32(uint32_t value) { return strprintf("0x%08x", value); }
+
+std::string hex_bv(uint64_t value, unsigned width) {
+  unsigned nibbles = (width + 3) / 4;
+  std::string out(nibbles, '0');
+  for (unsigned i = 0; i < nibbles; ++i) {
+    unsigned nib = (value >> (4 * (nibbles - 1 - i))) & 0xf;
+    out[i] = "0123456789abcdef"[nib];
+  }
+  return out;
+}
+
+std::string bin_bv(uint64_t value, unsigned width) {
+  std::string out(width, '0');
+  for (unsigned i = 0; i < width; ++i)
+    if (test_bit(value, width - 1 - i)) out[i] = '1';
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace binsym

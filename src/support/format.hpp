@@ -1,0 +1,27 @@
+// Small string formatting helpers (hex printing, joining) used by the
+// disassembler, the SMT-LIB printer and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace binsym {
+
+/// "0x%08x"-style formatting of a 32-bit value.
+std::string hex32(uint32_t value);
+
+/// Hex of an arbitrary-width canonical bitvector, zero-padded to the number
+/// of nibbles needed by `width` (as in SMT-LIB #x literals).
+std::string hex_bv(uint64_t value, unsigned width);
+
+/// Binary string of a canonical bitvector, zero padded to `width` digits.
+std::string bin_bv(uint64_t value, unsigned width);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace binsym

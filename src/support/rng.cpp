@@ -1,0 +1,3 @@
+#include "support/rng.hpp"
+
+// Header-only.

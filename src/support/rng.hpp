@@ -1,0 +1,34 @@
+// Deterministic PRNG (splitmix64) for property tests and benchmark workload
+// generation. std::mt19937 is avoided so sequences are stable across
+// standard library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace binsym {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform 32-bit value.
+  uint32_t next32() { return static_cast<uint32_t>(next()); }
+
+  /// Uniform boolean.
+  bool flip() { return next() & 1; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace binsym

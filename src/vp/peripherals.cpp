@@ -1,0 +1,46 @@
+#include "vp/peripherals.hpp"
+
+namespace binsym::vp {
+
+void MemoryDevice::transport(Transaction& txn) {
+  txn.delay_cycles = 2;  // modelled RAM access latency
+  if (txn.command == Transaction::Command::kRead) {
+    txn.data = memory_.load(txn.address, txn.bytes);
+  } else {
+    memory_.store(txn.address, txn.bytes, txn.data);
+  }
+  txn.response_ok = true;
+}
+
+void UartDevice::transport(Transaction& txn) {
+  txn.delay_cycles = 16;  // slow peripheral
+  if (txn.command == Transaction::Command::kWrite && txn.address == 0) {
+    if (sink_) sink_->push_back(static_cast<char>(txn.data.conc & 0xff));
+    txn.response_ok = true;
+    return;
+  }
+  txn.response_ok = false;
+}
+
+void SymInputDevice::transport(Transaction& txn) {
+  txn.delay_cycles = 8;
+  if (txn.command == Transaction::Command::kRead && source_) {
+    txn.data = source_(txn.bytes);
+    txn.response_ok = true;
+    return;
+  }
+  txn.response_ok = false;
+}
+
+void TimerDevice::transport(Transaction& txn) {
+  txn.delay_cycles = 2;
+  if (txn.command == Transaction::Command::kRead && txn.address == 0 &&
+      txn.bytes == 4) {
+    txn.data = interp::sval(static_cast<uint32_t>(keeper_.cycles()), 32);
+    txn.response_ok = true;
+    return;
+  }
+  txn.response_ok = false;
+}
+
+}  // namespace binsym::vp

@@ -1,0 +1,65 @@
+// Bus target devices for the virtual prototype.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/memory.hpp"
+#include "vp/bus.hpp"
+
+namespace binsym::vp {
+
+/// RAM target: forwards transactions to the shared concolic memory.
+class MemoryDevice final : public Device {
+ public:
+  explicit MemoryDevice(core::ConcolicMemory& memory) : memory_(memory) {}
+
+  const char* device_name() const override { return "ram"; }
+  void transport(Transaction& txn) override;
+
+ private:
+  core::ConcolicMemory& memory_;
+};
+
+/// Write-only UART: byte stores to offset 0 append to a sink string.
+/// Gives workloads an MMIO output path, like SymEx-VP's peripherals.
+class UartDevice final : public Device {
+ public:
+  const char* device_name() const override { return "uart"; }
+  void transport(Transaction& txn) override;
+
+  void set_sink(std::string* sink) { sink_ = sink; }
+
+ private:
+  std::string* sink_ = nullptr;
+};
+
+/// Symbolic input source: every read returns fresh symbolic bytes — the
+/// mechanism SymEx-VP uses to expose symbolic data to firmware through
+/// peripherals instead of a syscall interface.
+class SymInputDevice final : public Device {
+ public:
+  using Source = std::function<interp::SymValue(unsigned bytes)>;
+
+  const char* device_name() const override { return "sym-input"; }
+  void transport(Transaction& txn) override;
+
+  void set_source(Source source) { source_ = std::move(source); }
+
+ private:
+  Source source_;
+};
+
+/// Read-only cycle counter at offset 0 (a CLINT-style mtime slice).
+class TimerDevice final : public Device {
+ public:
+  explicit TimerDevice(const QuantumKeeper& keeper) : keeper_(keeper) {}
+
+  const char* device_name() const override { return "timer"; }
+  void transport(Transaction& txn) override;
+
+ private:
+  const QuantumKeeper& keeper_;
+};
+
+}  // namespace binsym::vp

@@ -1,0 +1,47 @@
+#include "workloads/workloads.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "asm/assembler.hpp"
+#include "elf/elf32.hpp"
+
+namespace binsym::workloads {
+
+const std::vector<WorkloadInfo>& table1_workloads() {
+  static const std::vector<WorkloadInfo> list = {
+      {"base64-encode", 4, 6250, 125},
+      {"bubble-sort", 6, 720, 720},
+      {"clif-parser", 6, 11424, 11424},
+      {"insertion-sort", 7, 5040, 5040},
+      {"uri-parser", 5, 8240, 8194},
+  };
+  return list;
+}
+
+std::string workloads_dir() {
+  if (const char* env = std::getenv("BINSYM_WORKLOADS_DIR")) return env;
+  return BINSYM_WORKLOADS_DIR;
+}
+
+std::string read_workload_source(const std::string& name) {
+  std::string path = workloads_dir() + "/" + name + ".s";
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open workload source %s\n", path.c_str());
+    std::abort();
+  }
+  return std::string((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+}
+
+core::Program load_workload(const isa::OpcodeTable& table,
+                            const std::string& name) {
+  std::string source =
+      read_workload_source("runtime") + "\n" + read_workload_source(name);
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
+  return elf::to_program(assembled.image);
+}
+
+}  // namespace binsym::workloads

@@ -1,0 +1,37 @@
+// Workload loading: assembles the shipped .s evaluation programs (with the
+// shared runtime prepended) into guest Programs, and carries the metadata
+// the benchmark harnesses need (paper-reported path counts for Table I).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "isa/opcodes.hpp"
+
+namespace binsym::workloads {
+
+struct WorkloadInfo {
+  std::string name;          // file stem under workloads/
+  unsigned input_bytes;      // symbolic input size
+  uint64_t paper_paths;      // Table I reference count (0 = not in Table I)
+  uint64_t paper_paths_angr; // Table I angr column
+};
+
+/// The five Table I programs, in paper order.
+const std::vector<WorkloadInfo>& table1_workloads();
+
+/// Directory the .s sources live in (compile-time default, overridable via
+/// the BINSYM_WORKLOADS_DIR environment variable).
+std::string workloads_dir();
+
+/// Assemble runtime.s + <name>.s into a program. Aborts with a diagnostic
+/// on assembly errors (the shipped workloads must assemble).
+core::Program load_workload(const isa::OpcodeTable& table,
+                            const std::string& name);
+
+/// Same, but returns the raw source so callers can inspect/modify it.
+std::string read_workload_source(const std::string& name);
+
+}  // namespace binsym::workloads

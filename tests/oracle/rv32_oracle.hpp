@@ -1,0 +1,165 @@
+// Independent RV32IM golden model for differential testing.
+//
+// Deliberately written WITHOUT the DSL, the interpreter templates or the
+// lifter: a single switch over decoded instructions, transcribed directly
+// from the RISC-V unprivileged manual (v20191213) in plain C++. The spec
+// interpreter and the correct lifter are both checked against it over
+// randomized machine states — the validation methodology that exposed the
+// five angr bugs, turned inward.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/decoder.hpp"
+
+namespace binsym::oracle {
+
+struct OracleState {
+  uint32_t regs[32] = {};
+  uint32_t pc = 0;
+  // Byte-granular memory accessors supplied by the test harness.
+  std::function<uint8_t(uint32_t)> load8;
+  std::function<void(uint32_t, uint8_t)> store8;
+
+  uint32_t reg(unsigned i) const { return i == 0 ? 0 : regs[i]; }
+  void set_reg(unsigned i, uint32_t v) {
+    if (i != 0) regs[i] = v;
+  }
+
+  uint32_t load(uint32_t addr, unsigned bytes) const {
+    uint32_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+      v |= static_cast<uint32_t>(load8(addr + i)) << (8 * i);
+    return v;
+  }
+  void store(uint32_t addr, unsigned bytes, uint32_t v) const {
+    for (unsigned i = 0; i < bytes; ++i)
+      store8(addr + i, static_cast<uint8_t>(v >> (8 * i)));
+  }
+};
+
+/// Execute one decoded instruction; updates registers, memory and pc.
+/// Returns false for instructions outside RV32IM coverage (CSR/system).
+inline bool oracle_step(OracleState& s, const isa::Decoded& d) {
+  const uint32_t rs1 = s.reg(d.rs1());
+  const uint32_t rs2 = s.reg(d.rs2());
+  const int32_t srs1 = static_cast<int32_t>(rs1);
+  const int32_t srs2 = static_cast<int32_t>(rs2);
+  const uint32_t imm = d.immediate();
+  const int32_t simm = static_cast<int32_t>(imm);
+  uint32_t next_pc = s.pc + d.size;
+
+  switch (d.id()) {
+    case isa::kLUI:   s.set_reg(d.rd(), imm); break;
+    case isa::kAUIPC: s.set_reg(d.rd(), s.pc + imm); break;
+    case isa::kJAL:
+      s.set_reg(d.rd(), s.pc + d.size);
+      next_pc = s.pc + imm;
+      break;
+    case isa::kJALR: {
+      uint32_t target = (rs1 + imm) & ~1u;
+      s.set_reg(d.rd(), s.pc + d.size);
+      next_pc = target;
+      break;
+    }
+    case isa::kBEQ:  if (rs1 == rs2) next_pc = s.pc + imm; break;
+    case isa::kBNE:  if (rs1 != rs2) next_pc = s.pc + imm; break;
+    case isa::kBLT:  if (srs1 < srs2) next_pc = s.pc + imm; break;
+    case isa::kBGE:  if (srs1 >= srs2) next_pc = s.pc + imm; break;
+    case isa::kBLTU: if (rs1 < rs2) next_pc = s.pc + imm; break;
+    case isa::kBGEU: if (rs1 >= rs2) next_pc = s.pc + imm; break;
+
+    case isa::kLB:
+      s.set_reg(d.rd(), static_cast<uint32_t>(
+                            static_cast<int8_t>(s.load(rs1 + imm, 1))));
+      break;
+    case isa::kLH:
+      s.set_reg(d.rd(), static_cast<uint32_t>(
+                            static_cast<int16_t>(s.load(rs1 + imm, 2))));
+      break;
+    case isa::kLW:  s.set_reg(d.rd(), s.load(rs1 + imm, 4)); break;
+    case isa::kLBU: s.set_reg(d.rd(), s.load(rs1 + imm, 1)); break;
+    case isa::kLHU: s.set_reg(d.rd(), s.load(rs1 + imm, 2)); break;
+    case isa::kSB:  s.store(rs1 + imm, 1, rs2); break;
+    case isa::kSH:  s.store(rs1 + imm, 2, rs2); break;
+    case isa::kSW:  s.store(rs1 + imm, 4, rs2); break;
+
+    case isa::kADDI:  s.set_reg(d.rd(), rs1 + imm); break;
+    case isa::kSLTI:  s.set_reg(d.rd(), srs1 < simm ? 1 : 0); break;
+    case isa::kSLTIU: s.set_reg(d.rd(), rs1 < imm ? 1 : 0); break;
+    case isa::kXORI:  s.set_reg(d.rd(), rs1 ^ imm); break;
+    case isa::kORI:   s.set_reg(d.rd(), rs1 | imm); break;
+    case isa::kANDI:  s.set_reg(d.rd(), rs1 & imm); break;
+    case isa::kSLLI:  s.set_reg(d.rd(), rs1 << d.shamt()); break;
+    case isa::kSRLI:  s.set_reg(d.rd(), rs1 >> d.shamt()); break;
+    case isa::kSRAI:
+      s.set_reg(d.rd(), static_cast<uint32_t>(srs1 >> d.shamt()));
+      break;
+
+    case isa::kADD:  s.set_reg(d.rd(), rs1 + rs2); break;
+    case isa::kSUB:  s.set_reg(d.rd(), rs1 - rs2); break;
+    case isa::kSLL:  s.set_reg(d.rd(), rs1 << (rs2 & 31)); break;
+    case isa::kSLT:  s.set_reg(d.rd(), srs1 < srs2 ? 1 : 0); break;
+    case isa::kSLTU: s.set_reg(d.rd(), rs1 < rs2 ? 1 : 0); break;
+    case isa::kXOR:  s.set_reg(d.rd(), rs1 ^ rs2); break;
+    case isa::kSRL:  s.set_reg(d.rd(), rs1 >> (rs2 & 31)); break;
+    case isa::kSRA:
+      s.set_reg(d.rd(), static_cast<uint32_t>(srs1 >> (rs2 & 31)));
+      break;
+    case isa::kOR:   s.set_reg(d.rd(), rs1 | rs2); break;
+    case isa::kAND:  s.set_reg(d.rd(), rs1 & rs2); break;
+
+    case isa::kMUL: s.set_reg(d.rd(), rs1 * rs2); break;
+    case isa::kMULH:
+      s.set_reg(d.rd(), static_cast<uint32_t>(
+                            (static_cast<int64_t>(srs1) *
+                             static_cast<int64_t>(srs2)) >> 32));
+      break;
+    case isa::kMULHSU:
+      s.set_reg(d.rd(), static_cast<uint32_t>(
+                            (static_cast<int64_t>(srs1) *
+                             static_cast<int64_t>(static_cast<uint64_t>(rs2))) >> 32));
+      break;
+    case isa::kMULHU:
+      s.set_reg(d.rd(), static_cast<uint32_t>(
+                            (static_cast<uint64_t>(rs1) *
+                             static_cast<uint64_t>(rs2)) >> 32));
+      break;
+    case isa::kDIV:
+      // RISC-V manual Table 7.1: /0 -> -1; overflow -> INT_MIN.
+      if (rs2 == 0) {
+        s.set_reg(d.rd(), 0xffffffffu);
+      } else if (rs1 == 0x80000000u && rs2 == 0xffffffffu) {
+        s.set_reg(d.rd(), 0x80000000u);
+      } else {
+        s.set_reg(d.rd(), static_cast<uint32_t>(srs1 / srs2));
+      }
+      break;
+    case isa::kDIVU:
+      s.set_reg(d.rd(), rs2 == 0 ? 0xffffffffu : rs1 / rs2);
+      break;
+    case isa::kREM:
+      if (rs2 == 0) {
+        s.set_reg(d.rd(), rs1);
+      } else if (rs1 == 0x80000000u && rs2 == 0xffffffffu) {
+        s.set_reg(d.rd(), 0);
+      } else {
+        s.set_reg(d.rd(), static_cast<uint32_t>(srs1 % srs2));
+      }
+      break;
+    case isa::kREMU:
+      s.set_reg(d.rd(), rs2 == 0 ? rs1 : rs1 % rs2);
+      break;
+
+    case isa::kFENCE:
+      break;
+
+    default:
+      return false;  // system / CSR / custom: outside the oracle
+  }
+  s.pc = next_pc;
+  return true;
+}
+
+}  // namespace binsym::oracle

@@ -1,0 +1,221 @@
+// Assembler tests: encoding round-trips through the decoder/disassembler,
+// pseudo-instruction expansion, directives, expressions and diagnostics.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::rvasm {
+namespace {
+
+class AsmTest : public ::testing::Test {
+ protected:
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+
+  /// Assemble and return the text-section words.
+  std::vector<uint32_t> words(const std::string& source) {
+    auto result = assemble(table, source, &errors);
+    if (!result) return {};
+    const elf::Segment& text = result->image.segments.front();
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i + 3 < text.bytes.size(); i += 4) {
+      out.push_back(static_cast<uint32_t>(text.bytes[i]) |
+                    (text.bytes[i + 1] << 8) | (text.bytes[i + 2] << 16) |
+                    (static_cast<uint32_t>(text.bytes[i + 3]) << 24));
+    }
+    return out;
+  }
+
+  std::string disasm_one(const std::string& line) {
+    auto ws = words(line);
+    EXPECT_EQ(ws.size(), 1u) << line;
+    if (ws.empty()) return "";
+    return isa::disassemble_word(decoder, ws[0], 0x1000);
+  }
+
+  std::vector<AsmError> errors;
+};
+
+TEST_F(AsmTest, BasicInstructions) {
+  EXPECT_EQ(disasm_one("add a0, a1, a2"), "add a0, a1, a2");
+  EXPECT_EQ(disasm_one("addi a0, a1, -5"), "addi a0, a1, -5");
+  EXPECT_EQ(disasm_one("xori t0, t1, 0xff"), "xori t0, t1, 255");
+  EXPECT_EQ(disasm_one("slli s1, s2, 31"), "slli s1, s2, 31");
+  EXPECT_EQ(disasm_one("lw a0, 8(sp)"), "lw a0, 8(sp)");
+  EXPECT_EQ(disasm_one("lbu t0, -1(a0)"), "lbu t0, -1(a0)");
+  EXPECT_EQ(disasm_one("sw a0, -4(sp)"), "sw a0, -4(sp)");
+  EXPECT_EQ(disasm_one("lui a0, 0xfffff"), "lui a0, 0xfffff");
+  EXPECT_EQ(disasm_one("divu a1, a0, a1"), "divu a1, a0, a1");
+  EXPECT_EQ(disasm_one("ecall"), "ecall");
+  EXPECT_EQ(disasm_one("csrrw zero, 0x340, t0"), "csrrw zero, 0x340, t0");
+}
+
+TEST_F(AsmTest, BranchesResolveLabels) {
+  auto ws = words(R"(
+start:
+    beq a0, a1, done
+    addi a0, a0, 1
+done:
+    sub a0, a0, a1
+)");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0x1000),
+            "beq a0, a1, 0x1008");
+  // Backward branch.
+  auto back = words(R"(
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+)");
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(isa::disassemble_word(decoder, back[1], 0x1004),
+            "bne a0, zero, 0x1000");
+}
+
+TEST_F(AsmTest, JumpAndCall) {
+  auto ws = words(R"(
+    call func
+    j end
+func:
+    ret
+end:
+    nop
+)");
+  ASSERT_EQ(ws.size(), 4u);
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0x1000), "jal ra, 0x1008");
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[1], 0x1004), "jal zero, 0x100c");
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[2], 0x1008),
+            "jalr zero, ra, 0");
+}
+
+TEST_F(AsmTest, LiExpansion) {
+  // Small immediates: single addi.
+  EXPECT_EQ(words("li a0, 42").size(), 1u);
+  EXPECT_EQ(words("li a0, -2048").size(), 1u);
+  // Large immediates: lui + addi.
+  auto big = words("li a0, 0x12345678");
+  ASSERT_EQ(big.size(), 2u);
+  EXPECT_EQ(isa::disassemble_word(decoder, big[0], 0), "lui a0, 0x12345");
+  EXPECT_EQ(isa::disassemble_word(decoder, big[1], 0), "addi a0, a0, 1656");
+  // Negative lo part borrows from hi: 0x12345fff.
+  auto borrow = words("li a0, 0x12345fff");
+  ASSERT_EQ(borrow.size(), 2u);
+  EXPECT_EQ(isa::disassemble_word(decoder, borrow[0], 0), "lui a0, 0x12346");
+  EXPECT_EQ(isa::disassemble_word(decoder, borrow[1], 0), "addi a0, a0, -1");
+}
+
+TEST_F(AsmTest, LaUsesHiLo) {
+  auto result = assemble(table, R"(
+.text
+    la a0, target
+.data
+target: .word 0
+)", &errors);
+  ASSERT_TRUE(result.has_value());
+  // data base is 0x10000: lui 0x10, addi 0.
+  const elf::Segment& text = result->image.segments.front();
+  uint32_t w0 = text.bytes[0] | (text.bytes[1] << 8) | (text.bytes[2] << 16) |
+                (static_cast<uint32_t>(text.bytes[3]) << 24);
+  EXPECT_EQ(isa::disassemble_word(decoder, w0, 0), "lui a0, 0x10");
+}
+
+TEST_F(AsmTest, PseudoInstructions) {
+  EXPECT_EQ(disasm_one("nop"), "addi zero, zero, 0");
+  EXPECT_EQ(disasm_one("mv a0, a1"), "addi a0, a1, 0");
+  EXPECT_EQ(disasm_one("not a0, a1"), "xori a0, a1, -1");
+  EXPECT_EQ(disasm_one("neg a0, a1"), "sub a0, zero, a1");
+  EXPECT_EQ(disasm_one("seqz a0, a1"), "sltiu a0, a1, 1");
+  EXPECT_EQ(disasm_one("snez a0, a1"), "sltu a0, zero, a1");
+  EXPECT_EQ(disasm_one("jr t0"), "jalr zero, t0, 0");
+}
+
+TEST_F(AsmTest, BranchPseudoSwapsOperands) {
+  auto ws = words("x: bgt a0, a1, x");
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0x1000),
+            "blt a1, a0, 0x1000");
+  ws = words("x: bleu a0, a1, x");
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0x1000),
+            "bgeu a1, a0, 0x1000");
+}
+
+TEST_F(AsmTest, DataDirectives) {
+  auto result = assemble(table, R"(
+.data
+w:  .word 0x11223344, 5
+h:  .half 0xbeef
+b:  .byte 1, 2, 3
+s:  .asciz "hi"
+sp: .space 3, 0xaa
+al: .align 2
+z:  .word 0
+)", &errors);
+  ASSERT_TRUE(result.has_value()) << (errors.empty() ? "" : errors[0].message);
+  const elf::Segment& data = result->image.segments.front();
+  EXPECT_EQ(data.bytes[0], 0x44);
+  EXPECT_EQ(data.bytes[3], 0x11);
+  EXPECT_EQ(data.bytes[4], 5);
+  EXPECT_EQ(data.bytes[8], 0xef);
+  EXPECT_EQ(data.bytes[9], 0xbe);
+  EXPECT_EQ(data.bytes[10], 1);
+  EXPECT_EQ(data.bytes[13], 'h');
+  EXPECT_EQ(data.bytes[14], 'i');
+  EXPECT_EQ(data.bytes[15], 0);        // asciz terminator
+  EXPECT_EQ(data.bytes[16], 0xaa);     // .space fill
+  EXPECT_EQ(result->symbols.at("z") % 4, 0u);  // .align 2
+}
+
+TEST_F(AsmTest, Expressions) {
+  EXPECT_EQ(disasm_one("addi a0, a0, 2+3"), "addi a0, a0, 5");
+  EXPECT_EQ(disasm_one("addi a0, a0, 'A'"), "addi a0, a0, 65");
+  EXPECT_EQ(disasm_one("addi a0, a0, 'z'+1"), "addi a0, a0, 123");
+  EXPECT_EQ(disasm_one("addi a0, a0, -(7-2)"), "addi a0, a0, -5");
+  EXPECT_EQ(disasm_one("addi a0, a0, 0b101"), "addi a0, a0, 5");
+}
+
+TEST_F(AsmTest, EquDefinesSymbols) {
+  auto ws = words(R"(
+.equ MAGIC, 0x2a
+    addi a0, a0, MAGIC
+)");
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0), "addi a0, a0, 42");
+}
+
+TEST_F(AsmTest, Errors) {
+  EXPECT_FALSE(assemble(table, "bogus a0, a1", &errors).has_value());
+  EXPECT_FALSE(errors.empty());
+  errors.clear();
+  EXPECT_FALSE(assemble(table, "addi a0, a1, 5000", &errors).has_value());
+  errors.clear();
+  EXPECT_FALSE(assemble(table, "j nowhere", &errors).has_value());
+  errors.clear();
+  EXPECT_FALSE(assemble(table, "add a0, a1", &errors).has_value());
+  errors.clear();
+  EXPECT_FALSE(assemble(table, "x: .word 1\nx: .word 2", &errors).has_value());
+}
+
+TEST_F(AsmTest, EntryPoint) {
+  auto with_start = assemble(table, "_start: nop", &errors);
+  ASSERT_TRUE(with_start.has_value());
+  EXPECT_EQ(with_start->image.entry, 0x1000u);
+  auto without = assemble(table, "nop\nmain: nop", &errors);
+  ASSERT_TRUE(without.has_value());
+  EXPECT_EQ(without->image.entry, 0x1000u);  // falls back to text base
+}
+
+TEST_F(AsmTest, CustomInstructionAssembles) {
+  // Register MADD, then assemble it generically by format.
+  spec::Registry registry;
+  ASSERT_TRUE(spec::install_custom_madd(table, registry).has_value());
+  auto ws = words("madd t0, t1, t2, t3");
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(isa::disassemble_word(decoder, ws[0], 0),
+            "madd t0, t1, t2, t3");
+}
+
+}  // namespace
+}  // namespace binsym::rvasm

@@ -1,0 +1,96 @@
+// Unit tests for the bit-manipulation helpers every layer builds on.
+#include <gtest/gtest.h>
+
+#include "support/bits.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace binsym {
+namespace {
+
+TEST(Bits, MaskBits) {
+  EXPECT_EQ(mask_bits(1), 1u);
+  EXPECT_EQ(mask_bits(8), 0xffu);
+  EXPECT_EQ(mask_bits(12), 0xfffu);
+  EXPECT_EQ(mask_bits(32), 0xffffffffu);
+  EXPECT_EQ(mask_bits(64), ~uint64_t{0});
+}
+
+TEST(Bits, TruncateAndCanonical) {
+  EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+  EXPECT_TRUE(is_canonical(0xff, 8));
+  EXPECT_FALSE(is_canonical(0x100, 8));
+}
+
+TEST(Bits, SignExtension) {
+  EXPECT_EQ(sext(0x80, 8, 32), 0xffffff80u);
+  EXPECT_EQ(sext(0x7f, 8, 32), 0x7fu);
+  EXPECT_EQ(sext(0xfff, 12, 32), 0xffffffffu);
+  EXPECT_EQ(sext(0x800, 12, 32), 0xfffff800u);
+  EXPECT_EQ(to_signed(0xffffffff, 32), -1);
+  EXPECT_EQ(to_signed(0x7fffffff, 32), 0x7fffffff);
+}
+
+TEST(Bits, Extract) {
+  EXPECT_EQ(extract_bits(0xdeadbeef, 31, 16), 0xdeadu);
+  EXPECT_EQ(extract_bits(0xdeadbeef, 15, 0), 0xbeefu);
+  EXPECT_EQ(extract_bits(0xff, 0, 0), 1u);
+}
+
+TEST(Bits, SaturatingShifts) {
+  EXPECT_EQ(shl_bv(1, 31, 32), 0x80000000u);
+  EXPECT_EQ(shl_bv(1, 32, 32), 0u);
+  EXPECT_EQ(shl_bv(1, 0xffffffff, 32), 0u);
+  EXPECT_EQ(lshr_bv(0x80000000u, 31, 32), 1u);
+  EXPECT_EQ(lshr_bv(0x80000000u, 32, 32), 0u);
+  EXPECT_EQ(ashr_bv(0x80000000u, 4, 32), 0xf8000000u);
+  EXPECT_EQ(ashr_bv(0x80000000u, 100, 32), 0xffffffffu);
+  EXPECT_EQ(ashr_bv(0x40000000u, 100, 32), 0u);
+}
+
+TEST(Bits, DivisionTotalSemantics) {
+  // SMT-LIB: x udiv 0 = all-ones, x urem 0 = x.
+  EXPECT_EQ(udiv_bv(7, 0, 32), 0xffffffffu);
+  EXPECT_EQ(urem_bv(7, 0, 32), 7u);
+  // bvsdiv by zero: -1 for non-negative dividend, +1 for negative.
+  EXPECT_EQ(sdiv_bv(7, 0, 32), 0xffffffffu);
+  EXPECT_EQ(sdiv_bv(0xfffffff9u, 0, 32), 1u);
+  // Signed overflow wraps.
+  EXPECT_EQ(sdiv_bv(0x80000000u, 0xffffffffu, 32), 0x80000000u);
+  EXPECT_EQ(srem_bv(0x80000000u, 0xffffffffu, 32), 0u);
+  // Remainder sign follows the dividend.
+  EXPECT_EQ(srem_bv(static_cast<uint32_t>(-7), 3, 32),
+            static_cast<uint32_t>(-1));
+  EXPECT_EQ(srem_bv(7, static_cast<uint32_t>(-3), 32), 1u);
+}
+
+TEST(Bits, NarrowWidths) {
+  EXPECT_EQ(sdiv_bv(0x8, 0xf, 4), 0x8u);  // -8 / -1 wraps at width 4
+  EXPECT_EQ(shl_bv(1, 4, 4), 0u);
+  EXPECT_EQ(ashr_bv(0x8, 1, 4), 0xcu);
+}
+
+TEST(Format, Hex) {
+  EXPECT_EQ(hex32(0xdeadbeef), "0xdeadbeef");
+  EXPECT_EQ(hex_bv(0xab, 8), "ab");
+  EXPECT_EQ(hex_bv(0x5, 12), "005");
+  EXPECT_EQ(bin_bv(0b101, 5), "00101");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+}  // namespace
+}  // namespace binsym

@@ -1,0 +1,219 @@
+// RV32C tests: golden expansion pairs (cross-checked against the manual's
+// Table 16.5-16.7 expansions and GNU tooling), reserved-encoding
+// rejection, decoder integration (size 2), link-value semantics through
+// the spec's instr-size operand, and end-to-end execution of compressed
+// guests on the concrete ISS and the symbolic engine.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "core/engine.hpp"
+#include "elf/elf32.hpp"
+#include "interp/concrete.hpp"
+#include "isa/compressed.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "spec/registry.hpp"
+#include "support/format.hpp"
+
+namespace binsym::isa {
+namespace {
+
+struct GoldenPair {
+  uint16_t compressed;
+  const char* expansion;  // canonical disassembly of the expansion
+};
+
+class CompressedTest : public ::testing::Test {
+ protected:
+  CompressedTest() { spec::install_rv32im(registry, table); }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+};
+
+TEST_F(CompressedTest, GoldenExpansions) {
+  // Encodings produced with riscv-gnu as + objdump.
+  const GoldenPair cases[] = {
+      {0x0001, "addi zero, zero, 0"},    // c.nop
+      {0x4705, "addi a4, zero, 1"},      // c.li a4, 1
+      {0x05c1, "addi a1, a1, 16"},       // c.addi a1, 16
+      {0x15fd, "addi a1, a1, -1"},       // c.addi a1, -1
+      {0x00c8, "addi a0, sp, 68"},       // c.addi4spn a0, sp, 68
+      {0x1141, "addi sp, sp, -16"},      // c.addi16sp sp, -16
+      {0x0141, "addi sp, sp, 16"},       // c.addi16sp sp, 16
+      {0x6589, "lui a1, 0x2"},           // c.lui a1, 2
+      {0x75fd, "lui a1, 0xfffff"},       // c.lui a1, -1
+      {0x4108, "lw a0, 0(a0)"},          // c.lw
+      {0x45d0, "lw a2, 12(a1)"},         // c.lw a2, 12(a1)
+      {0xc14c, "sw a1, 4(a0)"},          // c.sw
+      {0x4502, "lw a0, 0(sp)"},          // c.lwsp
+      {0x4532, "lw a0, 12(sp)"},         // c.lwsp a0, 12(sp)
+      {0xc02a, "sw a0, 0(sp)"},          // c.swsp
+      {0xc62e, "sw a1, 12(sp)"},         // c.swsp a1, 12(sp)
+      {0x852e, "add a0, zero, a1"},      // c.mv a0, a1
+      {0x95b2, "add a1, a1, a2"},        // c.add a1, a2
+      {0x8d89, "sub a1, a1, a0"},        // c.sub a1, a0
+      {0x8da9, "xor a1, a1, a0"},        // c.xor a1, a0
+      {0x8dc9, "or a1, a1, a0"},         // c.or a1, a0
+      {0x8de9, "and a1, a1, a0"},        // c.and a1, a0
+      {0x8985, "andi a1, a1, 1"},        // c.andi a1, 1
+      {0x0586, "slli a1, a1, 1"},        // c.slli a1, 1
+      {0x8185, "srli a1, a1, 1"},        // c.srli a1, 1
+      {0x8585, "srai a1, a1, 1"},        // c.srai a1, 1
+      {0x8082, "jalr zero, ra, 0"},      // c.jr ra (== ret)
+      {0x9582, "jalr ra, a1, 0"},        // c.jalr a1
+      {0x9002, "ebreak"},                // c.ebreak
+  };
+  for (const GoldenPair& g : cases) {
+    auto expanded = expand_compressed(g.compressed);
+    ASSERT_TRUE(expanded.has_value()) << std::hex << g.compressed;
+    auto decoded = decoder.decode(g.compressed);
+    ASSERT_TRUE(decoded.has_value()) << std::hex << g.compressed;
+    EXPECT_EQ(decoded->size, 2u);
+    EXPECT_EQ(disassemble(*decoded, 0), g.expansion)
+        << "c-word 0x" << std::hex << g.compressed;
+  }
+}
+
+// Independent transcriptions of the CJ/CB immediate scrambles (manual
+// Table 16.2) used to cross-check the decompressor's descrambling.
+uint16_t encode_cj(uint32_t funct3, int32_t offset) {
+  uint32_t i = static_cast<uint32_t>(offset);
+  return static_cast<uint16_t>(
+      (funct3 << 13) | 0b01 | (((i >> 11) & 1) << 12) | (((i >> 4) & 1) << 11) |
+      (((i >> 8) & 3) << 9) | (((i >> 10) & 1) << 8) | (((i >> 6) & 1) << 7) |
+      (((i >> 7) & 1) << 6) | (((i >> 1) & 7) << 3) | (((i >> 5) & 1) << 2));
+}
+
+uint16_t encode_cb(uint32_t funct3, uint32_t rs1p, int32_t offset) {
+  uint32_t i = static_cast<uint32_t>(offset);
+  return static_cast<uint16_t>(
+      (funct3 << 13) | 0b01 | (((i >> 8) & 1) << 12) | (((i >> 3) & 3) << 10) |
+      (rs1p << 7) | (((i >> 6) & 3) << 5) | (((i >> 1) & 3) << 3) |
+      (((i >> 5) & 1) << 2));
+}
+
+TEST_F(CompressedTest, JumpAndBranchOffsetsRoundTrip) {
+  for (int32_t offset = -2048; offset < 2048; offset += 38) {
+    auto decoded = decoder.decode(encode_cj(0b101, offset));  // c.j
+    ASSERT_TRUE(decoded.has_value()) << offset;
+    EXPECT_EQ(decoded->id(), kJAL);
+    EXPECT_EQ(decoded->rd(), 0u);
+    EXPECT_EQ(static_cast<int32_t>(decoded->immediate()), offset) << offset;
+    decoded = decoder.decode(encode_cj(0b001, offset));  // c.jal
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->rd(), 1u);
+    EXPECT_EQ(static_cast<int32_t>(decoded->immediate()), offset) << offset;
+  }
+  for (int32_t offset = -256; offset < 256; offset += 14) {
+    auto decoded = decoder.decode(encode_cb(0b110, 2, offset));  // c.beqz a0
+    ASSERT_TRUE(decoded.has_value()) << offset;
+    EXPECT_EQ(decoded->id(), kBEQ);
+    EXPECT_EQ(decoded->rs1(), 10u);
+    EXPECT_EQ(decoded->rs2(), 0u);
+    EXPECT_EQ(static_cast<int32_t>(decoded->immediate()), offset) << offset;
+  }
+}
+
+TEST_F(CompressedTest, ReservedEncodingsRejected) {
+  EXPECT_FALSE(expand_compressed(0x0000).has_value());  // all-zero illegal
+  // c.addi4spn with zero immediate.
+  EXPECT_FALSE(expand_compressed(0x0008).has_value());
+  // c.lwsp with rd == 0.
+  EXPECT_FALSE(expand_compressed(0x4002).has_value());
+  // c.jr with rs1 == 0.
+  EXPECT_FALSE(expand_compressed(0x8002).has_value());
+  // RV32: shamt[5] set on c.slli is reserved (would be RV64).
+  EXPECT_FALSE(expand_compressed(0x1586).has_value());
+  // RV64 c.subw (bit 12 set in the register-register group).
+  EXPECT_FALSE(expand_compressed(0x9d89).has_value());
+  // Uncompressed words are not expanded.
+  EXPECT_FALSE(expand_compressed(0x0013).has_value() &&
+               is_compressed(0x0013));
+}
+
+TEST_F(CompressedTest, FullWordsStillDecodeAsSizeFour) {
+  auto decoded = decoder.decode(0x00a28293);  // addi t0, t0, 10
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size, 4u);
+}
+
+TEST_F(CompressedTest, ConcreteExecutionOfCompressedGuest) {
+  // Mixed 16/32-bit code emitted via .half: computes 5+6 into a0 with
+  // compressed ALU ops, then exits via the standard ecall sequence.
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(table, R"(
+_start:
+    .half 0x4515             # c.li a0, 5
+    .half 0x4599             # c.li a1, 6
+    .half 0x952e             # c.add a0, a1
+    li a7, 93
+    ecall
+)");
+  interp::Iss iss(decoder, registry);
+  for (const elf::Segment& seg : assembled.image.segments)
+    for (size_t i = 0; i < seg.bytes.size(); ++i)
+      iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                   seg.bytes[i]);
+  iss.machine().pc_ = assembled.image.entry;
+  iss.run();
+  EXPECT_EQ(iss.machine().exit_, core::ExitReason::kExit);
+  EXPECT_EQ(iss.machine().exit_code_, 11u);
+}
+
+TEST_F(CompressedTest, CompressedLinkValueIsPcPlusTwo) {
+  // c.jal saves pc+2, not pc+4 — the instr-size operand at work.
+  // Layout: the c.jal halfword (2 bytes) + 4 nops (16 bytes) = target .+18.
+  std::string source = strprintf(R"(
+_start:
+    .half 0x%04x             # c.jal .+18 -> target
+    nop
+    nop
+    nop
+    nop
+target:
+    mv a0, ra
+    li a7, 93
+    ecall
+)", encode_cj(0b001, 18));
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
+  interp::Iss iss(decoder, registry);
+  for (const elf::Segment& seg : assembled.image.segments)
+    for (size_t i = 0; i < seg.bytes.size(); ++i)
+      iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                   seg.bytes[i]);
+  iss.machine().pc_ = assembled.image.entry;
+  iss.run();
+  EXPECT_EQ(iss.machine().exit_, core::ExitReason::kExit);
+  EXPECT_EQ(iss.machine().exit_code_, assembled.image.entry + 2);
+}
+
+TEST_F(CompressedTest, SymbolicExecutionThroughCompressedBranch) {
+  // c.beqz on a symbolic byte forks exactly like its expansion.
+  std::string source = strprintf(R"(
+_start:
+    la a0, buf
+    li a1, 1
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu a0, 0(t0)
+    .half 0x%04x             # c.beqz a0, .+6 -> skip the addi
+    addi a0, a0, 1
+    li a7, 93
+    ecall
+.data
+buf: .space 1
+)", encode_cb(0b110, 2, 6));
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
+  core::Program program = elf::to_program(assembled.image);
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  core::DseEngine engine(executor, smt::make_z3_solver(ctx));
+  core::EngineStats stats = engine.explore();
+  EXPECT_EQ(stats.paths, 2u);
+  EXPECT_EQ(stats.divergences, 0u);
+}
+
+}  // namespace
+}  // namespace binsym::isa

@@ -1,0 +1,210 @@
+// Concrete ISS tests: whole guest programs (assembled in-test) executing
+// on the formal-spec interpreter, checking architectural results and the
+// syscall interface.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "elf/elf32.hpp"
+#include "interp/concrete.hpp"
+#include "isa/decoder.hpp"
+
+namespace binsym {
+namespace {
+
+class IssTest : public ::testing::Test {
+ protected:
+  IssTest() { spec::install_rv32im(registry, table); }
+
+  /// Assemble + run to exit; returns the exit code (a0 at SYS_exit).
+  uint32_t run(const std::string& source, std::string* output = nullptr,
+               uint64_t max_steps = 100000) {
+    rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
+    core::Program program = elf::to_program(assembled.image);
+    interp::Iss iss(decoder, registry);
+    // Load the image into the ISS memory.
+    for (const elf::Segment& seg : assembled.image.segments)
+      for (size_t i = 0; i < seg.bytes.size(); ++i)
+        iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                     seg.bytes[i]);
+    iss.machine().pc_ = program.entry;
+    iss.machine().regs_[2] = interp::cval(0x100000, 32);  // sp
+    iss.run(max_steps);
+    EXPECT_EQ(iss.machine().exit_, core::ExitReason::kExit);
+    if (output) *output = iss.machine().output_;
+    return iss.machine().exit_code_;
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+};
+
+TEST_F(IssTest, Fibonacci) {
+  // fib(10) == 55, computed iteratively.
+  EXPECT_EQ(run(R"(
+_start:
+    li t0, 10
+    li t1, 0
+    li t2, 1
+loop:
+    beqz t0, done
+    add t3, t1, t2
+    mv t1, t2
+    mv t2, t3
+    addi t0, t0, -1
+    j loop
+done:
+    mv a0, t1
+    li a7, 93
+    ecall
+)"), 55u);
+}
+
+TEST_F(IssTest, MemoryCopyLoop) {
+  EXPECT_EQ(run(R"(
+_start:
+    la t0, src
+    la t1, dst
+    li t2, 5
+copy:
+    beqz t2, check
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    j copy
+check:
+    la t1, dst
+    lbu a0, 4(t1)
+    li a7, 93
+    ecall
+.data
+src: .byte 10, 20, 30, 40, 50
+dst: .space 5
+)"), 50u);
+}
+
+TEST_F(IssTest, DivisionEdgeCases) {
+  // DIVU by zero returns all-ones (Fig. 2's edge case), DIV overflow wraps.
+  EXPECT_EQ(run(R"(
+_start:
+    li t0, 7
+    li t1, 0
+    divu t2, t0, t1          # 0xffffffff
+    li t3, 0x80000000
+    li t4, -1
+    div t5, t3, t4           # INT_MIN
+    xor a0, t2, t5           # 0xffffffff ^ 0x80000000 = 0x7fffffff
+    srli a0, a0, 24          # 0x7f
+    li a7, 93
+    ecall
+)"), 0x7fu);
+}
+
+TEST_F(IssTest, MulhVariants) {
+  EXPECT_EQ(run(R"(
+_start:
+    li t0, -2
+    li t1, 3
+    mulh t2, t0, t1          # floor(-6 / 2^32) = -1 -> 0xffffffff
+    mulhu t3, t0, t1         # ((2^32-2)*3) >> 32 = 2
+    add a0, t2, t3           # 0xffffffff + 2 = 1
+    li a7, 93
+    ecall
+)"), 1u);
+}
+
+TEST_F(IssTest, JalrLinkAndReturn) {
+  std::string output;
+  EXPECT_EQ(run(R"(
+_start:
+    call emit
+    call emit
+    li a0, 0
+    li a7, 93
+    ecall
+emit:
+    li a0, 'x'
+    li a7, 1
+    ecall
+    ret
+)", &output), 0u);
+  EXPECT_EQ(output, "xx");
+}
+
+TEST_F(IssTest, CsrReadWrite) {
+  EXPECT_EQ(run(R"(
+_start:
+    li t0, 0x123
+    csrw 0x340, t0           # mscratch
+    csrr a0, 0x340
+    li a7, 93
+    ecall
+)"), 0x123u);
+}
+
+TEST_F(IssTest, SymInputProviderFeedsBytes) {
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(table, R"(
+_start:
+    la a0, buf
+    li a1, 2
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)
+    lbu t2, 1(t0)
+    add a0, t1, t2
+    li a7, 93
+    ecall
+.data
+buf: .space 2
+)");
+  interp::Iss iss(decoder, registry);
+  for (const elf::Segment& seg : assembled.image.segments)
+    for (size_t i = 0; i < seg.bytes.size(); ++i)
+      iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                   seg.bytes[i]);
+  iss.machine().pc_ = assembled.image.entry;
+  iss.machine().input_provider_ = [](unsigned index) {
+    return static_cast<uint8_t>(10 * (index + 1));
+  };
+  iss.run();
+  EXPECT_EQ(iss.machine().exit_code_, 30u);
+}
+
+TEST_F(IssTest, StopsOnIllegalInstruction) {
+  rvasm::AsmResult assembled =
+      rvasm::assemble_or_die(table, "_start: .word 0xffffffff");
+  interp::Iss iss(decoder, registry);
+  for (const elf::Segment& seg : assembled.image.segments)
+    for (size_t i = 0; i < seg.bytes.size(); ++i)
+      iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                   seg.bytes[i]);
+  iss.machine().pc_ = assembled.image.entry;
+  iss.run();
+  EXPECT_EQ(iss.machine().exit_, core::ExitReason::kIllegalInstr);
+}
+
+TEST_F(IssTest, StopsOnBadFetch) {
+  interp::Iss iss(decoder, registry);
+  iss.machine().pc_ = 0x9999000;
+  iss.run();
+  EXPECT_EQ(iss.machine().exit_, core::ExitReason::kBadFetch);
+}
+
+TEST_F(IssTest, MaxStepsGuard) {
+  rvasm::AsmResult assembled =
+      rvasm::assemble_or_die(table, "_start: j _start");
+  interp::Iss iss(decoder, registry);
+  for (const elf::Segment& seg : assembled.image.segments)
+    for (size_t i = 0; i < seg.bytes.size(); ++i)
+      iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
+                                   seg.bytes[i]);
+  iss.machine().pc_ = assembled.image.entry;
+  EXPECT_EQ(iss.run(100), 100u);
+  EXPECT_EQ(iss.machine().exit_, core::ExitReason::kMaxSteps);
+}
+
+}  // namespace
+}  // namespace binsym

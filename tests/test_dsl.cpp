@@ -1,0 +1,147 @@
+// Tests for the specification DSL: builder width propagation, the
+// typechecker's rejection rules and the pretty printer.
+#include <gtest/gtest.h>
+
+#include "dsl/builder.hpp"
+#include "dsl/pretty.hpp"
+#include "dsl/typecheck.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::dsl {
+namespace {
+
+TEST(DslBuilder, WidthPropagation) {
+  E a = c32(1), b = c32(2);
+  EXPECT_EQ(add(a, b).node->width, 32u);
+  EXPECT_EQ(eq(a, b).node->width, 1u);
+  EXPECT_EQ(concat(a, b).node->width, 64u);
+  EXPECT_EQ(extract(a, 15, 8).node->width, 8u);
+  EXPECT_EQ(sext(extract(a, 7, 0), 32).node->width, 32u);
+  EXPECT_EQ(constant(0x1ff, 8).node->constant, 0xffu);  // canonicalized
+}
+
+TEST(DslBuilder, LetNumbering) {
+  Semantics s = define_semantics([](SemBuilder& b) {
+    E v0 = b.let_(b.rs1());
+    E v1 = b.let_(add(v0, c32(1)));
+    b.run_if_else(
+        eq(v1, c32(0)), [&](SemBuilder& t) { t.let_(t.rs2()); },
+        [&](SemBuilder& t) { t.let_(t.rs2()); });
+  });
+  EXPECT_EQ(s.num_lets, 4u);  // indices fresh across nested blocks
+}
+
+TEST(DslTypecheck, ShippedSpecIsWellFormed) {
+  // Every builtin semantics must typecheck against its operand format —
+  // the "independently verifiable artifact" property.
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  for (const isa::OpcodeInfo& info : table.entries()) {
+    const Semantics* semantics = registry.get(info.id);
+    ASSERT_NE(semantics, nullptr) << info.name << " has no semantics";
+    auto errors = typecheck(*semantics, info.format);
+    EXPECT_TRUE(errors.empty())
+        << info.name << ": " << (errors.empty() ? "" : errors[0].message);
+  }
+  EXPECT_EQ(registry.size(), static_cast<size_t>(isa::kNumBuiltinOps));
+}
+
+TEST(DslTypecheck, RejectsWidthMismatch) {
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.write_register(add(s.rs1(), constant(1, 8)));  // 32 vs 8
+  });
+  auto errors = typecheck(bad, isa::Format::kR);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("widths differ"), std::string::npos);
+}
+
+TEST(DslTypecheck, RejectsUnavailableOperand) {
+  // rs2 does not exist in the I format.
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.write_register(s.rs2());
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kI));
+  EXPECT_TRUE(well_formed(bad, isa::Format::kR));
+}
+
+TEST(DslTypecheck, RejectsNarrowRegisterWrite) {
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.write_register(extract(s.rs1(), 7, 0));  // 8-bit value into a register
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kR));
+}
+
+TEST(DslTypecheck, RejectsWriteToFormatWithoutRd) {
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.write_register(s.rs1());
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kB));
+  EXPECT_FALSE(well_formed(bad, isa::Format::kS));
+}
+
+TEST(DslTypecheck, RejectsNonBooleanCondition) {
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.run_if(s.rs1(), [](SemBuilder&) {});  // 32-bit condition
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kR));
+}
+
+TEST(DslTypecheck, RejectsBadExtract) {
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.write_register(zext(extract(s.rs1(), 40, 0), 32));  // hi out of range
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kR));
+}
+
+TEST(DslTypecheck, RejectsShrinkingExtension) {
+  Expr raw;
+  raw.op = ExprOp::kZExt;
+  raw.width = 8;
+  raw.aux0 = 8;
+  raw.a = operand(Operand::kRs1Val).node;
+  Semantics bad;
+  Stmt stmt;
+  stmt.op = StmtOp::kWritePC;
+  stmt.value = std::make_shared<const Expr>(raw);
+  bad.body.push_back(std::make_shared<const Stmt>(stmt));
+  EXPECT_FALSE(well_formed(bad, isa::Format::kR));
+}
+
+TEST(DslTypecheck, StoreSizeRules) {
+  Semantics good = define_semantics([](SemBuilder& s) {
+    s.store(2, s.rs1(), extract(s.rs2(), 15, 0));
+  });
+  EXPECT_TRUE(well_formed(good, isa::Format::kS));
+  Semantics bad = define_semantics([](SemBuilder& s) {
+    s.store(2, s.rs1(), s.rs2());  // 32-bit value, 2-byte store
+  });
+  EXPECT_FALSE(well_formed(bad, isa::Format::kS));
+}
+
+TEST(DslPretty, DivuRendersLikeThePaper) {
+  // Fig. 2's DIVU semantics, as shipped.
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  std::string text =
+      pretty_semantics("DIVU", *registry.get(isa::kDIVU));
+  EXPECT_NE(text.find("instrSemantics DIVU = do"), std::string::npos);
+  EXPECT_NE(text.find("runIfElse (rs2-val `EqInt` 0x0)"), std::string::npos);
+  EXPECT_NE(text.find("WriteRegister rd 0xffffffff"), std::string::npos);
+  EXPECT_NE(text.find("UDiv"), std::string::npos);
+}
+
+TEST(DslPretty, LoadsAndStores) {
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  std::string lb = pretty_semantics("LB", *registry.get(isa::kLB));
+  EXPECT_NE(lb.find("Load8"), std::string::npos);
+  EXPECT_NE(lb.find("sext32"), std::string::npos);
+  std::string sh = pretty_semantics("SH", *registry.get(isa::kSH));
+  EXPECT_NE(sh.find("Store16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace binsym::dsl

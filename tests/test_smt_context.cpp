@@ -1,0 +1,167 @@
+// Unit tests for the expression context: hash-consing identity, constant
+// folding and the peephole rules the builders apply.
+#include <gtest/gtest.h>
+
+#include "smt/context.hpp"
+
+namespace binsym::smt {
+namespace {
+
+class ContextTest : public ::testing::Test {
+ protected:
+  Context ctx;
+};
+
+TEST_F(ContextTest, ConstantsAreInterned) {
+  EXPECT_EQ(ctx.constant(5, 32), ctx.constant(5, 32));
+  EXPECT_NE(ctx.constant(5, 32), ctx.constant(5, 16));
+  EXPECT_NE(ctx.constant(5, 32), ctx.constant(6, 32));
+}
+
+TEST_F(ContextTest, ConstantsAreCanonical) {
+  EXPECT_EQ(ctx.constant(0x1ff, 8)->constant, 0xffu);
+  EXPECT_EQ(ctx.constant(~uint64_t{0}, 32)->constant, 0xffffffffu);
+}
+
+TEST_F(ContextTest, VariablesByNameAreIdentical) {
+  ExprRef a = ctx.var("x", 32);
+  ExprRef b = ctx.var("x", 32);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, ctx.var("y", 32));
+}
+
+TEST_F(ContextTest, FreshVariablesAreDistinct) {
+  EXPECT_NE(ctx.fresh_var("t", 8), ctx.fresh_var("t", 8));
+}
+
+TEST_F(ContextTest, StructuralSharing) {
+  ExprRef x = ctx.var("x", 32);
+  ExprRef y = ctx.var("y", 32);
+  EXPECT_EQ(ctx.add(x, y), ctx.add(x, y));
+  EXPECT_NE(ctx.add(x, y), ctx.add(y, x));  // not commutative-normalized
+}
+
+TEST_F(ContextTest, BinaryConstantFolding) {
+  EXPECT_TRUE(ctx.add(ctx.constant(3, 32), ctx.constant(4, 32))->is_const_val(7));
+  EXPECT_TRUE(ctx.mul(ctx.constant(6, 32), ctx.constant(7, 32))->is_const_val(42));
+  EXPECT_TRUE(ctx.udiv(ctx.constant(7, 32), ctx.constant(0, 32))
+                  ->is_const_val(0xffffffff));
+  EXPECT_TRUE(ctx.sub(ctx.constant(0, 8), ctx.constant(1, 8))->is_const_val(0xff));
+}
+
+TEST_F(ContextTest, AddPeepholes) {
+  ExprRef x = ctx.var("x", 32);
+  EXPECT_EQ(ctx.add(x, ctx.constant(0, 32)), x);
+  EXPECT_EQ(ctx.add(ctx.constant(0, 32), x), x);
+  // Constant chains collapse: (x + 1) + 2 == x + 3.
+  ExprRef chained = ctx.add(ctx.add(x, ctx.constant(1, 32)), ctx.constant(2, 32));
+  ASSERT_EQ(chained->kind, Kind::kAdd);
+  EXPECT_TRUE(chained->ops[1]->is_const_val(3));
+  // Subtraction of a constant becomes addition of its negation.
+  ExprRef sub = ctx.sub(x, ctx.constant(1, 32));
+  EXPECT_EQ(sub->kind, Kind::kAdd);
+  EXPECT_EQ(ctx.sub(x, x), ctx.constant(0, 32));
+}
+
+TEST_F(ContextTest, BitwisePeepholes) {
+  ExprRef x = ctx.var("x", 32);
+  ExprRef zero = ctx.constant(0, 32);
+  ExprRef ones = ctx.constant(0xffffffff, 32);
+  EXPECT_EQ(ctx.and_(x, zero), zero);
+  EXPECT_EQ(ctx.and_(x, ones), x);
+  EXPECT_EQ(ctx.and_(x, x), x);
+  EXPECT_EQ(ctx.or_(x, zero), x);
+  EXPECT_EQ(ctx.or_(x, ones), ones);
+  EXPECT_EQ(ctx.xor_(x, x), zero);
+  EXPECT_EQ(ctx.xor_(x, ones), ctx.not_(x));
+  EXPECT_EQ(ctx.not_(ctx.not_(x)), x);
+  EXPECT_EQ(ctx.neg(ctx.neg(x)), x);
+}
+
+TEST_F(ContextTest, ShiftPeepholes) {
+  ExprRef x = ctx.var("x", 32);
+  EXPECT_EQ(ctx.shl(x, ctx.constant(0, 32)), x);
+  EXPECT_TRUE(ctx.shl(x, ctx.constant(32, 32))->is_const_val(0));
+  EXPECT_TRUE(ctx.lshr(x, ctx.constant(99, 32))->is_const_val(0));
+  // ashr by >= width depends on the sign bit, so it must NOT fold.
+  EXPECT_EQ(ctx.ashr(x, ctx.constant(99, 32))->kind, Kind::kAShr);
+}
+
+TEST_F(ContextTest, ComparisonPeepholes) {
+  ExprRef x = ctx.var("x", 32);
+  EXPECT_TRUE(ctx.eq(x, x)->is_true());
+  EXPECT_TRUE(ctx.ult(x, x)->is_false());
+  EXPECT_TRUE(ctx.ule(x, x)->is_true());
+  EXPECT_TRUE(ctx.ult(x, ctx.constant(0, 32))->is_false());
+  EXPECT_TRUE(ctx.ule(ctx.constant(0, 32), x)->is_true());
+  // 0 < x rewrites to x != 0.
+  ExprRef lt = ctx.ult(ctx.constant(0, 32), x);
+  EXPECT_EQ(lt->kind, Kind::kNot);
+  EXPECT_EQ(lt->ops[0]->kind, Kind::kEq);
+}
+
+TEST_F(ContextTest, BooleanEqualityReduces) {
+  ExprRef b = ctx.var("b", 1);
+  EXPECT_EQ(ctx.eq(b, ctx.bool_const(true)), b);
+  EXPECT_EQ(ctx.eq(b, ctx.bool_const(false)), ctx.not_(b));
+}
+
+TEST_F(ContextTest, ExtensionRules) {
+  ExprRef x = ctx.var("x", 8);
+  EXPECT_EQ(ctx.zext(x, 8), x);
+  EXPECT_EQ(ctx.zext(ctx.zext(x, 16), 32), ctx.zext(x, 32));
+  EXPECT_EQ(ctx.sext(ctx.sext(x, 16), 32), ctx.sext(x, 32));
+  EXPECT_TRUE(ctx.sext(ctx.constant(0x80, 8), 32)->is_const_val(0xffffff80));
+  EXPECT_TRUE(ctx.zext(ctx.constant(0x80, 8), 32)->is_const_val(0x80));
+}
+
+TEST_F(ContextTest, ExtractRules) {
+  ExprRef x = ctx.var("x", 32);
+  EXPECT_EQ(ctx.extract(x, 31, 0), x);
+  // extract of extract composes.
+  ExprRef inner = ctx.extract(x, 23, 8);   // 16 bits
+  ExprRef outer = ctx.extract(inner, 7, 0);
+  EXPECT_EQ(outer, ctx.extract(x, 15, 8));
+  // Low extract of an extension hits the original operand.
+  ExprRef b = ctx.var("b", 8);
+  EXPECT_EQ(ctx.extract(ctx.zext(b, 32), 7, 0), b);
+  EXPECT_TRUE(ctx.extract(ctx.zext(b, 32), 31, 8)->is_const_val(0));
+  // Extract aligned with concat halves selects the half.
+  ExprRef hi = ctx.var("h", 8), lo = ctx.var("l", 8);
+  ExprRef cat = ctx.concat(hi, lo);
+  EXPECT_EQ(ctx.extract(cat, 7, 0), lo);
+  EXPECT_EQ(ctx.extract(cat, 15, 8), hi);
+}
+
+TEST_F(ContextTest, ConcatRules) {
+  ExprRef lo = ctx.var("l", 8);
+  EXPECT_EQ(ctx.concat(ctx.constant(0, 8), lo), ctx.zext(lo, 16));
+  ExprRef c = ctx.concat(ctx.constant(0xab, 8), ctx.constant(0xcd, 8));
+  EXPECT_TRUE(c->is_const_val(0xabcd));
+  EXPECT_EQ(c->width, 16);
+}
+
+TEST_F(ContextTest, IteRules) {
+  ExprRef c = ctx.var("c", 1);
+  ExprRef a = ctx.var("a", 32), b = ctx.var("b", 32);
+  EXPECT_EQ(ctx.ite(ctx.bool_const(true), a, b), a);
+  EXPECT_EQ(ctx.ite(ctx.bool_const(false), a, b), b);
+  EXPECT_EQ(ctx.ite(c, a, a), a);
+  EXPECT_EQ(ctx.ite(ctx.not_(c), a, b), ctx.ite(c, b, a));
+  // Boolean-valued ite reduces to the condition itself.
+  EXPECT_EQ(ctx.ite(c, ctx.bool_const(true), ctx.bool_const(false)), c);
+  EXPECT_EQ(ctx.ite(c, ctx.bool_const(false), ctx.bool_const(true)),
+            ctx.not_(c));
+}
+
+TEST_F(ContextTest, NodeCountAndVarCollection) {
+  ExprRef x = ctx.var("x", 32), y = ctx.var("y", 32);
+  ExprRef sum = ctx.add(x, y);
+  ExprRef expr = ctx.mul(sum, sum);  // shared sub-DAG
+  EXPECT_EQ(node_count(expr), 4u);   // x, y, add, mul
+  auto vars = collect_vars({expr});
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+}  // namespace
+}  // namespace binsym::smt

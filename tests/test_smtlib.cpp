@@ -1,0 +1,87 @@
+// SMT-LIB printer tests: golden fragments + well-formedness (declared
+// variables, balanced parens, shared nodes let-bound once).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "smt/smtlib.hpp"
+
+namespace binsym::smt {
+namespace {
+
+TEST(Smtlib, Constants) {
+  Context ctx;
+  EXPECT_EQ(to_smtlib(ctx, ctx.constant(0xab, 8)), "#xab");
+  EXPECT_EQ(to_smtlib(ctx, ctx.constant(1, 1)), "#b1");
+  EXPECT_EQ(to_smtlib(ctx, ctx.constant(5, 12)), "#x005");
+  EXPECT_EQ(to_smtlib(ctx, ctx.constant(0b101, 5)), "#b00101");
+}
+
+TEST(Smtlib, SimpleExpression) {
+  Context ctx;
+  ExprRef x = ctx.var("x", 32);
+  ExprRef e = ctx.add(x, ctx.constant(1, 32));
+  EXPECT_EQ(to_smtlib(ctx, e), "(bvadd x #x00000001)");
+}
+
+TEST(Smtlib, ParameterizedOps) {
+  Context ctx;
+  ExprRef b = ctx.var("b", 8);
+  EXPECT_EQ(to_smtlib(ctx, ctx.zext(b, 32)), "((_ zero_extend 24) b)");
+  EXPECT_EQ(to_smtlib(ctx, ctx.sext(b, 16)), "((_ sign_extend 8) b)");
+  ExprRef w = ctx.var("w", 32);
+  EXPECT_EQ(to_smtlib(ctx, ctx.extract(w, 15, 8)), "((_ extract 15 8) w)");
+}
+
+TEST(Smtlib, SharedNodesUseLet) {
+  Context ctx;
+  ExprRef x = ctx.var("x", 32);
+  ExprRef sum = ctx.add(x, ctx.var("y", 32));
+  ExprRef e = ctx.mul(sum, sum);
+  std::string text = to_smtlib(ctx, e);
+  EXPECT_NE(text.find("(let (("), std::string::npos);
+  // The shared bvadd must be printed exactly once.
+  size_t first = text.find("bvadd");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("bvadd", first + 1), std::string::npos);
+}
+
+TEST(Smtlib, QueryShape) {
+  Context ctx;
+  ExprRef x = ctx.var("x", 8);
+  std::string query = query_string(
+      ctx, {ctx.ult(x, ctx.constant(10, 8)),
+            ctx.not_(ctx.eq(x, ctx.constant(3, 8)))});
+  EXPECT_NE(query.find("(set-logic QF_BV)"), std::string::npos);
+  EXPECT_NE(query.find("(declare-const x (_ BitVec 8))"), std::string::npos);
+  EXPECT_NE(query.find("(assert"), std::string::npos);
+  EXPECT_NE(query.find("(check-sat)"), std::string::npos);
+  // Balanced parentheses.
+  EXPECT_EQ(std::count(query.begin(), query.end(), '('),
+            std::count(query.begin(), query.end(), ')'));
+}
+
+TEST(Smtlib, Fig2StyleDivuBranchQuery) {
+  // The shape of the paper's Fig. 2 solver query: DIVU feeding a BLTU
+  // branch condition. The printed query must mention bvudiv and bvult.
+  Context ctx;
+  ExprRef x = ctx.var("a0", 32);
+  ExprRef y = ctx.var("a1", 32);
+  ExprRef z = ctx.ite(ctx.eq(y, ctx.constant(0, 32)),
+                      ctx.constant(0xffffffff, 32), ctx.udiv(x, y));
+  std::string query = query_string(ctx, {ctx.ult(x, z)});
+  EXPECT_NE(query.find("bvudiv"), std::string::npos);
+  EXPECT_NE(query.find("bvult"), std::string::npos);
+  EXPECT_NE(query.find("ite"), std::string::npos);
+}
+
+TEST(Smtlib, AssertionsBooleanized) {
+  // Width-1 bitvectors must be compared against #b1 to become Bool.
+  Context ctx;
+  ExprRef b = ctx.var("b", 1);
+  std::string query = query_string(ctx, {b}, false);
+  EXPECT_NE(query.find("(assert (= b #b1))"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace binsym::smt

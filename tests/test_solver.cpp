@@ -1,0 +1,116 @@
+// Tests for the solver stack: Z3 backend, model extraction, the query
+// cache and the validating wrapper.
+#include <gtest/gtest.h>
+
+#include "smt/cache.hpp"
+#include "smt/eval.hpp"
+#include "smt/solver.hpp"
+
+namespace binsym::smt {
+namespace {
+
+TEST(Z3Solver, TrivialSatUnsat) {
+  Context ctx;
+  auto solver = make_z3_solver(ctx);
+  ExprRef x = ctx.var("x", 32);
+
+  std::vector<ExprRef> sat_query = {ctx.eq(x, ctx.constant(42, 32))};
+  EXPECT_EQ(solver->check(sat_query, nullptr), CheckResult::kSat);
+
+  std::vector<ExprRef> unsat_query = {ctx.eq(x, ctx.constant(1, 32)),
+                                      ctx.eq(x, ctx.constant(2, 32))};
+  EXPECT_EQ(solver->check(unsat_query, nullptr), CheckResult::kUnsat);
+  EXPECT_EQ(solver->stats().queries, 2u);
+  EXPECT_EQ(solver->stats().sat, 1u);
+  EXPECT_EQ(solver->stats().unsat, 1u);
+}
+
+TEST(Z3Solver, ModelSatisfiesQuery) {
+  Context ctx;
+  auto solver = make_z3_solver(ctx);
+  ExprRef x = ctx.var("x", 32);
+  ExprRef y = ctx.var("y", 32);
+  // x * 3 == y + 7 and y > 100
+  std::vector<ExprRef> query = {
+      ctx.eq(ctx.mul(x, ctx.constant(3, 32)), ctx.add(y, ctx.constant(7, 32))),
+      ctx.ugt(y, ctx.constant(100, 32))};
+  Assignment model;
+  ASSERT_EQ(solver->check(query, &model), CheckResult::kSat);
+  for (ExprRef assertion : query)
+    EXPECT_EQ(evaluate(assertion, model), 1u);
+}
+
+TEST(Z3Solver, DivisionEdgeCases) {
+  Context ctx;
+  auto solver = make_z3_solver(ctx);
+  ExprRef x = ctx.var("x", 32);
+  // The Fig. 2 insight: x udiv 0 == all-ones is satisfiable (it's the
+  // *definition*), so "z > x" after DIVU is reachable with divisor 0.
+  std::vector<ExprRef> query = {
+      ctx.eq(ctx.udiv(x, ctx.constant(0, 32)), ctx.constant(0xffffffff, 32))};
+  EXPECT_EQ(solver->check(query, nullptr), CheckResult::kSat);
+}
+
+TEST(Z3Solver, WideWidths) {
+  Context ctx;
+  auto solver = make_z3_solver(ctx);
+  ExprRef a = ctx.var("a", 64);
+  std::vector<ExprRef> query = {
+      ctx.eq(ctx.mul(a, a), ctx.constant(0x8e45445c9b6f9b39ull, 64))};
+  Assignment model;
+  // Some 64-bit square; solver decides — just ensure no crash and a valid
+  // model on sat.
+  CheckResult result = solver->check(query, &model);
+  if (result == CheckResult::kSat)
+    EXPECT_EQ(evaluate(query[0], model), 1u);
+}
+
+TEST(CachingSolver, HitsOnRepeatedQueries) {
+  Context ctx;
+  CachingSolver cache(make_z3_solver(ctx));
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.ult(x, ctx.constant(10, 8))};
+
+  Assignment m1, m2;
+  EXPECT_EQ(cache.check(query, &m1), CheckResult::kSat);
+  EXPECT_EQ(cache.stats().cache_hits, 0u);
+  EXPECT_EQ(cache.check(query, &m2), CheckResult::kSat);
+  EXPECT_EQ(cache.stats().cache_hits, 1u);
+  EXPECT_EQ(m1.get(x->var_id), m2.get(x->var_id));  // cached model replayed
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CachingSolver, KeyIgnoresOrderDuplicatesAndTrueAssertions) {
+  Context ctx;
+  CachingSolver cache(make_z3_solver(ctx));
+  ExprRef x = ctx.var("x", 8);
+  ExprRef a = ctx.ult(x, ctx.constant(10, 8));
+  ExprRef b = ctx.ugt(x, ctx.constant(3, 8));
+
+  std::vector<ExprRef> q1 = {a, b};
+  std::vector<ExprRef> q2 = {b, a, a, ctx.bool_const(true)};
+  EXPECT_EQ(cache.check(q1, nullptr), CheckResult::kSat);
+  EXPECT_EQ(cache.check(q2, nullptr), CheckResult::kSat);
+  EXPECT_EQ(cache.stats().cache_hits, 1u);
+}
+
+TEST(ValidatingSolver, PassesThroughCorrectModels) {
+  Context ctx;
+  ValidatingSolver validating(make_z3_solver(ctx));
+  ExprRef x = ctx.var("x", 16);
+  std::vector<ExprRef> query = {
+      ctx.eq(ctx.add(x, ctx.constant(1, 16)), ctx.constant(0, 16))};
+  Assignment model;
+  EXPECT_EQ(validating.check(query, &model), CheckResult::kSat);
+  EXPECT_EQ(model.get(x->var_id), 0xffffu);
+}
+
+TEST(Assignment, DefaultsToZero) {
+  Assignment a;
+  EXPECT_EQ(a.get(123), 0u);
+  a.set(123, 7);
+  EXPECT_EQ(a.get(123), 7u);
+}
+
+}  // namespace
+}  // namespace binsym::smt

@@ -1,0 +1,209 @@
+// Corner-case battery for the formal RV32IM semantics: the precise edge
+// behaviours the RISC-V manual calls out, checked one by one against the
+// spec interpreter. Complements the randomized oracle sweep with the known
+// hard cases (many of which are exactly where the real angr bugs lived).
+#include <gtest/gtest.h>
+
+#include "interp/concrete.hpp"
+#include "isa/decoder.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym {
+namespace {
+
+class SpecCorners : public ::testing::Test {
+ protected:
+  SpecCorners() : iss(decoder, registry) {
+    spec::install_rv32im(registry, table);
+  }
+
+  /// Execute one instruction word with given rs1/rs2 values; returns rd.
+  uint32_t exec_r(uint32_t word, uint32_t rs1, uint32_t rs2,
+                  uint32_t pc = 0x1000) {
+    auto decoded = decoder.decode(word);
+    EXPECT_TRUE(decoded.has_value());
+    iss.machine().regs_[decoded->rs1()] = interp::cval(rs1, 32);
+    if (decoded->rs2() != decoded->rs1())
+      iss.machine().regs_[decoded->rs2()] = interp::cval(rs2, 32);
+    iss.machine().pc_ = pc;
+    iss.execute_one(*decoded);
+    return static_cast<uint32_t>(iss.machine().regs_[decoded->rd()].v);
+  }
+
+  uint32_t next_pc() { return iss.machine().pc_; }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+  interp::Iss iss;
+};
+
+// add tp, t0, t1 with custom funct variations built via encode_r.
+constexpr uint32_t r_word(uint32_t f3, uint32_t f7) {
+  return isa::encode_r(0b0110011, f3, f7, 4, 5, 6);
+}
+
+TEST_F(SpecCorners, ShiftAmountsUseLowFiveBitsOfRs2) {
+  // Paper bug #2 territory: SLL with rs2 == 0xffffffe1 shifts by 1.
+  EXPECT_EQ(exec_r(r_word(0b001, 0), 1, 0xffffffe1), 2u);
+  // SRL with rs2 == 32 shifts by 0 (not to zero!).
+  EXPECT_EQ(exec_r(r_word(0b101, 0), 0xdeadbeef, 32), 0xdeadbeefu);
+  // SRA keeps the sign (paper bug #1 territory).
+  EXPECT_EQ(exec_r(r_word(0b101, 0b0100000), 0x80000000, 31), 0xffffffffu);
+  // Amount 63 masks to 31, NOT a saturating shift (the masking is the spec's).
+  EXPECT_EQ(exec_r(r_word(0b101, 0b0100000), 0x80000000, 63), 0xffffffffu);
+  EXPECT_EQ(exec_r(r_word(0b101, 0b0100000), 0x40000000, 62), 0x40000000u >> 30);
+}
+
+TEST_F(SpecCorners, ImmediateShiftBoundaries) {
+  // slli x7, x5, 31 — shamt 31 is unsigned (paper bug #4 territory).
+  uint32_t slli31 = isa::encode_i(0b0010011, 0b001, 7, 5, 31);
+  iss.machine().regs_[5] = interp::cval(1, 32);
+  auto decoded = decoder.decode(slli31);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().regs_[7].v, 0x80000000u);
+  // srai x7, x5, 0 is the identity.
+  uint32_t srai0 = isa::encode_i(0b0010011, 0b101, 7, 5, 0) | (0b0100000 << 25);
+  iss.machine().regs_[5] = interp::cval(0xcafebabe, 32);
+  decoded = decoder.decode(srai0);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().regs_[7].v, 0xcafebabeu);
+}
+
+TEST_F(SpecCorners, SignedVsUnsignedComparisons) {
+  // Paper bug #5 territory: -1 < 1 signed, but 0xffffffff > 1 unsigned.
+  uint32_t slt = r_word(0b010, 0);
+  uint32_t sltu = r_word(0b011, 0);
+  EXPECT_EQ(exec_r(slt, 0xffffffff, 1), 1u);
+  EXPECT_EQ(exec_r(sltu, 0xffffffff, 1), 0u);
+  EXPECT_EQ(exec_r(slt, 1, 0xffffffff), 0u);
+  EXPECT_EQ(exec_r(sltu, 1, 0xffffffff), 1u);
+  // INT_MIN is smaller than everything signed, bigger than half unsigned.
+  EXPECT_EQ(exec_r(slt, 0x80000000, 0), 1u);
+  EXPECT_EQ(exec_r(sltu, 0x80000000, 0), 0u);
+}
+
+TEST_F(SpecCorners, LoadExtensions) {
+  // Paper bug #3 territory, all four cases.
+  iss.machine().memory_.write(0x2000, 4, 0x8081fe7f);
+  auto run_load = [&](uint32_t f3, uint32_t offset) {
+    uint32_t word = isa::encode_i(0b0000011, f3, 7, 5, offset);
+    iss.machine().regs_[5] = interp::cval(0x2000, 32);
+    auto decoded = decoder.decode(word);
+    EXPECT_TRUE(decoded.has_value());
+    iss.execute_one(*decoded);
+    return static_cast<uint32_t>(iss.machine().regs_[7].v);
+  };
+  EXPECT_EQ(run_load(0b000, 3), 0xffffff80u);  // lb of 0x80 sign-extends
+  EXPECT_EQ(run_load(0b100, 3), 0x00000080u);  // lbu zero-extends
+  EXPECT_EQ(run_load(0b000, 0), 0x0000007fu);  // lb of 0x7f stays positive
+  EXPECT_EQ(run_load(0b001, 2), 0xffff8081u);  // lh of 0x8081 sign-extends
+  EXPECT_EQ(run_load(0b101, 2), 0x00008081u);  // lhu zero-extends
+}
+
+TEST_F(SpecCorners, SubWordStoresTouchOnlyTheirBytes) {
+  iss.machine().memory_.write(0x3000, 4, 0xffffffff);
+  // sb x6, 1(x5) with x6 = 0x12345678 writes only 0x78 at 0x3001.
+  uint32_t word = isa::encode_s(0b0100011, 0b000, 5, 6, 1);
+  iss.machine().regs_[5] = interp::cval(0x3000, 32);
+  iss.machine().regs_[6] = interp::cval(0x12345678, 32);
+  auto decoded = decoder.decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().memory_.read(0x3000, 4), 0xffff78ffu);
+}
+
+TEST_F(SpecCorners, JalrClearsBitZeroAndHandlesRdEqRs1) {
+  // jalr x5, x5, 7 — link written after the target is computed.
+  uint32_t word = isa::encode_i(0b1100111, 0, 5, 5, 7);
+  iss.machine().regs_[5] = interp::cval(0x4000, 32);
+  iss.machine().pc_ = 0x1000;
+  auto decoded = decoder.decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().pc_, 0x4006u);          // (0x4000+7) & ~1
+  EXPECT_EQ(iss.machine().regs_[5].v, 0x1004u);   // link value
+}
+
+TEST_F(SpecCorners, JalLinksAndJumps) {
+  uint32_t word = isa::encode_j(0b1101111, 1, 0x20);  // jal ra, .+0x20
+  iss.machine().pc_ = 0x1000;
+  auto decoded = decoder.decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().pc_, 0x1020u);
+  EXPECT_EQ(iss.machine().regs_[1].v, 0x1004u);
+}
+
+TEST_F(SpecCorners, BranchTakenAndNotTaken) {
+  uint32_t beq = isa::encode_b(0b1100011, 0b000, 0, 0, 0x10) | (5u << 15) |
+                 (6u << 20);
+  iss.machine().regs_[5] = interp::cval(1, 32);
+  iss.machine().regs_[6] = interp::cval(1, 32);
+  iss.machine().pc_ = 0x1000;
+  auto decoded = decoder.decode(beq);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().pc_, 0x1010u);  // taken
+
+  iss.machine().regs_[6] = interp::cval(2, 32);
+  iss.machine().pc_ = 0x1000;
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().pc_, 0x1004u);  // fallthrough
+}
+
+TEST_F(SpecCorners, DivisionTable71) {
+  // The RISC-V manual's Table 7.1 of special cases, verbatim.
+  uint32_t div = r_word(0b100, 1), divu = r_word(0b101, 1);
+  uint32_t rem = r_word(0b110, 1), remu = r_word(0b111, 1);
+  // Division by zero.
+  EXPECT_EQ(exec_r(div, 17, 0), 0xffffffffu);
+  EXPECT_EQ(exec_r(divu, 17, 0), 0xffffffffu);
+  EXPECT_EQ(exec_r(rem, 17, 0), 17u);
+  EXPECT_EQ(exec_r(remu, 17, 0), 17u);
+  // Signed overflow.
+  EXPECT_EQ(exec_r(div, 0x80000000, 0xffffffff), 0x80000000u);
+  EXPECT_EQ(exec_r(rem, 0x80000000, 0xffffffff), 0u);
+  // Ordinary signed cases, rounding toward zero.
+  EXPECT_EQ(exec_r(div, static_cast<uint32_t>(-7), 2),
+            static_cast<uint32_t>(-3));
+  EXPECT_EQ(exec_r(rem, static_cast<uint32_t>(-7), 2),
+            static_cast<uint32_t>(-1));
+}
+
+TEST_F(SpecCorners, MulhCornerValues) {
+  uint32_t mulh = r_word(0b001, 1), mulhu = r_word(0b011, 1),
+           mulhsu = r_word(0b010, 1);
+  EXPECT_EQ(exec_r(mulh, 0x80000000, 0x80000000), 0x40000000u);
+  EXPECT_EQ(exec_r(mulhu, 0x80000000, 0x80000000), 0x40000000u);
+  EXPECT_EQ(exec_r(mulhu, 0xffffffff, 0xffffffff), 0xfffffffeu);
+  EXPECT_EQ(exec_r(mulh, 0xffffffff, 0xffffffff), 0u);  // (-1)*(-1)=1
+  // mulhsu: rs1 signed, rs2 unsigned: -1 * 0xffffffff = -0xffffffff.
+  EXPECT_EQ(exec_r(mulhsu, 0xffffffff, 0xffffffff), 0xffffffffu);
+}
+
+TEST_F(SpecCorners, WritesToX0AreDiscarded) {
+  uint32_t word = isa::encode_r(0b0110011, 0, 0, 0, 5, 6);  // add x0, t0, t1
+  exec_r(word, 11, 22);
+  EXPECT_EQ(iss.machine().regs_[0].v, 0u);
+}
+
+TEST_F(SpecCorners, LuiAuipcUpperImmediates) {
+  uint32_t lui = isa::encode_u(0b0110111, 7, 0xfffff000);
+  auto decoded = decoder.decode(lui);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().regs_[7].v, 0xfffff000u);
+
+  uint32_t auipc = isa::encode_u(0b0010111, 7, 0x1000);
+  iss.machine().pc_ = 0x1234;
+  decoded = decoder.decode(auipc);
+  ASSERT_TRUE(decoded.has_value());
+  iss.execute_one(*decoded);
+  EXPECT_EQ(iss.machine().regs_[7].v, 0x1000u + 0x1234u);
+}
+
+}  // namespace
+}  // namespace binsym

@@ -1,0 +1,176 @@
+// DIFT interpreter tests: taint introduction via sym_input, propagation
+// through ALU/memory, sanitization by constant overwrite, and
+// tainted-control detection — the third modular interpreter over the very
+// same specification AST.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "elf/elf32.hpp"
+#include "interp/taint.hpp"
+#include "isa/decoder.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::interp {
+namespace {
+
+class TaintTest : public ::testing::Test {
+ protected:
+  TaintTest() { spec::install_rv32im(registry, table); }
+
+  TaintTracker make_tracker(const std::string& source) {
+    rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
+    TaintTracker tracker(decoder, registry);
+    for (const elf::Segment& seg : assembled.image.segments)
+      for (size_t i = 0; i < seg.bytes.size(); ++i)
+        tracker.machine().memory_[seg.addr + static_cast<uint32_t>(i)] =
+            seg.bytes[i];
+    tracker.machine().pc_ = assembled.image.entry;
+    return tracker;
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+};
+
+TEST_F(TaintTest, InputBytesAreTaintSources) {
+  TaintTracker t = make_tracker(R"(
+_start:
+    la a0, buf
+    li a1, 2
+    li a7, 2
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 2
+)");
+  t.run();
+  EXPECT_EQ(t.machine().exit_, core::ExitReason::kExit);
+  EXPECT_TRUE(t.machine().byte_tainted(0x10000));
+  EXPECT_TRUE(t.machine().byte_tainted(0x10001));
+  EXPECT_FALSE(t.machine().byte_tainted(0x10002));
+}
+
+TEST_F(TaintTest, TaintFlowsThroughAluAndRegisters) {
+  TaintTracker t = make_tracker(R"(
+_start:
+    la a0, buf
+    li a1, 1
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)            # t1 tainted
+    li t2, 41
+    add t3, t1, t2           # t3 tainted (mixed)
+    xor t4, t2, t2           # t4 clean
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 1
+)");
+  t.machine().input_provider_ = [](unsigned) { return uint8_t{1}; };
+  t.run();
+  EXPECT_TRUE(t.machine().register_tainted(6));    // t1
+  EXPECT_TRUE(t.machine().register_tainted(28));   // t3
+  EXPECT_FALSE(t.machine().register_tainted(7));   // t2
+  EXPECT_FALSE(t.machine().register_tainted(29));  // t4
+  EXPECT_EQ(t.machine().regs_[28].v, 42u);         // concrete still right
+}
+
+TEST_F(TaintTest, StoresPropagateAndSanitize) {
+  TaintTracker t = make_tracker(R"(
+_start:
+    la a0, buf
+    li a1, 1
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)
+    sb t1, 4(t0)             # taints buf+4
+    li t2, 0
+    sb t2, 0(t0)             # constant store sanitizes buf+0
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 8
+)");
+  t.run();
+  EXPECT_TRUE(t.machine().byte_tainted(0x10004));
+  EXPECT_FALSE(t.machine().byte_tainted(0x10000));
+}
+
+TEST_F(TaintTest, TaintedBranchesAreRecorded) {
+  TaintTracker t = make_tracker(R"(
+_start:
+    la a0, buf
+    li a1, 1
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)
+    beqz t1, zero_case       # control depends on tainted data
+zero_case:
+    li t3, 1
+    beqz t3, never           # clean branch
+never:
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 1
+)");
+  t.run();
+  ASSERT_EQ(t.machine().tainted_branches().size(), 1u);
+}
+
+TEST_F(TaintTest, CleanProgramStaysClean) {
+  TaintTracker t = make_tracker(R"(
+_start:
+    li t0, 10
+    li t1, 20
+    add t2, t0, t1
+    la t3, buf
+    sw t2, 0(t3)
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 4
+)");
+  t.run();
+  for (unsigned r = 0; r < 32; ++r) EXPECT_FALSE(t.machine().register_tainted(r));
+  EXPECT_TRUE(t.machine().tainted_branches().empty());
+  EXPECT_EQ(t.machine().memory_byte(0x10000), 30u);
+}
+
+TEST_F(TaintTest, ImplicitFlowThroughDivuSelection) {
+  // DIVU's runIfElse on a tainted divisor is a tainted control decision.
+  TaintTracker t = make_tracker(R"(
+_start:
+    la a0, buf
+    li a1, 1
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)
+    li t2, 100
+    divu t3, t2, t1          # divisor tainted -> spec's runIfElse records it
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 1
+)");
+  // Non-zero divisor: the else arm computes udiv(clean, tainted).
+  t.machine().input_provider_ = [](unsigned) { return uint8_t{2}; };
+  t.run();
+  EXPECT_FALSE(t.machine().tainted_branches().empty());
+  EXPECT_TRUE(t.machine().register_tainted(28));  // t3 result tainted
+}
+
+}  // namespace
+}  // namespace binsym::interp

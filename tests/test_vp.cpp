@@ -1,0 +1,204 @@
+// Virtual-prototype tests: bus routing, peripherals, quantum keeper, and
+// functional equivalence of the VP executor with the direct engine.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asm/assembler.hpp"
+#include "core/engine.hpp"
+#include "elf/elf32.hpp"
+#include "isa/decoder.hpp"
+#include "spec/registry.hpp"
+#include "vp/vp_executor.hpp"
+
+namespace binsym::vp {
+namespace {
+
+TEST(Bus, RoutesByAddressRange) {
+  smt::Context ctx;
+  core::ConcolicMemory memory(ctx);
+  memory.reset(core::ConcreteMemory{});
+  MemoryDevice ram(memory);
+  Bus bus;
+  bus.map(0x0, 0x1000, &ram);
+
+  Transaction write;
+  write.command = Transaction::Command::kWrite;
+  write.address = 0x10;
+  write.bytes = 4;
+  write.data = interp::sval(0xfeedface, 32);
+  EXPECT_TRUE(bus.transport(write));
+
+  Transaction read;
+  read.command = Transaction::Command::kRead;
+  read.address = 0x10;
+  read.bytes = 4;
+  EXPECT_TRUE(bus.transport(read));
+  EXPECT_EQ(read.data.conc, 0xfeedfaceu);
+
+  // Outside every mapping: no target claims it.
+  Transaction miss;
+  miss.address = 0x2000;
+  miss.bytes = 1;
+  EXPECT_FALSE(bus.transport(miss));
+}
+
+TEST(Bus, DeviceSeesLocalAddresses) {
+  smt::Context ctx;
+  core::ConcolicMemory memory(ctx);
+  memory.reset(core::ConcreteMemory{});
+  MemoryDevice ram(memory);
+  Bus bus;
+  bus.map(0x8000, 0x1000, &ram);
+
+  Transaction write;
+  write.command = Transaction::Command::kWrite;
+  write.address = 0x8004;  // global
+  write.bytes = 1;
+  write.data = interp::sval(0x5a, 8);
+  ASSERT_TRUE(bus.transport(write));
+  // The backing memory stores at the device-relative offset.
+  EXPECT_EQ(memory.read_concrete(0x4, 1), 0x5au);
+}
+
+TEST(Uart, CollectsBytes) {
+  UartDevice uart;
+  std::string sink;
+  uart.set_sink(&sink);
+  for (char c : std::string("hi")) {
+    Transaction txn;
+    txn.command = Transaction::Command::kWrite;
+    txn.address = 0;
+    txn.bytes = 1;
+    txn.data = interp::sval(static_cast<uint8_t>(c), 8);
+    uart.transport(txn);
+    EXPECT_TRUE(txn.response_ok);
+  }
+  EXPECT_EQ(sink, "hi");
+  // Reads are not supported.
+  Transaction read;
+  read.command = Transaction::Command::kRead;
+  read.address = 0;
+  read.bytes = 1;
+  uart.transport(read);
+  EXPECT_FALSE(read.response_ok);
+}
+
+TEST(Timer, ReturnsCycleCount) {
+  QuantumKeeper keeper;
+  keeper.advance(1234);
+  TimerDevice timer(keeper);
+  Transaction read;
+  read.command = Transaction::Command::kRead;
+  read.address = 0;
+  read.bytes = 4;
+  timer.transport(read);
+  EXPECT_TRUE(read.response_ok);
+  EXPECT_EQ(read.data.conc, 1234u);
+}
+
+TEST(QuantumKeeper, SyncsAtQuantumBoundaries) {
+  QuantumKeeper keeper(/*quantum_cycles=*/10);
+  keeper.advance(5);
+  EXPECT_FALSE(keeper.maybe_sync());
+  keeper.advance(5);
+  EXPECT_TRUE(keeper.maybe_sync());
+  EXPECT_EQ(keeper.syncs(), 1u);
+  EXPECT_FALSE(keeper.maybe_sync());  // same quantum
+}
+
+class VpIntegration : public ::testing::Test {
+ protected:
+  VpIntegration() { spec::install_rv32im(registry, table); }
+
+  core::Program load(const std::string& source) {
+    return elf::to_program(rvasm::assemble_or_die(table, source).image);
+  }
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+  spec::Registry registry;
+};
+
+TEST_F(VpIntegration, MmioUartOutput) {
+  // Store bytes to the UART window; they appear in the path output.
+  core::Program program = load(R"(
+.equ UART, 0x50000000
+_start:
+    li t0, UART
+    li t1, 'V'
+    sb t1, 0(t0)
+    li t1, 'P'
+    sb t1, 0(t0)
+    li a0, 0
+    li a7, 93
+    ecall
+)");
+  smt::Context ctx;
+  VpExecutor executor(ctx, decoder, registry, program);
+  core::PathTrace trace;
+  executor.run(smt::Assignment{}, trace);
+  EXPECT_EQ(trace.exit, core::ExitReason::kExit);
+  EXPECT_EQ(trace.output, "VP");
+  EXPECT_GT(executor.quantum_keeper().cycles(), 0u);
+}
+
+TEST_F(VpIntegration, MmioSymbolicInputForksPaths) {
+  // Firmware style: read symbolic data from the input peripheral instead
+  // of a syscall, then branch on it — SymEx-VP's mechanism.
+  core::Program program = load(R"(
+.equ SYMIO, 0x50002000
+_start:
+    li t0, SYMIO
+    lbu t1, 0(t0)            # fresh symbolic byte via the bus
+    li t2, 0x42
+    bne t1, t2, other
+    li a0, 1
+    li a7, 93
+    ecall
+other:
+    li a0, 0
+    li a7, 93
+    ecall
+)");
+  smt::Context ctx;
+  VpExecutor executor(ctx, decoder, registry, program);
+  core::DseEngine engine(executor, smt::make_z3_solver(ctx));
+  std::set<uint32_t> exit_codes;
+  core::EngineStats stats = engine.explore([&](const core::PathResult& path) {
+    exit_codes.insert(path.trace.exit_code);
+    EXPECT_EQ(path.trace.input_vars.size(), 1u);
+  });
+  EXPECT_EQ(stats.paths, 2u);
+  EXPECT_EQ(exit_codes, (std::set<uint32_t>{0, 1}));
+}
+
+TEST_F(VpIntegration, SameExplorationAsDirectEngine) {
+  core::Program program = load(R"(
+_start:
+    la a0, buf
+    li a1, 2
+    li a7, 2
+    ecall
+    la t0, buf
+    lbu t1, 0(t0)
+    lbu t2, 1(t0)
+    bltu t1, t2, a
+a:  li t3, 9
+    bltu t2, t3, b
+b:  li a0, 0
+    li a7, 93
+    ecall
+.data
+buf: .space 2
+)");
+  smt::Context ctx_vp, ctx_direct;
+  VpExecutor vp_exec(ctx_vp, decoder, registry, program);
+  core::BinSymExecutor direct(ctx_direct, decoder, registry, program);
+  core::DseEngine vp_engine(vp_exec, smt::make_z3_solver(ctx_vp));
+  core::DseEngine direct_engine(direct, smt::make_z3_solver(ctx_direct));
+  EXPECT_EQ(vp_engine.explore().paths, direct_engine.explore().paths);
+}
+
+}  // namespace
+}  // namespace binsym::vp
