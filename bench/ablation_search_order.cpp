@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   names.push_back("parse-word");  // has a reachable failure
 
   for (const std::string& name : names) {
-    core::Program program = workloads::load_workload(table, name);
+    core::Program program = workloads::load_workload_or_exit(table, name);
     bench::EngineSetup setup{decoder, registry, program};
 
     bench::EngineInstance dfs_engine = bench::make_binsym(setup);

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
               "conditions", "avg nodes", "max nodes", "solver(s)");
 
   for (const workloads::WorkloadInfo& info : workloads::table1_workloads()) {
-    core::Program program = workloads::load_workload(table, info.name);
+    core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
     QueryStats binsym_stats = measure(bench::make_binsym(setup), max_paths);

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
   bool counts_agree = true;
   for (const workloads::WorkloadInfo& info : workloads::table1_workloads()) {
-    core::Program program = workloads::load_workload(table, info.name);
+    core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
     bench::EngineInstance z3_engine = bench::make_binsym(setup);

@@ -42,7 +42,7 @@ int main() {
   isa::Decoder decoder(table);
   spec::Registry registry;
   spec::install_rv32im(registry, table);
-  core::Program program = workloads::load_workload(table, "parse-word");
+  core::Program program = workloads::load_workload_or_exit(table, "parse-word");
   bench::EngineSetup setup{decoder, registry, program};
 
   std::printf("FIG 5: parse_word(x) — mask = x << 31\n");

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   std::map<std::string, double> aggregate_exec;
 
   for (const workloads::WorkloadInfo& info : workloads::table1_workloads()) {
-    core::Program program = workloads::load_workload(table, info.name);
+    core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
     std::printf("%-16s", info.name.c_str());

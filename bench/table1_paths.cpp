@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   bool shape_ok = true;
   for (const workloads::WorkloadInfo& info : workloads::table1_workloads()) {
-    core::Program program = workloads::load_workload(table, info.name);
+    core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
     core::EngineOptions options;

@@ -48,7 +48,7 @@ int main() {
   // ... and so does the SE engine: explore the madd-kernel workload, which
   // branches on x*x + x == 30 over a symbolic byte x.
   std::printf("=== 4. symbolic execution of the MADD kernel ===\n");
-  core::Program program = workloads::load_workload(table, "madd-kernel");
+  core::Program program = workloads::load_workload_or_exit(table, "madd-kernel");
   smt::Context ctx;
   core::BinSymExecutor executor(ctx, decoder, registry, program);
   core::DseEngine engine(executor, smt::make_z3_solver(ctx));

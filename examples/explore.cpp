@@ -57,7 +57,13 @@ int main(int argc, char** argv) {
     }
     program = elf::to_program(*image);
   } else {
-    program = workloads::load_workload(table, target);
+    try {
+      program = workloads::load_workload(table, target);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot load workload '%s': %s\n", target.c_str(),
+                   e.what());
+      return 1;
+    }
   }
 
   bench::EngineSetup setup{decoder, registry, program};

@@ -23,15 +23,14 @@ void put32(std::vector<uint8_t>& out, uint32_t v) {
 
 std::vector<uint8_t> write_elf(const Image& image) {
   const uint32_t phnum = static_cast<uint32_t>(image.segments.size());
-  std::vector<uint8_t> out;
 
-  // ELF header.
+  // ELF header, starting from e_ident.
   const uint8_t ident[16] = {0x7f, 'E', 'L', 'F',
                              1,  // ELFCLASS32
                              1,  // ELFDATA2LSB
                              1,  // EV_CURRENT
                              0, 0, 0, 0, 0, 0, 0, 0, 0};
-  out.insert(out.end(), ident, ident + 16);
+  std::vector<uint8_t> out(ident, ident + 16);
   put16(out, kEtExec);
   put16(out, kEmRiscv);
   put32(out, 1);            // e_version

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 
 #include "asm/assembler.hpp"
 #include "elf/elf32.hpp"
@@ -29,8 +30,9 @@ std::string read_workload_source(const std::string& name) {
   std::string path = workloads_dir() + "/" + name + ".s";
   std::ifstream file(path);
   if (!file) {
-    std::fprintf(stderr, "cannot open workload source %s\n", path.c_str());
-    std::abort();
+    throw std::runtime_error(
+        "cannot open workload source " + path +
+        " (override the corpus location with BINSYM_WORKLOADS_DIR)");
   }
   return std::string((std::istreambuf_iterator<char>(file)),
                      std::istreambuf_iterator<char>());
@@ -42,6 +44,16 @@ core::Program load_workload(const isa::OpcodeTable& table,
       read_workload_source("runtime") + "\n" + read_workload_source(name);
   rvasm::AsmResult assembled = rvasm::assemble_or_die(table, source);
   return elf::to_program(assembled.image);
+}
+
+core::Program load_workload_or_exit(const isa::OpcodeTable& table,
+                                    const std::string& name) {
+  try {
+    return load_workload(table, name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
 }
 
 }  // namespace binsym::workloads

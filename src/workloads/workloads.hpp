@@ -26,12 +26,20 @@ const std::vector<WorkloadInfo>& table1_workloads();
 /// the BINSYM_WORKLOADS_DIR environment variable).
 std::string workloads_dir();
 
-/// Assemble runtime.s + <name>.s into a program. Aborts with a diagnostic
-/// on assembly errors (the shipped workloads must assemble).
+/// Assemble runtime.s + <name>.s into a program. Throws std::runtime_error
+/// (with the attempted path) if a source file is missing; aborts with a
+/// diagnostic on assembly errors (the shipped workloads must assemble).
 core::Program load_workload(const isa::OpcodeTable& table,
                             const std::string& name);
 
 /// Same, but returns the raw source so callers can inspect/modify it.
+/// Throws std::runtime_error if the file cannot be opened.
 std::string read_workload_source(const std::string& name);
+
+/// Bench/example helper: load_workload, but print the diagnostic and
+/// exit(1) on a missing source instead of letting the exception escape
+/// main (mirrors rvasm::assemble_or_die).
+core::Program load_workload_or_exit(const isa::OpcodeTable& table,
+                                    const std::string& name);
 
 }  // namespace binsym::workloads

@@ -61,8 +61,9 @@ TEST(Z3Solver, WideWidths) {
   // Some 64-bit square; solver decides — just ensure no crash and a valid
   // model on sat.
   CheckResult result = solver->check(query, &model);
-  if (result == CheckResult::kSat)
+  if (result == CheckResult::kSat) {
     EXPECT_EQ(evaluate(query[0], model), 1u);
+  }
 }
 
 TEST(CachingSolver, HitsOnRepeatedQueries) {

@@ -1,0 +1,124 @@
+// Workload-loader plumbing: the BINSYM_WORKLOADS_DIR environment override,
+// and the error paths of read_workload_source/load_workload (a missing
+// source must surface as a diagnosable exception naming the attempted
+// path, not a process abort).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "isa/decoder.hpp"
+#include "spec/registry.hpp"
+#include "workloads/workloads.hpp"
+
+namespace binsym {
+namespace {
+
+/// Scoped setter for BINSYM_WORKLOADS_DIR, restoring the prior value so
+/// tests cannot leak environment state into each other.
+class ScopedWorkloadsDir {
+ public:
+  /// Set the override for the scope; nullopt clears it for the scope.
+  explicit ScopedWorkloadsDir(const std::optional<std::string>& value) {
+    if (const char* old = std::getenv(kVar)) saved_ = old;
+    if (value.has_value()) {
+      setenv(kVar, value->c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(kVar);
+    }
+  }
+  ~ScopedWorkloadsDir() {
+    if (saved_.has_value()) {
+      setenv(kVar, saved_->c_str(), 1);
+    } else {
+      unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "BINSYM_WORKLOADS_DIR";
+  std::optional<std::string> saved_;
+};
+
+TEST(WorkloadsDir, DefaultPointsAtShippedCorpus) {
+  ScopedWorkloadsDir scoped(std::nullopt);
+  std::string dir = workloads::workloads_dir();
+  EXPECT_FALSE(dir.empty());
+  // The compile-time default must actually contain the shipped corpus.
+  EXPECT_FALSE(workloads::read_workload_source("runtime").empty());
+}
+
+TEST(WorkloadsDir, EnvVarOverridesCompileTimeDefault) {
+  ScopedWorkloadsDir scoped("/nonexistent-binsym-corpus");
+  EXPECT_EQ(workloads::workloads_dir(), "/nonexistent-binsym-corpus");
+}
+
+TEST(WorkloadsDir, OverrideToRealDirectoryLoadsAlternateCorpus) {
+  // A corpus override must be honoured end-to-end: drop a minimal runtime
+  // and workload into a scratch directory and load through it.
+  std::string dir = ::testing::TempDir() + "binsym-workloads";
+  ASSERT_TRUE(mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+  {
+    std::ofstream runtime(dir + "/runtime.s");
+    runtime << "_start:\n  li a7, 93\n  li a0, 0\n  ecall\n";
+  }
+  {
+    std::ofstream prog(dir + "/tiny.s");
+    prog << "tiny_pad:\n  nop\n";
+  }
+  ScopedWorkloadsDir scoped(dir);
+
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  core::Program program = workloads::load_workload(table, "tiny");
+  EXPECT_TRUE(program.image.mapped(program.entry));
+}
+
+TEST(WorkloadsDir, MissingSourceThrowsWithAttemptedPath) {
+  ScopedWorkloadsDir scoped("/nonexistent-binsym-corpus");
+  try {
+    workloads::read_workload_source("bubble-sort");
+    FAIL() << "expected std::runtime_error for a missing workload source";
+  } catch (const std::runtime_error& e) {
+    // The diagnostic must name the attempted path and the override knob.
+    EXPECT_NE(std::string(e.what()).find(
+                  "/nonexistent-binsym-corpus/bubble-sort.s"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("BINSYM_WORKLOADS_DIR"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LoadWorkload, UnknownNameThrowsClearDiagnostic) {
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  try {
+    workloads::load_workload(table, "no-such-workload");
+    FAIL() << "expected std::runtime_error for an unknown workload name";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-workload.s"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LoadWorkload, Table1NamesAllResolve) {
+  isa::OpcodeTable table;
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  for (const auto& info : workloads::table1_workloads())
+    EXPECT_NO_THROW(workloads::load_workload(table, info.name)) << info.name;
+}
+
+}  // namespace
+}  // namespace binsym

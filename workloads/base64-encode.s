@@ -1,0 +1,109 @@
+# base64-encode — Table I workload: encode 4 symbolic bytes as base64.
+#
+# 4 input bytes form six 6-bit groups (the last group carries only the two
+# low bits of byte 3, shifted up) followed by "==" padding — 8 output
+# characters total. Each full-range group is mapped to its alphabet
+# character by a 5-way comparison chain (A-Z / a-z / 0-9 / '+' / '/');
+# the last group only reaches the A-Z and a-z arms. Feasible paths:
+# 5*5*5*5*5*2 = 6250, the paper's Table I count.
+#
+# Groups 1, 5 and 6 extract their bits with wide shift pairs (left shift
+# to the top of the word, logical right shift back down) — bit-identical
+# to the masked forms for a correct engine, but every shift amount has
+# bit 4 set, so under the angr lifter's signed-shift-amount bug (#4) the
+# saturating shift collapses these groups to 0 and only the 'A' arm stays
+# feasible. Groups 2-4 mask after small shifts and survive all five bugs.
+# Buggy path count: 1*5*5*5*1*1 = 125 — exactly the paper's angr column.
+
+        .data
+buf:    .space  4
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+        sw      s0, 8(sp)
+
+        la      a0, buf
+        li      a1, 4
+        call    sym_input
+        la      s0, buf
+
+        # group 1: b0 >> 2, via (b0 << 22) >> 24
+        lbu     t0, 0(s0)
+        slli    t0, t0, 22
+        srli    a0, t0, 24
+        call    b64_char
+        # group 2: ((b0 & 3) << 4) | ((b1 >> 4) & 15)
+        lbu     t0, 0(s0)
+        lbu     t1, 1(s0)
+        andi    t0, t0, 3
+        slli    t0, t0, 4
+        srli    t1, t1, 4
+        andi    t1, t1, 15
+        or      a0, t0, t1
+        call    b64_char
+        # group 3: ((b1 & 15) << 2) | ((b2 >> 6) & 3)
+        lbu     t0, 1(s0)
+        lbu     t1, 2(s0)
+        andi    t0, t0, 15
+        slli    t0, t0, 2
+        srli    t1, t1, 6
+        andi    t1, t1, 3
+        or      a0, t0, t1
+        call    b64_char
+        # group 4: b2 & 63
+        lbu     t0, 2(s0)
+        andi    a0, t0, 63
+        call    b64_char
+        # group 5: b3 >> 2, via (b3 << 22) >> 24
+        lbu     t0, 3(s0)
+        slli    t0, t0, 22
+        srli    a0, t0, 24
+        call    b64_char
+        # group 6: (b3 & 3) << 4, via (b3 << 30) >> 26
+        # (only 0/16/32/48 -> two feasible arms on a correct engine)
+        lbu     t0, 3(s0)
+        slli    t0, t0, 30
+        srli    a0, t0, 26
+        call    b64_char
+
+        li      a0, '='
+        call    putchar
+        li      a0, '='
+        call    putchar
+
+        lw      ra, 12(sp)
+        lw      s0, 8(sp)
+        addi    sp, sp, 16
+        li      a0, 0
+        ret
+
+# b64_char(a0 = group value): emit the base64 alphabet character.
+# Tail-calls into the putchar syscall; clobbers t5 and a0/a7.
+b64_char:
+        li      t5, 26
+        bltu    a0, t5, is_upper       # symbolic
+        li      t5, 52
+        bltu    a0, t5, is_lower       # symbolic
+        li      t5, 62
+        bltu    a0, t5, is_digit       # symbolic
+        beq     a0, t5, is_plus        # symbolic (t5 still 62)
+        li      a0, '/'
+        j       emit
+is_upper:
+        addi    a0, a0, 'A'
+        j       emit
+is_lower:
+        addi    a0, a0, 'a'-26
+        j       emit
+is_digit:
+        addi    a0, a0, '0'-52
+        j       emit
+is_plus:
+        li      a0, '+'
+emit:
+        li      a7, 1
+        ecall
+        ret

@@ -1,0 +1,46 @@
+# bubble-sort — Table I workload: sort 6 symbolic bytes.
+#
+# Classic bubble sort with a shrinking inner bound and no early exit: every
+# run performs exactly 5+4+3+2+1 = 15 symbolic comparisons, and the feasible
+# comparison-outcome sequences are exactly the 6! = 720 relative orderings
+# of the input bytes (ties behave like the corresponding stable strict
+# order), which is the paper's Table I path count.
+
+        .data
+buf:    .space  6
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 6
+        call    sym_input
+
+        li      t1, 5                  # outer bound: compare a[0..t1-1] with successor
+outer:
+        blez    t1, done               # concrete loop branch
+        li      t2, 0                  # j = 0
+        la      t3, buf                # &a[j]
+inner:
+        bge     t2, t1, outer_dec      # concrete loop branch
+        lbu     t4, 0(t3)              # a[j]
+        lbu     t5, 1(t3)              # a[j+1]
+        bleu    t4, t5, no_swap        # symbolic: swap iff a[j] > a[j+1]
+        sb      t5, 0(t3)
+        sb      t4, 1(t3)
+no_swap:
+        addi    t2, t2, 1
+        addi    t3, t3, 1
+        j       inner
+outer_dec:
+        addi    t1, t1, -1
+        j       outer
+
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        li      a0, 0
+        ret

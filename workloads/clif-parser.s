@@ -1,0 +1,145 @@
+# clif-parser — Table I workload: classify 6 symbolic characters of a
+# Cranelift-IR-style instruction line.
+#
+# Each of the six positions is matched against its expected token
+# characters by an equality chain (recognized characters vs. fall-through),
+# and the parser tallies how many positions matched. The chains never
+# abort, so the feasible paths are the product of the per-position
+# outcomes:
+#
+#   pos0: 16 instruction initials + other = 17
+#   pos1:  6 operand lead-ins      + other =  7
+#   pos2:  3 type-prefix chars     + other =  4
+#   pos3:  3 type-width chars      + other =  4
+#   pos4:  2 separators            + other =  3
+#   pos5:  1 terminator            + other =  2
+#
+#   17 * 7 * 4 * 4 * 3 * 2 = 11424 — the paper's Table I count.
+
+        .data
+buf:    .space  6
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+        sw      s0, 8(sp)
+        sw      s1, 4(sp)
+
+        la      a0, buf
+        li      a1, 6
+        call    sym_input
+        la      s0, buf
+        li      s1, 0                  # matched-position tally
+
+        # pos 0: instruction mnemonic initial (iadd, call, fcmp, ...).
+        lbu     t0, 0(s0)
+        li      t1, 'i'
+        beq     t0, t1, p0_hit
+        li      t1, 'c'
+        beq     t0, t1, p0_hit
+        li      t1, 'f'
+        beq     t0, t1, p0_hit
+        li      t1, 'b'
+        beq     t0, t1, p0_hit
+        li      t1, 'v'
+        beq     t0, t1, p0_hit
+        li      t1, 's'
+        beq     t0, t1, p0_hit
+        li      t1, 'u'
+        beq     t0, t1, p0_hit
+        li      t1, 'l'
+        beq     t0, t1, p0_hit
+        li      t1, 'j'
+        beq     t0, t1, p0_hit
+        li      t1, 'r'
+        beq     t0, t1, p0_hit
+        li      t1, 't'
+        beq     t0, t1, p0_hit
+        li      t1, 'g'
+        beq     t0, t1, p0_hit
+        li      t1, 'h'
+        beq     t0, t1, p0_hit
+        li      t1, 'p'
+        beq     t0, t1, p0_hit
+        li      t1, 'd'
+        beq     t0, t1, p0_hit
+        li      t1, 'm'
+        beq     t0, t1, p0_hit
+        j       p1
+p0_hit:
+        addi    s1, s1, 1
+
+        # pos 1: operand lead-in (value, immediate, fn ref, ...).
+p1:
+        lbu     t0, 1(s0)
+        li      t1, 'v'
+        beq     t0, t1, p1_hit
+        li      t1, 'i'
+        beq     t0, t1, p1_hit
+        li      t1, 'f'
+        beq     t0, t1, p1_hit
+        li      t1, 'b'
+        beq     t0, t1, p1_hit
+        li      t1, 's'
+        beq     t0, t1, p1_hit
+        li      t1, '%'
+        beq     t0, t1, p1_hit
+        j       p2
+p1_hit:
+        addi    s1, s1, 1
+
+        # pos 2: type prefix ('.', or the leading digit of i32/i64).
+p2:
+        lbu     t0, 2(s0)
+        li      t1, '.'
+        beq     t0, t1, p2_hit
+        li      t1, '3'
+        beq     t0, t1, p2_hit
+        li      t1, '6'
+        beq     t0, t1, p2_hit
+        j       p3
+p2_hit:
+        addi    s1, s1, 1
+
+        # pos 3: type width digit.
+p3:
+        lbu     t0, 3(s0)
+        li      t1, '2'
+        beq     t0, t1, p3_hit
+        li      t1, '4'
+        beq     t0, t1, p3_hit
+        li      t1, '8'
+        beq     t0, t1, p3_hit
+        j       p4
+p3_hit:
+        addi    s1, s1, 1
+
+        # pos 4: operand separator.
+p4:
+        lbu     t0, 4(s0)
+        li      t1, ' '
+        beq     t0, t1, p4_hit
+        li      t1, ','
+        beq     t0, t1, p4_hit
+        j       p5
+p4_hit:
+        addi    s1, s1, 1
+
+        # pos 5: line terminator.
+p5:
+        lbu     t0, 5(s0)
+        li      t1, '\n'
+        beq     t0, t1, p5_hit
+        j       done
+p5_hit:
+        addi    s1, s1, 1
+
+done:
+        mv      a0, s1                 # exit code = number of matches
+        lw      ra, 12(sp)
+        lw      s0, 8(sp)
+        lw      s1, 4(sp)
+        addi    sp, sp, 16
+        ret

@@ -1,0 +1,47 @@
+# insertion-sort — Table I workload: sort 7 symbolic bytes.
+#
+# Textbook insertion sort. The inner while-loop compares the key against
+# a[j-1] (symbolic) and stops either on the comparison or on the concrete
+# j == 0 bound; the feasible outcome sequences are the 7! = 5040 relative
+# orderings of the inputs — the paper's Table I path count.
+
+        .data
+buf:    .space  7
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 7
+        call    sym_input
+
+        la      t6, buf
+        li      t0, 1                  # i = 1
+outer:
+        li      t1, 7
+        bge     t0, t1, done           # concrete loop branch
+        add     t2, t6, t0
+        lbu     t3, 0(t2)              # key = a[i]
+        mv      t4, t0                 # j = i
+inner:
+        beqz    t4, place              # concrete: hit the front
+        add     t2, t6, t4
+        lbu     t5, -1(t2)             # a[j-1]
+        bleu    t5, t3, place          # symbolic: a[j-1] <= key -> stop
+        sb      t5, 0(t2)              # a[j] = a[j-1]
+        addi    t4, t4, -1
+        j       inner
+place:
+        add     t2, t6, t4
+        sb      t3, 0(t2)              # a[j] = key
+        addi    t0, t0, 1
+        j       outer
+
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        li      a0, 0
+        ret

@@ -1,0 +1,33 @@
+# madd-kernel — the Sect. IV custom-instruction case study.
+#
+# Uses the custom MADD instruction (rd = rs1*rs2 + rs3, registered at
+# runtime from the Fig. 3 encoding + Fig. 4 semantics) on one symbolic
+# byte x and branches on x*x + x == 30. Exactly one byte satisfies it
+# (x == 5), so exploration yields 2 paths and the solver must invert the
+# madd semantics to find the magic input. Requires the extended opcode
+# table: a plain RV32IM engine traps with an illegal instruction here.
+
+        .data
+buf:    .space  1
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 1
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)              # x (zero-extended byte)
+        madd    t2, t1, t1, t1         # t2 = x*x + x
+        li      t3, 30
+        bne     t2, t3, done           # symbolic
+        li      a0, '!'
+        call    putchar
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        li      a0, 0
+        ret

@@ -1,0 +1,50 @@
+# parse-word — the paper's Fig. 5 program.
+#
+# Reads one 32-bit word x of symbolic input and checks two assertions:
+#
+#   if (x == 1)  assert(x << 31 != 0);   // id 4: holds for every x == 1
+#   else         assert(x << 31 == 0);   // id 6: violated by any odd x != 1
+#
+# Assertion failures branch into the report_fail stub (they are ordinary
+# branches, not engine hooks), so translation bugs show up purely as path
+# differences. Under angr lifter bug #4 the I-type shift amount 31 is
+# sign-extended to -1 and the saturating shift yields 0: the id-4 assert
+# then "fails" on x == 1 (false positive) while the id-6 violation becomes
+# unreachable (false negative) — exactly the paper's Fig. 5 outcome.
+
+        .data
+buf:    .space  4
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 4
+        call    sym_input
+        la      t0, buf
+        lw      t1, 0(t0)              # x
+        li      t2, 1
+        beq     t1, t2, x_is_one       # symbolic
+
+        # x != 1: assert(x << 31 == 0), i.e. x must be even.
+        slli    t3, t1, 31
+        beqz    t3, done               # symbolic
+        li      a0, 6
+        call    report_fail
+        j       done
+
+x_is_one:
+        # x == 1: assert(x << 31 != 0) — can only fail under lifter bug #4.
+        slli    t3, t1, 31
+        bnez    t3, done               # symbolic
+        li      a0, 4
+        call    report_fail
+
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        li      a0, 0
+        ret

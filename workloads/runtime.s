@@ -1,0 +1,36 @@
+# runtime.s — shared startup and engine-syscall stubs.
+#
+# load_workload() prepends this file to every workload source. The runtime
+# keeps all of its own control flow concrete so it contributes no symbolic
+# branches: path counts are determined entirely by the workload.
+#
+# Syscall ABI (src/core/syscalls.hpp): number in a7, arguments in a0/a1.
+
+        .text
+        .global _start
+_start:
+        call    main
+        # Fall through into exit(a0): main's return value is the exit code.
+exit:                           # exit(a0 = code): stop this path
+        li      a7, 93
+        ecall
+halt:                           # not reached (kSysExit stops the machine)
+        j       halt
+
+        .global sym_input
+sym_input:                      # sym_input(a0 = buf, a1 = len)
+        li      a7, 2
+        ecall
+        ret
+
+        .global putchar
+putchar:                        # putchar(a0 = byte)
+        li      a7, 1
+        ecall
+        ret
+
+        .global report_fail
+report_fail:                    # report_fail(a0 = failure id)
+        li      a7, 3
+        ecall
+        ret

