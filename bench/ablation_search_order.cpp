@@ -1,10 +1,13 @@
 // Ablation: path-selection strategy (DESIGN.md design-choice #2).
 //
-// The paper's BinSym uses depth-first search. This harness compares DFS
-// against BFS on the evaluation workloads: identical final path counts
-// (completeness is search-order independent on fully-explorable programs),
-// but different worklist footprints and different time-to-first-failure —
-// the trade SE engines actually care about.
+// The paper's BinSym uses depth-first search. This harness compares every
+// SearchStrategy implementation (DFS, BFS, random-path, coverage-guided) on
+// the evaluation workloads: identical final path counts (completeness is
+// search-order independent on fully-explorable programs), but different
+// worklist footprints and different time-to-first-failure — the trade SE
+// engines actually care about.
+//
+//   ablation_search_order [--quick] [--jobs N]
 #include <cstdio>
 #include <cstring>
 
@@ -17,22 +20,24 @@ namespace {
 struct Run {
   uint64_t paths = 0;
   uint64_t first_failure_path = 0;  // 0 == none found
+  uint64_t peak_frontier = 0;
   double seconds = 0;
 };
 
-Run explore(bench::EngineInstance& engine, core::SearchOrder order,
-            uint64_t max_paths) {
+Run explore(const bench::EngineSetup& setup, core::SearchKind kind,
+            uint64_t max_paths, unsigned jobs) {
   core::EngineOptions options;
   options.max_paths = max_paths;
-  options.search_order = order;
-  core::DseEngine dse(*engine.executor, smt::make_z3_solver(*engine.ctx),
-                      options);
+  options.search = kind;
+  options.jobs = jobs;
   Run run;
-  core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
-    if (!path.trace.failures.empty() && run.first_failure_path == 0)
-      run.first_failure_path = path.index + 1;
-  });
+  core::EngineStats stats = bench::explore_parallel(
+      "binsym", setup, options, [&](const core::PathResult& path) {
+        if (!path.trace.failures.empty() && run.first_failure_path == 0)
+          run.first_failure_path = path.index + 1;
+      });
   run.paths = stats.paths;
+  run.peak_frontier = stats.peak_frontier;
   run.seconds = stats.seconds;
   return run;
 }
@@ -40,7 +45,13 @@ Run explore(bench::EngineInstance& engine, core::SearchOrder order,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = bench::parse_jobs_arg(argv[++i]);
+  }
   uint64_t max_paths = quick ? 150 : 2000;
 
   isa::OpcodeTable table;
@@ -48,10 +59,11 @@ int main(int argc, char** argv) {
   spec::Registry registry;
   spec::install_rv32im(registry, table);
 
-  std::printf("ABLATION: PATH SELECTION (BinSym engine, %llu-path budget)\n",
-              static_cast<unsigned long long>(max_paths));
-  std::printf("%-16s %10s %10s %12s %12s\n", "Benchmark", "DFS paths",
-              "BFS paths", "DFS time(s)", "BFS time(s)");
+  std::printf(
+      "ABLATION: PATH SELECTION (BinSym engine, %llu-path budget, %u jobs)\n",
+      static_cast<unsigned long long>(max_paths), jobs);
+  std::printf("%-16s %-9s %10s %10s %10s %15s\n", "Benchmark", "strategy",
+              "paths", "time(s)", "frontier", "first-failure");
 
   bool counts_agree = true;
   std::vector<std::string> names;
@@ -63,21 +75,20 @@ int main(int argc, char** argv) {
     core::Program program = workloads::load_workload_or_exit(table, name);
     bench::EngineSetup setup{decoder, registry, program};
 
-    bench::EngineInstance dfs_engine = bench::make_binsym(setup);
-    Run dfs = explore(dfs_engine, core::SearchOrder::kDepthFirst, max_paths);
-    bench::EngineInstance bfs_engine = bench::make_binsym(setup);
-    Run bfs = explore(bfs_engine, core::SearchOrder::kBreadthFirst, max_paths);
-
-    std::printf("%-16s %10llu %10llu %12.3f %12.3f", name.c_str(),
-                static_cast<unsigned long long>(dfs.paths),
-                static_cast<unsigned long long>(bfs.paths), dfs.seconds,
-                bfs.seconds);
-    if (dfs.first_failure_path || bfs.first_failure_path)
-      std::printf("   first-failure: dfs@%llu bfs@%llu",
-                  static_cast<unsigned long long>(dfs.first_failure_path),
-                  static_cast<unsigned long long>(bfs.first_failure_path));
-    std::printf("\n");
-    counts_agree = counts_agree && dfs.paths == bfs.paths;
+    uint64_t reference_paths = 0;
+    for (core::SearchKind kind : core::all_search_kinds()) {
+      Run run = explore(setup, kind, max_paths, jobs);
+      std::printf("%-16s %-9s %10llu %10.3f %10llu", name.c_str(),
+                  core::search_kind_name(kind),
+                  static_cast<unsigned long long>(run.paths), run.seconds,
+                  static_cast<unsigned long long>(run.peak_frontier));
+      if (run.first_failure_path)
+        std::printf(" %14llu",
+                    static_cast<unsigned long long>(run.first_failure_path));
+      std::printf("\n");
+      if (reference_paths == 0) reference_paths = run.paths;
+      counts_agree = counts_agree && run.paths == reference_paths;
+    }
   }
 
   std::printf("\npath counts search-order independent: %s\n",

@@ -6,8 +6,15 @@
 //   binsec-like = IrExecutor (cached lifting, correct)
 //   symex-vp    = VpExecutor (spec interpretation behind a modelled bus)
 //   binsym      = BinSymExecutor (spec interpretation, direct)
+//
+// Every construction path funnels through build_worker(), so the owned
+// single-instance form (EngineInstance) and the per-worker parallel form
+// (WorkerFactory) can never drift apart.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -23,11 +30,58 @@
 
 namespace binsym::bench {
 
+struct EngineSetup {
+  const isa::Decoder& decoder;
+  const spec::Registry& registry;
+  const core::Program& program;
+};
+
+/// CLI spellings accepted by every harness: binsym, vp, binsec, angr,
+/// angr-buggy.
+inline bool known_engine(const std::string& engine) {
+  return engine == "binsym" || engine == "vp" || engine == "binsec" ||
+         engine == "angr" || engine == "angr-buggy";
+}
+
+/// The one per-engine construction path. Returns resources with a null
+/// executor for unknown names. `bugs` applies to the lifter-based engines
+/// ("angr-buggy" forces LifterBugs::all()); `with_solver` skips backend
+/// construction for callers that bring their own.
+inline core::WorkerResources build_worker(
+    const std::string& engine, const EngineSetup& s,
+    baseline::LifterBugs bugs = baseline::LifterBugs::none(),
+    bool with_solver = true) {
+  core::WorkerResources r;
+  if (!known_engine(engine)) return r;
+  r.ctx = std::make_unique<smt::Context>();
+  if (engine == "binsym") {
+    r.executor = std::make_unique<core::BinSymExecutor>(*r.ctx, s.decoder,
+                                                        s.registry, s.program);
+  } else if (engine == "vp") {
+    r.executor = std::make_unique<vp::VpExecutor>(*r.ctx, s.decoder,
+                                                  s.registry, s.program);
+  } else if (engine == "binsec" || engine == "angr" ||
+             engine == "angr-buggy") {
+    if (engine == "angr-buggy") bugs = baseline::LifterBugs::all();
+    auto lifter = std::make_shared<baseline::Lifter>(bugs);
+    if (engine == "binsec") {
+      r.executor = std::make_unique<baseline::IrExecutor>(*r.ctx, s.decoder,
+                                                          *lifter, s.program);
+    } else {
+      r.executor = std::make_unique<baseline::BoxedIrExecutor>(
+          *r.ctx, s.decoder, *lifter, s.program);
+    }
+    r.keepalive = std::move(lifter);
+  }
+  if (with_solver) r.solver = smt::make_z3_solver(*r.ctx);
+  return r;
+}
+
 /// Everything one engine instance needs, with owned lifetimes.
 struct EngineInstance {
   std::string label;
+  std::shared_ptr<void> keepalive;  // extra executor state (e.g. the lifter)
   std::unique_ptr<smt::Context> ctx;
-  std::unique_ptr<baseline::Lifter> lifter;  // baseline engines only
   std::unique_ptr<core::Executor> executor;
 
   core::EngineStats explore(core::EngineOptions options = {}) {
@@ -36,48 +90,74 @@ struct EngineInstance {
   }
 };
 
-struct EngineSetup {
-  const isa::Decoder& decoder;
-  const spec::Registry& registry;
-  const core::Program& program;
-};
+inline EngineInstance make_engine(std::string label, const std::string& engine,
+                                  const EngineSetup& s,
+                                  baseline::LifterBugs bugs = {}) {
+  core::WorkerResources r =
+      build_worker(engine, s, bugs, /*with_solver=*/false);
+  EngineInstance e;
+  e.label = std::move(label);
+  e.keepalive = std::move(r.keepalive);
+  e.ctx = std::move(r.ctx);
+  e.executor = std::move(r.executor);
+  return e;
+}
 
 inline EngineInstance make_binsym(const EngineSetup& s) {
-  EngineInstance e;
-  e.label = "BinSym";
-  e.ctx = std::make_unique<smt::Context>();
-  e.executor = std::make_unique<core::BinSymExecutor>(*e.ctx, s.decoder,
-                                                      s.registry, s.program);
-  return e;
+  return make_engine("BinSym", "binsym", s);
 }
 
 inline EngineInstance make_vp(const EngineSetup& s) {
-  EngineInstance e;
-  e.label = "SymEx-VP";
-  e.ctx = std::make_unique<smt::Context>();
-  e.executor = std::make_unique<vp::VpExecutor>(*e.ctx, s.decoder, s.registry,
-                                                s.program);
-  return e;
+  return make_engine("SymEx-VP", "vp", s);
 }
 
 inline EngineInstance make_binsec(const EngineSetup& s) {
-  EngineInstance e;
-  e.label = "BinSec";
-  e.ctx = std::make_unique<smt::Context>();
-  e.lifter = std::make_unique<baseline::Lifter>(baseline::LifterBugs::none());
-  e.executor = std::make_unique<baseline::IrExecutor>(*e.ctx, s.decoder,
-                                                      *e.lifter, s.program);
-  return e;
+  return make_engine("BinSec", "binsec", s);
 }
 
 inline EngineInstance make_angr(const EngineSetup& s, baseline::LifterBugs bugs) {
-  EngineInstance e;
-  e.label = bugs.any() ? "angr(buggy)" : "angr(fixed)";
-  e.ctx = std::make_unique<smt::Context>();
-  e.lifter = std::make_unique<baseline::Lifter>(bugs);
-  e.executor = std::make_unique<baseline::BoxedIrExecutor>(*e.ctx, s.decoder,
-                                                           *e.lifter, s.program);
-  return e;
+  return make_engine(bugs.any() ? "angr(buggy)" : "angr(fixed)", "angr", s,
+                     bugs);
+}
+
+// -- Worker factories (parallel exploration). -------------------------------
+
+/// A WorkerFactory builds one context + executor + solver per worker; the
+/// EngineSetup's decoder/registry/program are shared read-only across the
+/// pool. Returns a null factory for unknown engine names.
+inline core::WorkerFactory make_worker_factory(const std::string& engine,
+                                               const EngineSetup& s) {
+  if (!known_engine(engine)) return nullptr;
+  return [engine, s](unsigned) { return build_worker(engine, s); };
+}
+
+/// One-call parallel exploration for benches: build the factory, run the
+/// engine with `options`, return merged stats.
+inline core::EngineStats explore_parallel(
+    const std::string& engine, const EngineSetup& s,
+    core::EngineOptions options,
+    const core::DseEngine::PathCallback& on_path = nullptr) {
+  core::DseEngine dse(make_worker_factory(engine, s), options);
+  return dse.explore(on_path);
+}
+
+// -- Shared CLI flag parsing (--jobs / --search). ---------------------------
+
+/// Parse a --search value; prints a diagnostic and returns false on an
+/// unknown strategy name.
+inline bool parse_search_arg(const char* arg, core::SearchKind* out) {
+  auto kind = core::parse_search_kind(arg);
+  if (!kind) {
+    std::fprintf(stderr, "unknown search strategy '%s'\n", arg);
+    return false;
+  }
+  *out = *kind;
+  return true;
+}
+
+/// Parse a --jobs value; zero (or garbage) clamps to one worker.
+inline unsigned parse_jobs_arg(const char* arg) {
+  return std::max(1u, static_cast<unsigned>(std::strtoul(arg, nullptr, 0)));
 }
 
 }  // namespace binsym::bench

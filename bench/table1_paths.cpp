@@ -8,6 +8,7 @@
 // misses paths on base64-encode (large miss, load-extension bug) and
 // uri-parser (small miss, signed-comparison bug).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "engines.hpp"
@@ -15,7 +16,17 @@
 using namespace binsym;
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  core::EngineOptions base_options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      base_options.jobs = bench::parse_jobs_arg(argv[++i]);
+    } else if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
+      if (!bench::parse_search_arg(argv[++i], &base_options.search)) return 2;
+    }
+  }
 
   isa::OpcodeTable table;
   isa::Decoder decoder(table);
@@ -32,14 +43,14 @@ int main(int argc, char** argv) {
     core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
-    core::EngineOptions options;
+    core::EngineOptions options = base_options;
     if (quick) options.max_paths = 200;
 
     uint64_t angr_paths =
-        bench::make_angr(setup, baseline::LifterBugs::all()).explore(options).paths;
-    uint64_t binsec_paths = bench::make_binsec(setup).explore(options).paths;
-    uint64_t vp_paths = bench::make_vp(setup).explore(options).paths;
-    uint64_t binsym_paths = bench::make_binsym(setup).explore(options).paths;
+        bench::explore_parallel("angr-buggy", setup, options).paths;
+    uint64_t binsec_paths = bench::explore_parallel("binsec", setup, options).paths;
+    uint64_t vp_paths = bench::explore_parallel("vp", setup, options).paths;
+    uint64_t binsym_paths = bench::explore_parallel("binsym", setup, options).paths;
 
     const char* mark =
         angr_paths != binsym_paths ? " \xe2\x80\xa0" : "";  // dagger

@@ -3,13 +3,15 @@
 // engine and print exploration statistics.
 //
 //   explore <workload|path.elf> [binsym|vp|binsec|angr|angr-buggy]
-//           [--max-paths N] [--show-failures]
+//           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
+//           [--show-failures]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "../bench/engines.hpp"
+#include "core/stats.hpp"
 #include "elf/elf32.hpp"
 
 using namespace binsym;
@@ -18,6 +20,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <workload|file.elf> [engine] [--max-paths N] "
+                 "[--jobs N] [--search dfs|bfs|random|coverage] "
                  "[--show-failures]\n  engines: binsym (default), vp, "
                  "binsec, angr, angr-buggy\n",
                  argv[0]);
@@ -25,11 +28,15 @@ int main(int argc, char** argv) {
   }
   std::string target = argv[1];
   std::string engine_name = "binsym";
-  uint64_t max_paths = UINT64_MAX;
+  core::EngineOptions options;
   bool show_failures = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-paths") == 0 && i + 1 < argc) {
-      max_paths = std::strtoull(argv[++i], nullptr, 0);
+      options.max_paths = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = bench::parse_jobs_arg(argv[++i]);
+    } else if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
+      if (!bench::parse_search_arg(argv[++i], &options.search)) return 2;
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;
     } else {
@@ -67,21 +74,13 @@ int main(int argc, char** argv) {
   }
 
   bench::EngineSetup setup{decoder, registry, program};
-  bench::EngineInstance engine;
-  if (engine_name == "binsym") engine = bench::make_binsym(setup);
-  else if (engine_name == "vp") engine = bench::make_vp(setup);
-  else if (engine_name == "binsec") engine = bench::make_binsec(setup);
-  else if (engine_name == "angr") engine = bench::make_angr(setup, baseline::LifterBugs::none());
-  else if (engine_name == "angr-buggy") engine = bench::make_angr(setup, baseline::LifterBugs::all());
-  else {
+  core::WorkerFactory factory = bench::make_worker_factory(engine_name, setup);
+  if (!factory) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
 
-  core::EngineOptions options;
-  options.max_paths = max_paths;
-  core::DseEngine dse(*engine.executor, smt::make_z3_solver(*engine.ctx),
-                      options);
+  core::DseEngine dse(std::move(factory), options);
   core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
     if (show_failures && !path.trace.failures.empty()) {
       for (const core::Failure& f : path.trace.failures) {
@@ -95,25 +94,8 @@ int main(int argc, char** argv) {
     }
   });
 
-  std::printf(
-      "engine=%s target=%s\n"
-      "paths=%llu failures=%llu instructions=%llu seconds=%.3f\n"
-      "flips: attempted=%llu feasible=%llu infeasible=%llu divergences=%llu\n"
-      "solver[%s]: queries=%llu sat=%llu unsat=%llu cache-hits=%llu "
-      "solve-time=%.3fs\n",
-      engine.executor->name().c_str(), target.c_str(),
-      static_cast<unsigned long long>(stats.paths),
-      static_cast<unsigned long long>(stats.failures),
-      static_cast<unsigned long long>(stats.instructions), stats.seconds,
-      static_cast<unsigned long long>(stats.flip_attempts),
-      static_cast<unsigned long long>(stats.feasible_flips),
-      static_cast<unsigned long long>(stats.infeasible_flips),
-      static_cast<unsigned long long>(stats.divergences),
-      dse.solver().name().c_str(),
-      static_cast<unsigned long long>(stats.solver.queries),
-      static_cast<unsigned long long>(stats.solver.sat),
-      static_cast<unsigned long long>(stats.solver.unsat),
-      static_cast<unsigned long long>(stats.solver.cache_hits),
-      stats.solver.solve_seconds);
+  std::printf("engine=%s target=%s search=%s\n%s", engine_name.c_str(),
+              target.c_str(), core::search_kind_name(options.search),
+              core::engine_stats_report(stats).c_str());
   return 0;
 }

@@ -1,8 +1,12 @@
 #include "core/engine.hpp"
 
+#include <atomic>
 #include <chrono>
-#include <deque>
+#include <exception>
 #include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 
 #include "smt/smtlib.hpp"
 #include "support/format.hpp"
@@ -20,19 +24,20 @@ void dump_query(const std::string& dir, uint64_t index, smt::Context& ctx,
 
 }  // namespace
 
-DseEngine::DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
-                     EngineOptions options)
-    : executor_(executor), options_(options) {
-  if (options_.validate_models)
-    solver = std::make_unique<smt::ValidatingSolver>(std::move(solver));
-  if (options_.cache_queries)
-    solver = std::make_unique<smt::CachingSolver>(std::move(solver));
-  solver_ = std::move(solver);
+void EngineStats::merge(const EngineStats& other) {
+  paths += other.paths;
+  flip_attempts += other.flip_attempts;
+  feasible_flips += other.feasible_flips;
+  infeasible_flips += other.infeasible_flips;
+  divergences += other.divergences;
+  failures += other.failures;
+  max_branch_depth = std::max(max_branch_depth, other.max_branch_depth);
+  instructions += other.instructions;
+  solver.merge(other.solver);
 }
 
-std::vector<smt::ExprRef> DseEngine::flip_query(const PathTrace& trace,
-                                                size_t flip_index) {
-  smt::Context& ctx = executor_.context();
+std::vector<smt::ExprRef> flip_query(smt::Context& ctx, const PathTrace& trace,
+                                     size_t flip_index) {
   std::vector<smt::ExprRef> constraints;
   constraints.reserve(flip_index + trace.assumptions.size() + 1);
   // Branch prefix, in as-taken form.
@@ -51,70 +56,194 @@ std::vector<smt::ExprRef> DseEngine::flip_query(const PathTrace& trace,
   return constraints;
 }
 
-EngineStats DseEngine::explore(const PathCallback& on_path) {
-  auto start = std::chrono::steady_clock::now();
-  EngineStats stats;
+/// Exploration-wide state every worker touches. The frontier has its own
+/// lock; the path/dump counters are atomics; callback invocation and stats
+/// merging serialize on `sink_mutex`.
+struct DseEngine::Shared {
+  Frontier frontier;
+  const EngineOptions& options;
+  const PathCallback& on_path;
+  std::atomic<uint64_t> path_counter{0};
+  std::atomic<uint64_t> dump_counter{0};
+  std::mutex sink_mutex;
+  EngineStats totals;
+  std::exception_ptr first_error;
 
-  struct WorkItem {
-    smt::Assignment seed;
-    size_t bound;  // flip only branches with index >= bound on this run
-  };
+  Shared(std::unique_ptr<SearchStrategy> strategy, const EngineOptions& opts,
+         const PathCallback& callback)
+      : frontier(std::move(strategy)), options(opts), on_path(callback) {}
+};
 
-  // Worklist; the initial seed is all-zeros (every sym_input byte defaults
-  // to 0 under Assignment::get). Depth-first pops from the back,
-  // breadth-first from the front.
-  std::deque<WorkItem> worklist;
-  worklist.push_back(WorkItem{smt::Assignment{}, 0});
-  const bool dfs = options_.search_order == SearchOrder::kDepthFirst;
+DseEngine::DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
+                     EngineOptions options)
+    : executor_(&executor), options_(options) {
+  solver_ = wrap_solver(std::move(solver));
+}
 
+DseEngine::DseEngine(WorkerFactory factory, EngineOptions options)
+    : factory_(std::move(factory)), options_(options) {
+  if (!factory_)
+    throw std::invalid_argument("DseEngine: null worker factory");
+}
+
+DseEngine::~DseEngine() = default;
+
+smt::Solver& DseEngine::solver() {
+  if (!solver_)
+    throw std::logic_error(
+        "DseEngine::solver(): workers own their solvers in the "
+        "worker-factory form");
+  return *solver_;
+}
+
+std::unique_ptr<smt::Solver> DseEngine::wrap_solver(
+    std::unique_ptr<smt::Solver> raw) {
+  if (options_.validate_models)
+    raw = std::make_unique<smt::ValidatingSolver>(std::move(raw));
+  if (options_.cache_queries)
+    raw = std::make_unique<smt::CachingSolver>(std::move(raw));
+  return raw;
+}
+
+void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
+                            Shared& shared) {
+  smt::Context& ctx = executor.context();
+  EngineStats local;
   PathTrace trace;
-  uint64_t instructions_before = executor_.instructions_retired();
+  const uint64_t instructions_before = executor.instructions_retired();
 
-  while (!worklist.empty() && stats.paths < options_.max_paths) {
-    WorkItem item = dfs ? std::move(worklist.back()) : std::move(worklist.front());
-    if (dfs) {
-      worklist.pop_back();
-    } else {
-      worklist.pop_front();
+  FlipJob job;
+  while (shared.frontier.pop(&job)) {
+    // Claim a slot in the path budget before running; the first claim past
+    // the budget ends the whole exploration.
+    const uint64_t index = shared.path_counter.fetch_add(1);
+    if (index >= shared.options.max_paths) {
+      shared.frontier.stop();
+      break;
     }
 
-    executor_.run(item.seed, trace);
-    ++stats.paths;
-    stats.failures += trace.failures.size();
-    stats.max_branch_depth =
-        std::max<uint64_t>(stats.max_branch_depth, trace.branches.size());
-    if (on_path) on_path(PathResult{trace, item.seed, stats.paths - 1});
+    smt::Assignment seed = seed_from_job(ctx, job);
+    executor.run(seed, trace);
+    ++local.paths;
+    local.failures += trace.failures.size();
+    local.max_branch_depth =
+        std::max<uint64_t>(local.max_branch_depth, trace.branches.size());
 
     // A rerun must at least reach the branch it was scheduled to flip;
     // otherwise the program diverged from the predicted prefix.
-    if (item.bound > 0 && trace.branches.size() < item.bound)
-      ++stats.divergences;
+    if (job.bound > 0 && trace.branches.size() < job.bound)
+      ++local.divergences;
 
-    // Schedule flips. Pushing shallow flips first leaves the deepest flip
-    // on top of the stack: depth-first order.
-    for (size_t i = item.bound; i < trace.branches.size(); ++i) {
-      std::vector<smt::ExprRef> query = flip_query(trace, i);
-      ++stats.flip_attempts;
-      if (!options_.smtlib_dump_dir.empty())
-        dump_query(options_.smtlib_dump_dir, stats.flip_attempts,
-                   executor_.context(), query);
+    if (shared.on_path) {
+      std::lock_guard<std::mutex> lock(shared.sink_mutex);
+      shared.on_path(PathResult{trace, seed, index});
+    }
+    shared.frontier.observe(trace);
+
+    // Schedule flips. Under DFS, pushing shallow flips first leaves the
+    // deepest flip on top of the stack: the paper's selection order.
+    for (size_t i = job.bound; i < trace.branches.size(); ++i) {
+      // Once the exploration is stopped (budget hit, worker error) the
+      // remaining flips of this trace would only feed a dead frontier;
+      // wind down instead of spending solver time on them.
+      if (shared.frontier.stopped()) break;
+      std::vector<smt::ExprRef> query = flip_query(ctx, trace, i);
+      ++local.flip_attempts;
+      if (!shared.options.smtlib_dump_dir.empty())
+        dump_query(shared.options.smtlib_dump_dir,
+                   shared.dump_counter.fetch_add(1) + 1, ctx, query);
       smt::Assignment model;
-      smt::CheckResult result = solver_->check(query, &model);
+      smt::CheckResult result = solver.check(query, &model);
       if (result != smt::CheckResult::kSat) {
-        ++stats.infeasible_flips;
+        ++local.infeasible_flips;
         continue;
       }
-      ++stats.feasible_flips;
+      ++local.feasible_flips;
       // New seed: parent values, overridden by the model, so variables the
       // query does not mention keep their previous values.
-      smt::Assignment next_seed = item.seed;
+      smt::Assignment next_seed = seed;
       for (const auto& [var, value] : model.values) next_seed.set(var, value);
-      worklist.push_back(WorkItem{std::move(next_seed), i + 1});
+      shared.frontier.push(
+          make_flip_job(ctx, next_seed, i + 1, trace.branches[i].pc));
     }
+    shared.frontier.job_done();
   }
 
-  stats.instructions = executor_.instructions_retired() - instructions_before;
-  stats.solver = solver_->stats();
+  local.instructions = executor.instructions_retired() - instructions_before;
+  local.solver = solver.stats();
+  std::lock_guard<std::mutex> lock(shared.sink_mutex);
+  shared.totals.merge(local);
+}
+
+EngineStats DseEngine::explore(const PathCallback& on_path) {
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned jobs = std::max(1u, options_.jobs);
+  if (jobs > 1 && !factory_)
+    throw std::invalid_argument(
+        "DseEngine: jobs > 1 requires the worker-factory constructor (each "
+        "worker needs its own executor and context)");
+
+  Shared shared(make_search_strategy(options_.search, options_.rng_seed),
+                options_, on_path);
+  // The root job: all-zero input seed (every sym_input byte defaults to 0
+  // under Assignment::get), nothing pinned.
+  shared.frontier.push(FlipJob{});
+
+  std::string solver_name;
+  if (jobs == 1) {
+    // Sequential fast path: the same loop, inline on the calling thread —
+    // single-thread behavior is identical to the classic offline engine.
+    if (factory_) {
+      WorkerResources res = factory_(0);
+      std::unique_ptr<smt::Solver> solver = wrap_solver(std::move(res.solver));
+      solver_name = solver->name();
+      worker_loop(*res.executor, *solver, shared);
+    } else {
+      solver_name = solver_->name();
+      worker_loop(*executor_, *solver_, shared);
+    }
+  } else {
+    // Build every worker's resources up front (the factory need not be
+    // thread-safe), then let the pool drain the frontier.
+    struct Worker {
+      WorkerResources res;
+      std::unique_ptr<smt::Solver> solver;
+    };
+    std::vector<Worker> workers;
+    workers.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) {
+      Worker w;
+      w.res = factory_(i);
+      w.solver = wrap_solver(std::move(w.res.solver));
+      workers.push_back(std::move(w));
+    }
+    solver_name = workers.front().solver->name();
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) {
+      Worker& w = workers[i];
+      pool.emplace_back([this, &w, &shared] {
+        try {
+          worker_loop(*w.res.executor, *w.solver, shared);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(shared.sink_mutex);
+            if (!shared.first_error)
+              shared.first_error = std::current_exception();
+          }
+          shared.frontier.stop();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (shared.first_error) std::rethrow_exception(shared.first_error);
+  }
+
+  EngineStats stats = std::move(shared.totals);
+  stats.workers = jobs;
+  stats.peak_frontier = shared.frontier.peak_size();
+  stats.solver_name = std::move(solver_name);
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -1,44 +1,58 @@
-// The DSE engine: offline executor with depth-first search path selection.
+// The DSE engine: offline executor with pluggable path selection and an
+// optional worker pool.
 //
-// Implements exactly the algorithm the paper attributes to BinSym
-// (Sect. III-B): "an offline executor, which continuously restarts execution
-// of the SUT with input values obtained for branch points from the solver
-// ... dynamic symbolic execution with depth-first search path selection and
-// address concretization".
+// Implements the algorithm the paper attributes to BinSym (Sect. III-B):
+// "an offline executor, which continuously restarts execution of the SUT
+// with input values obtained for branch points from the solver ... dynamic
+// symbolic execution with depth-first search path selection and address
+// concretization" — generalized into three cooperating components:
 //
-// The driver is generic over Executor, so all four engines of the
-// evaluation share one search strategy; only the instruction->SMT
-// translation differs, which is the comparison the paper makes.
+//   SearchStrategy (search.hpp)  — which pending branch flip to take next;
+//   Frontier       (frontier.hpp)— thread-safe work queue of FlipJobs;
+//   worker pool    (this file)   — each worker owns an Executor +
+//                                  smt::Context + solver backend and drains
+//                                  the frontier.
+//
+// The driver stays generic over Executor, so all four engines of the
+// evaluation share one search implementation; only the instruction->SMT
+// translation differs, which is the comparison the paper makes. With
+// jobs == 1 the same worker loop runs inline on the calling thread and
+// reproduces the classic sequential exploration exactly (same path order,
+// same counts, same queries).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/frontier.hpp"
 #include "core/path.hpp"
+#include "core/search.hpp"
 #include "smt/cache.hpp"
 #include "smt/solver.hpp"
 
 namespace binsym::core {
 
-/// Path selection order. The paper's BinSym uses depth-first selection;
-/// breadth-first is provided as an ablation — on fully-explorable programs
-/// both enumerate the same paths (tested), they only differ in discovery
-/// order and worklist footprint.
-enum class SearchOrder : uint8_t { kDepthFirst, kBreadthFirst };
-
 struct EngineOptions {
   uint64_t max_paths = UINT64_MAX;
-  SearchOrder search_order = SearchOrder::kDepthFirst;
-  /// Wrap the backend in the query cache (identical prefix queries recur).
+  /// Path selection policy (see search.hpp). The paper's BinSym uses DFS.
+  SearchKind search = SearchKind::kDepthFirst;
+  /// Worker count. 1 = sequential on the calling thread (no threads
+  /// spawned); > 1 requires the worker-factory constructor.
+  unsigned jobs = 1;
+  /// Seed for SearchKind::kRandomPath (reproducible schedules).
+  uint64_t rng_seed = 1;
+  /// Wrap each backend in the query cache (identical prefix queries recur).
   bool cache_queries = true;
   /// Validate every sat model by concrete evaluation (testing aid).
   bool validate_models = false;
   /// When non-empty: write every branch-flip query as a standalone SMT-LIB
   /// file (query-000001.smt2, ...) into this directory — a reproducibility
   /// artifact (any SMT-LIB solver can replay the exploration's queries).
+  /// Numbering is a global claim order across workers.
   std::string smtlib_dump_dir;
 };
 
@@ -51,42 +65,84 @@ struct EngineStats {
   uint64_t failures = 0;         // report_fail events across all paths
   uint64_t max_branch_depth = 0;
   uint64_t instructions = 0;
+  uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
+  unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration
-  smt::SolverStats solver;
+  std::string solver_name;       // backend name incl. wrappers, for reports
+  smt::SolverStats solver;       // merged across workers
+
+  /// Fold one worker's partial stats in (solver stats merge too; wall-clock
+  /// `seconds`, `workers` and `peak_frontier` are set by the engine).
+  void merge(const EngineStats& other);
 };
 
-/// One finished path, handed to the per-path callback.
+/// One finished path, handed to the per-path callback. `index` is the
+/// global path claim order; with several workers callbacks arrive in
+/// completion order (serialized, but indices may interleave).
 struct PathResult {
   const PathTrace& trace;
   const smt::Assignment& seed;
   uint64_t index;
 };
 
+/// Everything one worker owns. `keepalive` carries any extra per-worker
+/// state the executor borrows (e.g. a baseline Lifter) and is declared
+/// first so it is destroyed last; likewise the context outlives the
+/// executor and solver built over it.
+struct WorkerResources {
+  std::shared_ptr<void> keepalive;
+  std::unique_ptr<smt::Context> ctx;
+  std::unique_ptr<Executor> executor;
+  std::unique_ptr<smt::Solver> solver;  // raw backend over *ctx
+};
+
+/// Builds the resources for worker `index`; called once per worker, from
+/// the engine's thread before the pool starts (the factory itself need not
+/// be thread-safe).
+using WorkerFactory = std::function<WorkerResources(unsigned index)>;
+
 class DseEngine {
  public:
   using PathCallback = std::function<void(const PathResult&)>;
 
-  /// `solver` is the raw backend (e.g. from smt::make_z3_solver);
-  /// ownership is taken so the engine can layer cache/validation wrappers.
+  /// Single-executor form: exploration borrows `executor` and runs
+  /// sequentially on the calling thread. `solver` is the raw backend (e.g.
+  /// from smt::make_z3_solver); ownership is taken so the engine can layer
+  /// cache/validation wrappers. Requires options.jobs == 1.
   DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
             EngineOptions options = {});
+
+  /// Worker-pool form: `factory` builds one executor + context + solver per
+  /// worker (options.jobs of them). With jobs == 1 this behaves exactly
+  /// like the single-executor form over factory(0)'s resources.
+  DseEngine(WorkerFactory factory, EngineOptions options = {});
+
+  ~DseEngine();
 
   /// Run the exploration to completion (or `max_paths`) starting from the
   /// all-zero input seed.
   EngineStats explore(const PathCallback& on_path = nullptr);
 
-  smt::Solver& solver() { return *solver_; }
+  /// The wrapped solver of the single-executor form. Only valid for that
+  /// constructor (workers own their solvers privately).
+  smt::Solver& solver();
 
  private:
-  /// Build the constraint set that pins branches [0, flip_index) as
-  /// executed, includes assumptions made up to the flip point, and negates
-  /// branch `flip_index`.
-  std::vector<smt::ExprRef> flip_query(const PathTrace& trace,
-                                       size_t flip_index);
+  struct Shared;  // exploration-wide mutable state (engine.cpp)
 
-  Executor& executor_;
-  std::unique_ptr<smt::Solver> solver_;
+  std::unique_ptr<smt::Solver> wrap_solver(std::unique_ptr<smt::Solver> raw);
+  void worker_loop(Executor& executor, smt::Solver& solver, Shared& shared);
+
+  Executor* executor_ = nullptr;          // single-executor form
+  std::unique_ptr<smt::Solver> solver_;   // single-executor form (wrapped)
+  WorkerFactory factory_;                 // worker-pool form
   EngineOptions options_;
 };
+
+/// Build the constraint set that pins branches [0, flip_index) as executed,
+/// includes assumptions made up to the flip point, and negates branch
+/// `flip_index`. Exposed for tests and tooling.
+std::vector<smt::ExprRef> flip_query(smt::Context& ctx, const PathTrace& trace,
+                                     size_t flip_index);
 
 }  // namespace binsym::core

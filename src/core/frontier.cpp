@@ -1,0 +1,62 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+
+namespace binsym::core {
+
+void Frontier::push(FlipJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.seq = next_seq_++;
+    strategy_->push(std::move(job));
+    peak_ = std::max(peak_, strategy_->size());
+  }
+  work_available_.notify_one();
+}
+
+bool Frontier::pop(FlipJob* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    if (!strategy_->empty()) {
+      *out = strategy_->pop();
+      ++active_;
+      return true;
+    }
+    if (active_ == 0) return false;  // drained: nobody can produce more work
+    work_available_.wait(lock);
+  }
+}
+
+void Frontier::job_done() {
+  bool drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained = --active_ == 0 && strategy_->empty();
+  }
+  // Waking everyone lets blocked workers observe termination; when new work
+  // was pushed instead, push() already notified.
+  if (drained) work_available_.notify_all();
+}
+
+void Frontier::observe(const PathTrace& trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  strategy_->observe(trace);
+}
+
+void Frontier::stop() {
+  {
+    // The mutex is still taken so the store cannot slip between a blocked
+    // worker's predicate check and its wait().
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_.store(true, std::memory_order_release);
+  }
+  work_available_.notify_all();
+}
+
+size_t Frontier::peak_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+}  // namespace binsym::core

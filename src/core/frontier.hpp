@@ -1,0 +1,72 @@
+// Thread-safe exploration frontier.
+//
+// The Frontier is the hand-off point between path selection and path
+// execution: workers pop pending FlipJobs, execute them, and push the
+// feasible child flips back. It wraps a single (single-threaded)
+// SearchStrategy behind one mutex and adds the two things a worker pool
+// needs on top of a queue:
+//
+//   * blocking pop with distributed-termination detection: an empty queue
+//     does not mean "done" while any worker still holds a popped job (it may
+//     yet push children), so pop blocks until either work arrives or every
+//     in-flight job has completed (`job_done`), at which point all blocked
+//     workers drain with `false`;
+//   * cooperative shutdown (`stop`) for path budgets and error exits.
+//
+// With one worker the same code runs the classic sequential loop: pop never
+// blocks, because between the worker's own `job_done` and the next pop the
+// queue is either non-empty or exploration is finished.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/search.hpp"
+
+namespace binsym::core {
+
+class Frontier {
+ public:
+  explicit Frontier(std::unique_ptr<SearchStrategy> strategy)
+      : strategy_(std::move(strategy)) {}
+
+  Frontier(const Frontier&) = delete;
+  Frontier& operator=(const Frontier&) = delete;
+
+  /// Enqueue a job (stamps the global insertion sequence number).
+  void push(FlipJob job);
+
+  /// Dequeue the next job per the strategy. Blocks while the queue is empty
+  /// but other workers are still expanding jobs. Returns false when the
+  /// exploration is over: stopped, or no jobs pending anywhere.
+  bool pop(FlipJob* out);
+
+  /// Balance a successful pop once the job's expansion (execution + child
+  /// pushes) is finished.
+  void job_done();
+
+  /// Feed a finished path to the strategy (coverage-guided priorities).
+  void observe(const PathTrace& trace);
+
+  /// Abort: wake every blocked worker; all subsequent pops return false.
+  void stop();
+
+  /// Lock-free (workers poll this in their flip-scheduling hot loop).
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+  /// High-water mark of pending jobs (worklist-footprint statistics).
+  size_t peak_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::unique_ptr<SearchStrategy> strategy_;
+  uint64_t next_seq_ = 0;
+  size_t active_ = 0;  // jobs popped but not yet job_done()'d
+  size_t peak_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace binsym::core

@@ -1,0 +1,174 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace binsym::core {
+
+const char* search_kind_name(SearchKind kind) {
+  switch (kind) {
+    case SearchKind::kDepthFirst:     return "dfs";
+    case SearchKind::kBreadthFirst:   return "bfs";
+    case SearchKind::kRandomPath:     return "random";
+    case SearchKind::kCoverageGuided: return "coverage";
+  }
+  return "?";
+}
+
+std::optional<SearchKind> parse_search_kind(std::string_view name) {
+  if (name == "dfs") return SearchKind::kDepthFirst;
+  if (name == "bfs") return SearchKind::kBreadthFirst;
+  if (name == "random") return SearchKind::kRandomPath;
+  if (name == "coverage") return SearchKind::kCoverageGuided;
+  return std::nullopt;
+}
+
+const std::vector<SearchKind>& all_search_kinds() {
+  static const std::vector<SearchKind> kinds = {
+      SearchKind::kDepthFirst, SearchKind::kBreadthFirst,
+      SearchKind::kRandomPath, SearchKind::kCoverageGuided};
+  return kinds;
+}
+
+FlipJob make_flip_job(const smt::Context& ctx, const smt::Assignment& seed,
+                      size_t bound, uint32_t flip_pc) {
+  FlipJob job;
+  job.bound = bound;
+  job.flip_pc = flip_pc;
+  job.seed.reserve(seed.values.size());
+  for (const auto& [var_id, value] : seed.values) {
+    const smt::VarInfo& info = ctx.var_info(var_id);
+    job.seed.push_back(SeedEntry{info.name, info.width, value});
+  }
+  return job;
+}
+
+smt::Assignment seed_from_job(smt::Context& ctx, const FlipJob& job) {
+  smt::Assignment seed;
+  for (const SeedEntry& entry : job.seed)
+    seed.set(ctx.var(entry.name, entry.width)->var_id, entry.value);
+  return seed;
+}
+
+namespace {
+
+class DepthFirstStrategy final : public SearchStrategy {
+ public:
+  const char* name() const override { return "dfs"; }
+  void push(FlipJob job) override { jobs_.push_back(std::move(job)); }
+  FlipJob pop() override {
+    FlipJob job = std::move(jobs_.back());
+    jobs_.pop_back();
+    return job;
+  }
+  bool empty() const override { return jobs_.empty(); }
+  size_t size() const override { return jobs_.size(); }
+
+ private:
+  std::vector<FlipJob> jobs_;
+};
+
+class BreadthFirstStrategy final : public SearchStrategy {
+ public:
+  const char* name() const override { return "bfs"; }
+  void push(FlipJob job) override { jobs_.push_back(std::move(job)); }
+  FlipJob pop() override {
+    FlipJob job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+  bool empty() const override { return jobs_.empty(); }
+  size_t size() const override { return jobs_.size(); }
+
+ private:
+  std::deque<FlipJob> jobs_;
+};
+
+class RandomPathStrategy final : public SearchStrategy {
+ public:
+  explicit RandomPathStrategy(uint64_t seed) : rng_(seed) {}
+
+  const char* name() const override { return "random"; }
+  void push(FlipJob job) override { jobs_.push_back(std::move(job)); }
+  FlipJob pop() override {
+    size_t index = static_cast<size_t>(rng_.below(jobs_.size()));
+    std::swap(jobs_[index], jobs_.back());
+    FlipJob job = std::move(jobs_.back());
+    jobs_.pop_back();
+    return job;
+  }
+  bool empty() const override { return jobs_.empty(); }
+  size_t size() const override { return jobs_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<FlipJob> jobs_;
+};
+
+// Prefer flips at branch sites the exploration has visited least: a cheap
+// novelty heuristic (KLEE's covnew in spirit). Visit counts come from
+// observe(); ties break on insertion order so the schedule is deterministic
+// for a fixed arrival order.
+class CoverageGuidedStrategy final : public SearchStrategy {
+ public:
+  const char* name() const override { return "coverage"; }
+  void push(FlipJob job) override { jobs_.push_back(std::move(job)); }
+
+  FlipJob pop() override {
+    size_t best = 0;
+    uint64_t best_visits = visits(jobs_[0].flip_pc);
+    for (size_t i = 1; i < jobs_.size(); ++i) {
+      uint64_t v = visits(jobs_[i].flip_pc);
+      if (v < best_visits ||
+          (v == best_visits && jobs_[i].seq < jobs_[best].seq)) {
+        best = i;
+        best_visits = v;
+      }
+    }
+    FlipJob job = std::move(jobs_[best]);
+    // Swap-with-back erase: selection always rescans, so element order is
+    // immaterial and the O(n) tail shift (FlipJobs carry seed strings) can
+    // be avoided.
+    if (best + 1 != jobs_.size()) jobs_[best] = std::move(jobs_.back());
+    jobs_.pop_back();
+    return job;
+  }
+
+  bool empty() const override { return jobs_.empty(); }
+  size_t size() const override { return jobs_.size(); }
+
+  void observe(const PathTrace& trace) override {
+    for (const BranchRecord& branch : trace.branches) ++visits_[branch.pc];
+  }
+
+ private:
+  uint64_t visits(uint32_t pc) const {
+    auto it = visits_.find(pc);
+    return it == visits_.end() ? 0 : it->second;
+  }
+
+  std::vector<FlipJob> jobs_;
+  std::unordered_map<uint32_t, uint64_t> visits_;
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_search_strategy(SearchKind kind,
+                                                     uint64_t rng_seed) {
+  switch (kind) {
+    case SearchKind::kDepthFirst:
+      return std::make_unique<DepthFirstStrategy>();
+    case SearchKind::kBreadthFirst:
+      return std::make_unique<BreadthFirstStrategy>();
+    case SearchKind::kRandomPath:
+      return std::make_unique<RandomPathStrategy>(rng_seed);
+    case SearchKind::kCoverageGuided:
+      return std::make_unique<CoverageGuidedStrategy>();
+  }
+  return nullptr;
+}
+
+}  // namespace binsym::core

@@ -4,6 +4,27 @@
 
 namespace binsym::core {
 
+std::string engine_stats_report(const EngineStats& stats) {
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string out = strprintf(
+      "paths=%llu failures=%llu instructions=%llu workers=%u seconds=%.3f\n",
+      u(stats.paths), u(stats.failures), u(stats.instructions), stats.workers,
+      stats.seconds);
+  out += strprintf(
+      "flips: attempted=%llu feasible=%llu infeasible=%llu divergences=%llu "
+      "max-depth=%llu peak-frontier=%llu\n",
+      u(stats.flip_attempts), u(stats.feasible_flips),
+      u(stats.infeasible_flips), u(stats.divergences),
+      u(stats.max_branch_depth), u(stats.peak_frontier));
+  const smt::SolverStats& s = stats.solver;
+  out += strprintf(
+      "solver[%s]: queries=%llu sat=%llu unsat=%llu unknown=%llu "
+      "cache-hits=%llu cache-misses=%llu solve-time=%.3fs\n",
+      stats.solver_name.c_str(), u(s.queries), u(s.sat), u(s.unsat),
+      u(s.unknown), u(s.cache_hits), u(s.cache_misses), s.solve_seconds);
+  return out;
+}
+
 std::string BranchCoverage::report() const {
   std::string out = strprintf(
       "branch sites: %zu, fully covered (both directions): %zu\n",

@@ -8,9 +8,14 @@
 #include <map>
 #include <string>
 
+#include "core/engine.hpp"
 #include "core/path.hpp"
 
 namespace binsym::core {
+
+/// Multi-line human-readable exploration report: paths, flips, worker
+/// count, and the solver section including query-cache hits/misses.
+std::string engine_stats_report(const EngineStats& stats);
 
 /// Accumulates branch-direction coverage across explored paths, keyed by
 /// the branch site's pc.

@@ -4,17 +4,78 @@
 
 namespace binsym::smt {
 
-CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
-                                 Assignment* model) {
+namespace {
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(size_t shards)
+    : shard_count_(round_up_pow2(std::max<size_t>(shards, 1))),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> assertions) {
   std::vector<uint32_t> key;
   key.reserve(assertions.size());
   for (ExprRef assertion : assertions) {
-    // `true` assertions don't affect satisfiability and would fragment keys.
     if (assertion->is_true()) continue;
     key.push_back(assertion->id);
   }
   std::sort(key.begin(), key.end());
   key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+QueryCache::Shard& QueryCache::shard_for(const std::vector<uint32_t>& key) {
+  // FNV-1a over the id sequence; shard count is a power of two.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint32_t id : key) h = (h ^ id) * 0x100000001b3ull;
+  return shards_[h & (shard_count_ - 1)];
+}
+
+bool QueryCache::lookup(const std::vector<uint32_t>& key, Entry* out) {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (out) *out = it->second;
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void QueryCache::insert(const std::vector<uint32_t>& key, Entry entry) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries.emplace(key, std::move(entry));
+}
+
+size_t QueryCache::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    total += shards_[i].entries.size();
+  }
+  return total;
+}
+
+void QueryCache::clear() {
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    shards_[i].entries.clear();
+  }
+}
+
+CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
+                                 Assignment* model) {
+  std::vector<uint32_t> key = QueryCache::key_for(assertions);
 
   auto account = [this](CheckResult result) {
     ++stats_.queries;
@@ -25,21 +86,23 @@ CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
     }
   };
 
-  if (auto it = cache_.find(key); it != cache_.end()) {
+  QueryCache::Entry entry;
+  if (cache_->lookup(key, &entry)) {
     ++stats_.cache_hits;
-    account(it->second.result);
-    if (model && it->second.result == CheckResult::kSat)
-      *model = it->second.model;
-    return it->second.result;
+    account(entry.result);
+    if (model && entry.result == CheckResult::kSat)
+      *model = std::move(entry.model);
+    return entry.result;
   }
 
+  ++stats_.cache_misses;
   Assignment local;
   CheckResult result = inner_->check(assertions, &local);
   stats_.solve_seconds = inner_->stats().solve_seconds;
   account(result);
   if (model && result == CheckResult::kSat) *model = local;
   if (result != CheckResult::kUnknown)
-    cache_.emplace(std::move(key), Entry{result, std::move(local)});
+    cache_->insert(key, QueryCache::Entry{result, std::move(local)});
   return result;
 }
 

@@ -5,37 +5,89 @@
 // multiset of its assertion node ids, making cache lookups O(n log n) in the
 // number of assertions with no re-hashing of the DAG. Sat results keep their
 // model so a hit can reseed execution without a solver round trip.
+//
+// QueryCache is the storage: sharded and thread-safe, so it can be shared
+// by several CachingSolvers over the *same* Context (node ids are
+// per-context, so solvers over different contexts must not share one).
+// CachingSolver is the smt::Solver wrapper the engine layers over a
+// backend; it keeps per-solver hit/miss counters in its SolverStats while
+// the cache keeps process-wide atomic totals.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "smt/solver.hpp"
 
 namespace binsym::smt {
 
+class QueryCache {
+ public:
+  struct Entry {
+    CheckResult result = CheckResult::kUnknown;
+    Assignment model;  // valid when result == kSat
+  };
+
+  /// `shards` is rounded up to a power of two; more shards mean less lock
+  /// contention when many solvers share one cache.
+  explicit QueryCache(size_t shards = 8);
+
+  /// Canonical cache key for a query: sorted, deduplicated assertion ids
+  /// with `true` assertions dropped (they cannot affect satisfiability and
+  /// would fragment keys).
+  static std::vector<uint32_t> key_for(std::span<const ExprRef> assertions);
+
+  /// True (and fills *out) on a hit. Counts a hit or a miss.
+  bool lookup(const std::vector<uint32_t>& key, Entry* out);
+
+  /// Insert (first writer wins on a racing duplicate).
+  void insert(const std::vector<uint32_t>& key, Entry entry);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  size_t num_shards() const { return shard_count_; }
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::vector<uint32_t>, Entry> entries;
+  };
+
+  Shard& shard_for(const std::vector<uint32_t>& key);
+
+  size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
 class CachingSolver final : public Solver {
  public:
+  /// Private cache (the common case: one solver, one context).
   explicit CachingSolver(std::unique_ptr<Solver> inner)
-      : inner_(std::move(inner)) {}
+      : CachingSolver(std::move(inner), std::make_shared<QueryCache>()) {}
+
+  /// Shared cache; every sharing solver must run over the same Context.
+  CachingSolver(std::unique_ptr<Solver> inner, std::shared_ptr<QueryCache> cache)
+      : inner_(std::move(inner)), cache_(std::move(cache)) {}
 
   CheckResult check(std::span<const ExprRef> assertions,
                     Assignment* model) override;
   std::string name() const override { return inner_->name() + "+cache"; }
 
   Solver& inner() { return *inner_; }
-  size_t size() const { return cache_.size(); }
-  void clear() { cache_.clear(); }
+  QueryCache& cache() { return *cache_; }
+  size_t size() const { return cache_->size(); }
+  void clear() { cache_->clear(); }
 
  private:
-  struct Entry {
-    CheckResult result;
-    Assignment model;  // valid when result == kSat
-  };
-
   std::unique_ptr<Solver> inner_;
-  std::map<std::vector<uint32_t>, Entry> cache_;
+  std::shared_ptr<QueryCache> cache_;
 };
 
 }  // namespace binsym::smt

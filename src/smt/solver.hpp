@@ -27,8 +27,20 @@ struct SolverStats {
   uint64_t sat = 0;
   uint64_t unsat = 0;
   uint64_t unknown = 0;
-  uint64_t cache_hits = 0;   // filled in by CachingSolver
-  double solve_seconds = 0;  // wall time spent inside check()
+  uint64_t cache_hits = 0;    // filled in by CachingSolver
+  uint64_t cache_misses = 0;  // filled in by CachingSolver
+  double solve_seconds = 0;   // wall time spent inside check()
+
+  /// Fold another solver's counters in (per-worker stats aggregation).
+  void merge(const SolverStats& other) {
+    queries += other.queries;
+    sat += other.sat;
+    unsat += other.unsat;
+    unknown += other.unknown;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    solve_seconds += other.solve_seconds;
+  }
 };
 
 class Solver {

@@ -4,12 +4,42 @@
 
 #include <z3.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "core/machine.hpp"
 #include "smt/smtlib.hpp"
 #include "smt/eval.hpp"
 
 namespace binsym::core {
 namespace {
+
+TEST(ExitReason, EveryEnumeratorHasADistinctName) {
+  // Guards the enum and its string table against drifting apart: every
+  // enumerator must map to a real (non-"?"), unique name. Update both this
+  // list and exit_reason_name when adding an enumerator.
+  const std::vector<std::pair<ExitReason, const char*>> expected = {
+      {ExitReason::kRunning, "running"},
+      {ExitReason::kExit, "exit"},
+      {ExitReason::kEbreak, "ebreak"},
+      {ExitReason::kMaxSteps, "max-steps"},
+      {ExitReason::kBadFetch, "bad-fetch"},
+      {ExitReason::kIllegalInstr, "illegal-instruction"},
+      {ExitReason::kBadSyscall, "bad-syscall"},
+      {ExitReason::kSymbolicControl, "symbolic-control"},
+  };
+  std::set<std::string> names;
+  for (const auto& [reason, name] : expected) {
+    EXPECT_STREQ(exit_reason_name(reason), name);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  // An out-of-range value (enum drift without a string-table update) must
+  // fall back to the sentinel, not read out of bounds.
+  EXPECT_STREQ(exit_reason_name(static_cast<ExitReason>(
+                   static_cast<uint8_t>(ExitReason::kSymbolicControl) + 1)),
+               "?");
+}
 
 class SymMachineTest : public ::testing::Test {
  protected:

@@ -2,6 +2,10 @@
 // cache and the validating wrapper.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "smt/cache.hpp"
 #include "smt/eval.hpp"
 #include "smt/solver.hpp"
@@ -104,6 +108,87 @@ TEST(ValidatingSolver, PassesThroughCorrectModels) {
   Assignment model;
   EXPECT_EQ(validating.check(query, &model), CheckResult::kSat);
   EXPECT_EQ(model.get(x->var_id), 0xffffu);
+}
+
+TEST(QueryCache, RepeatedPrefixQuerySequenceHits) {
+  // The engine's characteristic query stream: growing prefixes re-checked
+  // across sibling flips. Pin the exact hit/miss accounting.
+  Context ctx;
+  CachingSolver cache(make_z3_solver(ctx));
+  ExprRef x = ctx.var("x", 8);
+  ExprRef a = ctx.ult(x, ctx.constant(100, 8));
+  ExprRef b = ctx.ugt(x, ctx.constant(10, 8));
+  ExprRef c = ctx.eq(x, ctx.constant(50, 8));
+
+  std::vector<std::vector<ExprRef>> stream = {
+      {a}, {a, b}, {a, b, c},  // first descent: three misses
+      {a, b},                  // sibling flip re-check: hit
+      {a},                     // back at the root: hit
+      {a, b, c},               // deepest prefix again: hit
+  };
+  for (const auto& query : stream)
+    EXPECT_EQ(cache.check(query, nullptr), CheckResult::kSat);
+
+  EXPECT_EQ(cache.stats().cache_hits, 3u);
+  EXPECT_EQ(cache.stats().cache_misses, 3u);
+  EXPECT_EQ(cache.stats().queries, 6u);
+  EXPECT_EQ(cache.cache().hits(), 3u);
+  EXPECT_EQ(cache.cache().misses(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+  // The inner backend only ever saw the misses.
+  EXPECT_EQ(cache.inner().stats().queries, 3u);
+}
+
+TEST(QueryCache, SharedAcrossSolversOverOneContext) {
+  Context ctx;
+  auto shared = std::make_shared<QueryCache>(/*shards=*/4);
+  CachingSolver first(make_z3_solver(ctx), shared);
+  CachingSolver second(make_z3_solver(ctx), shared);
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.ult(x, ctx.constant(10, 8))};
+
+  Assignment m1, m2;
+  EXPECT_EQ(first.check(query, &m1), CheckResult::kSat);
+  EXPECT_EQ(second.check(query, &m2), CheckResult::kSat);
+  // The second solver answered from the first solver's work.
+  EXPECT_EQ(second.stats().cache_hits, 1u);
+  EXPECT_EQ(second.inner().stats().queries, 0u);
+  EXPECT_EQ(m1.get(x->var_id), m2.get(x->var_id));
+  EXPECT_EQ(shared->hits(), 1u);
+  EXPECT_EQ(shared->misses(), 1u);
+}
+
+TEST(QueryCache, ConcurrentLookupsAndInsertsAreConsistent) {
+  QueryCache cache(/*shards=*/8);
+  constexpr int kThreads = 4;
+  constexpr uint32_t kKeys = 64;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&cache] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (uint32_t k = 0; k < kKeys; ++k) {
+          std::vector<uint32_t> key = {k, k + 1000};
+          QueryCache::Entry entry;
+          if (!cache.lookup(key, &entry)) {
+            entry.result = CheckResult::kSat;
+            entry.model.set(k, k);
+            cache.insert(key, entry);
+          } else {
+            EXPECT_EQ(entry.result, CheckResult::kSat);
+            EXPECT_EQ(entry.model.get(k), k);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(cache.size(), kKeys);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kRounds * kKeys);
+  EXPECT_GE(cache.misses(), kKeys);  // at least one miss per distinct key
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(Assignment, DefaultsToZero) {

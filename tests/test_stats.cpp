@@ -100,11 +100,11 @@ buf: .space 1
 TEST_F(StatsTest, BfsAndDfsEnumerateTheSamePaths) {
   Program program = load(kTwoBranchGuest);
 
-  auto path_set = [&](SearchOrder order) {
+  auto path_set = [&](SearchKind kind) {
     smt::Context ctx;
     BinSymExecutor executor(ctx, decoder, registry, program);
     EngineOptions options;
-    options.search_order = order;
+    options.search = kind;
     DseEngine engine(executor, smt::make_z3_solver(ctx), options);
     std::set<std::string> keys;
     engine.explore([&](const PathResult& path) {
@@ -116,8 +116,8 @@ TEST_F(StatsTest, BfsAndDfsEnumerateTheSamePaths) {
     return keys;
   };
 
-  std::set<std::string> dfs_paths = path_set(SearchOrder::kDepthFirst);
-  std::set<std::string> bfs_paths = path_set(SearchOrder::kBreadthFirst);
+  std::set<std::string> dfs_paths = path_set(SearchKind::kDepthFirst);
+  std::set<std::string> bfs_paths = path_set(SearchKind::kBreadthFirst);
   EXPECT_EQ(dfs_paths, bfs_paths);
   EXPECT_GE(dfs_paths.size(), 3u);
 }
@@ -127,7 +127,7 @@ TEST_F(StatsTest, BfsDiscoversShallowPathsFirst) {
   smt::Context ctx;
   BinSymExecutor executor(ctx, decoder, registry, program);
   EngineOptions options;
-  options.search_order = SearchOrder::kBreadthFirst;
+  options.search = SearchKind::kBreadthFirst;
   DseEngine engine(executor, smt::make_z3_solver(ctx), options);
   std::vector<size_t> depths;
   engine.explore([&](const PathResult& path) {
