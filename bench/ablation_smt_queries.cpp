@@ -1,14 +1,26 @@
-// Ablation: SMT query complexity per translation strategy.
+// Ablation: SMT query complexity and solver cost per optimization stage.
 //
-// The paper's future-work question (Sect. V-B): does translating through
-// formal ISA semantics change SMT query complexity compared to an IR-based
-// translation? This harness explores each workload with BinSym (DSL
-// semantics) and the BINSEC-like engine (lifter IR), and measures the
-// branch-flip queries themselves: DAG node count per query and cumulative
-// solver time. Because both engines share the hash-consed expression layer
-// and builder folding, differences isolate the translation shape.
+// Two questions share this harness. The paper's future-work question
+// (Sect. V-B): does translating through formal ISA semantics change SMT
+// query complexity compared to an IR-based translation? And this repo's
+// own: how much of the per-flip solver cost do the three solver-pipeline
+// optimizations (incremental prefix solving, constraint-independence
+// slicing, model-reuse pre-check) remove, each on its own layer?
+//
+// For every Table I workload the harness explores with BinSym (DSL
+// semantics) and the BINSEC-like engine (lifter IR) under a cumulative
+// sweep {baseline, +incremental, +slice, +presolve} and measures the
+// *effective* branch-flip queries: distinct DAG nodes per query (sliced
+// queries shrink), cumulative solver seconds, presolve hits and cache
+// hits. Path counts are printed so every row doubles as a determinism
+// check — they must not move across configurations.
+//
+// Besides the table, each row is emitted as a JSON line into
+// BENCH_smt_queries.json (cwd), the trajectory file CI's perf-smoke step
+// appends to.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "engines.hpp"
 
@@ -16,73 +28,115 @@ using namespace binsym;
 
 namespace {
 
-struct QueryStats {
-  uint64_t queries = 0;
-  uint64_t total_nodes = 0;
-  uint64_t max_nodes = 0;
-  uint64_t branches = 0;
-  double solver_seconds = 0;
+struct Config {
+  const char* name;
+  bool incremental, slice, presolve;
 };
 
-QueryStats measure(bench::EngineInstance engine, uint64_t max_paths) {
-  QueryStats out;
+// Cumulative: each stage adds one optimization to the previous stage.
+constexpr Config kConfigs[] = {
+    {"baseline", false, false, false},
+    {"+incremental", true, false, false},
+    {"+slice", true, true, false},
+    {"+presolve", true, true, true},
+};
+
+core::EngineStats measure(const std::string& engine,
+                          const bench::EngineSetup& setup,
+                          const Config& config, uint64_t max_paths) {
   core::EngineOptions options;
   options.max_paths = max_paths;
-  core::DseEngine dse(*engine.executor, smt::make_z3_solver(*engine.ctx),
-                      options);
-  core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
-    for (const core::BranchRecord& branch : path.trace.branches) {
-      ++out.queries;
-      uint64_t nodes = smt::node_count(branch.cond);
-      out.total_nodes += nodes;
-      out.max_nodes = std::max(out.max_nodes, nodes);
-    }
-    out.branches += path.trace.branches.size();
-  });
-  out.solver_seconds = stats.solver.solve_seconds;
-  return out;
+  options.incremental_solving = config.incremental;
+  options.slice_queries = config.slice;
+  options.presolve_models = config.presolve;
+  options.measure_query_nodes = true;
+  return bench::explore_parallel(engine, setup, options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  uint64_t max_paths = quick ? 100 : 400;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const uint64_t max_paths = quick ? 100 : 400;
 
   isa::OpcodeTable table;
   isa::Decoder decoder(table);
   spec::Registry registry;
   spec::install_rv32im(registry, table);
 
-  std::printf(
-      "ABLATION: SMT QUERY COMPLEXITY — formal-semantics translation "
-      "(BinSym) vs lifter IR (BinSec-like)\n");
-  std::printf("%-16s %-10s %12s %12s %12s %12s\n", "Benchmark", "engine",
-              "conditions", "avg nodes", "max nodes", "solver(s)");
+  std::FILE* json = std::fopen("BENCH_smt_queries.json", "w");
 
+  std::printf(
+      "ABLATION: SMT QUERY COMPLEXITY — translation strategy x solver "
+      "pipeline {baseline, +incremental, +slice, +presolve}%s\n",
+      quick ? " (quick)" : "");
+  std::printf("%-16s %-8s %-13s %8s %8s %10s %9s %10s %9s %10s\n", "Benchmark",
+              "engine", "config", "paths", "queries", "avg nodes", "max nodes",
+              "solver(s)", "presolve", "cache-hit");
+
+  int failures = 0;
   for (const workloads::WorkloadInfo& info : workloads::table1_workloads()) {
     core::Program program = workloads::load_workload_or_exit(table, info.name);
     bench::EngineSetup setup{decoder, registry, program};
 
-    QueryStats binsym_stats = measure(bench::make_binsym(setup), max_paths);
-    QueryStats binsec_stats = measure(bench::make_binsec(setup), max_paths);
+    for (const char* engine : {"binsym", "binsec"}) {
+      uint64_t baseline_paths = 0;
+      for (const Config& config : kConfigs) {
+        core::EngineStats s = measure(engine, setup, config, max_paths);
+        if (config.incremental == false && config.slice == false &&
+            config.presolve == false)
+          baseline_paths = s.paths;
+        // Determinism guard: the optimizations may only change cost, never
+        // the explored path set's size.
+        if (s.paths != baseline_paths) ++failures;
 
-    auto row = [&](const char* engine, const QueryStats& s) {
-      std::printf("%-16s %-10s %12llu %12.1f %12llu %12.3f\n",
-                  info.name.c_str(), engine,
-                  static_cast<unsigned long long>(s.queries),
-                  s.queries ? static_cast<double>(s.total_nodes) / s.queries
-                            : 0.0,
-                  static_cast<unsigned long long>(s.max_nodes),
-                  s.solver_seconds);
-    };
-    row("binsym", binsym_stats);
-    row("binsec", binsec_stats);
+        double avg_nodes =
+            s.flip_attempts
+                ? static_cast<double>(s.query_nodes_total) / s.flip_attempts
+                : 0.0;
+        std::printf(
+            "%-16s %-8s %-13s %8llu %8llu %10.1f %9llu %10.3f %9llu %10llu%s\n",
+            info.name.c_str(), engine, config.name,
+            static_cast<unsigned long long>(s.paths),
+            static_cast<unsigned long long>(s.flip_attempts), avg_nodes,
+            static_cast<unsigned long long>(s.query_nodes_max),
+            s.solver.solve_seconds,
+            static_cast<unsigned long long>(s.presolve_hits),
+            static_cast<unsigned long long>(s.solver.cache_hits),
+            s.paths != baseline_paths ? "  <- PATH-COUNT DRIFT" : "");
+        if (json) {
+          std::fprintf(
+              json,
+              "{\"workload\":\"%s\",\"engine\":\"%s\",\"config\":\"%s\","
+              "\"quick\":%s,\"paths\":%llu,\"queries\":%llu,"
+              "\"avg_query_nodes\":%.2f,\"max_query_nodes\":%llu,"
+              "\"solver_seconds\":%.6f,\"presolve_hits\":%llu,"
+              "\"cache_hits\":%llu,\"sliced_out\":%llu}\n",
+              info.name.c_str(), engine, config.name, quick ? "true" : "false",
+              static_cast<unsigned long long>(s.paths),
+              static_cast<unsigned long long>(s.flip_attempts), avg_nodes,
+              static_cast<unsigned long long>(s.query_nodes_max),
+              s.solver.solve_seconds,
+              static_cast<unsigned long long>(s.presolve_hits),
+              static_cast<unsigned long long>(s.solver.cache_hits),
+              static_cast<unsigned long long>(s.sliced_constraints));
+        }
+      }
+    }
   }
+  if (json) std::fclose(json);
 
   std::printf(
-      "\nNote: identical expression layer + folding on both sides; equal "
-      "node counts mean the formal-semantics translation does not inflate "
-      "query complexity (the paper's open question).\n");
+      "\nNotes: identical expression layer + folding on both engines, so "
+      "equal node counts answer the paper's open question; the config sweep "
+      "is cumulative, and `avg nodes` drops at +slice because sliced-out "
+      "constraints leave the query. JSON lines: BENCH_smt_queries.json\n");
+  if (failures) {
+    std::printf("FAIL: %d configuration(s) drifted from the baseline path "
+                "count\n", failures);
+    return 1;
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -158,6 +159,25 @@ inline bool parse_search_arg(const char* arg, core::SearchKind* out) {
 /// Parse a --jobs value; zero (or garbage) clamps to one worker.
 inline unsigned parse_jobs_arg(const char* arg) {
   return std::max(1u, static_cast<unsigned>(std::strtoul(arg, nullptr, 0)));
+}
+
+/// Solver-pipeline optimization toggles, shared by every harness:
+/// --no-incremental, --no-slice, --no-presolve (and --no-cache for
+/// completeness). Returns false when `arg` is none of them.
+inline bool parse_solver_opt_flag(const char* arg,
+                                  core::EngineOptions* options) {
+  if (std::strcmp(arg, "--no-incremental") == 0) {
+    options->incremental_solving = false;
+  } else if (std::strcmp(arg, "--no-slice") == 0) {
+    options->slice_queries = false;
+  } else if (std::strcmp(arg, "--no-presolve") == 0) {
+    options->presolve_models = false;
+  } else if (std::strcmp(arg, "--no-cache") == 0) {
+    options->cache_queries = false;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace binsym::bench

@@ -130,6 +130,61 @@ void BM_LifterIrExec(benchmark::State& state) {
 }
 BENCHMARK(BM_LifterIrExec);
 
+// Deep shared-sub-DAG expression of the shape concolic runs produce; the
+// traversal benchmarks below all walk it.
+smt::ExprRef build_chain(smt::Context& ctx, int depth) {
+  smt::ExprRef x = ctx.var("x", 32);
+  smt::ExprRef y = ctx.var("y", 32);
+  smt::ExprRef acc = ctx.add(x, y);
+  for (int i = 0; i < depth; ++i) {
+    acc = ctx.add(ctx.xor_(acc, x), ctx.constant(i | 1, 32));
+    acc = ctx.ite(ctx.ult(acc, y), acc, ctx.lshr(acc, ctx.constant(1, 32)));
+  }
+  return acc;
+}
+
+// The postorder/node_count/collect_vars hot paths use a dense
+// std::vector<bool> NodeMarker visited set (ids are per-context dense)
+// instead of a hash set — these pin the walk throughput that improvement
+// bought.
+void BM_PostorderWalk(benchmark::State& state) {
+  smt::Context ctx;
+  smt::ExprRef root = build_chain(ctx, 256);
+  for (auto _ : state) {
+    size_t n = smt::node_count(root);
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(n));
+  }
+}
+BENCHMARK(BM_PostorderWalk);
+
+void BM_PostorderWalkReusedMarker(benchmark::State& state) {
+  // Same walk with a caller-owned reused marker (the slicer's pattern):
+  // no per-call allocation, O(visited) clear.
+  smt::Context ctx;
+  smt::ExprRef root = build_chain(ctx, 256);
+  smt::NodeMarker marker;
+  for (auto _ : state) {
+    marker.clear();
+    size_t n = 0;
+    smt::postorder(root, marker, [&](smt::ExprRef) { ++n; });
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.items_processed() + static_cast<int64_t>(n));
+  }
+}
+BENCHMARK(BM_PostorderWalkReusedMarker);
+
+void BM_CollectVars(benchmark::State& state) {
+  smt::Context ctx;
+  std::vector<smt::ExprRef> roots;
+  for (int i = 0; i < 8; ++i) roots.push_back(build_chain(ctx, 64 + i));
+  for (auto _ : state) {
+    auto vars = smt::collect_vars(roots);
+    benchmark::DoNotOptimize(vars);
+  }
+}
+BENCHMARK(BM_CollectVars);
+
 void BM_ExpressionBuilding(benchmark::State& state) {
   for (auto _ : state) {
     smt::Context ctx;

@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
       base_options.jobs = bench::parse_jobs_arg(argv[++i]);
     } else if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
       if (!bench::parse_search_arg(argv[++i], &base_options.search)) return 2;
+    } else if (bench::parse_solver_opt_flag(argv[i], &base_options)) {
+      // Path counts must be bit-identical no matter which solver
+      // optimizations run; the flags exist so sweeps can prove it.
     }
   }
 

@@ -4,6 +4,7 @@
 //
 //   explore <workload|path.elf> [binsym|vp|binsec|angr|angr-buggy]
 //           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
+//           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
 //           [--show-failures]
 #include <cstdio>
 #include <cstdlib>
@@ -21,8 +22,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <workload|file.elf> [engine] [--max-paths N] "
                  "[--jobs N] [--search dfs|bfs|random|coverage] "
-                 "[--show-failures]\n  engines: binsym (default), vp, "
-                 "binsec, angr, angr-buggy\n",
+                 "[--no-incremental] [--no-slice] [--no-presolve] "
+                 "[--no-cache] [--show-failures]\n  engines: binsym "
+                 "(default), vp, binsec, angr, angr-buggy\n",
                  argv[0]);
     return 2;
   }
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
       options.jobs = bench::parse_jobs_arg(argv[++i]);
     } else if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
       if (!bench::parse_search_arg(argv[++i], &options.search)) return 2;
+    } else if (bench::parse_solver_opt_flag(argv[i], &options)) {
+      // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;
     } else {

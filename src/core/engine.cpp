@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
+#include "smt/slice.hpp"
 #include "smt/smtlib.hpp"
 #include "support/format.hpp"
 
@@ -22,6 +26,67 @@ void dump_query(const std::string& dir, uint64_t index, smt::Context& ctx,
   if (file) smt::print_query(file, ctx, query);
 }
 
+/// Bounded pool of recently returned sat models (per worker, so no locking
+/// and no TSan traffic). Each entry keeps a CachingEvaluator whose memo
+/// persists across flips: the recurring prefix constraints of one trace
+/// evaluate once per pooled model, not once per flip.
+class ModelPool {
+ public:
+  explicit ModelPool(size_t capacity) : capacity_(capacity) {}
+
+  void add(const smt::Assignment& model) {
+    if (capacity_ == 0) return;
+    if (entries_.size() == capacity_) entries_.pop_front();
+    entries_.emplace_back(model);
+  }
+
+  /// The most recently added model satisfying every constraint of `query`,
+  /// or nullptr.
+  const smt::Assignment* find_satisfying(
+      std::span<const smt::ExprRef> query) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      bool satisfied = true;
+      for (smt::ExprRef constraint : query) {
+        if (it->eval.evaluate(constraint) != 1) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (satisfied) return &it->model;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Entry {
+    smt::Assignment model;
+    smt::CachingEvaluator eval;
+    explicit Entry(const smt::Assignment& m) : model(m), eval(model) {}
+    // eval references this entry's own `model`; copying or moving would
+    // rebind it to the source's. The deque below never relocates entries.
+    Entry(const Entry&) = delete;
+    Entry& operator=(const Entry&) = delete;
+  };
+
+  size_t capacity_;
+  std::deque<Entry> entries_;  // deque: entries never relocate, so the
+                               // evaluator's reference into `model` is stable
+};
+
+/// Balances a Solver::push() on every exit path of a trace's flip loop.
+class SolverScope {
+ public:
+  explicit SolverScope(smt::Solver& solver) : solver_(solver) {
+    solver_.push();
+  }
+  ~SolverScope() { solver_.pop(); }
+  SolverScope(const SolverScope&) = delete;
+  SolverScope& operator=(const SolverScope&) = delete;
+
+ private:
+  smt::Solver& solver_;
+};
+
 }  // namespace
 
 void EngineStats::merge(const EngineStats& other) {
@@ -33,6 +98,11 @@ void EngineStats::merge(const EngineStats& other) {
   failures += other.failures;
   max_branch_depth = std::max(max_branch_depth, other.max_branch_depth);
   instructions += other.instructions;
+  presolve_hits += other.presolve_hits;
+  presolve_misses += other.presolve_misses;
+  sliced_constraints += other.sliced_constraints;
+  query_nodes_total += other.query_nodes_total;
+  query_nodes_max = std::max(query_nodes_max, other.query_nodes_max);
   solver.merge(other.solver);
 }
 
@@ -100,8 +170,10 @@ std::unique_ptr<smt::Solver> DseEngine::wrap_solver(
     std::unique_ptr<smt::Solver> raw) {
   if (options_.validate_models)
     raw = std::make_unique<smt::ValidatingSolver>(std::move(raw));
-  if (options_.cache_queries)
-    raw = std::make_unique<smt::CachingSolver>(std::move(raw));
+  // Query caching is managed by the worker loop itself (not a CachingSolver
+  // wrapper): the engine keys the cache by the *effective* query — the
+  // sliced one when slicing is on — and serves hits before the scoped
+  // incremental path, which a solver-level wrapper cannot do for it.
   return raw;
 }
 
@@ -111,6 +183,19 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   EngineStats local;
   PathTrace trace;
   const uint64_t instructions_before = executor.instructions_retired();
+
+  // Per-worker solver-pipeline state (workers never share any of it; the
+  // cache is keyed by node ids, which are per-context, so it could not be
+  // shared across workers anyway).
+  const EngineOptions& opts = shared.options;
+  const bool incremental = opts.incremental_solving;
+  smt::QuerySlicer slicer;
+  ModelPool pool(opts.presolve_models ? opts.presolve_pool : 0);
+  std::optional<smt::QueryCache> cache;
+  if (opts.cache_queries) cache.emplace(/*shards=*/1);
+  uint64_t cache_hits_sat = 0, cache_hits_unsat = 0, cache_misses = 0;
+  std::vector<smt::ExprRef> prefix;      // as-taken prefix ∧ assumptions
+  std::vector<smt::ExprRef> full_query;  // scratch for the unsliced paths
 
   FlipJob job;
   while (shared.frontier.pop(&job)) {
@@ -142,35 +227,156 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
 
     // Schedule flips. Under DFS, pushing shallow flips first leaves the
     // deepest flip on top of the stack: the paper's selection order.
+    //
+    // Every flip of this trace shares the prefix conjunction with its
+    // successors (flip i+1's prefix is flip i's plus one constraint), so
+    // the prefix is grown once, incrementally — appended to `prefix` for
+    // slicing/pre-checking, and asserted into the solver's scope so each
+    // check only ships the negated branch as an assumption.
+    prefix.clear();
+    size_t next_branch = 0;      // prefix branches appended so far
+    size_t next_assumption = 0;  // trace assumptions appended so far
+    std::optional<SolverScope> scope;
+    if (incremental && job.bound < trace.branches.size())
+      scope.emplace(solver);
+
     for (size_t i = job.bound; i < trace.branches.size(); ++i) {
       // Once the exploration is stopped (budget hit, worker error) the
       // remaining flips of this trace would only feed a dead frontier;
       // wind down instead of spending solver time on them.
       if (shared.frontier.stopped()) break;
-      std::vector<smt::ExprRef> query = flip_query(ctx, trace, i);
+
+      // Extend the shared prefix to flip point i: branches [0, i) in
+      // as-taken form plus the assumptions made up to the flip point.
+      while (next_branch < i) {
+        const BranchRecord& b = trace.branches[next_branch++];
+        smt::ExprRef constraint = b.taken ? b.cond : ctx.not_(b.cond);
+        prefix.push_back(constraint);
+        if (incremental) solver.assert_(constraint);
+      }
+      while (next_assumption < trace.assumptions.size() &&
+             trace.assumptions[next_assumption].branch_index <= i) {
+        smt::ExprRef constraint = trace.assumptions[next_assumption++].expr;
+        prefix.push_back(constraint);
+        if (incremental) solver.assert_(constraint);
+      }
+      const BranchRecord& flip = trace.branches[i];
+      smt::ExprRef negated = flip.taken ? ctx.not_(flip.cond) : flip.cond;
       ++local.flip_attempts;
-      if (!shared.options.smtlib_dump_dir.empty())
+
+      // The effective query: the negated branch's variable-connected
+      // component(s) of the prefix when slicing, the whole conjunction
+      // otherwise. The unsliced vector is only materialized when something
+      // consumes it (stateless check, cache key, pre-check, dump,
+      // measurement); pure incremental solving needs no query vector.
+      smt::QuerySlicer::Result sliced;
+      const std::vector<smt::ExprRef>* query = nullptr;
+      if (opts.slice_queries) {
+        sliced = slicer.slice(prefix, negated);
+        local.sliced_constraints += sliced.dropped;
+        query = &sliced.query;
+      } else if (!incremental || opts.presolve_models || opts.cache_queries ||
+                 opts.measure_query_nodes ||
+                 !shared.options.smtlib_dump_dir.empty()) {
+        full_query.assign(prefix.begin(), prefix.end());
+        full_query.push_back(negated);
+        query = &full_query;
+      }
+      if (opts.measure_query_nodes && query) {
+        uint64_t nodes = smt::node_count(std::span<const smt::ExprRef>(*query));
+        local.query_nodes_total += nodes;
+        local.query_nodes_max = std::max(local.query_nodes_max, nodes);
+      }
+      if (!shared.options.smtlib_dump_dir.empty() && query)
         dump_query(shared.options.smtlib_dump_dir,
-                   shared.dump_counter.fetch_add(1) + 1, ctx, query);
+                   shared.dump_counter.fetch_add(1) + 1, ctx, *query);
+
+      // Answer the flip, cheapest source first:
+      //   1. query cache, keyed by the effective (sliced) query — sibling
+      //      flips over disjoint constraint groups collapse onto one key;
+      //   2. model-reuse pre-check against recently returned models;
+      //   3. the solver — through the scoped incremental API when enabled.
       smt::Assignment model;
-      smt::CheckResult result = solver.check(query, &model);
+      smt::CheckResult result = smt::CheckResult::kUnknown;
+      std::vector<uint32_t> key;
+      bool answered = false;
+      bool from_solver = false;
+      if (cache) {
+        key = smt::QueryCache::key_for(*query);
+        smt::QueryCache::Entry entry;
+        if (cache->lookup(key, &entry)) {
+          result = entry.result;
+          if (result == smt::CheckResult::kSat) {
+            model = std::move(entry.model);
+            ++cache_hits_sat;
+          } else {
+            ++cache_hits_unsat;
+          }
+          answered = true;
+        } else {
+          ++cache_misses;
+        }
+      }
+      if (!answered && opts.presolve_models) {
+        if (const smt::Assignment* reused = pool.find_satisfying(*query)) {
+          // The verdict evaluated variables the pooled model does not
+          // assign as zero (Assignment::get's completion); materialize a
+          // value for *every* query variable so the next_seed merge below
+          // reproduces exactly the assignment the pre-check judged — a
+          // parent-seed value surviving for a missing variable could
+          // invalidate it.
+          const std::vector<uint32_t> qvars =
+              opts.slice_queries ? sliced.vars : smt::collect_vars(*query);
+          for (uint32_t var : qvars) model.set(var, reused->get(var));
+          result = smt::CheckResult::kSat;
+          answered = true;
+          ++local.presolve_hits;
+        } else {
+          ++local.presolve_misses;
+        }
+      }
+      if (!answered) {
+        result = incremental
+                     ? solver.check_assuming(std::span(&negated, 1), &model)
+                     : solver.check(*query, &model);
+        from_solver = true;
+        if (cache && result != smt::CheckResult::kUnknown)
+          cache->insert(key, smt::QueryCache::Entry{result, model});
+      }
       if (result != smt::CheckResult::kSat) {
         ++local.infeasible_flips;
         continue;
       }
       ++local.feasible_flips;
-      // New seed: parent values, overridden by the model, so variables the
-      // query does not mention keep their previous values.
+      if (from_solver) pool.add(model);
+      // With slicing the model must not leak values for sliced-out
+      // variables: those constraints were never sent (or, pre-checked
+      // against a model of some other query), and the parent seed is the
+      // witness that satisfies them.
+      if (opts.slice_queries) smt::restrict_to_vars(&model, sliced.vars);
+      // New seed: parent values, overridden by the model. With slicing the
+      // model covers exactly the effective query's variables, so everything
+      // sliced out keeps its parent value; an unsliced solver model may
+      // additionally carry completion values for other known variables
+      // (all unconstrained at this flip point either way).
       smt::Assignment next_seed = seed;
       for (const auto& [var, value] : model.values) next_seed.set(var, value);
       shared.frontier.push(
           make_flip_job(ctx, next_seed, i + 1, trace.branches[i].pc));
     }
+    scope.reset();
     shared.frontier.job_done();
   }
 
   local.instructions = executor.instructions_retired() - instructions_before;
   local.solver = solver.stats();
+  // Queries answered from the cache count as logical queries, exactly as
+  // the CachingSolver wrapper reports them in standalone use.
+  local.solver.queries += cache_hits_sat + cache_hits_unsat;
+  local.solver.sat += cache_hits_sat;
+  local.solver.unsat += cache_hits_unsat;
+  local.solver.cache_hits = cache_hits_sat + cache_hits_unsat;
+  local.solver.cache_misses = cache_misses;
   std::lock_guard<std::mutex> lock(shared.sink_mutex);
   shared.totals.merge(local);
 }
@@ -239,6 +445,10 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
     for (std::thread& t : pool) t.join();
     if (shared.first_error) std::rethrow_exception(shared.first_error);
   }
+
+  // The engine-managed query cache is part of the effective solver stack;
+  // reports keep the wrapper-style suffix.
+  if (options_.cache_queries) solver_name += "+cache";
 
   EngineStats stats = std::move(shared.totals);
   stats.workers = jobs;

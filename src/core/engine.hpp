@@ -45,10 +45,31 @@ struct EngineOptions {
   unsigned jobs = 1;
   /// Seed for SearchKind::kRandomPath (reproducible schedules).
   uint64_t rng_seed = 1;
-  /// Wrap each backend in the query cache (identical prefix queries recur).
+  /// Keep a per-worker query cache keyed by the effective (sliced) flip
+  /// query — identical queries recur across sibling flips.
   bool cache_queries = true;
   /// Validate every sat model by concrete evaluation (testing aid).
   bool validate_models = false;
+  // -- Solver-pipeline optimizations (independently toggleable; the path
+  // set an exploration discovers is invariant under all of them, so the
+  // ablation bench can isolate each one's cost effect).
+  /// Assert a trace's branch-prefix constraints once per trace via the
+  /// solver's scoped API and check each flip as an assumption, instead of
+  /// re-sending the whole conjunction per flip.
+  bool incremental_solving = true;
+  /// Constraint-independence slicing: send only the prefix constraints
+  /// variable-connected to the negated branch (see smt/slice.hpp).
+  bool slice_queries = true;
+  /// Model-reuse pre-check: evaluate each flip query under recently
+  /// returned models first; a satisfying one answers sat with no solver
+  /// round trip.
+  bool presolve_models = true;
+  /// Per-worker recent-model pool size for the pre-check (0 disables).
+  unsigned presolve_pool = 8;
+  /// Measure the effective (post-slicing) flip queries: distinct DAG nodes
+  /// per query, accumulated into EngineStats. Costs one DAG walk per flip;
+  /// meant for the SMT ablation bench, off in production explorations.
+  bool measure_query_nodes = false;
   /// When non-empty: write every branch-flip query as a standalone SMT-LIB
   /// file (query-000001.smt2, ...) into this directory — a reproducibility
   /// artifact (any SMT-LIB solver can replay the exploration's queries).
@@ -65,6 +86,13 @@ struct EngineStats {
   uint64_t failures = 0;         // report_fail events across all paths
   uint64_t max_branch_depth = 0;
   uint64_t instructions = 0;
+  uint64_t presolve_hits = 0;    // flips answered by the recent-model pool
+  uint64_t presolve_misses = 0;  // pre-checked flips that still hit the solver
+  uint64_t sliced_constraints = 0;  // prefix constraints dropped by slicing,
+                                    // summed over all flip queries
+  uint64_t query_nodes_total = 0;   // effective query DAG nodes, summed
+  uint64_t query_nodes_max = 0;     // ... and the largest single query
+                                    // (both only with measure_query_nodes)
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration

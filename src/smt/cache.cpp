@@ -19,11 +19,18 @@ QueryCache::QueryCache(size_t shards)
       shards_(std::make_unique<Shard[]>(shard_count_)) {}
 
 std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> assertions) {
+  return key_for(assertions, {});
+}
+
+std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> scoped,
+                                          std::span<const ExprRef> assumptions) {
   std::vector<uint32_t> key;
-  key.reserve(assertions.size());
-  for (ExprRef assertion : assertions) {
-    if (assertion->is_true()) continue;
-    key.push_back(assertion->id);
+  key.reserve(scoped.size() + assumptions.size());
+  for (std::span<const ExprRef> part : {scoped, assumptions}) {
+    for (ExprRef assertion : part) {
+      if (assertion->is_true()) continue;
+      key.push_back(assertion->id);
+    }
   }
   std::sort(key.begin(), key.end());
   key.erase(std::unique(key.begin(), key.end()), key.end());
@@ -73,10 +80,9 @@ void QueryCache::clear() {
   }
 }
 
-CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
-                                 Assignment* model) {
-  std::vector<uint32_t> key = QueryCache::key_for(assertions);
-
+CheckResult CachingSolver::serve(const std::vector<uint32_t>& key,
+                                 std::span<const ExprRef> assertions,
+                                 bool via_assumptions, Assignment* model) {
   auto account = [this](CheckResult result) {
     ++stats_.queries;
     switch (result) {
@@ -97,13 +103,44 @@ CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
 
   ++stats_.cache_misses;
   Assignment local;
-  CheckResult result = inner_->check(assertions, &local);
+  CheckResult result = via_assumptions
+                           ? inner_->check_assuming(assertions, &local)
+                           : inner_->check(assertions, &local);
   stats_.solve_seconds = inner_->stats().solve_seconds;
+  stats_.incremental_checks = inner_->stats().incremental_checks;
+  stats_.reused_assertions = inner_->stats().reused_assertions;
   account(result);
   if (model && result == CheckResult::kSat) *model = local;
   if (result != CheckResult::kUnknown)
     cache_->insert(key, QueryCache::Entry{result, std::move(local)});
   return result;
+}
+
+CheckResult CachingSolver::check(std::span<const ExprRef> assertions,
+                                 Assignment* model) {
+  return serve(QueryCache::key_for(assertions), assertions,
+               /*via_assumptions=*/false, model);
+}
+
+void CachingSolver::push() {
+  Solver::push();
+  inner_->push();
+}
+
+void CachingSolver::pop() {
+  Solver::pop();
+  inner_->pop();
+}
+
+void CachingSolver::assert_(ExprRef assertion) {
+  Solver::assert_(assertion);
+  inner_->assert_(assertion);
+}
+
+CheckResult CachingSolver::check_assuming(std::span<const ExprRef> assumptions,
+                                          Assignment* model) {
+  return serve(QueryCache::key_for(scoped_assertions(), assumptions),
+               assumptions, /*via_assumptions=*/true, model);
 }
 
 }  // namespace binsym::smt

@@ -40,6 +40,11 @@ class QueryCache {
   /// would fragment keys).
   static std::vector<uint32_t> key_for(std::span<const ExprRef> assertions);
 
+  /// Same canonical key over the conjunction of two assertion lists (the
+  /// incremental path: scoped assertions ∧ check assumptions).
+  static std::vector<uint32_t> key_for(std::span<const ExprRef> scoped,
+                                       std::span<const ExprRef> assumptions);
+
   /// True (and fills *out) on a hit. Counts a hit or a miss.
   bool lookup(const std::vector<uint32_t>& key, Entry* out);
 
@@ -78,6 +83,19 @@ class CachingSolver final : public Solver {
 
   CheckResult check(std::span<const ExprRef> assertions,
                     Assignment* model) override;
+
+  // Scoped API: push/pop/assert_ forward to the inner backend while the
+  // wrapper mirrors the live assertion set (base-class scoped_), so a
+  // check_assuming() can be keyed by the canonical id set of
+  // scoped ∧ assumptions. The key is identical to the one a stateless
+  // check() over the same conjunction produces, so incremental and
+  // non-incremental explorations share cache entries.
+  void push() override;
+  void pop() override;
+  void assert_(ExprRef assertion) override;
+  CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                             Assignment* model) override;
+
   std::string name() const override { return inner_->name() + "+cache"; }
 
   Solver& inner() { return *inner_; }
@@ -86,6 +104,13 @@ class CachingSolver final : public Solver {
   void clear() { cache_->clear(); }
 
  private:
+  /// Common serve path: answer `key` from the cache or forward to the inner
+  /// solver (stateless check when `via_assumptions` is false, scoped
+  /// check_assuming otherwise) and fill the cache with the verdict.
+  CheckResult serve(const std::vector<uint32_t>& key,
+                    std::span<const ExprRef> assertions, bool via_assumptions,
+                    Assignment* model);
+
   std::unique_ptr<Solver> inner_;
   std::shared_ptr<QueryCache> cache_;
 };

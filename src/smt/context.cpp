@@ -243,11 +243,12 @@ ExprRef Context::ashr(ExprRef a, ExprRef amount) {
 
 ExprRef Context::eq(ExprRef a, ExprRef b) {
   if (a == b) return bool_const(true);
+  // Commutative, so a constant operand canonicalizes to the right at every
+  // width (like add/mul/and/or/xor above); the simplifier's constant-chain
+  // rules only need to match the `c == ops[1]` orientation.
+  if (a->is_const() && !b->is_const()) std::swap(a, b);
   // Boolean equality against a constant reduces to identity / negation.
-  if (a->width == 1) {
-    if (a->is_const() && !b->is_const()) std::swap(a, b);
-    if (b->is_const()) return b->constant ? a : not_(a);
-  }
+  if (a->width == 1 && b->is_const()) return b->constant ? a : not_(a);
   return binary(Kind::kEq, a, b);
 }
 

@@ -74,19 +74,35 @@ size_t node_count(ExprRef root) {
   return n;
 }
 
-std::vector<uint32_t> collect_vars(const std::vector<ExprRef>& roots) {
-  std::vector<uint32_t> vars;
-  std::unordered_map<uint32_t, bool> seen_nodes;
+size_t node_count(std::span<const ExprRef> roots) {
+  size_t n = 0;
+  NodeMarker marker;
   for (ExprRef root : roots) {
-    if (!root || seen_nodes.count(root->id)) continue;
-    postorder(root, [&](ExprRef node) {
-      seen_nodes.emplace(node->id, true);
+    if (!root) continue;
+    postorder(root, marker, [&](ExprRef) { ++n; });
+  }
+  return n;
+}
+
+std::vector<uint32_t> collect_vars(std::span<const ExprRef> roots) {
+  std::vector<uint32_t> vars;
+  NodeMarker marker;
+  for (ExprRef root : roots) {
+    if (!root) continue;
+    postorder(root, marker, [&](ExprRef node) {
       if (node->kind == Kind::kVar) vars.push_back(node->var_id);
     });
   }
   std::sort(vars.begin(), vars.end());
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
   return vars;
+}
+
+void collect_vars_into(ExprRef root, NodeMarker& marker,
+                       std::vector<uint32_t>& out) {
+  postorder(root, marker, [&](ExprRef node) {
+    if (node->kind == Kind::kVar) out.push_back(node->var_id);
+  });
 }
 
 }  // namespace binsym::smt

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace binsym::smt {
@@ -74,35 +74,83 @@ struct Expr {
   bool is_false() const { return width == 1 && is_const_val(0); }
 };
 
+/// Dense visited-set over per-context node ids. Ids are small and dense
+/// (Context hands them out sequentially), so a bit vector beats a hash set
+/// by a wide margin on the traversal hot paths; `clear()` is O(set bits),
+/// so one marker can be reused across many traversals without re-zeroing
+/// (or re-allocating) the whole table.
+class NodeMarker {
+ public:
+  bool test(uint32_t id) const { return id < bits_.size() && bits_[id]; }
+
+  void set(uint32_t id) {
+    if (id >= bits_.size()) bits_.resize(id + 1);
+    if (!bits_[id]) {
+      bits_[id] = true;
+      touched_.push_back(id);
+    }
+  }
+
+  void clear() {
+    for (uint32_t id : touched_) bits_[id] = false;
+    touched_.clear();
+  }
+
+  size_t num_set() const { return touched_.size(); }
+
+ private:
+  std::vector<bool> bits_;
+  std::vector<uint32_t> touched_;
+};
+
 /// Iterative post-order traversal over the DAG rooted at `root`; `visit` is
-/// called exactly once per reachable node, children first. Iterative so that
-/// the deep expression chains produced by long concolic runs cannot overflow
-/// the native stack.
+/// called exactly once per node not already set in `marker`, children first,
+/// and marks every visited node. Iterative so that the deep expression
+/// chains produced by long concolic runs cannot overflow the native stack.
+/// Passing one marker across several calls skips shared sub-DAGs.
 template <typename F>
-void postorder(ExprRef root, F&& visit) {
+void postorder(ExprRef root, NodeMarker& marker, F&& visit) {
   std::vector<std::pair<ExprRef, bool>> stack;
-  std::unordered_map<uint32_t, bool> done;
   stack.emplace_back(root, false);
   while (!stack.empty()) {
     auto [node, expanded] = stack.back();
     stack.pop_back();
-    if (done.count(node->id)) continue;
+    if (marker.test(node->id)) continue;
     if (expanded) {
-      done.emplace(node->id, true);
+      marker.set(node->id);
       visit(node);
       continue;
     }
     stack.emplace_back(node, true);
     for (unsigned i = 0; i < node->num_ops; ++i)
-      if (!done.count(node->ops[i]->id)) stack.emplace_back(node->ops[i], false);
+      if (!marker.test(node->ops[i]->id))
+        stack.emplace_back(node->ops[i], false);
   }
+}
+
+template <typename F>
+void postorder(ExprRef root, F&& visit) {
+  NodeMarker marker;
+  postorder(root, marker, std::forward<F>(visit));
 }
 
 /// Number of distinct nodes reachable from `root` (query-complexity metric
 /// used by the SMT ablation benchmark).
 size_t node_count(ExprRef root);
 
-/// Collect the distinct variable ids reachable from each root.
-std::vector<uint32_t> collect_vars(const std::vector<ExprRef>& roots);
+/// Distinct nodes reachable from any of `roots` (shared sub-DAGs counted
+/// once) — the effective size of a multi-assertion solver query.
+size_t node_count(std::span<const ExprRef> roots);
+
+/// Collect the distinct variable ids reachable from each root, sorted.
+std::vector<uint32_t> collect_vars(std::span<const ExprRef> roots);
+inline std::vector<uint32_t> collect_vars(const std::vector<ExprRef>& roots) {
+  return collect_vars(std::span<const ExprRef>(roots));
+}
+
+/// collect_vars for a single root, appending into `out` (unsorted, distinct
+/// per call) and reusing `marker` scratch space; the slicer's inner loop.
+void collect_vars_into(ExprRef root, NodeMarker& marker,
+                       std::vector<uint32_t>& out);
 
 }  // namespace binsym::smt

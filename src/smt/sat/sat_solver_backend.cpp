@@ -1,10 +1,11 @@
 // smt::Solver backend over the in-tree bit-blaster + CDCL solver.
 //
-// Each check() builds a fresh CNF (no incrementality — the query cache in
-// front of the engine absorbs repetition). Exists as (a) an ablation
-// subject against Z3 and (b) a differential oracle for the SMT layer: the
-// property tests require both backends to agree on sat/unsat for
-// engine-generated queries.
+// Each check() builds a fresh CNF (no native incrementality — the scoped
+// push/pop/assert_/check_assuming API is served by the Solver base class's
+// client-side adapter, and the engine's query cache absorbs repetition).
+// Exists as (a) an ablation subject against Z3 and (b) a differential
+// oracle for the SMT layer: the property tests require both backends to
+// agree on sat/unsat for engine-generated queries.
 #include <chrono>
 
 #include "smt/sat/bitblast.hpp"

@@ -9,19 +9,35 @@ namespace binsym::smt {
 namespace {
 
 /// Extra rewrites on an already locally-folded node. Returns nullptr when no
-/// rule applies.
+/// rule applies. The builders canonicalize commutative constant operands to
+/// ops[1] (Context::binary callers swap, including eq at every width), so
+/// constant-against-constant-chain rules only need the `b` side — except for
+/// subtraction, which is not commutative: (c - x) keeps its constant in
+/// ops[0] and needs its own rule.
 ExprRef extra_rules(Context& ctx, Kind kind, ExprRef a, ExprRef b) {
-  // (x + c1) == c2  -->  x == (c2 - c1)
-  if (kind == Kind::kEq && b && b->is_const() && a->kind == Kind::kAdd &&
-      a->ops[1]->is_const()) {
-    return ctx.eq(a->ops[0],
-                  ctx.constant(b->constant - a->ops[1]->constant, a->width));
-  }
-  // (x ^ c1) == c2  -->  x == (c1 ^ c2)
-  if (kind == Kind::kEq && b && b->is_const() && a->kind == Kind::kXor &&
-      a->ops[1]->is_const()) {
-    return ctx.eq(a->ops[0], ctx.constant(b->constant ^ a->ops[1]->constant,
-                                          a->width));
+  if (kind == Kind::kEq && b && b->is_const()) {
+    // (x + c1) == c2  -->  x == (c2 - c1)
+    if (a->kind == Kind::kAdd && a->ops[1]->is_const()) {
+      return ctx.eq(a->ops[0],
+                    ctx.constant(b->constant - a->ops[1]->constant, a->width));
+    }
+    // (x - c1) == c2  -->  x == (c2 + c1). The builders fold (x - c1) into
+    // (x + -c1) so this form cannot arise from them, but simplify() also
+    // accepts externally built DAGs.
+    if (a->kind == Kind::kSub && a->ops[1]->is_const()) {
+      return ctx.eq(a->ops[0],
+                    ctx.constant(b->constant + a->ops[1]->constant, a->width));
+    }
+    // (c1 - x) == c2  -->  x == (c1 - c2)
+    if (a->kind == Kind::kSub && a->ops[0]->is_const()) {
+      return ctx.eq(a->ops[1],
+                    ctx.constant(a->ops[0]->constant - b->constant, a->width));
+    }
+    // (x ^ c1) == c2  -->  x == (c1 ^ c2)
+    if (a->kind == Kind::kXor && a->ops[1]->is_const()) {
+      return ctx.eq(a->ops[0], ctx.constant(b->constant ^ a->ops[1]->constant,
+                                            a->width));
+    }
   }
   // ult(x, 1)  -->  x == 0
   if (kind == Kind::kUlt && b && b->is_const_val(1))
@@ -74,12 +90,15 @@ ExprRef simplify(Context& ctx, ExprRef root,
     for (unsigned i = 0; i < node->num_ops; ++i)
       op[i] = memo.at(node->ops[i]->id);
     ExprRef rebuilt = rebuild(ctx, node, op);
-    if (rebuilt->num_ops >= 1) {
-      if (ExprRef extra = extra_rules(ctx, rebuilt->kind, rebuilt->ops[0],
-                                      rebuilt->num_ops >= 2 ? rebuilt->ops[1]
-                                                            : nullptr)) {
-        rebuilt = extra;
-      }
+    // Rules compose: a rewrite can expose another rule's pattern (e.g.
+    // ult(x + c, 1) -> (x + c) == 0 -> x == -c), so iterate to a fixpoint.
+    // Each rule strictly shrinks the expression, so this terminates.
+    while (rebuilt->num_ops >= 1) {
+      ExprRef extra = extra_rules(ctx, rebuilt->kind, rebuilt->ops[0],
+                                  rebuilt->num_ops >= 2 ? rebuilt->ops[1]
+                                                        : nullptr);
+      if (!extra) break;
+      rebuilt = extra;
     }
     memo.emplace(node->id, rebuilt);
   });

@@ -1,0 +1,150 @@
+#include "smt/slice.hpp"
+
+#include <algorithm>
+
+namespace binsym::smt {
+
+namespace {
+
+/// Minimal union-find over variable ids with path halving. Storage is
+/// caller-provided so QuerySlicer can reuse it across calls.
+uint32_t uf_find(std::vector<uint32_t>& parent, uint32_t v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];
+    v = parent[v];
+  }
+  return v;
+}
+
+void uf_union(std::vector<uint32_t>& parent, uint32_t a, uint32_t b) {
+  a = uf_find(parent, a);
+  b = uf_find(parent, b);
+  if (a != b) parent[b] = a;
+}
+
+void uf_prepare(std::vector<uint32_t>& parent,
+                std::span<const uint32_t> vars) {
+  for (uint32_t v : vars) {
+    if (v >= parent.size()) parent.resize(v + 1);
+    parent[v] = v;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> independence_groups(std::span<const ExprRef> constraints) {
+  // Per-constraint variable sets.
+  std::vector<std::vector<uint32_t>> var_sets;
+  var_sets.reserve(constraints.size());
+  NodeMarker marker;
+  std::vector<uint32_t> parent;
+  for (ExprRef constraint : constraints) {
+    std::vector<uint32_t> vars;
+    marker.clear();
+    collect_vars_into(constraint, marker, vars);
+    uf_prepare(parent, vars);
+    var_sets.push_back(std::move(vars));
+  }
+  // Union each constraint's variables into one component.
+  for (const std::vector<uint32_t>& vars : var_sets)
+    for (size_t i = 1; i < vars.size(); ++i)
+      uf_union(parent, vars[0], vars[i]);
+  // Dense group ids in first-occurrence order; variable-free constraints
+  // are singletons.
+  std::vector<size_t> groups(constraints.size());
+  std::vector<std::pair<uint32_t, size_t>> root_to_group;
+  size_t next_group = 0;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (var_sets[i].empty()) {
+      groups[i] = next_group++;
+      continue;
+    }
+    uint32_t root = uf_find(parent, var_sets[i][0]);
+    auto it = std::find_if(root_to_group.begin(), root_to_group.end(),
+                           [root](const auto& p) { return p.first == root; });
+    if (it == root_to_group.end()) {
+      root_to_group.emplace_back(root, next_group);
+      groups[i] = next_group++;
+    } else {
+      groups[i] = it->second;
+    }
+  }
+  return groups;
+}
+
+const std::vector<uint32_t>& QuerySlicer::vars_of(ExprRef constraint) {
+  uint32_t id = constraint->id;
+  if (id >= var_sets_.size()) {
+    var_sets_.resize(id + 1);
+    var_sets_ready_.resize(id + 1, 0);
+  }
+  if (!var_sets_ready_[id]) {
+    traversal_marker_.clear();
+    collect_vars_into(constraint, traversal_marker_, var_sets_[id]);
+    var_sets_ready_[id] = 1;
+  }
+  return var_sets_[id];
+}
+
+QuerySlicer::Result QuerySlicer::slice(std::span<const ExprRef> prefix,
+                                       ExprRef target) {
+  Result result;
+  // By value: vars_of() may grow var_sets_ for the prefix constraints below,
+  // invalidating references into it.
+  const std::vector<uint32_t> target_vars = vars_of(target);
+
+  // Reset the union-find for every variable this query touches.
+  uf_prepare(parent_, target_vars);
+  for (ExprRef constraint : prefix) uf_prepare(parent_, vars_of(constraint));
+
+  // One component per constraint; the target's variables form the root
+  // component the relevant groups are reached from.
+  for (uint32_t v : target_vars) uf_union(parent_, target_vars[0], v);
+  for (ExprRef constraint : prefix) {
+    const std::vector<uint32_t>& vars = vars_of(constraint);
+    for (size_t i = 1; i < vars.size(); ++i)
+      uf_union(parent_, vars[0], vars[i]);
+  }
+
+  const bool have_target_vars = !target_vars.empty();
+  const uint32_t target_root =
+      have_target_vars ? uf_find(parent_, target_vars[0]) : 0;
+
+  for (ExprRef constraint : prefix) {
+    const std::vector<uint32_t>& vars = vars_of(constraint);
+    bool keep;
+    if (vars.empty()) {
+      // A constant constraint: `true` never matters; anything else decides
+      // the query by itself and must survive the slice.
+      keep = !constraint->is_true();
+    } else {
+      keep = have_target_vars &&
+             uf_find(parent_, vars[0]) == target_root;
+    }
+    if (keep) {
+      result.query.push_back(constraint);
+      result.vars.insert(result.vars.end(), vars.begin(), vars.end());
+    } else {
+      ++result.dropped;
+    }
+  }
+  result.query.push_back(target);
+  result.vars.insert(result.vars.end(), target_vars.begin(),
+                     target_vars.end());
+  std::sort(result.vars.begin(), result.vars.end());
+  result.vars.erase(std::unique(result.vars.begin(), result.vars.end()),
+                    result.vars.end());
+  return result;
+}
+
+void restrict_to_vars(Assignment* model, const std::vector<uint32_t>& vars) {
+  for (auto it = model->values.begin(); it != model->values.end();) {
+    if (std::binary_search(vars.begin(), vars.end(), it->first)) {
+      ++it;
+    } else {
+      it = model->values.erase(it);
+    }
+  }
+}
+
+}  // namespace binsym::smt

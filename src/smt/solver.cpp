@@ -13,22 +13,84 @@ const char* check_result_name(CheckResult result) {
   return "?";
 }
 
+// -- Base-class scoped API: the compatibility adapter. ------------------------
+//
+// Assertions stay client-side; check_assuming() replays scoped ∧ assumptions
+// through one stateless check(). Correct for every backend; no reuse across
+// checks beyond whatever the backend does internally.
+
+void Solver::push() { scope_marks_.push_back(scoped_.size()); }
+
+void Solver::pop() {
+  if (scope_marks_.empty())
+    throw std::logic_error("Solver::pop() without matching push()");
+  scoped_.resize(scope_marks_.back());
+  scope_marks_.pop_back();
+}
+
+void Solver::assert_(ExprRef assertion) { scoped_.push_back(assertion); }
+
+CheckResult Solver::check_assuming(std::span<const ExprRef> assumptions,
+                                   Assignment* model) {
+  std::vector<ExprRef> all(scoped_.begin(), scoped_.end());
+  all.insert(all.end(), assumptions.begin(), assumptions.end());
+  // check() does its own accounting (queries/sat/unsat/solve_seconds); the
+  // incremental counters record that this went through the scoped API.
+  CheckResult result = check(all, model);
+  ++stats_.incremental_checks;
+  stats_.reused_assertions += scoped_.size();
+  return result;
+}
+
+// -- ValidatingSolver. --------------------------------------------------------
+
+CheckResult ValidatingSolver::validate(std::span<const ExprRef> assumptions,
+                                       CheckResult result,
+                                       const Assignment& model) {
+  if (result != CheckResult::kSat) return result;
+  auto check_one = [&](ExprRef assertion) {
+    if (evaluate(assertion, model) != 1) {
+      throw std::logic_error("solver '" + inner_->name() +
+                             "' returned a model that does not satisfy the "
+                             "query");
+    }
+  };
+  for (ExprRef assertion : scoped_) check_one(assertion);
+  for (ExprRef assertion : assumptions) check_one(assertion);
+  return result;
+}
+
 CheckResult ValidatingSolver::check(std::span<const ExprRef> assertions,
                                     Assignment* model) {
   Assignment local;
   Assignment* target = model ? model : &local;
   CheckResult result = inner_->check(assertions, target);
   stats_ = inner_->stats();
-  if (result == CheckResult::kSat) {
-    for (ExprRef assertion : assertions) {
-      if (evaluate(assertion, *target) != 1) {
-        throw std::logic_error("solver '" + inner_->name() +
-                               "' returned a model that does not satisfy the "
-                               "query");
-      }
-    }
-  }
-  return result;
+  return validate(assertions, result, *target);
+}
+
+void ValidatingSolver::push() {
+  Solver::push();
+  inner_->push();
+}
+
+void ValidatingSolver::pop() {
+  Solver::pop();
+  inner_->pop();
+}
+
+void ValidatingSolver::assert_(ExprRef assertion) {
+  Solver::assert_(assertion);
+  inner_->assert_(assertion);
+}
+
+CheckResult ValidatingSolver::check_assuming(
+    std::span<const ExprRef> assumptions, Assignment* model) {
+  Assignment local;
+  Assignment* target = model ? model : &local;
+  CheckResult result = inner_->check_assuming(assumptions, target);
+  stats_ = inner_->stats();
+  return validate(assumptions, result, *target);
 }
 
 }  // namespace binsym::smt

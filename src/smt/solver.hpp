@@ -27,9 +27,12 @@ struct SolverStats {
   uint64_t sat = 0;
   uint64_t unsat = 0;
   uint64_t unknown = 0;
-  uint64_t cache_hits = 0;    // filled in by CachingSolver
-  uint64_t cache_misses = 0;  // filled in by CachingSolver
-  double solve_seconds = 0;   // wall time spent inside check()
+  uint64_t cache_hits = 0;          // filled in by CachingSolver
+  uint64_t cache_misses = 0;        // filled in by CachingSolver
+  uint64_t incremental_checks = 0;  // check_assuming() calls reaching a backend
+  uint64_t reused_assertions = 0;   // scoped assertions live per such check,
+                                    // summed (the assumption-reuse depth)
+  double solve_seconds = 0;         // wall time spent inside check*()
 
   /// Fold another solver's counters in (per-worker stats aggregation).
   void merge(const SolverStats& other) {
@@ -39,6 +42,8 @@ struct SolverStats {
     unknown += other.unknown;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    incremental_checks += other.incremental_checks;
+    reused_assertions += other.reused_assertions;
     solve_seconds += other.solve_seconds;
   }
 };
@@ -50,9 +55,35 @@ class Solver {
   /// Check satisfiability of the conjunction of `assertions` (each width 1).
   /// On kSat, `*model` (if non-null) receives values for at least every free
   /// variable occurring in the assertions; missing variables may take any
-  /// value (the Assignment treats them as zero).
+  /// value (the Assignment treats them as zero). Must only be called with no
+  /// scopes open (stateless use; the scoped API below is the alternative).
   virtual CheckResult check(std::span<const ExprRef> assertions,
                             Assignment* model) = 0;
+
+  // -- Scoped (incremental) API. --------------------------------------------
+  //
+  // The engine asserts a trace's branch-prefix constraints once and checks
+  // each flip as an assumption on top, instead of re-sending the whole
+  // conjunction per flip. The base-class implementation keeps the scoped
+  // assertions client-side and answers check_assuming() via one stateless
+  // check() over scoped + assumptions — a correct compatibility adapter for
+  // any backend (the bit-blasting one uses it as-is). Backends with native
+  // incrementality (Z3) override all four and keep the assertion stack in
+  // the solver, where learned clauses survive across flips.
+
+  /// Open a new assertion scope.
+  virtual void push();
+  /// Discard every assertion made since the matching push().
+  virtual void pop();
+  /// Add a width-1 assertion to the current scope.
+  virtual void assert_(ExprRef assertion);
+  /// Check scoped assertions ∧ assumptions; assumptions are not retained.
+  virtual CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                                     Assignment* model);
+
+  /// All currently live scoped assertions, oldest first.
+  std::span<const ExprRef> scoped_assertions() const { return scoped_; }
+  size_t num_scopes() const { return scope_marks_.size(); }
 
   /// Human-readable backend name for reports.
   virtual std::string name() const = 0;
@@ -62,6 +93,8 @@ class Solver {
 
  protected:
   SolverStats stats_;
+  std::vector<ExprRef> scoped_;      // live scoped assertions
+  std::vector<size_t> scope_marks_;  // scoped_.size() at each push()
 };
 
 /// Construct the Z3-backed solver (see z3_solver.cpp).
@@ -79,9 +112,17 @@ class ValidatingSolver final : public Solver {
 
   CheckResult check(std::span<const ExprRef> assertions,
                     Assignment* model) override;
+  void push() override;
+  void pop() override;
+  void assert_(ExprRef assertion) override;
+  CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                             Assignment* model) override;
   std::string name() const override { return inner_->name() + "+validate"; }
 
  private:
+  CheckResult validate(std::span<const ExprRef> assumptions,
+                       CheckResult result, const Assignment& model);
+
   std::unique_ptr<Solver> inner_;
 };
 

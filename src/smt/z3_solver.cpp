@@ -43,32 +43,54 @@ class Z3Solver final : public Solver {
     ++stats_.queries;
 
     Z3_solver_push(z3_, solver_);
-    Z3_ast true_bit = bv_const(1, 1);
-    for (ExprRef assertion : assertions) {
-      assert(assertion->width == 1);
-      Z3_ast bit = translate(assertion);
-      Z3_solver_assert(z3_, solver_, Z3_mk_eq(z3_, bit, true_bit));
-    }
+    for (ExprRef assertion : assertions)
+      Z3_solver_assert(z3_, solver_, boolean(assertion));
 
-    Z3_lbool result = Z3_solver_check(z3_, solver_);
-    CheckResult out;
-    switch (result) {
-      case Z3_L_TRUE:
-        out = CheckResult::kSat;
-        ++stats_.sat;
-        if (model) extract_model(solver_, model);
-        break;
-      case Z3_L_FALSE:
-        out = CheckResult::kUnsat;
-        ++stats_.unsat;
-        break;
-      default:
-        out = CheckResult::kUnknown;
-        ++stats_.unknown;
-        break;
-    }
+    CheckResult out = record(Z3_solver_check(z3_, solver_), model);
 
     Z3_solver_pop(z3_, solver_, 1);
+    stats_.solve_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return out;
+  }
+
+  // -- Native scoped API: the assertion stack lives inside Z3, so prefix
+  // constraints are translated and asserted once per scope and the solver's
+  // learned state survives across the flips of one trace. The flip condition
+  // itself travels as a check-assumption, never polluting the stack.
+
+  void push() override {
+    Solver::push();
+    Z3_solver_push(z3_, solver_);
+  }
+
+  void pop() override {
+    Solver::pop();
+    Z3_solver_pop(z3_, solver_, 1);
+  }
+
+  void assert_(ExprRef assertion) override {
+    Solver::assert_(assertion);
+    Z3_solver_assert(z3_, solver_, boolean(assertion));
+  }
+
+  CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                             Assignment* model) override {
+    auto start = std::chrono::steady_clock::now();
+    ++stats_.queries;
+    ++stats_.incremental_checks;
+    stats_.reused_assertions += scoped_.size();
+
+    assumption_lits_.clear();
+    for (ExprRef assumption : assumptions)
+      assumption_lits_.push_back(boolean(assumption));
+    CheckResult out = record(
+        Z3_solver_check_assumptions(
+            z3_, solver_, static_cast<unsigned>(assumption_lits_.size()),
+            assumption_lits_.data()),
+        model);
+
     stats_.solve_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -81,6 +103,29 @@ class Z3Solver final : public Solver {
   Z3_ast bv_const(uint64_t value, unsigned width) {
     Z3_sort sort = Z3_mk_bv_sort(z3_, width);
     return Z3_mk_unsigned_int64(z3_, value, sort);
+  }
+
+  /// Width-1 assertion as a Z3 Boolean (the shape both the assertion stack
+  /// and check-assumption literals require).
+  Z3_ast boolean(ExprRef assertion) {
+    assert(assertion->width == 1);
+    return Z3_mk_eq(z3_, translate(assertion), bv_const(1, 1));
+  }
+
+  /// Fold a Z3 verdict into the stats and extract the model on sat.
+  CheckResult record(Z3_lbool result, Assignment* model) {
+    switch (result) {
+      case Z3_L_TRUE:
+        ++stats_.sat;
+        if (model) extract_model(solver_, model);
+        return CheckResult::kSat;
+      case Z3_L_FALSE:
+        ++stats_.unsat;
+        return CheckResult::kUnsat;
+      default:
+        ++stats_.unknown;
+        return CheckResult::kUnknown;
+    }
   }
 
   Z3_ast translate(ExprRef root) {
@@ -168,6 +213,7 @@ class Z3Solver final : public Solver {
   // per-node translation memo and the variable registry never invalidate.
   std::unordered_map<uint32_t, Z3_ast> translation_;
   std::vector<std::pair<uint32_t, Z3_ast>> var_consts_;
+  std::vector<Z3_ast> assumption_lits_;  // scratch for check_assuming
 };
 
 }  // namespace

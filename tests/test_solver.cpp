@@ -191,6 +191,127 @@ TEST(QueryCache, ConcurrentLookupsAndInsertsAreConsistent) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+// -- Scoped (incremental) API: native Z3, adapter-backed bitblast, and the
+// -- wrappers, all against the same script. ----------------------------------
+
+using SolverFactory = std::unique_ptr<Solver> (*)(Context&);
+
+class ScopedSolverApi : public ::testing::TestWithParam<SolverFactory> {};
+
+TEST_P(ScopedSolverApi, PrefixAssertedOnceAnswersEveryAssumption) {
+  Context ctx;
+  auto solver = GetParam()(ctx);
+  ExprRef x = ctx.var("x", 8);
+  ExprRef y = ctx.var("y", 8);
+
+  solver->push();
+  solver->assert_(ctx.ult(x, ctx.constant(10, 8)));   // x < 10
+  solver->assert_(ctx.eq(y, ctx.add(x, ctx.constant(1, 8))));  // y == x + 1
+  EXPECT_EQ(solver->scoped_assertions().size(), 2u);
+
+  // Assumption consistent with the prefix.
+  Assignment model;
+  std::vector<ExprRef> sat_assumption = {ctx.eq(y, ctx.constant(5, 8))};
+  ASSERT_EQ(solver->check_assuming(sat_assumption, &model), CheckResult::kSat);
+  EXPECT_EQ(model.get(x->var_id), 4u);
+  EXPECT_EQ(model.get(y->var_id), 5u);
+
+  // Assumption contradicting the prefix; the prefix itself stays sat.
+  std::vector<ExprRef> unsat_assumption = {ctx.eq(x, ctx.constant(200, 8))};
+  EXPECT_EQ(solver->check_assuming(unsat_assumption, nullptr),
+            CheckResult::kUnsat);
+  EXPECT_EQ(solver->check_assuming({}, nullptr), CheckResult::kSat);
+  EXPECT_GE(solver->stats().incremental_checks, 3u);
+  EXPECT_GE(solver->stats().reused_assertions, 6u);  // 2 live per check
+
+  solver->pop();
+  EXPECT_EQ(solver->scoped_assertions().size(), 0u);
+  // After the pop the prefix is gone: x == 200 is satisfiable again.
+  EXPECT_EQ(solver->check_assuming(unsat_assumption, nullptr),
+            CheckResult::kSat);
+}
+
+TEST_P(ScopedSolverApi, NestedScopesUnwindIndependently) {
+  Context ctx;
+  auto solver = GetParam()(ctx);
+  ExprRef x = ctx.var("x", 8);
+
+  solver->push();
+  solver->assert_(ctx.ult(x, ctx.constant(100, 8)));
+  solver->push();
+  solver->assert_(ctx.ugt(x, ctx.constant(50, 8)));
+  EXPECT_EQ(solver->num_scopes(), 2u);
+  EXPECT_EQ(solver->scoped_assertions().size(), 2u);
+
+  std::vector<ExprRef> probe = {ctx.eq(x, ctx.constant(10, 8))};
+  EXPECT_EQ(solver->check_assuming(probe, nullptr), CheckResult::kUnsat);
+  solver->pop();  // drops x > 50
+  EXPECT_EQ(solver->check_assuming(probe, nullptr), CheckResult::kSat);
+  solver->pop();
+  EXPECT_EQ(solver->num_scopes(), 0u);
+}
+
+TEST_P(ScopedSolverApi, PopWithoutPushThrows) {
+  Context ctx;
+  auto solver = GetParam()(ctx);
+  EXPECT_THROW(solver->pop(), std::logic_error);
+}
+
+namespace factories {
+std::unique_ptr<Solver> z3(Context& ctx) { return make_z3_solver(ctx); }
+std::unique_ptr<Solver> bitblast(Context& ctx) {
+  return make_bitblast_solver(ctx);  // exercises the base-class adapter
+}
+std::unique_ptr<Solver> validating_z3(Context& ctx) {
+  return std::make_unique<ValidatingSolver>(make_z3_solver(ctx));
+}
+std::unique_ptr<Solver> caching_z3(Context& ctx) {
+  return std::make_unique<CachingSolver>(make_z3_solver(ctx));
+}
+}  // namespace factories
+
+INSTANTIATE_TEST_SUITE_P(Backends, ScopedSolverApi,
+                         ::testing::Values(&factories::z3, &factories::bitblast,
+                                           &factories::validating_z3,
+                                           &factories::caching_z3));
+
+TEST(CachingSolver, IncrementalChecksShareKeysWithStatelessChecks) {
+  // The canonical key of scoped ∧ assumptions equals the stateless key of
+  // the same conjunction, so entries are shared between both styles.
+  Context ctx;
+  auto cache = std::make_shared<QueryCache>(/*shards=*/2);
+  CachingSolver incremental(make_z3_solver(ctx), cache);
+  CachingSolver stateless(make_z3_solver(ctx), cache);
+  ExprRef x = ctx.var("x", 8);
+  ExprRef a = ctx.ult(x, ctx.constant(10, 8));
+  ExprRef b = ctx.ugt(x, ctx.constant(3, 8));
+
+  incremental.push();
+  incremental.assert_(a);
+  std::vector<ExprRef> assumption = {b};
+  EXPECT_EQ(incremental.check_assuming(assumption, nullptr), CheckResult::kSat);
+  incremental.pop();
+
+  std::vector<ExprRef> conjunction = {a, b};
+  EXPECT_EQ(stateless.check(conjunction, nullptr), CheckResult::kSat);
+  EXPECT_EQ(stateless.stats().cache_hits, 1u);
+  EXPECT_EQ(stateless.inner().stats().queries, 0u);
+}
+
+TEST(ValidatingSolver, ValidatesScopedAssertionsToo) {
+  Context ctx;
+  ValidatingSolver validating(make_z3_solver(ctx));
+  ExprRef x = ctx.var("x", 16);
+  validating.push();
+  validating.assert_(ctx.ugt(x, ctx.constant(100, 16)));
+  Assignment model;
+  std::vector<ExprRef> assumption = {ctx.ult(x, ctx.constant(200, 16))};
+  EXPECT_EQ(validating.check_assuming(assumption, &model), CheckResult::kSat);
+  EXPECT_GT(model.get(x->var_id), 100u);
+  EXPECT_LT(model.get(x->var_id), 200u);
+  validating.pop();
+}
+
 TEST(Assignment, DefaultsToZero) {
   Assignment a;
   EXPECT_EQ(a.get(123), 0u);
