@@ -180,4 +180,25 @@ inline bool parse_solver_opt_flag(const char* arg,
   return true;
 }
 
+/// Snapshot/fork execution knobs, shared by every harness: --no-snapshot,
+/// --snapshot-budget N, --snapshot-interval N. Consumes the value argument
+/// (advancing *i) for the latter two. Returns false when argv[*i] is none
+/// of them.
+inline bool parse_snapshot_flag(int argc, char** argv, int* i,
+                                core::EngineOptions* options) {
+  const char* arg = argv[*i];
+  if (std::strcmp(arg, "--no-snapshot") == 0) {
+    options->snapshots = false;
+  } else if (std::strcmp(arg, "--snapshot-budget") == 0 && *i + 1 < argc) {
+    options->snapshot_budget =
+        static_cast<unsigned>(std::strtoul(argv[++*i], nullptr, 0));
+  } else if (std::strcmp(arg, "--snapshot-interval") == 0 && *i + 1 < argc) {
+    options->snapshot_interval = std::max(
+        1u, static_cast<unsigned>(std::strtoul(argv[++*i], nullptr, 0)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace binsym::bench

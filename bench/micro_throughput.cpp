@@ -130,6 +130,31 @@ void BM_LifterIrExec(benchmark::State& state) {
 }
 BENCHMARK(BM_LifterIrExec);
 
+// Reset-per-run is the other half of the per-flip cost snapshots attack:
+// with copy-on-write pages, rebinding a machine memory to the program image
+// copies the page *table* only — zero page contents — regardless of image
+// size. The benchmark sweeps the image size to pin that O(pages-in-table)
+// behavior (per-reset time must not scale with 4 KiB page payloads), and
+// fails outright if a reset physically copies a page.
+void BM_MemoryResetCoW(benchmark::State& state) {
+  core::ConcreteMemory image;
+  const int64_t pages = state.range(0);
+  for (int64_t p = 0; p < pages; ++p)
+    image.write8(static_cast<uint32_t>(p) * core::ConcreteMemory::kPageSize,
+                 0xab);
+  smt::Context ctx;
+  core::ConcolicMemory mem(ctx);
+  for (auto _ : state) {
+    mem.reset(image);
+    benchmark::DoNotOptimize(mem.read_concrete(0, 4));
+  }
+  if (mem.concrete().pages_copied() != 0)
+    state.SkipWithError("reset broke copy-on-write (page physically copied)");
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pages"] = static_cast<double>(pages);
+}
+BENCHMARK(BM_MemoryResetCoW)->Arg(4)->Arg(64)->Arg(1024);
+
 // Deep shared-sub-DAG expression of the shape concolic runs produce; the
 // traversal benchmarks below all walk it.
 smt::ExprRef build_chain(smt::Context& ctx, int depth) {

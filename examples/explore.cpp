@@ -5,6 +5,7 @@
 //   explore <workload|path.elf> [binsym|vp|binsec|angr|angr-buggy]
 //           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
+//           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
 //           [--show-failures]
 #include <cstdio>
 #include <cstdlib>
@@ -17,15 +18,43 @@
 
 using namespace binsym;
 
+namespace {
+
+// Every flag listed here must be documented in docs/BENCHMARKS.md — CI's
+// docs job diffs this help text against the docs.
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s <workload|file.elf> [engine] [options]\n"
+      "  engines: binsym (default), vp, binsec, angr, angr-buggy\n"
+      "  --max-paths N            stop after N explored paths\n"
+      "  --jobs N                 worker count (1 = sequential)\n"
+      "  --search dfs|bfs|random|coverage\n"
+      "                           path-selection strategy\n"
+      "  --no-incremental         disable incremental prefix solving\n"
+      "  --no-slice               disable constraint-independence slicing\n"
+      "  --no-presolve            disable the model-reuse pre-check\n"
+      "  --no-cache               disable the per-worker query cache\n"
+      "  --no-snapshot            disable snapshot/fork execution (full\n"
+      "                           replay per flip)\n"
+      "  --snapshot-budget N      live checkpoints kept per worker\n"
+      "  --snapshot-interval N    min branch records between checkpoints\n"
+      "  --show-failures          print report_fail events with inputs\n"
+      "  --help                   this text\n",
+      prog);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <workload|file.elf> [engine] [--max-paths N] "
-                 "[--jobs N] [--search dfs|bfs|random|coverage] "
-                 "[--no-incremental] [--no-slice] [--no-presolve] "
-                 "[--no-cache] [--show-failures]\n  engines: binsym "
-                 "(default), vp, binsec, angr, angr-buggy\n",
-                 argv[0]);
+    print_usage(stderr, argv[0]);
     return 2;
   }
   std::string target = argv[1];
@@ -40,6 +69,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--search") == 0 && i + 1 < argc) {
       if (!bench::parse_search_arg(argv[++i], &options.search)) return 2;
     } else if (bench::parse_solver_opt_flag(argv[i], &options)) {
+      // handled
+    } else if (bench::parse_snapshot_flag(argc, argv, &i, &options)) {
       // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/snapshot.hpp"
 #include "smt/slice.hpp"
 #include "smt/smtlib.hpp"
 #include "support/format.hpp"
@@ -103,6 +104,11 @@ void EngineStats::merge(const EngineStats& other) {
   sliced_constraints += other.sliced_constraints;
   query_nodes_total += other.query_nodes_total;
   query_nodes_max = std::max(query_nodes_max, other.query_nodes_max);
+  snapshot_hits += other.snapshot_hits;
+  snapshot_misses += other.snapshot_misses;
+  snapshot_captures += other.snapshot_captures;
+  snapshot_evictions += other.snapshot_evictions;
+  snapshot_pages_copied += other.snapshot_pages_copied;
   solver.merge(other.solver);
 }
 
@@ -178,11 +184,12 @@ std::unique_ptr<smt::Solver> DseEngine::wrap_solver(
 }
 
 void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
-                            Shared& shared) {
+                            Shared& shared, unsigned worker_index) {
   smt::Context& ctx = executor.context();
   EngineStats local;
   PathTrace trace;
   const uint64_t instructions_before = executor.instructions_retired();
+  const uint64_t pages_copied_before = executor.pages_copied();
 
   // Per-worker solver-pipeline state (workers never share any of it; the
   // cache is keyed by node ids, which are per-context, so it could not be
@@ -197,6 +204,16 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   std::vector<smt::ExprRef> prefix;      // as-taken prefix ∧ assumptions
   std::vector<smt::ExprRef> full_query;  // scratch for the unsliced paths
 
+  // Snapshot/fork state (also strictly per-worker: snapshots hold
+  // per-context ExprRefs, so handles never cross workers — a migrated job
+  // replays from the entry point instead).
+  const bool use_snapshots = opts.snapshots && opts.snapshot_budget > 0 &&
+                             executor.supports_snapshots();
+  SnapshotPool snapshot_pool(use_snapshots ? opts.snapshot_budget : 0);
+  std::vector<std::shared_ptr<const Snapshot>> captures;
+  const SnapshotPlan plan{use_snapshots ? &captures : nullptr,
+                          std::max(1u, opts.snapshot_interval)};
+
   FlipJob job;
   while (shared.frontier.pop(&job)) {
     // Claim a slot in the path budget before running; the first claim past
@@ -208,7 +225,34 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
     }
 
     smt::Assignment seed = seed_from_job(ctx, job);
-    executor.run(seed, trace);
+
+    // Resume from the job's checkpoint when it is still alive and owned by
+    // this worker; otherwise replay from the entry point. Either way the
+    // run captures fresh checkpoints for the flips it is about to schedule.
+    captures.clear();
+    bool resumed = false;
+    if (use_snapshots) {
+      std::shared_ptr<const Snapshot> snap;
+      if (job.snapshot_worker == worker_index) snap = job.snapshot.lock();
+      if (snap && executor.resume(*snap, seed, trace, plan)) {
+        resumed = true;
+        ++local.snapshot_hits;
+        // The checkpoint this run grew from is valid for its children too
+        // (they share the prefix up to its depth); make it the shallowest
+        // capture so near-bound flips get a handle without re-capturing.
+        captures.insert(captures.begin(), std::move(snap));
+      } else if (job.snapshot_worker != FlipJob::kNoSnapshot) {
+        ++local.snapshot_misses;
+      }
+    }
+    if (!resumed) {
+      if (use_snapshots) {
+        executor.run_with_snapshots(seed, trace, plan);
+      } else {
+        executor.run(seed, trace);
+      }
+    }
+    local.snapshot_captures += captures.size() - (resumed ? 1 : 0);
     ++local.paths;
     local.failures += trace.failures.size();
     local.max_branch_depth =
@@ -361,13 +405,27 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       // (all unconstrained at this flip point either way).
       smt::Assignment next_seed = seed;
       for (const auto& [var, value] : model.values) next_seed.set(var, value);
-      shared.frontier.push(
-          make_flip_job(ctx, next_seed, i + 1, trace.branches[i].pc));
+      FlipJob child = make_flip_job(ctx, next_seed, i + 1,
+                                    trace.branches[i].pc);
+      // Hand the child the deepest checkpoint at or above its flip point
+      // (the branch being flipped must itself re-execute, so depth <= i)
+      // and pin it in the pool so the handle survives until the job runs.
+      if (use_snapshots) {
+        if (std::shared_ptr<const Snapshot> snap =
+                deepest_at_most(captures, i)) {
+          child.snapshot = snap;
+          child.snapshot_worker = worker_index;
+          snapshot_pool.insert(snap);
+        }
+      }
+      shared.frontier.push(std::move(child));
     }
     scope.reset();
     shared.frontier.job_done();
   }
 
+  local.snapshot_evictions = snapshot_pool.evictions();
+  local.snapshot_pages_copied = executor.pages_copied() - pages_copied_before;
   local.instructions = executor.instructions_retired() - instructions_before;
   local.solver = solver.stats();
   // Queries answered from the cache count as logical queries, exactly as
@@ -403,10 +461,10 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
       WorkerResources res = factory_(0);
       std::unique_ptr<smt::Solver> solver = wrap_solver(std::move(res.solver));
       solver_name = solver->name();
-      worker_loop(*res.executor, *solver, shared);
+      worker_loop(*res.executor, *solver, shared, 0);
     } else {
       solver_name = solver_->name();
-      worker_loop(*executor_, *solver_, shared);
+      worker_loop(*executor_, *solver_, shared, 0);
     }
   } else {
     // Build every worker's resources up front (the factory need not be
@@ -429,9 +487,9 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
     pool.reserve(jobs);
     for (unsigned i = 0; i < jobs; ++i) {
       Worker& w = workers[i];
-      pool.emplace_back([this, &w, &shared] {
+      pool.emplace_back([this, &w, &shared, i] {
         try {
-          worker_loop(*w.res.executor, *w.solver, shared);
+          worker_loop(*w.res.executor, *w.solver, shared, i);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(shared.sink_mutex);

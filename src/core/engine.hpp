@@ -36,7 +36,11 @@
 
 namespace binsym::core {
 
+/// Exploration configuration. Plain data, set once before explore();
+/// shared read-only across all workers afterwards.
 struct EngineOptions {
+  /// Stop after this many completed runs (the claim is made before a run
+  /// starts, so the count is exact even under parallelism).
   uint64_t max_paths = UINT64_MAX;
   /// Path selection policy (see search.hpp). The paper's BinSym uses DFS.
   SearchKind search = SearchKind::kDepthFirst;
@@ -66,6 +70,22 @@ struct EngineOptions {
   bool presolve_models = true;
   /// Per-worker recent-model pool size for the pre-check (0 disables).
   unsigned presolve_pool = 8;
+  // -- Snapshot/fork execution (snapshot.hpp). Like the solver-pipeline
+  // optimizations, snapshots may change only cost, never the explored path
+  // set — resumed runs are bit-identical to full replays.
+  /// Resume each scheduled flip from the deepest reusable copy-on-write
+  /// checkpoint instead of re-executing from the entry point. Requires an
+  /// executor with supports_snapshots(); silently degrades to full replay
+  /// otherwise. CLI: --no-snapshot.
+  bool snapshots = true;
+  /// Per-worker SnapshotPool capacity: live checkpoints kept for pending
+  /// flips (scored LRU eviction; evicted handles fall back to replay).
+  /// 0 disables snapshotting like `snapshots = false`. CLI: --snapshot-budget.
+  unsigned snapshot_budget = 128;
+  /// Minimum branch records between two captures within one run. Smaller =
+  /// denser checkpoints = less re-execution per resume but more capture
+  /// work and pool pressure. CLI: --snapshot-interval.
+  unsigned snapshot_interval = 4;
   /// Measure the effective (post-slicing) flip queries: distinct DAG nodes
   /// per query, accumulated into EngineStats. Costs one DAG walk per flip;
   /// meant for the SMT ablation bench, off in production explorations.
@@ -77,6 +97,9 @@ struct EngineOptions {
   std::string smtlib_dump_dir;
 };
 
+/// Exploration-wide counters. Each worker accumulates a private copy;
+/// merge() folds them under the engine's sink mutex, so readers only ever
+/// see the final merged value explore() returns.
 struct EngineStats {
   uint64_t paths = 0;            // completed runs == explored paths
   uint64_t flip_attempts = 0;    // solver queries issued for branch flips
@@ -93,6 +116,13 @@ struct EngineStats {
   uint64_t query_nodes_total = 0;   // effective query DAG nodes, summed
   uint64_t query_nodes_max = 0;     // ... and the largest single query
                                     // (both only with measure_query_nodes)
+  uint64_t snapshot_hits = 0;       // runs resumed from a checkpoint
+  uint64_t snapshot_misses = 0;     // runs whose handle was evicted or
+                                    // crossed workers (fell back to replay)
+  uint64_t snapshot_captures = 0;   // checkpoints captured across all runs
+  uint64_t snapshot_evictions = 0;  // pool evictions (budget pressure)
+  uint64_t snapshot_pages_copied = 0;  // guest pages physically duplicated
+                                       // by copy-on-write breaks
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration
@@ -129,6 +159,11 @@ struct WorkerResources {
 /// be thread-safe).
 using WorkerFactory = std::function<WorkerResources(unsigned index)>;
 
+/// Thread-safety: construct, explore() once, read the result — all from
+/// one thread; the engine spawns and joins its own workers internally.
+/// The PathCallback is invoked under a mutex (never concurrently), but
+/// from worker threads, so it must not touch the caller's thread-local
+/// state.
 class DseEngine {
  public:
   using PathCallback = std::function<void(const PathResult&)>;
@@ -159,7 +194,8 @@ class DseEngine {
   struct Shared;  // exploration-wide mutable state (engine.cpp)
 
   std::unique_ptr<smt::Solver> wrap_solver(std::unique_ptr<smt::Solver> raw);
-  void worker_loop(Executor& executor, smt::Solver& solver, Shared& shared);
+  void worker_loop(Executor& executor, smt::Solver& solver, Shared& shared,
+                   unsigned worker_index);
 
   Executor* executor_ = nullptr;          // single-executor form
   std::unique_ptr<smt::Solver> solver_;   // single-executor form (wrapped)

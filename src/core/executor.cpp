@@ -1,5 +1,9 @@
 #include "core/executor.hpp"
 
+#include <algorithm>
+
+#include "core/snapshot.hpp"
+
 namespace binsym::core {
 
 void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words) {
@@ -25,8 +29,44 @@ void BinSymExecutor::run(const smt::Assignment& seed, PathTrace& trace) {
   trace.clear();
   machine_.reset(program_.image, program_.entry, config_.stack_top, seed,
                  trace);
+  loop(nullptr, 0);
+}
 
+void BinSymExecutor::run_with_snapshots(const smt::Assignment& seed,
+                                        PathTrace& trace,
+                                        const SnapshotPlan& plan) {
+  if (!plan.sink) return run(seed, trace);
+  trace.clear();
+  machine_.reset(program_.image, program_.entry, config_.stack_top, seed,
+                 trace);
+  loop(&plan, std::max<uint64_t>(1, plan.interval));
+}
+
+bool BinSymExecutor::resume(const Snapshot& snap, const smt::Assignment& seed,
+                            PathTrace& trace, const SnapshotPlan& plan) {
+  trace.clear();
+  machine_.restore(snap, seed, trace);
+  if (plan.sink) {
+    loop(&plan, snap.depth() + std::max<uint64_t>(1, plan.interval));
+  } else {
+    loop(nullptr, 0);
+  }
+  return true;
+}
+
+uint64_t BinSymExecutor::pages_copied() const {
+  return machine_.memory().concrete().pages_copied();
+}
+
+void BinSymExecutor::loop(const SnapshotPlan* plan, uint64_t next_capture) {
+  PathTrace& trace = machine_.trace();
   while (machine_.running()) {
+    if (plan && trace.branches.size() >= next_capture) {
+      auto snap = std::make_shared<Snapshot>();
+      machine_.capture(snap.get());
+      plan->sink->push_back(std::move(snap));
+      next_capture = trace.branches.size() + plan->interval;
+    }
     if (trace.steps >= config_.max_steps) {
       machine_.stop(ExitReason::kMaxSteps);
       break;

@@ -28,8 +28,13 @@
 
 namespace binsym::core {
 
+/// Thread-safety: every method is safe to call from any worker thread
+/// concurrently; the wrapped SearchStrategy is only ever touched under the
+/// internal mutex. `stopped()` is a lock-free read for hot loops.
 class Frontier {
  public:
+  /// Takes ownership of the (single-threaded) strategy that defines pop
+  /// order. Must be non-null.
   explicit Frontier(std::unique_ptr<SearchStrategy> strategy)
       : strategy_(std::move(strategy)) {}
 

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "core/snapshot.hpp"
+
 namespace binsym::core {
 
 const char* exit_reason_name(ExitReason reason) {
@@ -30,6 +32,55 @@ void SymMachine::reset(const ConcreteMemory& image, uint32_t entry,
   input_counter_ = 0;
   seed_ = &seed;
   trace_ = &trace;
+}
+
+void SymMachine::capture(Snapshot* out) const {
+  out->regs = regs_;
+  out->csrs = csrs_;
+  out->memory = memory_.concrete();  // CoW: shares pages, copies the table
+  out->symbolic = memory_.symbolic_bytes();
+  out->pc = pc_;
+  out->next_pc = next_pc_;
+  out->input_counter = input_counter_;
+  out->branches = trace_->branches;
+  out->assumptions = trace_->assumptions;
+  out->failures = trace_->failures;
+  out->input_vars = trace_->input_vars;
+  out->output = trace_->output;
+  out->steps = trace_->steps;
+}
+
+void SymMachine::restore(const Snapshot& snap, const smt::Assignment& seed,
+                         PathTrace& trace) {
+  regs_ = snap.regs;
+  csrs_ = snap.csrs;
+  memory_.restore(snap.memory, snap.symbolic);
+  pc_ = snap.pc;
+  next_pc_ = snap.next_pc;
+  input_counter_ = snap.input_counter;
+  seed_ = &seed;
+  trace_ = &trace;
+  trace.branches = snap.branches;
+  trace.assumptions = snap.assumptions;
+  trace.failures = snap.failures;
+  trace.input_vars = snap.input_vars;
+  trace.output = snap.output;
+  trace.steps = snap.steps;
+  trace.exit = ExitReason::kRunning;
+  trace.exit_code = 0;
+
+  // Re-shadow: the captured concrete values of *symbolic* state are those
+  // of the snapshotting run's seed; re-evaluate them under the new one.
+  // One memoizing evaluator across all roots — symbolic registers and
+  // memory bytes share most of their sub-DAGs.
+  smt::CachingEvaluator eval(seed);
+  for (Value& reg : regs_) {
+    if (reg.symbolic()) reg.conc = eval.evaluate(reg.sym);
+  }
+  for (auto& [csr, value] : csrs_) {
+    if (value.symbolic()) value.conc = eval.evaluate(value.sym);
+  }
+  memory_.reshadow(eval);
 }
 
 uint64_t SymMachine::concretize(const Value& value) {

@@ -21,6 +21,8 @@
 
 namespace binsym::core {
 
+struct Snapshot;
+
 class SymMachine {
  public:
   using Value = interp::SymValue;
@@ -31,6 +33,21 @@ class SymMachine {
   /// the stack pointer, and attach the run's trace + input seed.
   void reset(const ConcreteMemory& image, uint32_t entry, uint32_t stack_top,
              const smt::Assignment& seed, PathTrace& trace);
+
+  /// Capture the complete machine state plus the attached trace's prefix
+  /// into `out` (snapshot.hpp). Must be called at an instruction boundary.
+  /// O(dirty pages + symbolic bytes + trace prefix); the memory pages
+  /// themselves are shared copy-on-write, not copied.
+  void capture(Snapshot* out) const;
+
+  /// Start a new path from `snap` instead of the entry point: restore the
+  /// captured state, copy the trace prefix into `trace`, attach the run's
+  /// seed, and re-evaluate every symbolic concrete shadow (registers, CSRs,
+  /// memory bytes) under the new seed. Sound whenever `seed` satisfies the
+  /// snapshot's branch-prefix constraints and assumptions — which the
+  /// engine's flip queries guarantee by construction.
+  void restore(const Snapshot& snap, const smt::Assignment& seed,
+               PathTrace& trace);
 
   // -- Machine stepping support (used by executors). ---------------------------
 
@@ -46,6 +63,7 @@ class SymMachine {
   bool fetch_mapped() const { return memory_.mapped(pc_); }
   PathTrace& trace() { return *trace_; }
   ConcolicMemory& memory() { return memory_; }
+  const ConcolicMemory& memory() const { return memory_; }
   smt::Context& context() { return ctx_; }
 
   /// Total global symbolic input bytes created so far (stable naming).

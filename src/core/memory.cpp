@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "smt/eval.hpp"
 #include "support/bits.hpp"
 
 namespace binsym::core {
@@ -66,6 +67,13 @@ void ConcolicMemory::store(uint32_t addr, unsigned bytes,
     } else {
       symbolic_[addr + i] = byte_expr;
     }
+  }
+}
+
+void ConcolicMemory::reshadow(smt::CachingEvaluator& eval) {
+  for (const auto& [addr, expr] : symbolic_) {
+    uint8_t value = static_cast<uint8_t>(eval.evaluate(expr));
+    if (concrete_.read8(addr) != value) concrete_.write8(addr, value);
   }
 }
 

@@ -1,21 +1,39 @@
 // Guest memory.
 //
-// ConcreteMemory is a sparse paged byte store with value semantics (cheap
-// reset-per-run by copying the loaded image). ConcolicMemory layers a
-// symbolic shadow over it: any byte may additionally carry an 8-bit
-// expression; loads reassemble wide values from the shadow, stores scatter
-// them. Unwritten, unmapped bytes read as zero — the deterministic
-// initial-state convention shared by all engines here.
+// ConcreteMemory is a sparse paged byte store with copy-on-write value
+// semantics: pages are immutable shared buffers, copying a memory (or
+// rebinding it to a program image) copies only the page *table*, and a page
+// is physically duplicated the first time a writer that shares it stores a
+// byte. This is what makes both the classic reset-per-run and the snapshot
+// subsystem (snapshot.hpp) O(dirty pages) instead of O(image).
+//
+// ConcolicMemory layers a symbolic shadow over it: any byte may
+// additionally carry an 8-bit expression; loads reassemble wide values from
+// the shadow, stores scatter them. Unwritten, unmapped bytes read as zero —
+// the deterministic initial-state convention shared by all engines here.
+//
+// Thread-safety: a ConcreteMemory instance is single-threaded, but its
+// pages may be shared across threads *read-only* (each worker rebinds its
+// machine memory to the one shared Program image). That is safe: the
+// copy-on-write break only needs to distinguish "uniquely owned" from
+// "shared", and a page reachable from a live image can never appear
+// uniquely owned to a worker (the image itself always holds a reference),
+// so cross-thread writes always copy first.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "interp/value.hpp"
 #include "smt/context.hpp"
+
+namespace binsym::smt {
+class CachingEvaluator;
+}
 
 namespace binsym::core {
 
@@ -23,15 +41,16 @@ class ConcreteMemory {
  public:
   static constexpr uint32_t kPageBits = 12;
   static constexpr uint32_t kPageSize = 1u << kPageBits;
+  using Page = std::array<uint8_t, kPageSize>;
 
   uint8_t read8(uint32_t addr) const {
     auto it = pages_.find(addr >> kPageBits);
     if (it == pages_.end()) return 0;
-    return it->second[addr & (kPageSize - 1)];
+    return (*it->second)[addr & (kPageSize - 1)];
   }
 
   void write8(uint32_t addr, uint8_t value) {
-    page(addr)[addr & (kPageSize - 1)] = value;
+    writable_page(addr)[addr & (kPageSize - 1)] = value;
   }
 
   /// Little-endian multi-byte read (bytes in [1, 8]).
@@ -47,25 +66,47 @@ class ConcreteMemory {
 
   void load_image(uint32_t addr, const std::vector<uint8_t>& bytes);
 
+  /// Share `other`'s pages without copying any of them — O(page table).
+  /// This is the reset-per-run / snapshot-restore primitive: subsequent
+  /// writes copy-on-write the affected page only. Unlike plain assignment
+  /// it preserves this instance's pages_copied() counter, which tracks
+  /// physical copy work across the instance's lifetime.
+  void rebind(const ConcreteMemory& other) { pages_ = other.pages_; }
+
   size_t num_pages() const { return pages_.size(); }
 
+  /// Pages physically duplicated by copy-on-write breaks over this
+  /// instance's lifetime (fresh zero pages are not counted). Survives
+  /// rebind(); plain copies inherit the source's count.
+  uint64_t pages_copied() const { return pages_copied_; }
+
  private:
-  std::array<uint8_t, kPageSize>& page(uint32_t addr) {
+  Page& writable_page(uint32_t addr) {
     auto [it, inserted] = pages_.try_emplace(addr >> kPageBits);
-    if (inserted) it->second.fill(0);
-    return it->second;
+    if (inserted) {
+      it->second = std::make_shared<Page>();
+      it->second->fill(0);
+    } else if (it->second.use_count() > 1) {
+      // Copy-on-write break: someone else (an image, a snapshot, a sibling
+      // fork) still references this page.
+      it->second = std::make_shared<Page>(*it->second);
+      ++pages_copied_;
+    }
+    return *it->second;
   }
 
-  std::unordered_map<uint32_t, std::array<uint8_t, kPageSize>> pages_;
+  std::unordered_map<uint32_t, std::shared_ptr<Page>> pages_;
+  uint64_t pages_copied_ = 0;
 };
 
 class ConcolicMemory {
  public:
   explicit ConcolicMemory(smt::Context& ctx) : ctx_(ctx) {}
 
-  /// Reset to a concrete image (start of a new path).
+  /// Reset to a concrete image (start of a new path). O(page table): the
+  /// image's pages are shared copy-on-write, never copied here.
   void reset(const ConcreteMemory& image) {
-    concrete_ = image;
+    concrete_.rebind(image);
     symbolic_.clear();
   }
 
@@ -88,6 +129,25 @@ class ConcolicMemory {
   /// Bind one byte to a symbolic expression with concrete shadow `conc`
   /// (used by sym_input).
   void poke_symbolic(uint32_t addr, smt::ExprRef byte_expr, uint8_t conc);
+
+  /// The symbolic shadow: byte address -> 8-bit expression. Exposed for the
+  /// snapshot subsystem (capture copies it, restore rebinds it).
+  const std::unordered_map<uint32_t, smt::ExprRef>& symbolic_bytes() const {
+    return symbolic_;
+  }
+
+  /// Snapshot-restore primitive: rebind the concrete store to `concrete`
+  /// (copy-on-write, like reset) and replace the symbolic shadow.
+  void restore(const ConcreteMemory& concrete,
+               const std::unordered_map<uint32_t, smt::ExprRef>& symbolic) {
+    concrete_.rebind(concrete);
+    symbolic_ = symbolic;
+  }
+
+  /// Recompute the concrete shadow of every symbolic byte under `eval`'s
+  /// assignment (snapshot resume under a new input seed). Bytes whose value
+  /// is unchanged are left alone so they do not break page sharing.
+  void reshadow(smt::CachingEvaluator& eval);
 
   size_t num_symbolic_bytes() const { return symbolic_.size(); }
 

@@ -49,6 +49,8 @@ struct SeedEntry {
   uint64_t value = 0;
 };
 
+struct Snapshot;
+
 /// A pending branch-flip work item: execute the program under `seed` and
 /// schedule flips only for branches with index >= `bound` (everything below
 /// is pinned prefix, already explored elsewhere).
@@ -57,6 +59,16 @@ struct FlipJob {
   size_t bound = 0;     // first flippable branch index on this run
   uint32_t flip_pc = 0; // pc of the branch whose flip produced this job
   uint64_t seq = 0;     // global insertion order, assigned by the Frontier
+
+  /// Deepest reusable checkpoint for this flip (snapshot.hpp), weak so the
+  /// owning worker's SnapshotPool controls lifetime: an evicted handle
+  /// expires and the job falls back to full replay. Snapshots hold
+  /// per-context ExprRefs, so only the worker whose index matches
+  /// `snapshot_worker` may lock and use the handle; on any other worker the
+  /// job replays from the entry point.
+  std::weak_ptr<const Snapshot> snapshot;
+  static constexpr uint32_t kNoSnapshot = ~0u;
+  uint32_t snapshot_worker = kNoSnapshot;  // owning worker, kNoSnapshot = none
 };
 
 /// Convert an engine-side Assignment (context var ids) into portable form.
@@ -67,15 +79,20 @@ FlipJob make_flip_job(const smt::Context& ctx, const smt::Assignment& seed,
 smt::Assignment seed_from_job(smt::Context& ctx, const FlipJob& job);
 
 /// Path-selection policy over pending FlipJobs. Not thread-safe by itself;
-/// the Frontier serializes access.
+/// the Frontier serializes every call under its own mutex, so
+/// implementations stay simple single-threaded containers.
 class SearchStrategy {
  public:
   virtual ~SearchStrategy() = default;
+  /// Short policy name for reports ("dfs", "bfs", ...).
   virtual const char* name() const = 0;
+  /// Accept a pending flip (the Frontier has already stamped `job.seq`).
   virtual void push(FlipJob job) = 0;
   /// Remove and return the next job. Precondition: !empty().
   virtual FlipJob pop() = 0;
+  /// True when no job is pending.
   virtual bool empty() const = 0;
+  /// Number of pending jobs (worklist-footprint statistics).
   virtual size_t size() const = 0;
   /// Observe a finished path (coverage-guided priorities); default no-op.
   virtual void observe(const PathTrace& trace) { (void)trace; }

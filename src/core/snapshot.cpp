@@ -1,0 +1,43 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+
+namespace binsym::core {
+
+std::shared_ptr<const Snapshot> deepest_at_most(
+    std::span<const std::shared_ptr<const Snapshot>> captures, size_t depth) {
+  auto it = std::upper_bound(
+      captures.begin(), captures.end(), depth,
+      [](size_t d, const std::shared_ptr<const Snapshot>& s) {
+        return d < s->depth();
+      });
+  if (it == captures.begin()) return nullptr;
+  return *std::prev(it);
+}
+
+void SnapshotPool::insert(const std::shared_ptr<const Snapshot>& snap) {
+  if (budget_ == 0 || !snap) return;
+  for (Entry& entry : entries_) {
+    if (entry.snap == snap) {
+      ++entry.reuses;
+      entry.last_use = ++tick_;
+      return;
+    }
+  }
+  if (entries_.size() == budget_) {
+    auto score = [](const Entry& e) {
+      return (static_cast<uint64_t>(e.snap->depth()) + 1) * (e.reuses + 1);
+    };
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(), [&](const Entry& a, const Entry& b) {
+          uint64_t sa = score(a), sb = score(b);
+          return sa != sb ? sa < sb : a.last_use < b.last_use;
+        });
+    *victim = std::move(entries_.back());
+    entries_.pop_back();
+    ++evictions_;
+  }
+  entries_.push_back(Entry{snap, 0, ++tick_});
+}
+
+}  // namespace binsym::core

@@ -34,6 +34,14 @@ std::string engine_stats_report(const EngineStats& stats) {
       s.incremental_checks
           ? static_cast<double>(s.reused_assertions) / s.incremental_checks
           : 0.0);
+  // Snapshot/fork execution (snapshot.hpp): checkpoint reuse vs replay
+  // fallback, pool pressure, and the physical copy-on-write cost.
+  out += strprintf(
+      "snapshots: hits=%llu misses=%llu captures=%llu evictions=%llu "
+      "pages-copied=%llu\n",
+      u(stats.snapshot_hits), u(stats.snapshot_misses),
+      u(stats.snapshot_captures), u(stats.snapshot_evictions),
+      u(stats.snapshot_pages_copied));
   if (stats.query_nodes_total) {
     out += strprintf(
         "query-nodes: total=%llu max=%llu avg=%.1f\n",

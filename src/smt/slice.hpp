@@ -40,6 +40,9 @@ std::vector<size_t> independence_groups(std::span<const ExprRef> constraints);
 /// union-find scratch. The partition itself is rebuilt per slice() call;
 /// emitting the sliced query is O(prefix) per flip regardless, and the
 /// variable sets dominate the constant factor.
+///
+/// Thread-safety: none — the memo is keyed by per-context node ids, so a
+/// QuerySlicer is confined to one engine worker like the Context itself.
 class QuerySlicer {
  public:
   struct Result {

@@ -18,10 +18,16 @@
 
 namespace binsym::smt {
 
+/// Outcome of a satisfiability check (kUnknown covers backend resource
+/// limits and theories the backend cannot decide).
 enum class CheckResult { kSat, kUnsat, kUnknown };
 
+/// Human-readable name for a CheckResult ("sat", "unsat", "unknown").
 const char* check_result_name(CheckResult result);
 
+/// Per-solver counters, accumulated across every check*() call.
+/// Thread-safety: plain data owned by the (single-threaded) solver; the
+/// engine merges per-worker copies after the workers join.
 struct SolverStats {
   uint64_t queries = 0;
   uint64_t sat = 0;
@@ -48,6 +54,10 @@ struct SolverStats {
   }
 };
 
+/// Thread-safety: a Solver (any backend, any wrapper) is single-threaded —
+/// it is built over one smt::Context, which is itself confined to one
+/// engine worker. Parallel exploration gives every worker its own solver;
+/// nothing here locks.
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -85,10 +95,13 @@ class Solver {
   std::span<const ExprRef> scoped_assertions() const { return scoped_; }
   size_t num_scopes() const { return scope_marks_.size(); }
 
-  /// Human-readable backend name for reports.
+  /// Human-readable backend name for reports (wrappers append suffixes,
+  /// e.g. "z3+validate").
   virtual std::string name() const = 0;
 
+  /// Counters accumulated so far (see SolverStats).
   const SolverStats& stats() const { return stats_; }
+  /// Zero the counters (benchmark harnesses re-measuring one instance).
   void reset_stats() { stats_ = SolverStats{}; }
 
  protected:

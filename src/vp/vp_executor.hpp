@@ -85,9 +85,20 @@ class VpExecutor final : public core::Executor {
   void run(const smt::Assignment& seed, core::PathTrace& trace) override;
   uint64_t instructions_retired() const override { return retired_; }
 
+  bool supports_snapshots() const override { return true; }
+  void run_with_snapshots(const smt::Assignment& seed, core::PathTrace& trace,
+                          const core::SnapshotPlan& plan) override;
+  bool resume(const core::Snapshot& snap, const smt::Assignment& seed,
+              core::PathTrace& trace, const core::SnapshotPlan& plan) override;
+  uint64_t pages_copied() const override;
+
   const QuantumKeeper& quantum_keeper() const { return keeper_; }
 
  private:
+  /// Shared bus-interpretation loop; captures checkpoints (including the
+  /// quantum keeper in Snapshot::extra) when `plan` is non-null.
+  void loop(const core::SnapshotPlan* plan, uint64_t next_capture);
+
   smt::Context& ctx_;
   const isa::Decoder& decoder_;
   const spec::Registry& registry_;

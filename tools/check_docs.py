@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI `docs` job).
+
+Two checks, both hard failures:
+
+1. Intra-repo markdown links. Every relative link target in the repo's
+   markdown files must resolve to an existing file (anchors are validated
+   against the target file's headings, GitHub-slug style). External links
+   (http/https/mailto) are ignored; so is anything inside fenced code
+   blocks.
+
+2. `explore --help` flag coverage. Every `--flag` the explore CLI
+   advertises must be documented in docs/BENCHMARKS.md, so the CLI can
+   never grow an undocumented knob.
+
+Usage:
+    tools/check_docs.py [--explore build/explore]
+
+Run from anywhere; paths are resolved relative to the repository root
+(the parent of this script's directory).
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+# Directories never scanned for markdown.
+EXCLUDED_DIRS = {".git", "build", ".claude"}
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def markdown_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if any(part in EXCLUDED_DIRS for part in path.relative_to(REPO).parts):
+            continue
+        yield path
+
+
+def strip_code_blocks(text):
+    """Drop fenced code blocks so example snippets don't register links."""
+    kept, fenced = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            kept.append(line)
+    return kept
+
+
+def github_slug(heading):
+    """GitHub's heading-to-anchor slug: lowercase, spaces to hyphens,
+    punctuation (except hyphens/underscores) removed."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(md_path):
+    anchors = set()
+    for line in strip_code_blocks(md_path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def check_links():
+    errors = []
+    for md in markdown_files():
+        rel = md.relative_to(REPO)
+        for line in strip_code_blocks(md.read_text(encoding="utf-8")):
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                path_part, _, anchor = target.partition("#")
+                dest = md if not path_part else (md.parent / path_part)
+                try:
+                    dest = dest.resolve()
+                    dest.relative_to(REPO)
+                except ValueError:
+                    errors.append(f"{rel}: link escapes the repo: {target}")
+                    continue
+                if not dest.exists():
+                    errors.append(f"{rel}: broken link: {target}")
+                    continue
+                if anchor and dest.suffix == ".md":
+                    if anchor not in anchors_of(dest):
+                        errors.append(f"{rel}: broken anchor: {target}")
+    return errors
+
+
+def check_explore_flags(explore_binary):
+    result = subprocess.run([explore_binary, "--help"], capture_output=True,
+                            text=True, timeout=60)
+    if result.returncode != 0:
+        return [f"{explore_binary} --help exited {result.returncode}"]
+    advertised = sorted(set(FLAG_RE.findall(result.stdout)))
+    if not advertised:
+        return [f"{explore_binary} --help advertised no flags (bad parse?)"]
+    documented = (REPO / "docs" / "BENCHMARKS.md").read_text(encoding="utf-8")
+    return [
+        f"docs/BENCHMARKS.md: explore flag not documented: {flag}"
+        for flag in advertised
+        if flag not in documented
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--explore", metavar="BINARY",
+                        help="path to the built explore example; enables the "
+                             "flag-coverage check")
+    args = parser.parse_args()
+
+    errors = check_links()
+    if args.explore:
+        errors += check_explore_flags(args.explore)
+    else:
+        print("note: --explore not given, skipping the flag-coverage check")
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"check_docs: {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
