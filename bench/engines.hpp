@@ -24,6 +24,7 @@
 #include "baseline/ir_exec.hpp"
 #include "core/engine.hpp"
 #include "isa/decoder.hpp"
+#include "oracles/manager.hpp"
 #include "smt/solver.hpp"
 #include "spec/registry.hpp"
 #include "vp/vp_executor.hpp"
@@ -123,13 +124,68 @@ inline EngineInstance make_angr(const EngineSetup& s, baseline::LifterBugs bugs)
 
 // -- Worker factories (parallel exploration). -------------------------------
 
+/// The bounds map the oracle layer checks data accesses against: the
+/// program's loaded segments, the default stack region, and — for the VP
+/// engine — its MMIO windows.
+inline oracles::MemoryMap make_memory_map(const std::string& engine,
+                                          const EngineSetup& s) {
+  oracles::MemoryMap map =
+      oracles::MemoryMap::for_program(s.program, core::MachineConfig{}.stack_top);
+  if (engine == "vp")
+    for (const core::MemRegion& region : vp::VpExecutor::mmio_regions())
+      map.add_region(region);
+  return map;
+}
+
+/// Attach the oracles named by `spec` ("all" or a comma list; "" = none)
+/// to a freshly built worker. The manager joins the worker's keepalive so
+/// it outlives every run of the executor observing it. Returns false for
+/// an invalid spec or an executor without observer support.
+inline bool attach_oracles(const std::string& engine, const EngineSetup& s,
+                           const std::string& spec, core::WorkerResources* r,
+                           std::string* error = nullptr) {
+  if (spec.empty()) return true;
+  if (!r->executor || !r->executor->supports_observer()) {
+    if (error)
+      *error = "engine '" + engine + "' does not support execution observers";
+    return false;
+  }
+  auto manager = oracles::OracleManager::make(*r->ctx,
+                                              make_memory_map(engine, s),
+                                              spec, error);
+  if (!manager) return false;
+  r->executor->set_observer(manager.get());
+  struct Keep {
+    std::shared_ptr<void> prev;
+    std::unique_ptr<oracles::OracleManager> manager;
+  };
+  auto keep = std::make_shared<Keep>();
+  keep->prev = std::move(r->keepalive);
+  keep->manager = std::move(manager);
+  r->keepalive = std::move(keep);
+  return true;
+}
+
 /// A WorkerFactory builds one context + executor + solver per worker; the
 /// EngineSetup's decoder/registry/program are shared read-only across the
-/// pool. Returns a null factory for unknown engine names.
-inline core::WorkerFactory make_worker_factory(const std::string& engine,
-                                               const EngineSetup& s) {
+/// pool. `oracles_spec` optionally enables bug-finding oracles on every
+/// worker ("all" or a comma list of oracle names; validate it up front
+/// with OracleManager::parse_spec — the factory aborts on a bad spec,
+/// since it has no error channel). Returns a null factory for unknown
+/// engine names.
+inline core::WorkerFactory make_worker_factory(
+    const std::string& engine, const EngineSetup& s,
+    const std::string& oracles_spec = "") {
   if (!known_engine(engine)) return nullptr;
-  return [engine, s](unsigned) { return build_worker(engine, s); };
+  return [engine, s, oracles_spec](unsigned) {
+    core::WorkerResources r = build_worker(engine, s);
+    std::string error;
+    if (!attach_oracles(engine, s, oracles_spec, &r, &error)) {
+      std::fprintf(stderr, "oracle setup failed: %s\n", error.c_str());
+      std::abort();
+    }
+    return r;
+  };
 }
 
 /// One-call parallel exploration for benches: build the factory, run the

@@ -6,15 +6,19 @@
 //           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
-//           [--show-failures]
+//           [--show-failures] [--oracles LIST] [--findings-dir DIR]
+//           [--replay FILE] [--list-oracles]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "../bench/engines.hpp"
 #include "core/stats.hpp"
 #include "elf/elf32.hpp"
+#include "oracles/report.hpp"
 
 using namespace binsym;
 
@@ -40,8 +44,53 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --snapshot-budget N      live checkpoints kept per worker\n"
       "  --snapshot-interval N    min branch records between checkpoints\n"
       "  --show-failures          print report_fail events with inputs\n"
+      "  --oracles LIST           enable bug-finding oracles: 'all' or a\n"
+      "                           comma list (see --list-oracles and\n"
+      "                           docs/ORACLES.md)\n"
+      "  --findings-dir DIR       write findings.json + a replayable\n"
+      "                           witness corpus into DIR (implies\n"
+      "                           --oracles all unless --oracles is given)\n"
+      "  --replay FILE            run the witness input FILE once,\n"
+      "                           concretely, and print the detections it\n"
+      "                           triggers (no exploration)\n"
+      "  --list-oracles           print one oracle name per line and exit\n"
       "  --help                   this text\n",
       prog);
+}
+
+/// Replay one witness file concretely: a single run under the recorded
+/// input bytes, all requested oracles attached. Prints every concrete
+/// detection; exits 0 when the replay triggered at least one.
+int replay_witness(const std::string& engine, const bench::EngineSetup& setup,
+                   const std::string& oracles_spec, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open witness %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+
+  core::WorkerResources r = bench::build_worker(engine, setup,
+                                                baseline::LifterBugs::none(),
+                                                /*with_solver=*/false);
+  std::string error;
+  if (!bench::attach_oracles(engine, setup, oracles_spec, &r, &error)) {
+    std::fprintf(stderr, "oracle setup failed: %s\n", error.c_str());
+    return 1;
+  }
+  smt::Assignment seed = oracles::witness_seed(*r.ctx, bytes);
+  core::PathTrace trace;
+  r.executor->run(seed, trace);
+
+  std::printf("replay %s: %zu input byte(s), exit=%s, %zu detection(s)\n",
+              path.c_str(), bytes.size(), core::exit_reason_name(trace.exit),
+              trace.oracle_hits.size());
+  for (const core::OracleHit& hit : trace.oracle_hits)
+    std::printf("  %s pc=0x%x depth=%u: %s\n",
+                core::oracle_kind_name(hit.oracle), hit.pc, hit.call_depth,
+                hit.detail.c_str());
+  return trace.oracle_hits.empty() ? 1 : 0;
 }
 
 }  // namespace
@@ -50,6 +99,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--list-oracles") == 0) {
+      for (uint8_t k = 0;
+           k < static_cast<uint8_t>(core::OracleKind::kNumOracleKinds); ++k)
+        std::printf("%s\n",
+                    core::oracle_kind_name(static_cast<core::OracleKind>(k)));
       return 0;
     }
   }
@@ -61,6 +117,9 @@ int main(int argc, char** argv) {
   std::string engine_name = "binsym";
   core::EngineOptions options;
   bool show_failures = false;
+  std::string oracles_spec;
+  std::string findings_dir;
+  std::string replay_file;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-paths") == 0 && i + 1 < argc) {
       options.max_paths = std::strtoull(argv[++i], nullptr, 0);
@@ -74,8 +133,35 @@ int main(int argc, char** argv) {
       // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;
+    } else if (std::strcmp(argv[i], "--oracles") == 0 && i + 1 < argc) {
+      oracles_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--findings-dir") == 0 && i + 1 < argc) {
+      findings_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_file = argv[++i];
     } else {
       engine_name = argv[i];
+    }
+  }
+  // Detection campaigns and replays default to the full detector set.
+  if (oracles_spec.empty() && (!findings_dir.empty() || !replay_file.empty()))
+    oracles_spec = "all";
+  if (!oracles_spec.empty()) {
+    std::vector<core::OracleKind> kinds;
+    std::string error;
+    if (!oracles::OracleManager::parse_spec(oracles_spec, &kinds, &error)) {
+      std::fprintf(stderr, "--oracles: %s\n", error.c_str());
+      return 2;
+    }
+    // The lifter-based baselines execute IR, not the observed spec
+    // machine; fail up front instead of aborting inside the worker
+    // factory.
+    if (engine_name != "binsym" && engine_name != "vp") {
+      std::fprintf(stderr,
+                   "--oracles: engine '%s' does not support execution "
+                   "observers (use binsym or vp)\n",
+                   engine_name.c_str());
+      return 2;
     }
   }
 
@@ -109,12 +195,15 @@ int main(int argc, char** argv) {
   }
 
   bench::EngineSetup setup{decoder, registry, program};
-  core::WorkerFactory factory = bench::make_worker_factory(engine_name, setup);
-  if (!factory) {
+  if (!bench::known_engine(engine_name)) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
+  if (!replay_file.empty())
+    return replay_witness(engine_name, setup, oracles_spec, replay_file);
 
+  core::WorkerFactory factory =
+      bench::make_worker_factory(engine_name, setup, oracles_spec);
   core::DseEngine dse(std::move(factory), options);
   core::EngineStats stats = dse.explore([&](const core::PathResult& path) {
     if (show_failures && !path.trace.failures.empty()) {
@@ -132,5 +221,24 @@ int main(int argc, char** argv) {
   std::printf("engine=%s target=%s search=%s\n%s", engine_name.c_str(),
               target.c_str(), core::search_kind_name(options.search),
               core::engine_stats_report(stats).c_str());
+
+  if (!oracles_spec.empty()) {
+    std::vector<core::Finding> findings = dse.findings();
+    for (const core::Finding& finding : findings)
+      std::printf("%s\n", oracles::finding_to_line(finding).c_str());
+    if (!findings_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(findings_dir, ec);
+      std::string error;
+      if (ec || !oracles::write_findings_dir(findings_dir, target, engine_name,
+                                             findings, &error)) {
+        std::fprintf(stderr, "cannot write findings: %s\n",
+                     ec ? ec.message().c_str() : error.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu finding(s) to %s/findings.json\n",
+                  findings.size(), findings_dir.c_str());
+    }
+  }
   return 0;
 }

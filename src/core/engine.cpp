@@ -74,6 +74,27 @@ class ModelPool {
                                // evaluator's reference into `model` is stable
 };
 
+/// Assemble the final Finding record for a detection on `trace`: dedup-key
+/// fields, SMT-LIB rendering of the faulting expression, and the witness
+/// input bytes (in sym_input creation order) under `witness`.
+Finding finalize_finding(const smt::Context& ctx, OracleKind oracle,
+                         uint32_t pc, uint32_t call_depth,
+                         const std::string& detail, smt::ExprRef expr,
+                         const PathTrace& trace,
+                         const smt::Assignment& witness, uint64_t index) {
+  Finding f;
+  f.oracle = oracle;
+  f.pc = pc;
+  f.call_depth = call_depth;
+  f.detail = detail;
+  if (expr) f.expr_text = smt::to_smtlib(ctx, expr);
+  f.path_index = index;
+  f.input.reserve(trace.input_vars.size());
+  for (uint32_t var : trace.input_vars)
+    f.input.push_back(static_cast<uint8_t>(witness.get(var)));
+  return f;
+}
+
 /// Balances a Solver::push() on every exit path of a trace's flip loop.
 class SolverScope {
  public:
@@ -109,6 +130,10 @@ void EngineStats::merge(const EngineStats& other) {
   snapshot_captures += other.snapshot_captures;
   snapshot_evictions += other.snapshot_evictions;
   snapshot_pages_copied += other.snapshot_pages_copied;
+  findings += other.findings;
+  finding_dupes += other.finding_dupes;
+  candidates_checked += other.candidates_checked;
+  candidates_feasible += other.candidates_feasible;
   solver.merge(other.solver);
 }
 
@@ -139,6 +164,7 @@ struct DseEngine::Shared {
   Frontier frontier;
   const EngineOptions& options;
   const PathCallback& on_path;
+  FindingLog& findings;  // internally locked (finding.hpp)
   std::atomic<uint64_t> path_counter{0};
   std::atomic<uint64_t> dump_counter{0};
   std::mutex sink_mutex;
@@ -146,8 +172,11 @@ struct DseEngine::Shared {
   std::exception_ptr first_error;
 
   Shared(std::unique_ptr<SearchStrategy> strategy, const EngineOptions& opts,
-         const PathCallback& callback)
-      : frontier(std::move(strategy)), options(opts), on_path(callback) {}
+         const PathCallback& callback, FindingLog& log)
+      : frontier(std::move(strategy)),
+        options(opts),
+        on_path(callback),
+        findings(log) {}
 };
 
 DseEngine::DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
@@ -268,6 +297,49 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       shared.on_path(PathResult{trace, seed, index});
     }
     shared.frontier.observe(trace);
+
+    // Finalize this run's oracle detections (finding.hpp). Concrete hits
+    // carry the run's seed as their witness; candidates ask the solver
+    // whether the violation is feasible under the constraints that held at
+    // the event point, and a sat model (merged over the seed) becomes the
+    // witness. Runs before the flip loop opens its solver scope — the
+    // stateless check() requires no scopes open.
+    for (const OracleHit& hit : trace.oracle_hits) {
+      Finding f = finalize_finding(ctx, hit.oracle, hit.pc, hit.call_depth,
+                                   hit.detail, hit.expr, trace, seed, index);
+      if (shared.findings.insert(std::move(f))) {
+        ++local.findings;
+      } else {
+        ++local.finding_dupes;
+      }
+    }
+    for (const OracleCandidate& c : trace.oracle_candidates) {
+      // Already proven by some other path: skip the solver work. A racing
+      // insert below still dedups correctly — this is only a fast path.
+      if (shared.findings.contains(c.oracle, c.pc, c.call_depth)) continue;
+      ++local.candidates_checked;
+      full_query.clear();
+      for (size_t j = 0; j < c.branch_depth; ++j) {
+        const BranchRecord& b = trace.branches[j];
+        full_query.push_back(b.taken ? b.cond : ctx.not_(b.cond));
+      }
+      for (size_t j = 0; j < c.assumption_count; ++j)
+        full_query.push_back(trace.assumptions[j].expr);
+      full_query.push_back(c.cond);
+      smt::Assignment model;
+      if (solver.check(full_query, &model) != smt::CheckResult::kSat)
+        continue;
+      ++local.candidates_feasible;
+      smt::Assignment witness = seed;
+      for (const auto& [var, value] : model.values) witness.set(var, value);
+      Finding f = finalize_finding(ctx, c.oracle, c.pc, c.call_depth,
+                                   c.detail, c.expr, trace, witness, index);
+      if (shared.findings.insert(std::move(f))) {
+        ++local.findings;
+      } else {
+        ++local.finding_dupes;
+      }
+    }
 
     // Schedule flips. Under DFS, pushing shallow flips first leaves the
     // deepest flip on top of the stack: the paper's selection order.
@@ -447,8 +519,9 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
         "DseEngine: jobs > 1 requires the worker-factory constructor (each "
         "worker needs its own executor and context)");
 
+  findings_.clear();
   Shared shared(make_search_strategy(options_.search, options_.rng_seed),
-                options_, on_path);
+                options_, on_path, findings_);
   // The root job: all-zero input seed (every sym_input byte defaults to 0
   // under Assignment::get), nothing pinned.
   shared.frontier.push(FlipJob{});

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/finding.hpp"
 #include "core/frontier.hpp"
 #include "core/path.hpp"
 #include "core/search.hpp"
@@ -123,6 +124,12 @@ struct EngineStats {
   uint64_t snapshot_evictions = 0;  // pool evictions (budget pressure)
   uint64_t snapshot_pages_copied = 0;  // guest pages physically duplicated
                                        // by copy-on-write breaks
+  // -- Bug-finding oracles (finding.hpp). Zero unless an ExecObserver was
+  // attached to the executors.
+  uint64_t findings = 0;             // unique findings this engine inserted
+  uint64_t finding_dupes = 0;        // detections collapsed by the dedup key
+  uint64_t candidates_checked = 0;   // oracle candidates sent to the solver
+  uint64_t candidates_feasible = 0;  // ... that came back sat (=> finding)
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration
@@ -190,6 +197,12 @@ class DseEngine {
   /// constructor (workers own their solvers privately).
   smt::Solver& solver();
 
+  /// Deduplicated findings collected by the last explore() (empty when no
+  /// ExecObserver was attached to the executors). Findings are inserted in
+  /// completion order; with several workers the order is nondeterministic,
+  /// the *set* of (oracle, pc, call_depth) keys is not.
+  std::vector<Finding> findings() const { return findings_.findings(); }
+
  private:
   struct Shared;  // exploration-wide mutable state (engine.cpp)
 
@@ -201,6 +214,7 @@ class DseEngine {
   std::unique_ptr<smt::Solver> solver_;   // single-executor form (wrapped)
   WorkerFactory factory_;                 // worker-pool form
   EngineOptions options_;
+  FindingLog findings_;                   // shared, internally locked
 };
 
 /// Build the constraint set that pins branches [0, flip_index) as executed,

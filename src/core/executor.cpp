@@ -9,10 +9,16 @@ namespace binsym::core {
 void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words) {
   for (size_t i = 0; i < words.size(); ++i)
     image.write(addr + static_cast<uint32_t>(4 * i), 4, words[i]);
+  if (!words.empty())
+    regions.push_back(
+        MemRegion{addr, addr + static_cast<uint32_t>(4 * words.size())});
 }
 
 void Program::load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
   image.load_image(addr, bytes);
+  if (!bytes.empty())
+    regions.push_back(
+        MemRegion{addr, addr + static_cast<uint32_t>(bytes.size())});
 }
 
 BinSymExecutor::BinSymExecutor(smt::Context& ctx, const isa::Decoder& decoder,
@@ -96,6 +102,7 @@ void BinSymExecutor::loop(const SnapshotPlan* plan, uint64_t next_capture) {
     }
 
     if (trace_hook_) trace_hook_(machine_.pc(), *decoded);
+    if (observer_) observer_->on_instruction(machine_.pc(), *decoded);
     machine_.set_next_pc(machine_.pc() + decoded->size);
     evaluator_.execute(*semantics, *decoded, machine_);
     machine_.advance();

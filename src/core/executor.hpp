@@ -25,12 +25,32 @@
 
 namespace binsym::core {
 
-/// A loaded guest program: memory image + entry point.
+/// A byte-exact extent of valid guest memory, half-open: [lo, hi).
+/// The out-of-bounds oracles (src/oracles) treat the union of a program's
+/// regions (plus the engine-tracked stack, plus any registered MMIO
+/// windows) as the only legal targets of a data access.
+struct MemRegion {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  /// True when the whole access [addr, addr + bytes) lies inside the
+  /// region (bytes >= 1; wrap-around accesses are never contained).
+  bool contains(uint32_t addr, unsigned bytes) const {
+    return addr >= lo && addr < hi && hi - addr >= bytes;
+  }
+};
+
+/// A loaded guest program: memory image + entry point + the loaded
+/// segments' extents (the shadow bounds the out-of-bounds oracles check
+/// against; filled from ELF PT_LOAD segments by elf::to_program and from
+/// the raw loaders below).
 struct Program {
   ConcreteMemory image;
   uint32_t entry = 0;
+  std::vector<MemRegion> regions;
 
-  /// Convenience: place raw words at an address (tests, examples).
+  /// Convenience: place raw words at an address (tests, examples). Both
+  /// loaders record the written extent as a region.
   void load_words(uint32_t addr, const std::vector<uint32_t>& words);
   void load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes);
 };
@@ -52,6 +72,16 @@ class Executor {
   virtual void run(const smt::Assignment& seed, PathTrace& trace) = 0;
   /// Instructions retired across all runs (throughput statistics).
   virtual uint64_t instructions_retired() const = 0;
+
+  // -- Bug-finding observer support (optional; see observer.hpp). ------------
+
+  /// Whether set_observer() actually delivers events. Callers that need
+  /// detections (explore --oracles) should warn when this is false.
+  virtual bool supports_observer() const { return false; }
+
+  /// Attach an ExecObserver for all subsequent runs (null detaches). The
+  /// observer must outlive the executor's runs. Default: ignored.
+  virtual void set_observer(ExecObserver* observer) { (void)observer; }
 
   // -- Snapshot/fork support (optional; see snapshot.hpp). -------------------
   //
@@ -106,6 +136,12 @@ class BinSymExecutor final : public Executor {
               PathTrace& trace, const SnapshotPlan& plan) override;
   uint64_t pages_copied() const override;
 
+  bool supports_observer() const override { return true; }
+  void set_observer(ExecObserver* observer) override {
+    observer_ = observer;
+    machine_.set_observer(observer);
+  }
+
   /// Per-retired-instruction observer (tracing/coverage tooling); called
   /// before the instruction's semantics execute. Keep it cheap.
   using TraceHook = std::function<void(uint32_t pc, const isa::Decoded&)>;
@@ -118,6 +154,7 @@ class BinSymExecutor final : public Executor {
   void loop(const SnapshotPlan* plan, uint64_t next_capture);
 
   TraceHook trace_hook_;
+  ExecObserver* observer_ = nullptr;
   smt::Context& ctx_;
   const isa::Decoder& decoder_;
   const spec::Registry& registry_;

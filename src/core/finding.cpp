@@ -1,0 +1,61 @@
+#include "core/finding.hpp"
+
+namespace binsym::core {
+
+const char* oracle_kind_name(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kOobLoad:    return "oob-load";
+    case OracleKind::kOobStore:   return "oob-store";
+    case OracleKind::kDivByZero:  return "div-by-zero";
+    case OracleKind::kOverflow:   return "overflow";
+    case OracleKind::kUnaligned:  return "unaligned";
+    case OracleKind::kBadJump:    return "bad-jump";
+    case OracleKind::kStackSmash: return "stack-smash";
+    case OracleKind::kAssertFail: return "assert-fail";
+    case OracleKind::kReach:      return "reach";
+    case OracleKind::kNumOracleKinds: break;
+  }
+  return "?";
+}
+
+OracleKind oracle_kind_from_name(const std::string& name) {
+  for (uint8_t k = 0; k < static_cast<uint8_t>(OracleKind::kNumOracleKinds);
+       ++k) {
+    OracleKind kind = static_cast<OracleKind>(k);
+    if (name == oracle_kind_name(kind)) return kind;
+  }
+  return OracleKind::kNumOracleKinds;
+}
+
+bool FindingLog::contains(OracleKind oracle, uint32_t pc,
+                          uint32_t call_depth) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.count(finding_key(oracle, pc, call_depth)) != 0;
+}
+
+bool FindingLog::insert(Finding finding) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_.insert(finding_key(finding.oracle, finding.pc,
+                                finding.call_depth)).second)
+    return false;
+  findings_.push_back(std::move(finding));
+  return true;
+}
+
+std::vector<Finding> FindingLog::findings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return findings_;
+}
+
+size_t FindingLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return findings_.size();
+}
+
+void FindingLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keys_.clear();
+  findings_.clear();
+}
+
+}  // namespace binsym::core

@@ -32,6 +32,7 @@ void SymMachine::reset(const ConcreteMemory& image, uint32_t entry,
   input_counter_ = 0;
   seed_ = &seed;
   trace_ = &trace;
+  if (observer_) observer_->begin_run(trace);
 }
 
 void SymMachine::capture(Snapshot* out) const {
@@ -47,7 +48,10 @@ void SymMachine::capture(Snapshot* out) const {
   out->failures = trace_->failures;
   out->input_vars = trace_->input_vars;
   out->output = trace_->output;
+  out->oracle_hits = trace_->oracle_hits;
+  out->oracle_candidates = trace_->oracle_candidates;
   out->steps = trace_->steps;
+  out->observer_state = observer_ ? observer_->capture_state() : nullptr;
 }
 
 void SymMachine::restore(const Snapshot& snap, const smt::Assignment& seed,
@@ -65,9 +69,12 @@ void SymMachine::restore(const Snapshot& snap, const smt::Assignment& seed,
   trace.failures = snap.failures;
   trace.input_vars = snap.input_vars;
   trace.output = snap.output;
+  trace.oracle_hits = snap.oracle_hits;
+  trace.oracle_candidates = snap.oracle_candidates;
   trace.steps = snap.steps;
   trace.exit = ExitReason::kRunning;
   trace.exit_code = 0;
+  if (observer_) observer_->resume_run(trace, snap.observer_state);
 
   // Re-shadow: the captured concrete values of *symbolic* state are those
   // of the snapshotting run's seed; re-evaluate them under the new one.
@@ -106,10 +113,43 @@ SymMachine::Value SymMachine::fresh_input(unsigned bytes) {
   return interp::SymValue{conc, static_cast<uint8_t>(bytes * 8), expr};
 }
 
+void SymMachine::notify_binop(dsl::ExprOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case dsl::ExprOp::kAdd:
+    case dsl::ExprOp::kSub:
+    case dsl::ExprOp::kMul:
+    case dsl::ExprOp::kUDiv:
+    case dsl::ExprOp::kURem:
+    case dsl::ExprOp::kSDiv:
+    case dsl::ExprOp::kSRem:
+      observer_->on_binop(op, a, b);
+      break;
+    default:
+      break;
+  }
+}
+
 void SymMachine::ecall() {
   // The syscall ABI registers must be concrete; symbolic numbers/pointers
   // are pinned like any other control-state concretization.
   uint32_t number = static_cast<uint32_t>(concretize(read_register(17)));  // a7
+
+  // The oracle syscalls come first: kSysAssert's condition (a0) must *not*
+  // be concretized — pinning it to the seed's value would make the
+  // violated arm unreachable for the solver. Both are no-ops without an
+  // observer, so workloads using them still run on every engine.
+  if (number == kSysAssert) {
+    Value cond = read_register(10);
+    uint32_t id = static_cast<uint32_t>(concretize(read_register(11)));
+    if (observer_) observer_->on_assert(cond, id);
+    return;
+  }
+  if (number == kSysReach) {
+    uint32_t id = static_cast<uint32_t>(concretize(read_register(10)));
+    if (observer_) observer_->on_reach(id);
+    return;
+  }
+
   uint32_t a0 = static_cast<uint32_t>(concretize(read_register(10)));
   uint32_t a1 = static_cast<uint32_t>(concretize(read_register(11)));
 

@@ -6,6 +6,11 @@
 // over symbolic values. The same object also serves the baseline IR
 // executors, which keeps the engine comparison about *translation*, not
 // state handling.
+//
+// Thread-safety: a SymMachine is confined to one engine worker, like the
+// smt::Context it builds expressions in and the PathTrace it fills;
+// nothing here locks. The attached ExecObserver (observer.hpp) shares
+// that confinement.
 #pragma once
 
 #include <array>
@@ -13,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/memory.hpp"
+#include "core/observer.hpp"
 #include "core/path.hpp"
 #include "core/syscalls.hpp"
 #include "dsl/ast.hpp"
@@ -51,20 +57,41 @@ class SymMachine {
 
   // -- Machine stepping support (used by executors). ---------------------------
 
+  /// Address of the instruction currently executing (always concrete in a
+  /// concolic engine; see write_pc).
   uint32_t pc() const { return pc_; }
+  /// Set the default fall-through successor (pc + size); the executor
+  /// calls this before running the semantics, and WritePC overrides it.
   void set_next_pc(uint32_t next_pc) { next_pc_ = next_pc; }
+  /// Commit next-pc as the new pc (end of one fetch/execute step).
   void advance() { pc_ = next_pc_; }
+  /// False once any stop() reason is recorded on the attached trace.
   bool running() const { return trace_->exit == ExitReason::kRunning; }
+  /// End the current run, recording why (and an optional payload such as
+  /// the exit code or the offending syscall number) on the trace.
   void stop(ExitReason reason, uint32_t code = 0) {
     trace_->exit = reason;
     trace_->exit_code = code;
   }
+  /// Concrete 32-bit instruction fetch at pc (fetch never consults the
+  /// symbolic shadow — code is not self-modifying under symbolic data).
   uint32_t fetch_word() const { return static_cast<uint32_t>(memory_.read_concrete(pc_, 4)); }
+  /// Whether pc lies on a mapped page (guards fetch_word; an unmapped pc
+  /// ends the run with ExitReason::kBadFetch).
   bool fetch_mapped() const { return memory_.mapped(pc_); }
+  /// The run artifacts being filled; valid between reset()/restore() and
+  /// the end of the run.
   PathTrace& trace() { return *trace_; }
   ConcolicMemory& memory() { return memory_; }
   const ConcolicMemory& memory() const { return memory_; }
+  /// The expression context every symbolic value of this machine lives in.
   smt::Context& context() { return ctx_; }
+
+  /// Attach a bug-finding observer (src/oracles), or null to detach. The
+  /// observer must outlive every subsequent run; it receives begin_run /
+  /// resume_run from reset()/restore() and the per-event hooks below.
+  /// Null (the default) keeps the hot paths free of observer work.
+  void set_observer(ExecObserver* observer) { observer_ = observer; }
 
   /// Total global symbolic input bytes created so far (stable naming).
   unsigned input_counter() const { return input_counter_; }
@@ -94,17 +121,21 @@ class SymMachine {
 
   /// WritePC: control flow must be concrete in a concolic engine — a
   /// symbolic target is concretized with an assumption, the standard
-  /// address-concretization strategy (paper Sect. III-B).
+  /// address-concretization strategy (paper Sect. III-B). The observer sees
+  /// the unconcretized target (bad-jump / stack-smash oracles).
   void write_pc(const Value& target) {
+    if (observer_) observer_->on_jump(target);
     next_pc_ = static_cast<uint32_t>(concretize(target));
   }
 
   Value load(unsigned bytes, const Value& addr) {
+    if (observer_) observer_->on_load(addr, bytes);
     uint32_t a = static_cast<uint32_t>(concretize(addr));
     return memory_.load(a, bytes);
   }
 
   void store(unsigned bytes, const Value& addr, const Value& value) {
+    if (observer_) observer_->on_store(addr, bytes, value);
     uint32_t a = static_cast<uint32_t>(concretize(addr));
     memory_.store(a, bytes, value);
   }
@@ -114,6 +145,7 @@ class SymMachine {
   }
 
   Value apply_bin(dsl::ExprOp op, const Value& a, const Value& b) {
+    if (observer_) notify_binop(op, a, b);
     return interp::s_bin(ctx_, op, a, b);
   }
 
@@ -125,6 +157,7 @@ class SymMachine {
   /// symbolic condition for the DFS driver to flip later.
   bool choose(const Value& cond) {
     bool taken = cond.conc != 0;
+    if (observer_) observer_->on_branch(cond, taken);
     if (cond.symbolic())
       trace_->branches.push_back(BranchRecord{cond.sym, taken, pc_});
     return taken;
@@ -144,7 +177,15 @@ class SymMachine {
   /// `expr == concrete` assumption so later flips stay consistent.
   uint64_t concretize(const Value& value);
 
+  /// The attached observer, for derived machines that shadow the data-path
+  /// primitives (VpMachine re-fires on_load/on_store around the bus).
+  ExecObserver* observer() const { return observer_; }
+
  private:
+  /// Forward `op` to the observer iff it is one of the watched arithmetic
+  /// operators (overflow / division-by-zero oracles).
+  void notify_binop(dsl::ExprOp op, const Value& a, const Value& b);
+
   smt::Context& ctx_;
   std::array<Value, 32> regs_{};
   std::unordered_map<uint32_t, Value> csrs_;
@@ -154,6 +195,7 @@ class SymMachine {
   unsigned input_counter_ = 0;
   const smt::Assignment* seed_ = nullptr;
   PathTrace* trace_ = nullptr;
+  ExecObserver* observer_ = nullptr;
 };
 
 }  // namespace binsym::core

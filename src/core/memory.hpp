@@ -43,12 +43,16 @@ class ConcreteMemory {
   static constexpr uint32_t kPageSize = 1u << kPageBits;
   using Page = std::array<uint8_t, kPageSize>;
 
+  /// Single-byte read; unmapped addresses read as zero (the shared
+  /// deterministic initial-state convention).
   uint8_t read8(uint32_t addr) const {
     auto it = pages_.find(addr >> kPageBits);
     if (it == pages_.end()) return 0;
     return (*it->second)[addr & (kPageSize - 1)];
   }
 
+  /// Single-byte write; maps a fresh zero page or breaks copy-on-write
+  /// sharing as needed (see writable_page).
   void write8(uint32_t addr, uint8_t value) {
     writable_page(addr)[addr & (kPageSize - 1)] = value;
   }
@@ -64,6 +68,8 @@ class ConcreteMemory {
     return pages_.count(addr >> kPageBits) != 0;
   }
 
+  /// Bulk byte copy at `addr` (program loading); same mapping/CoW rules
+  /// as write8.
   void load_image(uint32_t addr, const std::vector<uint8_t>& bytes);
 
   /// Share `other`'s pages without copying any of them — O(page table).
@@ -73,6 +79,8 @@ class ConcreteMemory {
   /// physical copy work across the instance's lifetime.
   void rebind(const ConcreteMemory& other) { pages_ = other.pages_; }
 
+  /// Mapped (ever-touched) pages — a size metric, not a bounds check:
+  /// the bug-finding oracles use byte-exact Program::regions instead.
   size_t num_pages() const { return pages_.size(); }
 
   /// Pages physically duplicated by copy-on-write breaks over this

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/finding.hpp"
 #include "smt/expr.hpp"
 
 namespace binsym::core {
@@ -56,6 +57,11 @@ struct PathTrace {
   std::vector<Failure> failures;
   std::vector<uint32_t> input_vars;  // smt var ids created by sym_input
   std::string output;                // bytes written via putchar
+  // Oracle detections raised along this run (finding.hpp): violations that
+  // concretely happened, and feasibility conditions for the engine to
+  // solve. Empty unless an ExecObserver is attached to the executor.
+  std::vector<OracleHit> oracle_hits;
+  std::vector<OracleCandidate> oracle_candidates;
   ExitReason exit = ExitReason::kRunning;
   uint32_t exit_code = 0;
   uint64_t steps = 0;

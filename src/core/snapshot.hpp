@@ -58,11 +58,19 @@ struct Snapshot {
   std::vector<Failure> failures;
   std::vector<uint32_t> input_vars;
   std::string output;
+  std::vector<OracleHit> oracle_hits;            // oracle detections in the
+  std::vector<OracleCandidate> oracle_candidates;  // prefix (finding.hpp)
   uint64_t steps = 0;
 
   /// Executor-specific extra state (e.g. the VP's quantum keeper). Captured
   /// and interpreted only by the executor type that produced the snapshot.
   std::shared_ptr<const void> extra;
+
+  /// Per-run state of the attached ExecObserver (shadow call stack, per-run
+  /// dedup set) at the capture point; null when none was attached. Restored
+  /// via ExecObserver::resume_run so resumed runs raise bit-identical
+  /// detections to full replays.
+  std::shared_ptr<const void> observer_state;
 
   /// Branch depth of the checkpoint: number of branch records in the
   /// prefix. A snapshot can serve any flip of branch index >= depth().

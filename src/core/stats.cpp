@@ -35,13 +35,27 @@ std::string engine_stats_report(const EngineStats& stats) {
           ? static_cast<double>(s.reused_assertions) / s.incremental_checks
           : 0.0);
   // Snapshot/fork execution (snapshot.hpp): checkpoint reuse vs replay
-  // fallback, pool pressure, and the physical copy-on-write cost.
-  out += strprintf(
-      "snapshots: hits=%llu misses=%llu captures=%llu evictions=%llu "
-      "pages-copied=%llu\n",
-      u(stats.snapshot_hits), u(stats.snapshot_misses),
-      u(stats.snapshot_captures), u(stats.snapshot_evictions),
-      u(stats.snapshot_pages_copied));
+  // fallback, pool pressure, and the physical copy-on-write cost. Elided
+  // when snapshotting never ran (disabled, or a replay-only executor).
+  if (stats.snapshot_hits || stats.snapshot_misses ||
+      stats.snapshot_captures || stats.snapshot_evictions ||
+      stats.snapshot_pages_copied) {
+    out += strprintf(
+        "snapshots: hits=%llu misses=%llu captures=%llu evictions=%llu "
+        "pages-copied=%llu\n",
+        u(stats.snapshot_hits), u(stats.snapshot_misses),
+        u(stats.snapshot_captures), u(stats.snapshot_evictions),
+        u(stats.snapshot_pages_copied));
+  }
+  // Bug-finding oracles (finding.hpp). Elided when no observer was
+  // attached (all four counters zero).
+  if (stats.findings || stats.finding_dupes || stats.candidates_checked ||
+      stats.candidates_feasible) {
+    out += strprintf(
+        "oracles: findings=%llu dupes=%llu candidates=%llu feasible=%llu\n",
+        u(stats.findings), u(stats.finding_dupes),
+        u(stats.candidates_checked), u(stats.candidates_feasible));
+  }
   if (stats.query_nodes_total) {
     out += strprintf(
         "query-nodes: total=%llu max=%llu avg=%.1f\n",

@@ -21,6 +21,15 @@ enum Syscall : uint32_t {
   kSysSymInput = 2,
   /// a0 = failure id: record an assertion/fault report on this path.
   kSysReportFail = 3,
+  /// a0 = condition (zero = violated), a1 = assertion id. The property
+  /// interface of the bug-finding oracles: unlike kSysReportFail, the
+  /// condition is *not* concretized, so the solver can search for a
+  /// violating input even when the concrete run passes. A no-op when no
+  /// observer is attached.
+  kSysAssert = 4,
+  /// a0 = marker id: report that this program point was reached (the
+  /// "should be unreachable" oracle). A no-op when no observer is attached.
+  kSysReach = 5,
   /// a0 = exit code: stop this path.
   kSysExit = 93,
 };

@@ -6,7 +6,7 @@ core::Program to_program(const Image& image) {
   core::Program program;
   program.entry = image.entry;
   for (const Segment& segment : image.segments)
-    program.image.load_image(segment.addr, segment.bytes);
+    program.load_bytes(segment.addr, segment.bytes);
   return program;
 }
 

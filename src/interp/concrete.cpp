@@ -17,6 +17,15 @@ void ConcreteMachine::ecall() {
       // The concrete ISS just logs the report into the output stream.
       output_ += "[fail " + std::to_string(a0) + "]";
       break;
+    case core::kSysAssert:
+      // The property syscalls (oracle interface) log concrete violations
+      // and are otherwise no-ops, so asserting workloads run on every
+      // machine, not just the observed concolic one.
+      if (a0 == 0) output_ += "[assert-fail " + std::to_string(a1) + "]";
+      break;
+    case core::kSysReach:
+      output_ += "[reach " + std::to_string(a0) + "]";
+      break;
     case core::kSysSymInput:
       for (uint32_t i = 0; i < a1; ++i) {
         uint8_t value =

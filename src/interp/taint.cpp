@@ -17,6 +17,17 @@ void TaintMachine::ecall() {
     case core::kSysReportFail:
       output_ += "[fail " + std::to_string(a0) + "]";
       break;
+    case core::kSysAssert:
+      // The DIFT view of the property oracles: a concretely-violated
+      // assert is reported, and a *tainted* condition is an implicit-flow
+      // point exactly like a tainted branch (the assertion's outcome is
+      // attacker-influenced).
+      if (a0 == 0) output_ += "[assert-fail " + std::to_string(a1) + "]";
+      if (read_register(10).tainted) tainted_asserts_.push_back(pc_);
+      break;
+    case core::kSysReach:
+      output_ += "[reach " + std::to_string(a0) + "]";
+      break;
     case core::kSysSymInput:
       // The taint sources: every requested input byte becomes tainted.
       for (uint32_t i = 0; i < a1; ++i) {

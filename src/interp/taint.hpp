@@ -126,6 +126,11 @@ class TaintMachine {
   const std::vector<uint32_t>& tainted_pc_writes() const {
     return tainted_pc_writes_;
   }
+  /// pcs of kSysAssert ecalls whose condition was tainted (the assertion
+  /// outcome is input-controlled — the DIFT shadow of the assert oracle).
+  const std::vector<uint32_t>& tainted_asserts() const {
+    return tainted_asserts_;
+  }
 
   std::array<Value, 32> regs_{};
   std::unordered_map<uint32_t, Value> csrs_;
@@ -142,6 +147,7 @@ class TaintMachine {
  private:
   std::vector<uint32_t> tainted_branches_;
   std::vector<uint32_t> tainted_pc_writes_;
+  std::vector<uint32_t> tainted_asserts_;
   unsigned input_counter_ = 0;
 };
 

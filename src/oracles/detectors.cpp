@@ -1,0 +1,230 @@
+#include "oracles/detectors.hpp"
+
+#include "oracles/manager.hpp"
+#include "support/format.hpp"
+
+namespace binsym::oracles {
+
+namespace {
+
+/// Judge one memory access against the bounds map; shared by the load and
+/// store detectors (they differ only in direction and finding kind).
+void check_bounds(core::OracleKind kind, const MemEvent& event,
+                  OracleManager& m) {
+  const char* verb = event.store ? "store" : "load";
+  uint32_t conc = static_cast<uint32_t>(event.addr.conc);
+  if (!m.map().contains(conc, event.bytes)) {
+    m.hit(kind, event.addr.sym,
+          strprintf("%u-byte %s at %s outside every mapped region", event.bytes,
+                    verb, hex32(conc).c_str()));
+    return;
+  }
+  if (!event.addr.symbolic()) return;
+  m.candidate(kind, m.map().out_of_bounds(m.context(), event.addr.sym,
+                                          event.bytes),
+              event.addr.sym,
+              strprintf("%u-byte %s through tainted address (concretely %s) "
+                        "can escape every mapped region",
+                        event.bytes, verb, hex32(conc).c_str()));
+}
+
+bool is_division(dsl::ExprOp op) {
+  return op == dsl::ExprOp::kUDiv || op == dsl::ExprOp::kURem ||
+         op == dsl::ExprOp::kSDiv || op == dsl::ExprOp::kSRem;
+}
+
+}  // namespace
+
+void OobLoadOracle::on_mem(const MemEvent& event, OracleManager& m) {
+  if (!event.store) check_bounds(kind(), event, m);
+}
+
+void OobStoreOracle::on_mem(const MemEvent& event, OracleManager& m) {
+  if (event.store) check_bounds(kind(), event, m);
+}
+
+void DivByZeroOracle::on_guard(const interp::SymValue& cond, bool taken,
+                               OracleManager& m) {
+  // The RV32M div/rem semantics fork on `rs2 == 0`; the taken arm is the
+  // division by zero (defined to return -1 / the dividend — the program
+  // keeps running on garbage, which is exactly why it needs an oracle).
+  if (!taken) return;
+  isa::OpcodeId id = m.instruction();
+  if (id != isa::kDIV && id != isa::kDIVU && id != isa::kREM &&
+      id != isa::kREMU)
+    return;
+  m.hit(kind(), cond.sym, "division by zero (divisor-is-zero guard taken)");
+}
+
+void DivByZeroOracle::on_binop(dsl::ExprOp op, const interp::SymValue& a,
+                               const interp::SymValue& b, OracleManager& m) {
+  (void)a;
+  if (!is_division(op)) return;
+  // The guarded RV32M divisions are on_guard()'s business: their division
+  // operator only ever executes under ¬(rs2 == 0), so a divisor==0
+  // candidate here would be structurally unsat — pure solver waste.
+  isa::OpcodeId id = m.instruction();
+  if (id == isa::kDIV || id == isa::kDIVU || id == isa::kREM ||
+      id == isa::kREMU)
+    return;
+  if (b.conc == 0) {
+    // Raw DSL division (custom semantics without the RV32M-style guard):
+    // SMT-LIB division is total, so the machine does not trap — the
+    // detector is the only thing that notices.
+    m.hit(kind(), b.sym,
+          strprintf("%s with divisor concretely zero",
+                    dsl::expr_op_name(op)));
+    return;
+  }
+  if (!b.symbolic()) return;
+  smt::Context& ctx = m.context();
+  m.candidate(kind(), ctx.eq(b.sym, ctx.constant(0, b.width)), b.sym,
+              strprintf("%s with tainted divisor can divide by zero",
+                        dsl::expr_op_name(op)));
+}
+
+void OverflowOracle::on_binop(dsl::ExprOp op, const interp::SymValue& a,
+                              const interp::SymValue& b, OracleManager& m) {
+  if (op != dsl::ExprOp::kAdd && op != dsl::ExprOp::kSub &&
+      op != dsl::ExprOp::kMul)
+    return;
+  // Tainted operands at machine word width only: untainted wrap-around is
+  // routine codegen (large constants, stack adjustment), not a finding.
+  if (a.width != 32 || b.width != 32) return;
+  if (!a.symbolic() && !b.symbolic()) return;
+
+  const int64_t sa = static_cast<int32_t>(a.conc);
+  const int64_t sb = static_cast<int32_t>(b.conc);
+  const int64_t exact = op == dsl::ExprOp::kAdd   ? sa + sb
+                        : op == dsl::ExprOp::kSub ? sa - sb
+                                                  : sa * sb;
+  const bool concretely = exact != static_cast<int32_t>(exact);
+
+  smt::Context& ctx = m.context();
+  smt::ExprRef ax = interp::to_expr(ctx, a);
+  smt::ExprRef bx = interp::to_expr(ctx, b);
+  smt::ExprRef narrow, wide;
+  if (op == dsl::ExprOp::kMul) {
+    narrow = ctx.sext(ctx.mul(ax, bx), 64);
+    wide = ctx.mul(ctx.sext(ax, 64), ctx.sext(bx, 64));
+  } else {
+    smt::ExprRef r32 =
+        op == dsl::ExprOp::kAdd ? ctx.add(ax, bx) : ctx.sub(ax, bx);
+    narrow = ctx.sext(r32, 33);
+    wide = op == dsl::ExprOp::kAdd ? ctx.add(ctx.sext(ax, 33), ctx.sext(bx, 33))
+                                   : ctx.sub(ctx.sext(ax, 33), ctx.sext(bx, 33));
+  }
+  if (concretely) {
+    m.hit(kind(), ctx.ne(narrow, wide),
+          strprintf("signed 32-bit %s overflow on tainted operands "
+                    "(concretely %lld)",
+                    dsl::expr_op_name(op), static_cast<long long>(exact)));
+    return;
+  }
+  m.candidate(kind(), ctx.ne(narrow, wide), nullptr,
+              strprintf("signed 32-bit %s on tainted operands can overflow",
+                        dsl::expr_op_name(op)));
+}
+
+void UnalignedOracle::on_mem(const MemEvent& event, OracleManager& m) {
+  unsigned bytes = event.bytes;
+  if (bytes < 2 || (bytes & (bytes - 1)) != 0) return;
+  const char* verb = event.store ? "store" : "load";
+  uint32_t conc = static_cast<uint32_t>(event.addr.conc);
+  if (conc & (bytes - 1)) {
+    m.hit(kind(), event.addr.sym,
+          strprintf("misaligned %u-byte %s at %s", bytes, verb,
+                    hex32(conc).c_str()));
+    return;
+  }
+  if (!event.addr.symbolic()) return;
+  smt::Context& ctx = m.context();
+  smt::ExprRef misaligned =
+      ctx.ne(ctx.and_(event.addr.sym, ctx.constant(bytes - 1, 32)),
+             ctx.constant(0, 32));
+  m.candidate(kind(), misaligned, event.addr.sym,
+              strprintf("%u-byte %s through tainted address can be misaligned",
+                        bytes, verb));
+}
+
+void BadJumpOracle::on_indirect_jump(const JumpEvent& event, OracleManager& m) {
+  uint32_t conc = static_cast<uint32_t>(event.target.conc);
+  if (event.target.symbolic()) {
+    m.hit(kind(), event.target.sym,
+          strprintf("indirect jump with attacker-controlled target "
+                    "(concretely %s)",
+                    hex32(conc).c_str()));
+    return;
+  }
+  // Smallest encodable instruction = 2 bytes (compressed).
+  if (!m.map().contains(conc, 2)) {
+    m.hit(kind(), nullptr,
+          strprintf("indirect jump to unmapped %s", hex32(conc).c_str()));
+  }
+}
+
+void StackSmashOracle::on_return(const JumpEvent& event, OracleManager& m) {
+  if (!event.have_expected) return;  // no matching call observed
+  uint32_t conc = static_cast<uint32_t>(event.target.conc);
+  if (conc != event.expected_return) {
+    m.hit(kind(), event.target.sym,
+          strprintf("return to %s but the caller pushed %s "
+                    "(saved return address overwritten)",
+                    hex32(conc).c_str(),
+                    hex32(event.expected_return).c_str()));
+    return;
+  }
+  if (!event.target.symbolic()) return;
+  smt::Context& ctx = m.context();
+  m.candidate(kind(),
+              ctx.ne(event.target.sym,
+                     ctx.constant(event.expected_return, 32)),
+              event.target.sym,
+              "tainted return address can diverge from the caller's link "
+              "value");
+}
+
+void AssertOracle::on_assert(const interp::SymValue& cond, uint32_t id,
+                             OracleManager& m) {
+  if (cond.conc == 0) {
+    m.hit(kind(), cond.sym,
+          strprintf("assert %u concretely violated", id));
+    return;
+  }
+  if (!cond.symbolic()) return;
+  smt::Context& ctx = m.context();
+  m.candidate(kind(), ctx.eq(cond.sym, ctx.constant(0, cond.width)), cond.sym,
+              strprintf("assert %u can be violated", id));
+}
+
+void ReachOracle::on_reach(uint32_t id, OracleManager& m) {
+  m.hit(kind(), nullptr, strprintf("reach marker %u executed", id));
+}
+
+std::unique_ptr<Oracle> make_oracle(core::OracleKind kind) {
+  switch (kind) {
+    case core::OracleKind::kOobLoad:
+      return std::make_unique<OobLoadOracle>();
+    case core::OracleKind::kOobStore:
+      return std::make_unique<OobStoreOracle>();
+    case core::OracleKind::kDivByZero:
+      return std::make_unique<DivByZeroOracle>();
+    case core::OracleKind::kOverflow:
+      return std::make_unique<OverflowOracle>();
+    case core::OracleKind::kUnaligned:
+      return std::make_unique<UnalignedOracle>();
+    case core::OracleKind::kBadJump:
+      return std::make_unique<BadJumpOracle>();
+    case core::OracleKind::kStackSmash:
+      return std::make_unique<StackSmashOracle>();
+    case core::OracleKind::kAssertFail:
+      return std::make_unique<AssertOracle>();
+    case core::OracleKind::kReach:
+      return std::make_unique<ReachOracle>();
+    case core::OracleKind::kNumOracleKinds:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace binsym::oracles

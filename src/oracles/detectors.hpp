@@ -1,0 +1,99 @@
+// The concrete detectors, one class per OracleKind. See docs/ORACLES.md
+// for what each one detects, its caveats, and how to enable it; the doc is
+// cross-checked against oracle_kind_name() by tools/check_docs.py.
+//
+// Shared shape: every event is judged twice. If the violation already
+// happened under the run's concrete shadows, it is a hit (the seed is the
+// witness). Otherwise, if the faulting value is symbolic ("tainted":
+// derived from sym_input bytes), the detector emits the violation as a
+// width-1 candidate condition for the engine's solver — that is what lets
+// the property checker find bugs no explored seed concretely triggers.
+#pragma once
+
+#include "oracles/oracle.hpp"
+
+namespace binsym::oracles {
+
+/// Out-of-bounds load: the address escapes every MemoryMap region.
+class OobLoadOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override { return core::OracleKind::kOobLoad; }
+  void on_mem(const MemEvent& event, OracleManager& m) override;
+};
+
+/// Out-of-bounds store (same bounds, write side).
+class OobStoreOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override { return core::OracleKind::kOobStore; }
+  void on_mem(const MemEvent& event, OracleManager& m) override;
+};
+
+/// Division/remainder whose divisor is (feasibly) zero. Two detection
+/// routes: the RV32M semantics guard the zero case with an explicit
+/// runIfElse, so the taken guard of a div/rem instruction *is* the event
+/// (exploration enumerates the zero arm as its own path); raw DSL
+/// udiv/urem/sdiv/srem in custom semantics are judged at the operator.
+class DivByZeroOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override {
+    return core::OracleKind::kDivByZero;
+  }
+  void on_guard(const interp::SymValue& cond, bool taken,
+                OracleManager& m) override;
+  void on_binop(dsl::ExprOp op, const interp::SymValue& a,
+                const interp::SymValue& b, OracleManager& m) override;
+};
+
+/// Signed 32-bit overflow in add/sub/mul over tainted operands.
+class OverflowOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override { return core::OracleKind::kOverflow; }
+  void on_binop(dsl::ExprOp op, const interp::SymValue& a,
+                const interp::SymValue& b, OracleManager& m) override;
+};
+
+/// 2/4-byte access at a (feasibly) misaligned address.
+class UnalignedOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override {
+    return core::OracleKind::kUnaligned;
+  }
+  void on_mem(const MemEvent& event, OracleManager& m) override;
+};
+
+/// Indirect jump (jalr) with a symbolic target — attacker-controlled pc —
+/// or a concrete target outside every mapped region.
+class BadJumpOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override { return core::OracleKind::kBadJump; }
+  void on_indirect_jump(const JumpEvent& event, OracleManager& m) override;
+};
+
+/// Return to an address other than the link value the matching call pushed
+/// onto the shadow stack (a smashed saved return address).
+class StackSmashOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override {
+    return core::OracleKind::kStackSmash;
+  }
+  void on_return(const JumpEvent& event, OracleManager& m) override;
+};
+
+/// User assert(cond, id) syscall with a (feasibly) false condition.
+class AssertOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override {
+    return core::OracleKind::kAssertFail;
+  }
+  void on_assert(const interp::SymValue& cond, uint32_t id,
+                 OracleManager& m) override;
+};
+
+/// User reach(id) syscall marker executed at all.
+class ReachOracle final : public Oracle {
+ public:
+  core::OracleKind kind() const override { return core::OracleKind::kReach; }
+  void on_reach(uint32_t id, OracleManager& m) override;
+};
+
+}  // namespace binsym::oracles

@@ -1,0 +1,38 @@
+#include "oracles/memory_map.hpp"
+
+namespace binsym::oracles {
+
+MemoryMap MemoryMap::for_program(const core::Program& program,
+                                 uint32_t stack_top, uint32_t stack_reserve) {
+  MemoryMap map;
+  map.regions_ = program.regions;
+  if (stack_reserve > 0 && stack_reserve <= stack_top)
+    map.regions_.push_back(core::MemRegion{stack_top - stack_reserve,
+                                           stack_top});
+  return map;
+}
+
+bool MemoryMap::contains(uint32_t addr, unsigned bytes) const {
+  for (const core::MemRegion& region : regions_)
+    if (region.contains(addr, bytes)) return true;
+  return false;
+}
+
+smt::ExprRef MemoryMap::out_of_bounds(smt::Context& ctx, smt::ExprRef addr,
+                                      unsigned bytes) const {
+  // In-bounds for one region: lo <= addr <= hi - bytes, with constant
+  // hi - bytes (so an addr + bytes wrap-around can never sneak in-bounds).
+  // Out of bounds = in no region.
+  smt::ExprRef oob = ctx.bool_const(true);
+  for (const core::MemRegion& region : regions_) {
+    uint32_t span = region.hi - region.lo;
+    if (bytes > span) continue;  // region too small for this access
+    smt::ExprRef in_region =
+        ctx.and_(ctx.uge(addr, ctx.constant(region.lo, 32)),
+                 ctx.ule(addr, ctx.constant(region.hi - bytes, 32)));
+    oob = ctx.and_(oob, ctx.not_(in_region));
+  }
+  return oob;
+}
+
+}  // namespace binsym::oracles

@@ -1,0 +1,55 @@
+// Shadow bounds for the out-of-bounds oracles.
+//
+// A MemoryMap is the oracle-side model of which guest addresses a data
+// access may legally touch: the byte-exact extents of the program's loaded
+// ELF segments, the engine-tracked stack region below the initial stack
+// pointer, and any extra windows a platform registers (the VP's MMIO
+// devices, a heap region if a workload models one). Anything outside the
+// union is out of bounds.
+//
+// The map answers the same question in two forms: concretely (contains())
+// for accesses that already happened, and symbolically (out_of_bounds())
+// as a width-1 feasibility condition over an unpinned address expression
+// for the engine's solver.
+//
+// Thread-safety: immutable after construction; share freely across workers
+// only by value (the expression builder needs the worker's own context).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "smt/context.hpp"
+
+namespace binsym::oracles {
+
+class MemoryMap {
+ public:
+  /// Stack bytes below MachineConfig::stack_top treated as valid.
+  static constexpr uint32_t kDefaultStackReserve = 64 * 1024;
+
+  /// Bounds for `program`: its loaded segment extents plus the stack region
+  /// [stack_top - stack_reserve, stack_top).
+  static MemoryMap for_program(const core::Program& program,
+                               uint32_t stack_top,
+                               uint32_t stack_reserve = kDefaultStackReserve);
+
+  void add_region(core::MemRegion region) { regions_.push_back(region); }
+
+  const std::vector<core::MemRegion>& regions() const { return regions_; }
+
+  /// True when [addr, addr + bytes) lies entirely inside some region.
+  bool contains(uint32_t addr, unsigned bytes) const;
+
+  /// Width-1 condition "the `bytes`-byte access at `addr` escapes every
+  /// region" over a 32-bit address expression. Wrap-around accesses
+  /// (addr + bytes overflowing 2^32) count as out of bounds.
+  smt::ExprRef out_of_bounds(smt::Context& ctx, smt::ExprRef addr,
+                             unsigned bytes) const;
+
+ private:
+  std::vector<core::MemRegion> regions_;
+};
+
+}  // namespace binsym::oracles

@@ -1,0 +1,91 @@
+// The Oracle interface: one detector per OracleKind.
+//
+// Oracles are passive observers. The OracleManager (manager.hpp) receives
+// the raw ExecObserver events from the executor, enriches them with the
+// run context the detectors share (current pc, shadow call stack,
+// classified control transfers), and dispatches the typed events below to
+// every enabled oracle. Detectors never mutate machine state; their only
+// output is manager.hit() / manager.candidate() (finding.hpp):
+//
+//   hit        — the violation concretely happened on this run;
+//   candidate  — the violation is possible iff the attached width-1
+//                condition is satisfiable under this path's constraints
+//                (decided later by the engine's solver).
+//
+// Thread-safety: an oracle lives inside one worker's OracleManager; no
+// locking anywhere in this layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/finding.hpp"
+#include "dsl/ast.hpp"
+#include "interp/value.hpp"
+
+namespace binsym::oracles {
+
+class OracleManager;
+
+/// A data memory access, observed before address concretization:
+/// `addr.sym` (when set) is the unpinned address expression.
+struct MemEvent {
+  bool store = false;
+  const interp::SymValue& addr;
+  unsigned bytes = 0;
+  const interp::SymValue* value = nullptr;  // stores only
+};
+
+/// An indirect control transfer (jalr), observed before target
+/// concretization and already classified by the manager's shadow call
+/// stack. `expected_return` is only meaningful for returns with
+/// `have_expected` set (the link value the matching call pushed).
+struct JumpEvent {
+  const interp::SymValue& target;
+  uint32_t expected_return = 0;
+  bool have_expected = false;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// The (single) finding kind this detector raises; its name is the
+  /// detector's enable-flag spelling (`explore --oracles <name>,...`).
+  virtual core::OracleKind kind() const = 0;
+
+  // Typed events; default no-ops so each detector implements only what it
+  // watches.
+  virtual void on_mem(const MemEvent& event, OracleManager& m) {
+    (void)event, (void)m;
+  }
+  /// A jalr that is not a return (calls and computed jumps).
+  virtual void on_indirect_jump(const JumpEvent& event, OracleManager& m) {
+    (void)event, (void)m;
+  }
+  /// A return (`jalr x0, ra, 0`).
+  virtual void on_return(const JumpEvent& event, OracleManager& m) {
+    (void)event, (void)m;
+  }
+  /// add/sub/mul/udiv/urem/sdiv/srem only (see ExecObserver::on_binop).
+  virtual void on_binop(dsl::ExprOp op, const interp::SymValue& a,
+                        const interp::SymValue& b, OracleManager& m) {
+    (void)op, (void)a, (void)b, (void)m;
+  }
+  /// A runIfElse guard decided inside the current instruction's semantics
+  /// (the manager exposes the instruction's opcode id).
+  virtual void on_guard(const interp::SymValue& cond, bool taken,
+                        OracleManager& m) {
+    (void)cond, (void)taken, (void)m;
+  }
+  virtual void on_assert(const interp::SymValue& cond, uint32_t id,
+                         OracleManager& m) {
+    (void)cond, (void)id, (void)m;
+  }
+  virtual void on_reach(uint32_t id, OracleManager& m) { (void)id, (void)m; }
+};
+
+/// Construct the detector for `kind`; null for kNumOracleKinds.
+std::unique_ptr<Oracle> make_oracle(core::OracleKind kind);
+
+}  // namespace binsym::oracles

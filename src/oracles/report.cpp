@@ -1,0 +1,105 @@
+#include "oracles/report.hpp"
+
+#include <fstream>
+
+#include "support/format.hpp"
+
+namespace binsym::oracles {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string witness_file_name(size_t index) {
+  return strprintf("witness-%03zu.bin", index);
+}
+
+smt::Assignment witness_seed(smt::Context& ctx,
+                             std::span<const uint8_t> bytes) {
+  smt::Assignment seed;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // var() interns by name: this either creates "in_i" ahead of the run
+    // or resolves the id the previous runs already assigned.
+    smt::ExprRef var = ctx.var("in_" + std::to_string(i), 8);
+    seed.set(var->var_id, bytes[i]);
+  }
+  return seed;
+}
+
+std::string finding_to_line(const core::Finding& finding) {
+  std::string line = strprintf(
+      "finding %s pc=%s depth=%u path=%llu: %s; witness:",
+      core::oracle_kind_name(finding.oracle), hex32(finding.pc).c_str(),
+      finding.call_depth, static_cast<unsigned long long>(finding.path_index),
+      finding.detail.c_str());
+  if (finding.input.empty()) line += " (no symbolic input)";
+  for (uint8_t byte : finding.input) line += strprintf(" %02x", byte);
+  return line;
+}
+
+bool write_findings_dir(const std::string& dir, const std::string& target,
+                        const std::string& engine,
+                        const std::vector<core::Finding>& findings,
+                        std::string* error) {
+  for (size_t i = 0; i < findings.size(); ++i) {
+    std::string path = dir + "/" + witness_file_name(i);
+    std::ofstream witness(path, std::ios::binary);
+    witness.write(reinterpret_cast<const char*>(findings[i].input.data()),
+                  static_cast<std::streamsize>(findings[i].input.size()));
+    if (!witness) {
+      if (error) *error = "cannot write " + path;
+      return false;
+    }
+  }
+
+  std::string path = dir + "/findings.json";
+  std::ofstream json(path);
+  json << "{\n  \"target\": \"" << json_escape(target) << "\",\n"
+       << "  \"engine\": \"" << json_escape(engine) << "\",\n"
+       << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const core::Finding& f = findings[i];
+    json << (i ? ",\n" : "\n");
+    json << "    {\n"
+         << "      \"oracle\": \"" << core::oracle_kind_name(f.oracle)
+         << "\",\n"
+         << "      \"pc\": \"" << hex32(f.pc) << "\",\n"
+         << "      \"call_depth\": " << f.call_depth << ",\n"
+         << "      \"path\": " << f.path_index << ",\n"
+         << "      \"detail\": \"" << json_escape(f.detail) << "\",\n"
+         << "      \"expr\": \"" << json_escape(f.expr_text) << "\",\n"
+         << "      \"witness\": \"" << witness_file_name(i) << "\",\n"
+         << "      \"input\": [";
+    for (size_t j = 0; j < f.input.size(); ++j)
+      json << (j ? ", " : "") << static_cast<unsigned>(f.input[j]);
+    json << "]\n    }";
+  }
+  json << "\n  ]\n}\n";
+  if (!json) {
+    if (error) *error = "cannot write " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace binsym::oracles

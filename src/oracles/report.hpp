@@ -1,0 +1,46 @@
+// Findings serialization and witness replay plumbing for the detection
+// campaign: the `explore --findings-dir` artifact (a findings.json index
+// plus one raw witness input file per finding) and the helper that turns a
+// witness back into an engine seed for concrete replay.
+//
+// The artifact layout:
+//
+//   <dir>/findings.json    — {"target", "engine", "findings": [...]}; each
+//                            finding carries oracle, pc, call_depth,
+//                            detail, the faulting expression (SMT-LIB),
+//                            the input bytes, and its witness file name
+//   <dir>/witness-NNN.bin  — the finding's input bytes, raw, in sym_input
+//                            creation order (replayable: explore --replay)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/finding.hpp"
+#include "smt/context.hpp"
+#include "smt/eval.hpp"
+
+namespace binsym::oracles {
+
+/// Witness file name of finding `index` ("witness-000.bin", ...).
+std::string witness_file_name(size_t index);
+
+/// Build the engine seed that assigns the run's symbolic input bytes — in
+/// sym_input creation order ("in_0", "in_1", ...) — from `bytes`. Running
+/// any executor over `ctx` under this seed replays the witness concretely.
+smt::Assignment witness_seed(smt::Context& ctx,
+                             std::span<const uint8_t> bytes);
+
+/// Write findings.json and the witness corpus into `dir` (which must
+/// exist). Returns false and sets `*error` on I/O failure.
+bool write_findings_dir(const std::string& dir, const std::string& target,
+                        const std::string& engine,
+                        const std::vector<core::Finding>& findings,
+                        std::string* error);
+
+/// One-line human rendering ("finding oob-load pc=0x... depth=1 ...").
+std::string finding_to_line(const core::Finding& finding);
+
+}  // namespace binsym::oracles

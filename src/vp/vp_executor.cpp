@@ -106,6 +106,7 @@ void VpExecutor::loop(const core::SnapshotPlan* plan, uint64_t next_capture) {
       break;
     }
 
+    if (observer_) observer_->on_instruction(machine_.pc(), *decoded);
     machine_.set_next_pc(machine_.pc() + decoded->size);
     keeper_.advance(1);  // one cycle per retired instruction
     evaluator_.execute(*semantics, *decoded, machine_);

@@ -29,6 +29,11 @@ class VpMachine : public core::SymMachine {
       : core::SymMachine(ctx), bus_(bus), keeper_(keeper) {}
 
   Value load(unsigned bytes, const Value& addr) {
+    // These shadow SymMachine::load/store (static binding through
+    // Evaluator<VpMachine>), so the observer hooks must re-fire here —
+    // before concretization, like the direct data path. The oracle bounds
+    // map is expected to cover the MMIO windows (mmio_regions()).
+    if (core::ExecObserver* obs = observer()) obs->on_load(addr, bytes);
     Transaction txn;
     txn.command = Transaction::Command::kRead;
     txn.address = static_cast<uint32_t>(concretize(addr));
@@ -43,6 +48,7 @@ class VpMachine : public core::SymMachine {
   }
 
   void store(unsigned bytes, const Value& addr, const Value& value) {
+    if (core::ExecObserver* obs = observer()) obs->on_store(addr, bytes, value);
     Transaction txn;
     txn.command = Transaction::Command::kWrite;
     txn.address = static_cast<uint32_t>(concretize(addr));
@@ -92,6 +98,21 @@ class VpExecutor final : public core::Executor {
               core::PathTrace& trace, const core::SnapshotPlan& plan) override;
   uint64_t pages_copied() const override;
 
+  bool supports_observer() const override { return true; }
+  void set_observer(core::ExecObserver* observer) override {
+    observer_ = observer;
+    machine_.set_observer(observer);
+  }
+
+  /// The MMIO windows this executor maps. Bug-finding bounds oracles must
+  /// register these as valid regions, or every peripheral access would be
+  /// flagged out-of-bounds.
+  static std::vector<core::MemRegion> mmio_regions() {
+    return {{kUartBase, kUartBase + 0x1000},
+            {kTimerBase, kTimerBase + 0x1000},
+            {kSymInputBase, kSymInputBase + 0x1000}};
+  }
+
   const QuantumKeeper& quantum_keeper() const { return keeper_; }
 
  private:
@@ -99,6 +120,7 @@ class VpExecutor final : public core::Executor {
   /// quantum keeper in Snapshot::extra) when `plan` is non-null.
   void loop(const core::SnapshotPlan* plan, uint64_t next_capture);
 
+  core::ExecObserver* observer_ = nullptr;
   smt::Context& ctx_;
   const isa::Decoder& decoder_;
   const spec::Registry& registry_;

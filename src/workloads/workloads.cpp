@@ -30,9 +30,16 @@ std::string read_workload_source(const std::string& name) {
   std::string path = workloads_dir() + "/" + name + ".s";
   std::ifstream file(path);
   if (!file) {
+    // Name the knob *and* whether it is currently in effect: a stale
+    // override is the usual reason the path looks right but isn't.
+    const bool overridden = std::getenv("BINSYM_WORKLOADS_DIR") != nullptr;
     throw std::runtime_error(
         "cannot open workload source " + path +
-        " (override the corpus location with BINSYM_WORKLOADS_DIR)");
+        (overridden
+             ? " (corpus location set by the BINSYM_WORKLOADS_DIR "
+               "environment override)"
+             : " (compile-time default corpus; override the location with "
+               "the BINSYM_WORKLOADS_DIR environment variable)"));
   }
   return std::string((std::istreambuf_iterator<char>(file)),
                      std::istreambuf_iterator<char>());

@@ -138,6 +138,101 @@ TEST_F(StatsTest, BfsDiscoversShallowPathsFirst) {
   ASSERT_GE(depths.size(), 2u);
 }
 
+// -- engine_stats_report formatting (previously only eyeballed). -------------
+
+// Count non-overlapping occurrences of `needle` in `haystack`.
+size_t occurrences(const std::string& haystack, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
+  // Distinct values everywhere, all optional sections populated.
+  EngineStats stats;
+  stats.paths = 11;
+  stats.failures = 12;
+  stats.instructions = 13;
+  stats.workers = 3;
+  stats.seconds = 1.5;
+  stats.flip_attempts = 14;
+  stats.feasible_flips = 15;
+  stats.infeasible_flips = 16;
+  stats.divergences = 17;
+  stats.max_branch_depth = 18;
+  stats.peak_frontier = 19;
+  stats.presolve_hits = 20;
+  stats.presolve_misses = 21;
+  stats.sliced_constraints = 22;
+  stats.query_nodes_total = 23;
+  stats.query_nodes_max = 24;
+  stats.snapshot_hits = 25;
+  stats.snapshot_misses = 26;
+  stats.snapshot_captures = 27;
+  stats.snapshot_evictions = 28;
+  stats.snapshot_pages_copied = 29;
+  stats.findings = 30;
+  stats.finding_dupes = 31;
+  stats.candidates_checked = 32;
+  stats.candidates_feasible = 33;
+  stats.solver_name = "test-solver";
+  stats.solver.queries = 40;
+  stats.solver.sat = 41;
+  stats.solver.unsat = 42;
+  stats.solver.unknown = 43;
+  stats.solver.cache_hits = 44;
+  stats.solver.cache_misses = 45;
+  stats.solver.incremental_checks = 46;
+  stats.solver.reused_assertions = 47;
+
+  std::string report = engine_stats_report(stats);
+  const std::vector<std::string> counters = {
+      "paths=11",          "failures=12",        "instructions=13",
+      "workers=3",         "attempted=14",       "feasible=15",
+      "infeasible=16",     "divergences=17",     "max-depth=18",
+      "peak-frontier=19",  "presolve-hits=20",   "presolve-misses=21",
+      "sliced-out=22",     "total=23",           "max=24",
+      "hits=25",           "misses=26",          "captures=27",
+      "evictions=28",      "pages-copied=29",    "findings=30",
+      "dupes=31",          "candidates=32",      "feasible=33",
+      "queries=40",        "sat=41",             "unsat=42",
+      "unknown=43",        "cache-hits=44",      "cache-misses=45",
+      "incremental-checks=46", "reused-assertions=47", "test-solver",
+  };
+  for (const std::string& counter : counters)
+    EXPECT_EQ(occurrences(report, counter), 1u) << counter << "\n" << report;
+}
+
+TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
+  // A minimal sequential exploration: no snapshots ran, no oracles were
+  // attached, query-node measurement was off — those sections must not
+  // clutter the report; the always-on sections must stay.
+  EngineStats stats;
+  stats.solver_name = "z3";
+  std::string report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "snapshots:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "oracles:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "query-nodes:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "paths="), 1u);
+  EXPECT_EQ(occurrences(report, "flips:"), 1u);
+  EXPECT_EQ(occurrences(report, "solver[z3]:"), 1u);
+  EXPECT_EQ(occurrences(report, "opts:"), 1u);
+
+  // Any nonzero counter resurrects its section — and only it.
+  stats.snapshot_captures = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "snapshots:"), 1u);
+  EXPECT_EQ(occurrences(report, "oracles:"), 0u);
+  stats.candidates_checked = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "oracles:"), 1u);
+  stats.query_nodes_total = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "query-nodes:"), 1u);
+}
+
 TEST_F(StatsTest, TraceHookSeesEveryRetiredInstruction) {
   Program program = load(R"(
 _start:

@@ -98,6 +98,20 @@ TEST(WorkloadsDir, MissingSourceThrowsWithAttemptedPath) {
   }
 }
 
+TEST(WorkloadsDir, MissingSourceNamesActiveOverride) {
+  // With the override in effect, the diagnostic must say the path came
+  // from BINSYM_WORKLOADS_DIR (a stale override is the usual culprit).
+  ScopedWorkloadsDir scoped("/nonexistent-binsym-corpus");
+  try {
+    workloads::read_workload_source("bubble-sort");
+    FAIL() << "expected std::runtime_error for a missing workload source";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("environment override"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(LoadWorkload, UnknownNameThrowsClearDiagnostic) {
   isa::OpcodeTable table;
   spec::Registry registry;
@@ -107,6 +121,11 @@ TEST(LoadWorkload, UnknownNameThrowsClearDiagnostic) {
     FAIL() << "expected std::runtime_error for an unknown workload name";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("no-such-workload.s"),
+              std::string::npos)
+        << e.what();
+    // Every loader error must teach the override knob, not just the
+    // read_workload_source path the other tests pin.
+    EXPECT_NE(std::string(e.what()).find("BINSYM_WORKLOADS_DIR"),
               std::string::npos)
         << e.what();
   }

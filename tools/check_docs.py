@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (CI `docs` job).
 
-Two checks, both hard failures:
+Four checks, all hard failures:
 
 1. Intra-repo markdown links. Every relative link target in the repo's
    markdown files must resolve to an existing file (anchors are validated
@@ -13,8 +13,18 @@ Two checks, both hard failures:
    advertises must be documented in docs/BENCHMARKS.md, so the CLI can
    never grow an undocumented knob.
 
+3. Oracle reference coverage (with --explore). Every oracle `explore
+   --list-oracles` reports must have a "## `name`" section in
+   docs/ORACLES.md, and every such section must name a real oracle — the
+   reference can neither rot nor invent detectors.
+
+4. USER_GUIDE quickstart (with --run-quickstart). Every fenced `sh` block
+   in docs/USER_GUIDE.md is executed verbatim from the repository root,
+   in order, failing on the first non-zero exit — the tutorial's commands
+   must actually work against the build tree.
+
 Usage:
-    tools/check_docs.py [--explore build/explore]
+    tools/check_docs.py [--explore build/explore] [--run-quickstart]
 
 Run from anywhere; paths are resolved relative to the repository root
 (the parent of this script's directory).
@@ -34,6 +44,9 @@ LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^(```|~~~)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+# An oracle section in docs/ORACLES.md: a level-2 heading whose entire
+# text is one backticked name.
+ORACLE_HEADING_RE = re.compile(r"^##\s+`([a-z0-9-]+)`\s*$")
 
 
 def markdown_files():
@@ -113,18 +126,81 @@ def check_explore_flags(explore_binary):
     ]
 
 
+def check_oracle_reference(explore_binary):
+    """docs/ORACLES.md sections <-> `explore --list-oracles`, both ways."""
+    result = subprocess.run([explore_binary, "--list-oracles"],
+                            capture_output=True, text=True, timeout=60)
+    if result.returncode != 0:
+        return [f"{explore_binary} --list-oracles exited {result.returncode}"]
+    advertised = {line.strip() for line in result.stdout.splitlines()
+                  if line.strip()}
+    if not advertised:
+        return [f"{explore_binary} --list-oracles printed nothing"]
+    doc = REPO / "docs" / "ORACLES.md"
+    documented = set()
+    for line in strip_code_blocks(doc.read_text(encoding="utf-8")):
+        match = ORACLE_HEADING_RE.match(line)
+        if match:
+            documented.add(match.group(1))
+    errors = [f"docs/ORACLES.md: oracle not documented: {name}"
+              for name in sorted(advertised - documented)]
+    errors += [f"docs/ORACLES.md: section for unknown oracle: {name}"
+               for name in sorted(documented - advertised)]
+    return errors
+
+
+def quickstart_blocks():
+    """The fenced `sh` blocks of docs/USER_GUIDE.md, in order."""
+    blocks, current, in_sh = [], [], False
+    guide = REPO / "docs" / "USER_GUIDE.md"
+    for line in guide.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if in_sh and FENCE_RE.match(stripped):
+            blocks.append("\n".join(current))
+            current, in_sh = [], False
+        elif in_sh:
+            current.append(line)
+        elif stripped in ("```sh", "~~~sh"):
+            in_sh = True
+    return blocks
+
+
+def run_quickstart():
+    """Execute the USER_GUIDE quickstart verbatim from the repo root."""
+    blocks = quickstart_blocks()
+    if not blocks:
+        return ["docs/USER_GUIDE.md: no fenced sh blocks found (bad parse?)"]
+    errors = []
+    for index, block in enumerate(blocks):
+        print(f"quickstart block {index + 1}/{len(blocks)}:\n{block}")
+        result = subprocess.run(["bash", "-e", "-o", "pipefail", "-c", block],
+                                cwd=REPO, timeout=600)
+        if result.returncode != 0:
+            errors.append(f"docs/USER_GUIDE.md: quickstart block "
+                          f"{index + 1} exited {result.returncode}: {block!r}")
+            break  # later blocks depend on earlier ones
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--explore", metavar="BINARY",
                         help="path to the built explore example; enables the "
-                             "flag-coverage check")
+                             "flag-coverage and oracle-reference checks")
+    parser.add_argument("--run-quickstart", action="store_true",
+                        help="execute docs/USER_GUIDE.md's fenced sh blocks "
+                             "against the build tree")
     args = parser.parse_args()
 
     errors = check_links()
     if args.explore:
         errors += check_explore_flags(args.explore)
+        errors += check_oracle_reference(args.explore)
     else:
-        print("note: --explore not given, skipping the flag-coverage check")
+        print("note: --explore not given, skipping the flag-coverage and "
+              "oracle-reference checks")
+    if args.run_quickstart:
+        errors += run_quickstart()
 
     for error in errors:
         print(f"error: {error}", file=sys.stderr)

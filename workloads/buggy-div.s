@@ -1,0 +1,43 @@
+# buggy-div — detection-campaign workload: division by a tainted divisor.
+#
+# Averages two data bytes over a tainted bucket count. The guard rejects
+# the sentinel 0xff instead of zero, so a zero divisor reaches the divu.
+# RV32M defines the result (all-ones) rather than trapping, which is
+# exactly why the program keeps running on garbage and only the
+# div-by-zero oracle notices: the spec's divisor-is-zero guard forks, the
+# explorer enumerates the zero arm as its own path, and the oracle flags
+# the taken guard there.
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { div-by-zero @ the `divu` below }, depth 1.
+# Paths: 3 (bail on 0xff, divisor nonzero, divisor zero).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 3
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)              # data[0]
+        lbu     t2, 1(t0)              # data[1]
+        lbu     t3, 2(t0)              # bucket count (tainted divisor)
+
+        add     t4, t1, t2             # sum
+        li      t5, 0xff
+        beq     t3, t5, bail           # BUG: guards the sentinel, not zero
+        divu    t6, t4, t3             # div-by-zero when buf[2] == 0
+        li      a0, 0
+        j       done
+bail:
+        li      a0, 1
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        ret
+
+        .data
+buf:    .space  3

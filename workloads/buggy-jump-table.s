@@ -1,0 +1,42 @@
+# buggy-jump-table — detection-campaign workload: attacker-controlled pc.
+#
+# Dispatches an opcode byte through a computed handler address. The mask
+# keeps 8 slots but only 3 handlers exist — and, worse, the target is
+# *derived from the tainted byte* at all, so the jalr's destination is
+# attacker-controlled. The bad-jump oracle flags the symbolic target on
+# the very first path; no solver work is needed.
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { bad-jump @ the `jalr` below }, depth 1.
+# Paths: 1 (no symbolic branches; the target is concretized, not forked).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 1
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)              # opcode byte (tainted)
+
+        andi    t1, t1, 0x1c           # BUG: 8 slots masked, 3 handlers real
+        la      t2, handlers
+        add     t2, t2, t1
+        jalr    t2                     # attacker-controlled call target
+
+        li      a0, 0
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        ret
+
+        # Each handler is one aligned 4-byte slot (a bare ret).
+handlers:
+h_nop:  ret
+h_inc:  ret
+h_dec:  ret
+
+        .data
+buf:    .space  1

@@ -1,0 +1,49 @@
+# buggy-overflow — detection-campaign workload: tainted signed overflow.
+#
+# Parses a 32-bit record length from four input bytes and scales it to a
+# byte size (12 bytes per record) *before* range-checking it — the classic
+# allocation-size bug: `len * 12` wraps for large lengths, so the later
+# bound check validates the wrapped value. No explored seed needs to wrap
+# concretely; the overflow oracle's solver candidate at the `mul` finds a
+# wrapping length on the very first path.
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { overflow @ the `mul` below }, depth 1.
+# Paths: 2 (length accepted / rejected).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 4
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)
+        lbu     t2, 1(t0)
+        lbu     t3, 2(t0)
+        lbu     t4, 3(t0)
+        slli    t2, t2, 8
+        slli    t3, t3, 16
+        slli    t4, t4, 24
+        or      t1, t1, t2
+        or      t1, t1, t3
+        or      t1, t1, t4             # len: tainted 32-bit record count
+
+        li      t5, 12
+        mul     t6, t1, t5             # BUG: size = len * 12 before the check
+        li      t5, 0x10000
+        bltu    t1, t5, ok             # range check comes too late
+        li      a0, 1
+        j       done
+ok:
+        li      a0, 0
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        ret
+
+        .data
+buf:    .space  4

@@ -1,0 +1,58 @@
+# buggy-stack-smash — detection-campaign workload: saved-ra overwrite.
+#
+# Fills a 7-word stack buffer with a tainted payload word, with the count
+# taken from a tainted length byte. The mask clamps the count correctly —
+# but the loop writes `count + 1` words ("and a terminator"), the classic
+# off-by-one: at the maximum count the extra word lands exactly on the
+# saved return address at 28(sp). The stack-smash oracle's shadow call
+# stack catches the corrupted `ret` concretely on that path (the payload
+# seed is zero, so the smashed return heads to unmapped 0x0 and the path
+# dies on a bad fetch right after the detection).
+#
+# Every store stays inside the engine-tracked stack region, so the
+# out-of-bounds oracles correctly stay silent.
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { stack-smash @ the `ret` below }, depth 1.
+# Paths: 8 (count + 1 takes the values 1..8).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -32
+        sw      ra, 28(sp)
+
+        la      a0, buf
+        li      a1, 1
+        call    sym_input
+        la      a0, payload
+        li      a1, 4
+        call    sym_input
+
+        la      t0, buf
+        lbu     t1, 0(t0)              # requested word count (tainted)
+        andi    t1, t1, 7              # clamp to the 7-word buffer...
+        addi    t1, t1, 1              # BUG: ...then write count+1 words
+        la      t0, payload
+        lw      t2, 0(t0)              # payload word (tainted)
+
+        mv      t3, sp                 # dst = buffer at 0(sp)
+        li      t4, 0                  # i
+fill:
+        bge     t4, t1, fill_done
+        sw      t2, 0(t3)              # i == 7 writes the saved ra slot
+        addi    t3, t3, 4
+        addi    t4, t4, 1
+        j       fill
+fill_done:
+
+        li      a0, 0
+        lw      ra, 28(sp)
+        addi    sp, sp, 32
+        ret                            # smashed when count+1 == 8
+
+        .data
+buf:    .space  1
+        .align  2
+payload:
+        .space  4

@@ -1,0 +1,39 @@
+# buggy-unaligned — detection-campaign workload: tainted misaligned access.
+#
+# Looks up a calibration word by a tainted table offset. The offset is
+# masked as a *byte* offset (0..7) where a word index shifted by 2 was
+# meant, so six of the eight reachable addresses are misaligned word
+# loads. The all-zero seed reads offset 0 (aligned), so only the unaligned
+# oracle's solver candidate exposes the bug. The access itself always
+# stays inside the 3-word table — the out-of-bounds candidate at the same
+# load is checked and correctly found infeasible.
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { unaligned @ the `lw` below }, depth 1.
+# Paths: 1 (no symbolic branches).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 1
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)              # table offset (tainted)
+
+        andi    t1, t1, 7              # BUG: byte offset; meant `& 1` << 2
+        la      t2, words
+        add     t2, t2, t1
+        lw      t3, 0(t2)              # misaligned for offsets 1,2,3,5,6,7
+
+        li      a0, 0
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        ret
+
+        .data
+words:  .word   0x11111111, 0x22222222, 0x33333333
+buf:    .space  1

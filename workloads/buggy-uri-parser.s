@@ -1,0 +1,63 @@
+# buggy-uri-parser — detection-campaign workload: two memory-safety bugs.
+#
+# A trimmed cousin of uri-parser that classifies a 2-byte input (scheme
+# initial + normalization slot). Both bugs are index-validation failures on
+# tainted bytes; neither ever faults under the all-zero seed, so only the
+# out-of-bounds oracles' solver candidates can expose them:
+#
+#   bug 1 (oob-load):  the reject path probes the 45-entry reserved table
+#                      at rsvd[c] with the *unchecked* rejected byte c
+#                      (0..255 — up to 210 bytes past the table);
+#   bug 2 (oob-store): the accept path records the scheme class at
+#                      out[l & 0x3f], but `out` holds only 16 bytes (the
+#                      mask keeps indices up to 63).
+#
+# Known bug set (pinned by tests/test_oracles.cpp):
+#   { oob-load @ the `lbu` below, oob-store @ the `sb` below }, depth 1.
+# Paths: 3 (c == 'h', c == 'f', reject).
+
+        .text
+        .global main
+main:
+        addi    sp, sp, -16
+        sw      ra, 12(sp)
+
+        la      a0, buf
+        li      a1, 2
+        call    sym_input
+        la      t0, buf
+        lbu     t1, 0(t0)              # c: scheme initial
+        lbu     t2, 1(t0)              # l: normalization slot
+
+        li      t3, 'h'
+        beq     t1, t3, accept
+        li      t3, 'f'
+        beq     t1, t3, accept
+
+        # Reject: triage c against the reserved table — index unchecked.
+        la      t3, rsvd
+        add     t3, t3, t1
+        lbu     t4, 0(t3)              # BUG 1: rsvd[c], c in 0..255
+        li      a0, 2
+        j       done
+
+accept:
+        # Record the scheme class; the mask is wider than the buffer.
+        andi    t4, t2, 0x3f
+        la      t5, out
+        add     t5, t5, t4
+        sb      t1, 0(t5)              # BUG 2: out[l & 0x3f], out[16]
+        li      a0, 0
+done:
+        lw      ra, 12(sp)
+        addi    sp, sp, 16
+        ret
+
+        .data
+buf:    .space  2
+rsvd:   .byte   0, 1, 2, 3, 4, 5, 6, 7, 8, 9
+        .byte   10, 11, 12, 13, 14, 15, 16, 17, 18, 19
+        .byte   20, 21, 22, 23, 24, 25, 26, 27, 28, 29
+        .byte   30, 31, 32, 33, 34, 35, 36, 37, 38, 39
+        .byte   40, 41, 42, 43, 44
+out:    .space  16

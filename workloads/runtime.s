@@ -34,3 +34,15 @@ report_fail:                    # report_fail(a0 = failure id)
         li      a7, 3
         ecall
         ret
+
+        .global assert_true
+assert_true:                    # assert_true(a0 = condition, a1 = assert id)
+        li      a7, 4           # property oracle: a0 == 0 is a violation;
+        ecall                   # a0 stays symbolic so the solver can search
+        ret                     # for a violating input (docs/ORACLES.md)
+
+        .global reach
+reach:                          # reach(a0 = marker id): report this point
+        li      a7, 5           # was reached ("should be unreachable")
+        ecall
+        ret
