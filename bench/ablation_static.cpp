@@ -1,0 +1,145 @@
+// Ablation: static candidate pre-proving (src/analysis) on vs off.
+//
+// For every Table I workload and every buggy detection workload the
+// harness explores with BinSym, all oracles attached, twice: once with
+// every oracle candidate handed to the solver (prune-off) and once with
+// the load-time static analysis pre-proving candidates unsat (prune-on).
+// Reported per row: explored paths, dynamic findings, candidates that
+// reached the solver, total solver queries, statically proven candidates
+// and solver seconds.
+//
+// Two guards double every row as a correctness check:
+//   * path counts and finding counts must not move between the two
+//     configurations (pruning only removes provably-unsat solver work);
+//   * on workloads whose fixpoint converges and which raise candidates,
+//     prune-on must check strictly fewer candidates than prune-off.
+//
+// Each row is emitted as a JSON line into BENCH_static.json (cwd), the
+// trajectory file CI's perf-smoke step appends to.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "engines.hpp"
+
+using namespace binsym;
+
+namespace {
+
+// The detection-campaign workloads (docs/ORACLES.md) ride along with the
+// Table I set: they are the rows where candidates actually fire.
+const char* kBuggyWorkloads[] = {
+    "buggy-assert",      "buggy-div",         "buggy-jump-table",
+    "buggy-overflow",    "buggy-stack-smash", "buggy-unaligned",
+    "buggy-uri-parser",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const uint64_t max_paths = quick ? 100 : 400;
+
+  isa::OpcodeTable table;
+  isa::Decoder decoder(table);
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+
+  std::vector<std::string> names;
+  for (const workloads::WorkloadInfo& info : workloads::table1_workloads())
+    names.push_back(info.name);
+  for (const char* name : kBuggyWorkloads) names.push_back(name);
+
+  std::FILE* json = std::fopen("BENCH_static.json", "w");
+
+  std::printf(
+      "ABLATION: STATIC CANDIDATE PRE-PROVING — oracle solver work with the "
+      "load-time analysis off vs on%s\n",
+      quick ? " (quick)" : "");
+  std::printf("%-18s %-10s %6s %8s %10s %8s %8s %9s\n", "Benchmark", "config",
+              "paths", "findings", "candidates", "queries", "proved",
+              "solver(s)");
+
+  int failures = 0;
+  for (const std::string& name : names) {
+    core::Program program = workloads::load_workload_or_exit(table, name);
+    bench::EngineSetup setup{decoder, registry, program};
+    analysis::StaticAnalysis sa = analysis::StaticAnalysis::run(
+        program, decoder, bench::make_memory_map("binsym", setup));
+
+    core::EngineStats off, on;
+    for (bool prune : {false, true}) {
+      core::EngineOptions options;
+      options.max_paths = max_paths;
+      if (prune) options.candidate_prune = sa.make_prune();
+      core::DseEngine dse(bench::make_worker_factory("binsym", setup, "all"),
+                          options);
+      (prune ? on : off) = dse.explore();
+    }
+
+    // Guard 1: pruning may only remove solver work, never change behavior.
+    bool drift = on.paths != off.paths || on.findings != off.findings;
+    // Guard 2: exact accounting — every candidate either reached the
+    // solver or was statically proven; pruning invents and loses nothing.
+    bool leak = on.candidates_checked + on.static_proved !=
+                off.candidates_checked;
+    // Guard 3: the memory-safety detection workloads are the rows this
+    // optimization exists for; a strict cut there is a release gate
+    // (pinned again by tests/test_analysis.cpp).
+    bool must_cut = name == "buggy-unaligned" || name == "buggy-uri-parser";
+    bool no_cut = must_cut && on.candidates_checked >= off.candidates_checked;
+    failures += drift + leak + no_cut;
+
+    for (bool prune : {false, true}) {
+      const core::EngineStats& s = prune ? on : off;
+      std::printf(
+          "%-18s %-10s %6llu %8llu %10llu %8llu %8llu %9.3f%s%s\n",
+          name.c_str(), prune ? "prune-on" : "prune-off",
+          static_cast<unsigned long long>(s.paths),
+          static_cast<unsigned long long>(s.findings),
+          static_cast<unsigned long long>(s.candidates_checked),
+          static_cast<unsigned long long>(s.solver.queries),
+          static_cast<unsigned long long>(s.static_proved),
+          s.solver.solve_seconds,
+          prune && (drift || leak) ? "  <- DRIFT" : "",
+          prune && no_cut ? "  <- NO CANDIDATE REDUCTION" : "");
+      if (json) {
+        std::fprintf(
+            json,
+            "{\"workload\":\"%s\",\"config\":\"%s\",\"quick\":%s,"
+            "\"complete\":%s,\"paths\":%llu,\"findings\":%llu,"
+            "\"candidates_checked\":%llu,\"solver_queries\":%llu,"
+            "\"static_proved\":%llu,\"static_unknown\":%llu,"
+            "\"solver_seconds\":%.6f}\n",
+            name.c_str(), prune ? "prune-on" : "prune-off",
+            quick ? "true" : "false", sa.absint.complete ? "true" : "false",
+            static_cast<unsigned long long>(s.paths),
+            static_cast<unsigned long long>(s.findings),
+            static_cast<unsigned long long>(s.candidates_checked),
+            static_cast<unsigned long long>(s.solver.queries),
+            static_cast<unsigned long long>(s.static_proved),
+            static_cast<unsigned long long>(s.static_unknown),
+            s.solver.solve_seconds);
+      }
+    }
+  }
+  if (json) std::fclose(json);
+
+  std::printf(
+      "\nNotes: `candidates` counts feasibility conditions handed to the "
+      "solver — the pre-prover's whole effect is that column (and the "
+      "queries it drags along); `proved` is how many it discharged. "
+      "Workloads whose fixpoint is incomplete (indirect jumps the analysis "
+      "cannot resolve, custom instructions) prove nothing by design and "
+      "show identical rows. JSON lines: BENCH_static.json\n");
+  if (failures) {
+    std::printf("FAIL: %d row(s) drifted or failed to cut solver work\n",
+                failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,223 @@
+// analyze: static binary analysis front-end — run the load-time analysis
+// (src/analysis: CFG recovery + abstract-interpretation fixpoint) over a
+// shipped workload or an assembled ELF without executing an instruction.
+//
+//   analyze <workload|path.elf> [--cfg-dot] [--lint] [--facts]
+//
+// With no mode flag it prints a one-paragraph summary (completeness, block
+// and function counts, proof coverage per oracle family). See
+// docs/ANALYSIS.md for what each layer computes and guarantees.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../bench/engines.hpp"
+#include "analysis/analysis.hpp"
+#include "elf/elf32.hpp"
+#include "isa/disasm.hpp"
+#include "oracles/report.hpp"
+#include "support/format.hpp"
+
+using namespace binsym;
+
+namespace {
+
+// Every flag listed here must be documented in docs/ANALYSIS.md — CI's
+// docs job (tools/check_docs.py) diffs this help text against the docs.
+void print_usage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s <workload|file.elf> [options]\n"
+      "  --cfg-dot                print the recovered control-flow graph\n"
+      "                           as Graphviz DOT (blocks with\n"
+      "                           disassembly, call/return edges dashed)\n"
+      "  --lint                   run the static lint tier and print its\n"
+      "                           findings (unreachable blocks,\n"
+      "                           unreachable reach() markers, stack\n"
+      "                           imbalance, always-true asserts)\n"
+      "  --facts                  print the per-instruction abstract facts\n"
+      "                           (memory access ranges, divisors,\n"
+      "                           overflow operands, assert conditions)\n"
+      "  --help                   this text\n"
+      "  default (no mode flag)   print an analysis summary\n",
+      prog);
+}
+
+void print_summary(const analysis::StaticAnalysis& sa) {
+  const analysis::AbsIntResult& r = sa.absint;
+  std::printf("fixpoint: %s%s%s\n", r.complete ? "complete" : "incomplete",
+              r.complete ? "" : " — ",
+              r.complete ? "" : r.incomplete_reason.c_str());
+  std::printf(
+      "cfg: %zu block(s), %zu function(s), %zu instruction(s) reached\n",
+      sa.cfg.blocks.size(), sa.cfg.function_entries.size(), r.states.size());
+  std::printf("sites: %zu call, %zu return, %zu exit\n", r.call_sites.size(),
+              r.ret_sites.size(), r.exit_sites.size());
+
+  // Proof coverage: of the sites each oracle family instruments, how many
+  // are statically proven safe (the candidates the engine will never have
+  // to hand to the solver).
+  size_t loads = 0, loads_safe = 0, stores = 0, stores_safe = 0;
+  size_t aligned_safe = 0, aligned_total = 0;
+  for (const auto& [pc, fact] : sa.facts.mem) {
+    (fact.store ? stores : loads) += 1;
+    core::OracleKind oob = fact.store ? core::OracleKind::kOobStore
+                                      : core::OracleKind::kOobLoad;
+    if (sa.facts.proves_safe(oob, pc)) (fact.store ? stores_safe : loads_safe) += 1;
+    if (fact.bytes > 1) {
+      ++aligned_total;
+      if (sa.facts.proves_safe(core::OracleKind::kUnaligned, pc))
+        ++aligned_safe;
+    }
+  }
+  size_t div_safe = 0;
+  for (const auto& [pc, d] : sa.facts.divisor)
+    if (sa.facts.proves_safe(core::OracleKind::kDivByZero, pc)) ++div_safe;
+  size_t arith_safe = 0;
+  for (const auto& [pc, a] : sa.facts.arith)
+    if (sa.facts.proves_safe(core::OracleKind::kOverflow, pc)) ++arith_safe;
+  size_t assert_safe = 0;
+  for (const auto& [pc, c] : sa.facts.assert_cond)
+    if (sa.facts.proves_safe(core::OracleKind::kAssertFail, pc)) ++assert_safe;
+
+  std::printf("proven safe: loads %zu/%zu, stores %zu/%zu, alignment %zu/%zu, "
+              "divisions %zu/%zu, overflow %zu/%zu, asserts %zu/%zu\n",
+              loads_safe, loads, stores_safe, stores, aligned_safe,
+              aligned_total, div_safe, sa.facts.divisor.size(), arith_safe,
+              sa.facts.arith.size(), assert_safe, sa.facts.assert_cond.size());
+}
+
+void print_facts(const analysis::StaticAnalysis& sa) {
+  // One line per instruction that carries a fact, in address order.
+  std::vector<uint32_t> pcs;
+  for (const auto& [pc, s] : sa.absint.states) pcs.push_back(pc);
+  std::sort(pcs.begin(), pcs.end());
+  for (uint32_t pc : pcs) {
+    std::string line;
+    if (auto it = sa.facts.mem.find(pc); it != sa.facts.mem.end()) {
+      line += strprintf(" %s%u addr=%s",
+                        it->second.store ? "store" : "load", it->second.bytes,
+                        analysis::abs_to_string(it->second.addr).c_str());
+      core::OracleKind oob = it->second.store ? core::OracleKind::kOobStore
+                                              : core::OracleKind::kOobLoad;
+      if (sa.facts.proves_safe(oob, pc)) line += " in-bounds";
+      if (it->second.bytes > 1 &&
+          sa.facts.proves_safe(core::OracleKind::kUnaligned, pc))
+        line += " aligned";
+    }
+    if (auto it = sa.facts.divisor.find(pc); it != sa.facts.divisor.end()) {
+      line += strprintf(" divisor=%s",
+                        analysis::abs_to_string(it->second).c_str());
+      if (sa.facts.proves_safe(core::OracleKind::kDivByZero, pc))
+        line += " nonzero";
+    }
+    if (auto it = sa.facts.arith.find(pc); it != sa.facts.arith.end()) {
+      for (const analysis::ArithFact& f : it->second)
+        line += strprintf(" %s%c%s", analysis::abs_to_string(f.a).c_str(),
+                          f.op, analysis::abs_to_string(f.b).c_str());
+      if (sa.facts.proves_safe(core::OracleKind::kOverflow, pc))
+        line += " no-overflow";
+    }
+    if (auto it = sa.facts.assert_cond.find(pc);
+        it != sa.facts.assert_cond.end()) {
+      line += strprintf(" assert=%s",
+                        analysis::abs_to_string(it->second).c_str());
+      if (sa.facts.proves_safe(core::OracleKind::kAssertFail, pc))
+        line += " never-fails";
+    }
+    if (sa.facts.reach_sites.count(pc)) line += " reach-site";
+    if (line.empty()) continue;
+    auto code = sa.absint.code.find(pc);
+    std::printf("0x%08x  %-28s %s\n", pc,
+                code != sa.absint.code.end()
+                    ? isa::disassemble(code->second, pc).c_str()
+                    : "?",
+                line.c_str() + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool cfg_dot = false, lint = false, facts = false;
+  std::string target;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (std::strcmp(argv[i], "--cfg-dot") == 0) {
+      cfg_dot = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--facts") == 0) {
+      facts = true;
+    } else if (target.empty()) {
+      target = argv[i];
+    } else {
+      print_usage(stderr, argv[0]);
+      return 2;
+    }
+  }
+  if (target.empty()) {
+    print_usage(stderr, argv[0]);
+    return 2;
+  }
+
+  // Same front-end as explore: full opcode table including the custom
+  // madd and Zbb extensions, so analyze sees the bytes the engine runs.
+  isa::OpcodeTable table;
+  isa::Decoder decoder(table);
+  spec::Registry registry;
+  spec::install_rv32im(registry, table);
+  spec::install_custom_madd(table, registry);
+  spec::install_zbb(table, registry);
+
+  core::Program program;
+  if (target.size() > 4 && target.substr(target.size() - 4) == ".elf") {
+    std::string error;
+    auto image = elf::read_elf_file(target, &error);
+    if (!image) {
+      std::fprintf(stderr, "cannot load %s: %s\n", target.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    program = elf::to_program(*image);
+  } else {
+    try {
+      program = workloads::load_workload(table, target);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot load workload '%s': %s\n", target.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+
+  bench::EngineSetup setup{decoder, registry, program};
+  analysis::StaticAnalysis sa = analysis::StaticAnalysis::run(
+      program, decoder, bench::make_memory_map("binsym", setup));
+
+  if (cfg_dot) {
+    std::fputs(cfg_to_dot(sa.cfg, sa.absint).c_str(), stdout);
+    return 0;
+  }
+  if (lint) {
+    if (!sa.absint.complete) {
+      std::printf("static: fixpoint incomplete (%s), lint tier skipped\n",
+                  sa.absint.incomplete_reason.c_str());
+      return 0;
+    }
+    std::vector<core::Finding> lints = sa.lint(program, decoder);
+    for (const core::Finding& f : lints)
+      std::printf("%s\n", oracles::finding_to_line(f).c_str());
+    std::printf("%zu lint finding(s)\n", lints.size());
+    return 0;
+  }
+  if (facts) {
+    print_facts(sa);
+    return 0;
+  }
+  print_summary(sa);
+  return 0;
+}

@@ -7,15 +7,18 @@
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
 //           [--show-failures] [--oracles LIST] [--findings-dir DIR]
-//           [--replay FILE] [--list-oracles]
+//           [--replay FILE] [--list-oracles] [--static-lint]
+//           [--no-static-prune]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "../bench/engines.hpp"
+#include "analysis/analysis.hpp"
 #include "core/stats.hpp"
 #include "elf/elf32.hpp"
 #include "oracles/report.hpp"
@@ -54,6 +57,12 @@ void print_usage(std::FILE* out, const char* prog) {
       "                           concretely, and print the detections it\n"
       "                           triggers (no exploration)\n"
       "  --list-oracles           print one oracle name per line and exit\n"
+      "  --static-lint            print the load-time static lint findings\n"
+      "                           (see docs/ANALYSIS.md and the analyze\n"
+      "                           tool) before exploring\n"
+      "  --no-static-prune        do not pre-prove oracle candidates with\n"
+      "                           the static analysis (every candidate\n"
+      "                           goes to the solver)\n"
       "  --help                   this text\n",
       prog);
 }
@@ -117,6 +126,8 @@ int main(int argc, char** argv) {
   std::string engine_name = "binsym";
   core::EngineOptions options;
   bool show_failures = false;
+  bool static_lint = false;
+  bool static_prune = true;
   std::string oracles_spec;
   std::string findings_dir;
   std::string replay_file;
@@ -133,6 +144,10 @@ int main(int argc, char** argv) {
       // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;
+    } else if (std::strcmp(argv[i], "--static-lint") == 0) {
+      static_lint = true;
+    } else if (std::strcmp(argv[i], "--no-static-prune") == 0) {
+      static_prune = false;
     } else if (std::strcmp(argv[i], "--oracles") == 0 && i + 1 < argc) {
       oracles_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--findings-dir") == 0 && i + 1 < argc) {
@@ -201,6 +216,34 @@ int main(int argc, char** argv) {
   }
   if (!replay_file.empty())
     return replay_witness(engine_name, setup, oracles_spec, replay_file);
+
+  // Static analysis (src/analysis) runs once at load time. The candidate
+  // pre-prover is sound only for engines whose memory the static model
+  // covers — vp MMIO loads return device values, so vp never gets it. CFG
+  // hints for coverage scoring are wired whenever the analysis ran, and
+  // independently of pruning (so prune on/off explores identical paths).
+  std::optional<analysis::StaticAnalysis> sa;
+  if ((static_lint || !oracles_spec.empty()) && engine_name == "binsym") {
+    sa = analysis::StaticAnalysis::run(
+        program, decoder, bench::make_memory_map(engine_name, setup));
+    if (static_lint) {
+      std::vector<core::Finding> lints = sa->lint(program, decoder);
+      if (!sa->absint.complete)
+        std::printf("static: fixpoint incomplete (%s), lint tier skipped\n",
+                    sa->absint.incomplete_reason.c_str());
+      for (const core::Finding& f : lints)
+        std::printf("%s\n", oracles::finding_to_line(f).c_str());
+    }
+    if (!oracles_spec.empty() && static_prune)
+      options.candidate_prune = sa->make_prune();
+    options.cfg_hints = sa->make_hints();
+  } else if (static_lint) {
+    std::fprintf(stderr,
+                 "--static-lint: engine '%s' is outside the static memory "
+                 "model (use binsym)\n",
+                 engine_name.c_str());
+    return 2;
+  }
 
   core::WorkerFactory factory =
       bench::make_worker_factory(engine_name, setup, oracles_spec);

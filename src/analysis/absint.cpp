@@ -1,0 +1,583 @@
+#include "analysis/absint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "core/syscalls.hpp"
+#include "support/format.hpp"
+
+namespace binsym::analysis {
+
+namespace {
+
+constexpr unsigned kWidenAfter = 16;     // joins per pc before widening
+constexpr uint64_t kRangeLoadCap = 256;  // max joined addresses per load
+constexpr uint64_t kRangeStoreCap = 4096;  // max havocked bytes per store
+constexpr uint64_t kStackHavocCap = 512;   // explicit stack bytes per havoc
+constexpr size_t kMaxStackBytes = 4096;    // per-state stack map guard
+
+class Interpreter {
+ public:
+  Interpreter(const core::Program& program, const isa::Decoder& decoder,
+              const AbsIntOptions& options)
+      : program_(program),
+        decoder_(decoder),
+        opt_(options),
+        stack_lo_(options.stack_top - options.stack_reserve),
+        stack_hi_(options.stack_top) {}
+
+  AbsIntResult run() {
+    RegState entry;
+    // The machine's reset contract: every register 0, sp = stack top, and
+    // nothing else (the loader sets no gp — see SymMachine::reset).
+    for (AbsValue& r : entry.regs) r = AbsValue::constant(0);
+    entry.regs[2] = AbsValue::constant(opt_.stack_top);
+    propagate(program_.entry, std::move(entry));
+
+    uint64_t steps = 0;
+    bool budget_ok = true;
+    while (budget_ok) {
+      while (!worklist_.empty()) {
+        if (++steps > opt_.max_steps) {
+          mark_incomplete("abstract-step budget exceeded");
+          budget_ok = false;
+          break;
+        }
+        uint32_t pc = worklist_.front();
+        worklist_.pop_front();
+        queued_.erase(pc);
+        if (const isa::Decoded* d = decode(pc)) step(pc, *d);
+      }
+      // The global byte map is flow-insensitive: when a store degraded it,
+      // every previously computed load may be stale — re-run everything.
+      // Each epoch permanently degrades at least one byte, so this
+      // terminates (and the step budget backstops it regardless).
+      if (budget_ok && global_changed_) {
+        global_changed_ = false;
+        for (const auto& [pc, state] : states_) enqueue(pc);
+      } else {
+        break;
+      }
+    }
+
+    AbsIntResult result;
+    result.complete = incomplete_reason_.empty();
+    result.incomplete_reason = incomplete_reason_;
+    result.states = std::move(states_);
+    result.succs = std::move(succs_);
+    result.call_sites = std::move(call_sites_);
+    result.ret_sites = std::move(ret_sites_);
+    result.exit_sites = std::move(exit_sites_);
+    for (const auto& [pc, state] : result.states)
+      if (const isa::Decoded* d = decode(pc)) result.code.emplace(pc, *d);
+    return result;
+  }
+
+ private:
+  // -- Decode cache. -----------------------------------------------------------
+
+  const isa::Decoded* decode(uint32_t pc) {
+    auto it = dcache_.find(pc);
+    if (it == dcache_.end()) {
+      uint32_t word = static_cast<uint32_t>(program_.image.read(pc, 4));
+      it = dcache_.emplace(pc, decoder_.decode(word)).first;
+    }
+    return it->second ? &*it->second : nullptr;
+  }
+
+  void mark_incomplete(const std::string& why) {
+    if (incomplete_reason_.empty()) incomplete_reason_ = why;
+  }
+
+  // -- Memory model. -----------------------------------------------------------
+
+  bool in_stack(uint32_t addr) const {
+    return addr >= stack_lo_ && addr < stack_hi_;
+  }
+
+  AbsValue default_stack_byte(uint32_t addr) const {
+    return AbsValue::constant(program_.image.read8(addr));
+  }
+
+  void global_havoc_all() {
+    if (!global_havoc_all_) {
+      global_havoc_all_ = true;
+      global_changed_ = true;
+    }
+  }
+
+  /// Weak (join) update of one global byte; -1 encodes "unknown".
+  void global_store(uint32_t addr, std::optional<uint8_t> value) {
+    if (global_havoc_all_) return;
+    auto it = global_.find(addr);
+    int16_t cur = it != global_.end()
+                      ? it->second
+                      : static_cast<int16_t>(program_.image.read8(addr));
+    if (cur < 0) return;  // already unknown
+    if (value && *value == cur) return;
+    global_[addr] = -1;
+    global_changed_ = true;
+  }
+
+  AbsValue byte_at(const RegState& s, uint32_t addr) const {
+    if (in_stack(addr)) {
+      if (s.stack_unknown) return AbsValue::range(0, 255);
+      auto it = s.stack.find(addr);
+      if (it != s.stack.end()) return it->second;
+      return default_stack_byte(addr);
+    }
+    if (global_havoc_all_) return AbsValue::range(0, 255);
+    auto it = global_.find(addr);
+    if (it != global_.end())
+      return it->second < 0
+                 ? AbsValue::range(0, 255)
+                 : AbsValue::constant(static_cast<uint32_t>(it->second));
+    return AbsValue::constant(program_.image.read8(addr));
+  }
+
+  /// Assemble an n-byte little-endian load at a concrete base address.
+  AbsValue load_at(const RegState& s, uint32_t base, unsigned bytes,
+                   bool sign_extend) const {
+    AbsValue v = byte_at(s, base);
+    for (unsigned i = 1; i < bytes; ++i)
+      v = abs_or(v, abs_sll(byte_at(s, base + i),
+                            AbsValue::constant(8 * i)));
+    if (sign_extend && bytes < 4) {
+      uint32_t sign = 1u << (8 * bytes - 1);
+      if (v.has_set) {
+        std::vector<uint32_t> extended;
+        extended.reserve(v.set.size());
+        for (uint32_t x : v.set)
+          extended.push_back(x & sign ? x | (~0u << (8 * bytes)) : x);
+        return AbsValue::from_values(std::move(extended));
+      }
+      if (v.hi >= sign) return AbsValue::top();
+    }
+    return v;
+  }
+
+  AbsValue do_load(const RegState& s, const AbsValue& addr, unsigned bytes,
+                   bool sign_extend) const {
+    if (addr.is_bottom()) return AbsValue::bottom();
+    if (auto c = addr.as_constant()) return load_at(s, *c, bytes, sign_extend);
+    if (addr.has_set) {
+      AbsValue r = AbsValue::bottom();
+      for (uint32_t base : addr.set)
+        r = abs_join(r, load_at(s, base, bytes, sign_extend));
+      return r;
+    }
+    uint64_t span = static_cast<uint64_t>(addr.hi) - addr.lo;
+    if (span <= kRangeLoadCap) {
+      // Bounded unknown base (e.g. a masked jump-table index): join the
+      // loads at every address the abstraction admits. The knowledge that
+      // low bits are zero prunes misaligned bases via contains().
+      AbsValue r = AbsValue::bottom();
+      for (uint64_t a = addr.lo; a <= addr.hi; ++a) {
+        uint32_t base = static_cast<uint32_t>(a);
+        if (!addr.contains(base)) continue;
+        r = abs_join(r, load_at(s, base, bytes, sign_extend));
+        if (r.is_top()) break;
+      }
+      return r;
+    }
+    return AbsValue::top();
+  }
+
+  /// One byte store. Strong (overwrite) only for the flow-sensitive stack
+  /// window under a singleton address; global memory always joins.
+  void store_byte(RegState& s, uint32_t addr, const AbsValue& value,
+                  bool strong) {
+    if (in_stack(addr)) {
+      if (s.stack_unknown) return;
+      s.stack[addr] = strong ? value : abs_join(byte_at(s, addr), value);
+      if (s.stack.size() > kMaxStackBytes) {
+        s.stack_unknown = true;
+        s.stack.clear();
+      }
+      return;
+    }
+    auto c = value.as_constant();
+    global_store(addr, c ? std::optional<uint8_t>(static_cast<uint8_t>(*c))
+                         : std::nullopt);
+  }
+
+  /// Forget every byte in [lo, hi_excl) (addresses taken mod 2^32).
+  void havoc_range(RegState& s, uint64_t lo, uint64_t hi_excl) {
+    if (hi_excl - lo > kRangeStoreCap) {
+      global_havoc_all();
+      s.stack_unknown = true;
+      s.stack.clear();
+      return;
+    }
+    uint64_t stack_bytes = 0;
+    for (uint64_t a = lo; a < hi_excl; ++a)
+      if (in_stack(static_cast<uint32_t>(a))) ++stack_bytes;
+    if (stack_bytes > kStackHavocCap) {
+      s.stack_unknown = true;
+      s.stack.clear();
+    }
+    for (uint64_t a = lo; a < hi_excl; ++a) {
+      uint32_t addr = static_cast<uint32_t>(a);
+      if (in_stack(addr)) {
+        if (!s.stack_unknown) store_byte(s, addr, AbsValue::range(0, 255),
+                                         /*strong=*/true);
+      } else {
+        global_store(addr, std::nullopt);
+      }
+    }
+  }
+
+  void do_store(RegState& s, const AbsValue& addr, unsigned bytes,
+                const AbsValue& value) {
+    if (addr.is_bottom()) return;
+    auto byte_of = [&](unsigned i) {
+      return abs_and(abs_srl(value, AbsValue::constant(8 * i)),
+                     AbsValue::constant(0xff));
+    };
+    if (auto c = addr.as_constant()) {
+      for (unsigned i = 0; i < bytes; ++i)
+        store_byte(s, *c + i, byte_of(i), /*strong=*/true);
+      return;
+    }
+    if (addr.has_set) {
+      for (uint32_t base : addr.set)
+        for (unsigned i = 0; i < bytes; ++i)
+          store_byte(s, base + i, byte_of(i), /*strong=*/false);
+      return;
+    }
+    uint64_t span = static_cast<uint64_t>(addr.hi) - addr.lo;
+    if (span + bytes <= kRangeStoreCap) {
+      havoc_range(s, addr.lo, static_cast<uint64_t>(addr.hi) + bytes);
+      return;
+    }
+    global_havoc_all();
+    s.stack_unknown = true;
+    s.stack.clear();
+  }
+
+  // -- Worklist. ---------------------------------------------------------------
+
+  void enqueue(uint32_t pc) {
+    if (queued_.insert(pc).second) worklist_.push_back(pc);
+  }
+
+  RegState join_states(const RegState& a, const RegState& b, bool widen) {
+    RegState r;
+    for (unsigned i = 0; i < 32; ++i)
+      r.regs[i] =
+          widen ? abs_widen(a.regs[i], b.regs[i]) : abs_join(a.regs[i], b.regs[i]);
+    r.stack_unknown = a.stack_unknown || b.stack_unknown;
+    if (r.stack_unknown) return r;
+    auto merge_key = [&](uint32_t key) {
+      auto ia = a.stack.find(key), ib = b.stack.find(key);
+      const AbsValue va =
+          ia != a.stack.end() ? ia->second : default_stack_byte(key);
+      const AbsValue vb =
+          ib != b.stack.end() ? ib->second : default_stack_byte(key);
+      AbsValue v = widen ? abs_widen(va, vb) : abs_join(va, vb);
+      if (!(v == default_stack_byte(key))) r.stack.emplace(key, std::move(v));
+    };
+    for (const auto& [key, value] : a.stack) merge_key(key);
+    for (const auto& [key, value] : b.stack)
+      if (!a.stack.count(key)) merge_key(key);
+    if (r.stack.size() > kMaxStackBytes) {
+      r.stack_unknown = true;
+      r.stack.clear();
+    }
+    return r;
+  }
+
+  void propagate(uint32_t pc, RegState state) {
+    state.regs[0] = AbsValue::constant(0);  // x0 is hardwired
+    auto it = states_.find(pc);
+    if (it == states_.end()) {
+      states_.emplace(pc, std::move(state));
+      enqueue(pc);
+      return;
+    }
+    bool widen = ++join_count_[pc] > kWidenAfter;
+    RegState joined = join_states(it->second, state, widen);
+    if (!(joined == it->second)) {
+      it->second = std::move(joined);
+      enqueue(pc);
+    }
+  }
+
+  /// Record a CFG edge and propagate `state` into the target. A target
+  /// that does not decode is a terminal edge (the machine stops with
+  /// bad-fetch), so nothing propagates.
+  void edge(uint32_t pc, uint32_t target, RegState state) {
+    if (!decode(target)) return;
+    std::vector<uint32_t>& out = succs_[pc];
+    if (std::find(out.begin(), out.end(), target) == out.end())
+      out.push_back(target);
+    propagate(target, std::move(state));
+  }
+
+  // -- Transfer. ---------------------------------------------------------------
+
+  void step(uint32_t pc, const isa::Decoded& d) {
+    const RegState& s = states_.at(pc);
+    const uint32_t imm = d.immediate();
+
+    auto unary_write = [&](AbsValue v) {
+      RegState t = s;
+      if (d.rd() != 0) t.regs[d.rd()] = std::move(v);
+      edge(pc, pc + d.size, std::move(t));
+    };
+    auto rr = [&](AbsValue (*op)(const AbsValue&, const AbsValue&)) {
+      unary_write(op(s.regs[d.rs1()], s.regs[d.rs2()]));
+    };
+    auto ri = [&](AbsValue (*op)(const AbsValue&, const AbsValue&)) {
+      unary_write(op(s.regs[d.rs1()], AbsValue::constant(imm)));
+    };
+
+    if (d.id() >= isa::kNumBuiltinOps) {
+      // A custom instruction the analysis has no transfer for: its
+      // semantics may write any register, any memory, even the pc. Havoc
+      // what we can and declare the whole analysis incomplete — no fact
+      // derived from this program is trusted (facts.hpp).
+      mark_incomplete(
+          strprintf("unmodelled instruction '%s' at %s",
+                    d.info->name.c_str(), hex32(pc).c_str()));
+      global_havoc_all();
+      RegState t;  // all registers top
+      t.stack_unknown = true;
+      edge(pc, pc + d.size, std::move(t));
+      return;
+    }
+
+    switch (static_cast<isa::Op>(d.id())) {
+      case isa::kLUI:
+        unary_write(AbsValue::constant(imm));
+        return;
+      case isa::kAUIPC:
+        unary_write(AbsValue::constant(pc + imm));
+        return;
+
+      case isa::kJAL: {
+        RegState t = s;
+        if (d.rd() != 0) t.regs[d.rd()] = AbsValue::constant(pc + d.size);
+        if (d.rd() == 1) call_sites_.insert(pc);
+        edge(pc, pc + imm, std::move(t));
+        return;
+      }
+      case isa::kJALR: {
+        AbsValue target =
+            abs_and(abs_add(s.regs[d.rs1()], AbsValue::constant(imm)),
+                    AbsValue::constant(0xffff'fffeu));
+        if (d.rd() == 1) call_sites_.insert(pc);
+        if (d.rd() == 0 && d.rs1() == 1 && imm == 0) ret_sites_.insert(pc);
+        if (!target.has_set) {
+          mark_incomplete(strprintf("unresolved indirect jump at %s",
+                                    hex32(pc).c_str()));
+          return;
+        }
+        for (uint32_t tgt : target.set) {
+          RegState t = s;
+          if (d.rd() != 0) t.regs[d.rd()] = AbsValue::constant(pc + d.size);
+          edge(pc, tgt, std::move(t));
+        }
+        return;
+      }
+
+      case isa::kBEQ:
+      case isa::kBNE:
+      case isa::kBLT:
+      case isa::kBGE:
+      case isa::kBLTU:
+      case isa::kBGEU: {
+        CmpOp op = d.id() == isa::kBEQ    ? CmpOp::kEq
+                   : d.id() == isa::kBNE  ? CmpOp::kNe
+                   : d.id() == isa::kBLT  ? CmpOp::kLt
+                   : d.id() == isa::kBGE  ? CmpOp::kGe
+                   : d.id() == isa::kBLTU ? CmpOp::kLtu
+                                          : CmpOp::kGeu;
+        const AbsValue& a = s.regs[d.rs1()];
+        const AbsValue& b = s.regs[d.rs2()];
+        std::optional<bool> decided = abs_compare(op, a, b);
+        auto arm = [&](bool taken, uint32_t target) {
+          RegState t = s;
+          // Sharpen both compared registers on this arm. Each refinement
+          // uses only the other side's *pre*-branch bounds, so the two are
+          // independently sound.
+          AbsValue ra = abs_refine(a, op, b, taken);
+          AbsValue rb = abs_refine_rhs(a, op, b, taken);
+          if (ra.is_bottom() || rb.is_bottom()) return;  // arm is unreachable
+          if (d.rs1() != 0) t.regs[d.rs1()] = std::move(ra);
+          if (d.rs2() != 0) t.regs[d.rs2()] = std::move(rb);
+          edge(pc, target, std::move(t));
+        };
+        if (!decided || *decided) arm(true, pc + imm);
+        if (!decided || !*decided) arm(false, pc + d.size);
+        return;
+      }
+
+      case isa::kLB:
+        return unary_write(do_load(
+            s, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), 1, true));
+      case isa::kLH:
+        return unary_write(do_load(
+            s, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), 2, true));
+      case isa::kLW:
+        return unary_write(do_load(
+            s, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), 4, true));
+      case isa::kLBU:
+        return unary_write(do_load(
+            s, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), 1, false));
+      case isa::kLHU:
+        return unary_write(do_load(
+            s, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), 2, false));
+
+      case isa::kSB:
+      case isa::kSH:
+      case isa::kSW: {
+        unsigned bytes = d.id() == isa::kSB ? 1 : d.id() == isa::kSH ? 2 : 4;
+        RegState t = s;
+        do_store(t, abs_add(s.regs[d.rs1()], AbsValue::constant(imm)), bytes,
+                 s.regs[d.rs2()]);
+        edge(pc, pc + d.size, std::move(t));
+        return;
+      }
+
+      case isa::kADDI: return ri(abs_add);
+      case isa::kXORI: return ri(abs_xor);
+      case isa::kORI:  return ri(abs_or);
+      case isa::kANDI: return ri(abs_and);
+      case isa::kSLTI: return ri(abs_slt);
+      case isa::kSLTIU: return ri(abs_sltu);
+      case isa::kSLLI:
+        return unary_write(
+            abs_sll(s.regs[d.rs1()], AbsValue::constant(d.shamt())));
+      case isa::kSRLI:
+        return unary_write(
+            abs_srl(s.regs[d.rs1()], AbsValue::constant(d.shamt())));
+      case isa::kSRAI:
+        return unary_write(
+            abs_sra(s.regs[d.rs1()], AbsValue::constant(d.shamt())));
+
+      case isa::kADD:  return rr(abs_add);
+      case isa::kSUB:  return rr(abs_sub);
+      case isa::kSLL:  return rr(abs_sll);
+      case isa::kSLT:  return rr(abs_slt);
+      case isa::kSLTU: return rr(abs_sltu);
+      case isa::kXOR:  return rr(abs_xor);
+      case isa::kSRL:  return rr(abs_srl);
+      case isa::kSRA:  return rr(abs_sra);
+      case isa::kOR:   return rr(abs_or);
+      case isa::kAND:  return rr(abs_and);
+
+      case isa::kMUL:    return rr(abs_mul);
+      case isa::kMULH:   return rr(abs_mulh);
+      case isa::kMULHSU: return rr(abs_mulhsu);
+      case isa::kMULHU:  return rr(abs_mulhu);
+      case isa::kDIV:    return rr(abs_div);
+      case isa::kDIVU:   return rr(abs_divu);
+      case isa::kREM:    return rr(abs_rem);
+      case isa::kREMU:   return rr(abs_remu);
+
+      case isa::kFENCE:
+      case isa::kMRET:  // modelled as no-ops (spec/system.cpp)
+      case isa::kWFI: {
+        RegState t = s;
+        edge(pc, pc + d.size, std::move(t));
+        return;
+      }
+
+      case isa::kCSRRW:
+      case isa::kCSRRS:
+      case isa::kCSRRC:
+      case isa::kCSRRWI:
+      case isa::kCSRRSI:
+      case isa::kCSRRCI:
+        // CSR state is untracked: rd receives an arbitrary old value.
+        unary_write(AbsValue::top());
+        return;
+
+      case isa::kEBREAK:
+        exit_sites_.insert(pc);  // the machine stops this path
+        return;
+
+      case isa::kECALL:
+        step_ecall(pc, d, s);
+        return;
+
+      case isa::kNumBuiltinOps:
+        break;
+    }
+  }
+
+  void step_ecall(uint32_t pc, const isa::Decoded& d, const RegState& s) {
+    std::optional<uint32_t> number = s.regs[17].as_constant();  // a7
+    RegState t = s;
+    if (!number) {
+      // Any syscall is possible, including sym_input over an arbitrary
+      // buffer. (Syscalls never write registers — machine.cpp.)
+      global_havoc_all();
+      t.stack_unknown = true;
+      t.stack.clear();
+      edge(pc, pc + d.size, std::move(t));
+      return;
+    }
+    switch (*number) {
+      case core::kSysExit:
+        exit_sites_.insert(pc);
+        return;  // no successors
+      case core::kSysPutChar:
+      case core::kSysReportFail:
+      case core::kSysAssert:
+      case core::kSysReach:
+        break;  // no machine-visible effect on registers or memory
+      case core::kSysSymInput: {
+        std::optional<uint32_t> base = s.regs[10].as_constant();
+        std::optional<uint32_t> len = s.regs[11].as_constant();
+        if (base && len) {
+          if (*len != 0)
+            havoc_range(t, *base, static_cast<uint64_t>(*base) + *len);
+        } else if (!s.regs[10].is_top() && s.regs[11].hi <= kRangeStoreCap) {
+          havoc_range(t, s.regs[10].lo,
+                      static_cast<uint64_t>(s.regs[10].hi) + s.regs[11].hi);
+        } else {
+          global_havoc_all();
+          t.stack_unknown = true;
+          t.stack.clear();
+        }
+        break;
+      }
+      default:
+        exit_sites_.insert(pc);  // bad syscall: the machine stops
+        return;
+    }
+    edge(pc, pc + d.size, std::move(t));
+  }
+
+  const core::Program& program_;
+  const isa::Decoder& decoder_;
+  AbsIntOptions opt_;
+  uint32_t stack_lo_, stack_hi_;
+
+  std::unordered_map<uint32_t, std::optional<isa::Decoded>> dcache_;
+  std::unordered_map<uint32_t, RegState> states_;
+  std::unordered_map<uint32_t, unsigned> join_count_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> succs_;
+  std::unordered_set<uint32_t> call_sites_, ret_sites_, exit_sites_;
+
+  std::unordered_map<uint32_t, int16_t> global_;  // byte override; -1 unknown
+  bool global_havoc_all_ = false;
+  bool global_changed_ = false;
+
+  std::deque<uint32_t> worklist_;
+  std::unordered_set<uint32_t> queued_;
+  std::string incomplete_reason_;
+};
+
+}  // namespace
+
+AbsIntResult abstract_interpret(const core::Program& program,
+                                const isa::Decoder& decoder,
+                                const AbsIntOptions& options) {
+  return Interpreter(program, decoder, options).run();
+}
+
+}  // namespace binsym::analysis

@@ -1,0 +1,79 @@
+// Abstract interpretation over a decoded guest program.
+//
+// A flow-sensitive fixpoint over per-instruction register states (entry
+// state per reached pc), mirroring the concrete machine's reset contract:
+// every register starts at 0 except sp = stack top (src/core/machine.cpp).
+// Memory is modelled soundly at byte granularity in two tiers:
+//
+//   * the stack window [stack_top - stack_reserve, stack_top) travels
+//     flow-sensitively *inside* the register state, so saved/restored link
+//     registers stay exact and `ret` resolves through the abstract ra —
+//     the same jal/jalr conventions the PR 5 shadow call stack classifies;
+//   * all other memory is a flow-insensitive global byte map seeded from
+//     the program image (absent bytes read as the image value, matching
+//     ConcreteMemory's deterministic zero-fill), weakly updated by stores.
+//
+// Indirect control flow (jalr) resolves through the target's abstract
+// value; any unresolved transfer, custom instruction or blown budget marks
+// the result *incomplete*, and an incomplete analysis proves nothing
+// (facts.hpp) — the soundness gate docs/ANALYSIS.md argues around.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/domain.hpp"
+#include "core/executor.hpp"
+#include "isa/decoder.hpp"
+
+namespace binsym::analysis {
+
+/// Abstract machine state at one program point: registers plus the
+/// flow-sensitive stack-byte window (absent byte = program-image value).
+struct RegState {
+  std::array<AbsValue, 32> regs{};
+  std::map<uint32_t, AbsValue> stack;  // stack byte address -> value in [0,255]
+  bool stack_unknown = false;          // the whole window was clobbered
+
+  bool operator==(const RegState& other) const {
+    return stack_unknown == other.stack_unknown && regs == other.regs &&
+           stack == other.stack;
+  }
+};
+
+struct AbsIntOptions {
+  uint32_t stack_top = 0x0010'0000;   // must match the engine's MachineConfig
+  uint32_t stack_reserve = 64 * 1024; // must match MemoryMap::for_program
+  uint64_t max_steps = 1 << 20;       // abstract-step budget before giving up
+};
+
+/// The converged fixpoint: everything downstream (facts, CFG, lint) is a
+/// pure function of this result.
+struct AbsIntResult {
+  bool complete = false;           // every transfer resolved, budget respected
+  std::string incomplete_reason;   // first cause, for reports
+
+  std::unordered_map<uint32_t, RegState> states;    // entry state per pc
+  std::unordered_map<uint32_t, isa::Decoded> code;  // decode per reached pc
+  std::unordered_map<uint32_t, std::vector<uint32_t>> succs;
+
+  // jal/jalr classification (the PR 5 shadow-call-stack conventions):
+  std::unordered_set<uint32_t> call_sites;  // jal/jalr with rd == ra
+  std::unordered_set<uint32_t> ret_sites;   // jalr x0, ra, 0
+  std::unordered_set<uint32_t> exit_sites;  // ecall exit / ebreak / bad fetch
+
+  bool reached(uint32_t pc) const { return states.count(pc) != 0; }
+};
+
+/// Run the fixpoint. The decoder must be the same table the engine uses
+/// (custom instructions an analysis cannot model mark it incomplete).
+AbsIntResult abstract_interpret(const core::Program& program,
+                                const isa::Decoder& decoder,
+                                const AbsIntOptions& options = {});
+
+}  // namespace binsym::analysis

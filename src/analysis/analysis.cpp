@@ -1,0 +1,31 @@
+#include "analysis/analysis.hpp"
+
+namespace binsym::analysis {
+
+StaticAnalysis StaticAnalysis::run(const core::Program& program,
+                                   const isa::Decoder& decoder,
+                                   const oracles::MemoryMap& map,
+                                   const AbsIntOptions& options) {
+  StaticAnalysis analysis;
+  analysis.absint = abstract_interpret(program, decoder, options);
+  analysis.cfg = build_cfg(analysis.absint, program.entry);
+  analysis.facts = compute_facts(analysis.absint, map);
+  return analysis;
+}
+
+std::function<bool(const core::OracleCandidate&)> StaticAnalysis::make_prune()
+    const {
+  auto shared = std::make_shared<const StaticFacts>(facts);
+  return [shared](const core::OracleCandidate& c) {
+    return shared->proves_safe(c.oracle, c.pc);
+  };
+}
+
+std::shared_ptr<const core::CfgHints> StaticAnalysis::make_hints() const {
+  auto hints = std::make_shared<core::CfgHints>();
+  hints->block_of_pc = cfg.block_of_pc;
+  hints->preds = cfg.preds;
+  return hints;
+}
+
+}  // namespace binsym::analysis

@@ -1,0 +1,54 @@
+// Umbrella for the static analysis subsystem: run everything once at load
+// time, then hand the engine its three consumers.
+//
+//   StaticAnalysis a = StaticAnalysis::run(program, decoder, map);
+//   options.candidate_prune = a.make_prune();   // skip proven-unsat queries
+//   options.cfg_hints = a.make_hints();         // coverage distance scoring
+//   for (auto& f : a.lint(program, decoder)) …  // load-time findings
+//
+// See docs/ANALYSIS.md for the domains, the fixpoint, each consumer's
+// contract and the soundness argument.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "analysis/absint.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/facts.hpp"
+#include "analysis/lint.hpp"
+#include "core/engine.hpp"
+
+namespace binsym::analysis {
+
+struct StaticAnalysis {
+  AbsIntResult absint;
+  Cfg cfg;
+  StaticFacts facts;
+
+  /// Run recovery + fixpoint + fact derivation. `map` must be the exact
+  /// MemoryMap the oracles will check accesses against (same segments,
+  /// same stack region, same extra windows), and `options.stack_top` must
+  /// match the engine's MachineConfig — both are load-bearing for
+  /// soundness. The decoder must be the engine's own table.
+  static StaticAnalysis run(const core::Program& program,
+                            const isa::Decoder& decoder,
+                            const oracles::MemoryMap& map,
+                            const AbsIntOptions& options = {});
+
+  /// The static lint tier (empty when the fixpoint was incomplete).
+  std::vector<core::Finding> lint(const core::Program& program,
+                                  const isa::Decoder& decoder) const {
+    return run_lints(program, absint, cfg, facts, decoder);
+  }
+
+  /// Candidate pre-prover for EngineOptions::candidate_prune. The returned
+  /// callable owns an immutable copy of the facts (safe to call from every
+  /// worker, and to outlive this object). Never wire it to the vp engine.
+  std::function<bool(const core::OracleCandidate&)> make_prune() const;
+
+  /// CFG shape for EngineOptions::cfg_hints (coverage-guided scoring).
+  std::shared_ptr<const core::CfgHints> make_hints() const;
+};
+
+}  // namespace binsym::analysis

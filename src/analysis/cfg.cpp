@@ -1,0 +1,261 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/disasm.hpp"
+#include "support/format.hpp"
+
+namespace binsym::analysis {
+
+namespace {
+
+/// Reverse postorder over the block graph from the entry block.
+std::vector<uint32_t> reverse_postorder(const Cfg& cfg) {
+  std::vector<uint32_t> order;
+  std::vector<uint8_t> state(cfg.blocks.size(), 0);  // 0 new, 1 open, 2 done
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(cfg.entry_block, 0);
+  state[cfg.entry_block] = 1;
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    if (next < cfg.succs[block].size()) {
+      uint32_t succ = cfg.succs[block][next++];
+      if (state[succ] == 0) {
+        state[succ] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      state[block] = 2;
+      order.push_back(block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// Cooper-Harvey-Kennedy iterative dominators.
+void compute_idom(Cfg& cfg) {
+  cfg.idom.assign(cfg.blocks.size(), Cfg::kNoBlock);
+  if (cfg.entry_block == Cfg::kNoBlock) return;
+  std::vector<uint32_t> rpo = reverse_postorder(cfg);
+  std::vector<uint32_t> rpo_index(cfg.blocks.size(), Cfg::kNoBlock);
+  for (uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+  cfg.idom[cfg.entry_block] = cfg.entry_block;
+
+  auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = cfg.idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = cfg.idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t block : rpo) {
+      if (block == cfg.entry_block) continue;
+      uint32_t new_idom = Cfg::kNoBlock;
+      for (uint32_t pred : cfg.preds[block]) {
+        if (cfg.idom[pred] == Cfg::kNoBlock) continue;  // not yet processed
+        new_idom = new_idom == Cfg::kNoBlock ? pred : intersect(new_idom, pred);
+      }
+      if (new_idom != Cfg::kNoBlock && cfg.idom[block] != new_idom) {
+        cfg.idom[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  cfg.idom[cfg.entry_block] = Cfg::kNoBlock;  // the entry has no idom
+}
+
+void build_call_graph(Cfg& cfg, const AbsIntResult& result,
+                      uint32_t entry_pc) {
+  // Function entries: the program entry plus every target of a call edge.
+  cfg.function_entries.insert(entry_pc);
+  for (uint32_t call_pc : result.call_sites) {
+    auto it = result.succs.find(call_pc);
+    if (it == result.succs.end()) continue;
+    for (uint32_t target : it->second) cfg.function_entries.insert(target);
+  }
+
+  // Partition blocks into functions: BFS from each entry over intra-
+  // procedural edges (skip edges out of call sites and return sites).
+  std::vector<uint32_t> entries(cfg.function_entries.begin(),
+                                cfg.function_entries.end());
+  std::sort(entries.begin(), entries.end());
+  for (uint32_t entry : entries) {
+    auto start = cfg.block_of_pc.find(entry);
+    if (start == cfg.block_of_pc.end()) continue;
+    std::deque<uint32_t> queue{start->second};
+    while (!queue.empty()) {
+      uint32_t block = queue.front();
+      queue.pop_front();
+      if (!cfg.function_of_block.emplace(block, entry).second) continue;
+      uint32_t tail = cfg.blocks[block].last();
+      if (result.call_sites.count(tail) || result.ret_sites.count(tail))
+        continue;
+      for (uint32_t succ : cfg.succs[block])
+        if (!cfg.function_of_block.count(succ)) queue.push_back(succ);
+    }
+  }
+
+  // Caller -> callee edges, deduplicated in discovery order.
+  for (uint32_t call_pc : result.call_sites) {
+    auto block = cfg.block_of_pc.find(call_pc);
+    auto caller = block != cfg.block_of_pc.end()
+                      ? cfg.function_of_block.find(block->second)
+                      : cfg.function_of_block.end();
+    if (caller == cfg.function_of_block.end()) continue;
+    auto succ_it = result.succs.find(call_pc);
+    if (succ_it == result.succs.end()) continue;
+    std::vector<uint32_t>& callees = cfg.call_edges[caller->second];
+    for (uint32_t target : succ_it->second)
+      if (std::find(callees.begin(), callees.end(), target) == callees.end())
+        callees.push_back(target);
+  }
+}
+
+}  // namespace
+
+Cfg build_cfg(const AbsIntResult& result, uint32_t entry_pc) {
+  Cfg cfg;
+  if (!result.reached(entry_pc)) return cfg;
+
+  // Fallthrough target of each pc (for leader classification).
+  auto fallthrough = [&](uint32_t pc) -> uint32_t {
+    auto it = result.code.find(pc);
+    return it != result.code.end() ? pc + it->second.size : pc;
+  };
+
+  // Predecessor counts + the single predecessor where there is one.
+  std::unordered_map<uint32_t, uint32_t> pred_count;
+  std::unordered_map<uint32_t, uint32_t> single_pred;
+  for (const auto& [pc, succs] : result.succs)
+    for (uint32_t succ : succs) {
+      if (++pred_count[succ] == 1)
+        single_pred[succ] = pc;
+      else
+        single_pred.erase(succ);
+    }
+
+  // A pc is a leader unless it is the pure fallthrough of its unique
+  // predecessor (which itself transfers nowhere else).
+  auto is_leader = [&](uint32_t pc) {
+    if (pc == entry_pc) return true;
+    auto count = pred_count.find(pc);
+    if (count == pred_count.end() || count->second != 1) return true;
+    uint32_t pred = single_pred.at(pc);
+    auto pred_succs = result.succs.find(pred);
+    return pred_succs->second.size() != 1 || fallthrough(pred) != pc;
+  };
+
+  std::vector<uint32_t> leaders;
+  for (const auto& [pc, state] : result.states)
+    if (is_leader(pc)) leaders.push_back(pc);
+  std::sort(leaders.begin(), leaders.end());
+  std::unordered_set<uint32_t> leader_set(leaders.begin(), leaders.end());
+
+  // Grow each block along its fallthrough chain until the next leader or
+  // a control transfer.
+  for (uint32_t leader : leaders) {
+    BasicBlock block;
+    uint32_t pc = leader;
+    while (true) {
+      block.pcs.push_back(pc);
+      cfg.block_of_pc.emplace(pc, static_cast<uint32_t>(cfg.blocks.size()));
+      auto succs = result.succs.find(pc);
+      if (succs == result.succs.end() || succs->second.size() != 1) break;
+      uint32_t next = succs->second[0];
+      if (next != fallthrough(pc) || leader_set.count(next)) break;
+      pc = next;
+    }
+    cfg.blocks.push_back(std::move(block));
+  }
+  cfg.entry_block = cfg.block_of_pc.at(entry_pc);
+
+  // Block-level edges (every successor of a block tail is a leader).
+  cfg.succs.resize(cfg.blocks.size());
+  cfg.preds.resize(cfg.blocks.size());
+  for (uint32_t block = 0; block < cfg.blocks.size(); ++block) {
+    auto succs = result.succs.find(cfg.blocks[block].last());
+    if (succs == result.succs.end()) continue;
+    for (uint32_t succ_pc : succs->second) {
+      uint32_t succ = cfg.block_of_pc.at(succ_pc);
+      cfg.succs[block].push_back(succ);
+      cfg.preds[succ].push_back(block);
+    }
+  }
+
+  compute_idom(cfg);
+  build_call_graph(cfg, result, entry_pc);
+  return cfg;
+}
+
+bool Cfg::dominates(uint32_t a, uint32_t b) const {
+  while (b != kNoBlock) {
+    if (a == b) return true;
+    b = idom[b];
+  }
+  return false;
+}
+
+std::vector<uint32_t> Cfg::distances_to(
+    const std::vector<uint32_t>& targets) const {
+  std::vector<uint32_t> dist(blocks.size(), kUnreachable);
+  std::deque<uint32_t> queue;
+  for (uint32_t target : targets)
+    if (target < blocks.size() && dist[target] == kUnreachable) {
+      dist[target] = 0;
+      queue.push_back(target);
+    }
+  while (!queue.empty()) {
+    uint32_t block = queue.front();
+    queue.pop_front();
+    for (uint32_t pred : preds[block])
+      if (dist[pred] == kUnreachable) {
+        dist[pred] = dist[block] + 1;
+        queue.push_back(pred);
+      }
+  }
+  return dist;
+}
+
+std::vector<uint32_t> Cfg::reverse_reachable(uint32_t block) const {
+  std::vector<uint32_t> dist = distances_to({block});
+  std::vector<uint32_t> result;
+  for (uint32_t b = 0; b < dist.size(); ++b)
+    if (dist[b] != kUnreachable) result.push_back(b);
+  return result;
+}
+
+std::string cfg_to_dot(const Cfg& cfg, const AbsIntResult& result) {
+  std::string out = "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  for (uint32_t block = 0; block < cfg.blocks.size(); ++block) {
+    std::string label;
+    for (uint32_t pc : cfg.blocks[block].pcs) {
+      auto code = result.code.find(pc);
+      label += strprintf("%s: %s\\l", hex32(pc).c_str(),
+                         code != result.code.end()
+                             ? isa::disassemble(code->second, pc).c_str()
+                             : "?");
+    }
+    bool is_entry = cfg.function_entries.count(cfg.blocks[block].first()) != 0;
+    out += strprintf("  b%u [label=\"%s\"%s];\n", block, label.c_str(),
+                     is_entry ? ", style=filled, fillcolor=lightgrey" : "");
+  }
+  for (uint32_t block = 0; block < cfg.blocks.size(); ++block) {
+    uint32_t tail = cfg.blocks[block].last();
+    bool is_call = result.call_sites.count(tail) != 0;
+    bool is_ret = result.ret_sites.count(tail) != 0;
+    for (uint32_t succ : cfg.succs[block])
+      out += strprintf("  b%u -> b%u%s;\n", block, succ,
+                       is_call || is_ret ? " [style=dashed]" : "");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace binsym::analysis

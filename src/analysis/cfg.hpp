@@ -1,0 +1,70 @@
+// Control-flow recovery over the abstract-interpretation fixpoint.
+//
+// Basic blocks, block-level edges, an immediate-dominator tree, a
+// call graph (jal/ret classification following the PR 5 shadow-call-stack
+// conventions), and the reverse-reachability/distance queries the
+// coverage-guided search strategy scores flips with. Everything here is a
+// pure function of an AbsIntResult: the abstract interpreter already
+// resolved direct jumps, pruned statically-dead branch arms and resolved
+// `jalr` through the abstract ra, so recovery is a partitioning problem,
+// not a second discovery pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/absint.hpp"
+
+namespace binsym::analysis {
+
+/// A maximal single-entry straight-line run of instructions.
+struct BasicBlock {
+  std::vector<uint32_t> pcs;  // instruction addresses, in execution order
+  uint32_t first() const { return pcs.front(); }
+  uint32_t last() const { return pcs.back(); }
+};
+
+struct Cfg {
+  static constexpr uint32_t kNoBlock = ~0u;
+  static constexpr uint32_t kUnreachable = ~0u;  // distances_to() sentinel
+
+  std::vector<BasicBlock> blocks;  // sorted by first(); index = block id
+  std::unordered_map<uint32_t, uint32_t> block_of_pc;
+  uint32_t entry_block = kNoBlock;
+
+  std::vector<std::vector<uint32_t>> succs;  // block-level edges
+  std::vector<std::vector<uint32_t>> preds;
+
+  /// Immediate dominator per block (kNoBlock for the entry block).
+  std::vector<uint32_t> idom;
+
+  /// Call graph. Functions are named by their entry pc; the interprocedural
+  /// block graph is partitioned by BFS from each function entry over edges
+  /// that are neither call edges (out of a jal/jalr-with-rd==ra site) nor
+  /// return edges (out of a `jalr x0, ra, 0` site).
+  std::unordered_set<uint32_t> function_entries;  // includes program entry
+  std::unordered_map<uint32_t, uint32_t> function_of_block;  // block -> entry
+  std::unordered_map<uint32_t, std::vector<uint32_t>> call_edges;
+
+  bool dominates(uint32_t a, uint32_t b) const;
+
+  /// Shortest forward distance (in blocks) from every block to the nearest
+  /// of `targets`; kUnreachable where no static path exists.
+  std::vector<uint32_t> distances_to(const std::vector<uint32_t>& targets) const;
+
+  /// Blocks with a static path to `block` (reverse reachability, inclusive).
+  std::vector<uint32_t> reverse_reachable(uint32_t block) const;
+};
+
+/// Partition a converged fixpoint into a CFG. `entry_pc` is the program
+/// entry point (Program::entry).
+Cfg build_cfg(const AbsIntResult& result, uint32_t entry_pc);
+
+/// Graphviz rendering (`analyze --cfg-dot`): one node per block with its
+/// disassembly, call/return edges dashed, function entries shaded.
+std::string cfg_to_dot(const Cfg& cfg, const AbsIntResult& result);
+
+}  // namespace binsym::analysis

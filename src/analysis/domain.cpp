@@ -1,0 +1,717 @@
+#include "analysis/domain.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace binsym::analysis {
+
+namespace {
+
+constexpr uint32_t kSignBit = 0x8000'0000u;
+
+/// Smallest/largest signed value consistent with the unsigned interval.
+/// A [lo, hi] interval that straddles a signed extreme contains it.
+int64_t smin(const AbsValue& v) {
+  if (v.lo <= kSignBit && v.hi >= kSignBit) return INT32_MIN;
+  return static_cast<int32_t>(v.lo);
+}
+int64_t smax(const AbsValue& v) {
+  if (v.lo <= 0x7fff'ffffu && v.hi >= 0x7fff'ffffu) return INT32_MAX;
+  return static_cast<int32_t>(v.hi);
+}
+
+/// Exact product evaluation when both operands carry small sets: apply the
+/// concrete operation to every pair. The result is exact, not approximate.
+template <typename F>
+std::optional<AbsValue> set_product(const AbsValue& a, const AbsValue& b,
+                                    F&& op) {
+  if (!a.has_set || !b.has_set) return std::nullopt;
+  if (a.set.size() * b.set.size() > 64) return std::nullopt;
+  std::vector<uint32_t> out;
+  out.reserve(a.set.size() * b.set.size());
+  for (uint32_t x : a.set)
+    for (uint32_t y : b.set) out.push_back(op(x, y));
+  return AbsValue::from_values(std::move(out));
+}
+
+/// Ripple-carry known-bits for a + b + carry_in, stopping at the first
+/// unknown bit (everything above an unknown carry is unknown).
+void known_bits_add(const AbsValue& a, const AbsValue& b, uint32_t carry_in,
+                    AbsValue* r) {
+  uint32_t carry = carry_in, mask = 0, val = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    uint32_t bit = 1u << i;
+    if (!(a.known_mask & bit) || !(b.known_mask & bit)) break;
+    uint32_t ab = (a.known_val >> i) & 1, bb = (b.known_val >> i) & 1;
+    uint32_t sum = ab ^ bb ^ carry;
+    carry = (ab & bb) | (carry & (ab | bb));
+    mask |= bit;
+    val |= sum << i;
+  }
+  r->known_mask = mask;
+  r->known_val = val;
+}
+
+/// Number of low-order bits known to be zero.
+unsigned trailing_known_zeros(const AbsValue& v) {
+  uint32_t zeros = v.known_mask & ~v.known_val;
+  return static_cast<unsigned>(std::countr_one(zeros));
+}
+
+// Concrete RV32M division semantics (set_product callbacks).
+uint32_t conc_divu(uint32_t x, uint32_t y) { return y == 0 ? ~0u : x / y; }
+uint32_t conc_remu(uint32_t x, uint32_t y) { return y == 0 ? x : x % y; }
+uint32_t conc_div(uint32_t x, uint32_t y) {
+  int32_t sx = static_cast<int32_t>(x), sy = static_cast<int32_t>(y);
+  if (sy == 0) return ~0u;
+  if (sx == INT32_MIN && sy == -1) return x;  // wraps, like bvsdiv
+  return static_cast<uint32_t>(sx / sy);
+}
+uint32_t conc_rem(uint32_t x, uint32_t y) {
+  int32_t sx = static_cast<int32_t>(x), sy = static_cast<int32_t>(y);
+  if (sy == 0) return x;
+  if (sx == INT32_MIN && sy == -1) return 0;
+  return static_cast<uint32_t>(sx % sy);
+}
+
+}  // namespace
+
+AbsValue AbsValue::top() { return AbsValue{}; }
+
+AbsValue AbsValue::bottom() {
+  AbsValue r;
+  r.has_set = true;
+  return r;
+}
+
+AbsValue AbsValue::constant(uint32_t c) {
+  AbsValue r;
+  r.has_set = true;
+  r.set = {c};
+  r.lo = r.hi = c;
+  r.known_mask = ~0u;
+  r.known_val = c;
+  return r;
+}
+
+AbsValue AbsValue::from_values(std::vector<uint32_t> values) {
+  if (values.empty()) return bottom();
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  AbsValue r;
+  r.lo = values.front();
+  r.hi = values.back();
+  uint32_t agree = ~0u;
+  for (uint32_t v : values) agree &= ~(v ^ values.front());
+  r.known_mask = agree;
+  r.known_val = values.front() & agree;
+  if (values.size() <= kMaxSet) {
+    r.has_set = true;
+    r.set = std::move(values);
+  }
+  return r;
+}
+
+AbsValue AbsValue::range(uint32_t lo, uint32_t hi) {
+  AbsValue r;
+  r.lo = lo;
+  r.hi = hi;
+  r.normalize();
+  return r;
+}
+
+bool AbsValue::is_top() const {
+  return !has_set && lo == 0 && hi == ~0u && known_mask == 0;
+}
+
+std::optional<uint32_t> AbsValue::as_constant() const {
+  if (is_constant()) return set.front();
+  return std::nullopt;
+}
+
+bool AbsValue::contains(uint32_t c) const {
+  if (has_set) return std::binary_search(set.begin(), set.end(), c);
+  return c >= lo && c <= hi && (c & known_mask) == known_val;
+}
+
+void AbsValue::normalize() {
+  if (has_set) {
+    // The components are derived exactly from the set; from_values is the
+    // single implementation of that derivation.
+    *this = from_values(std::move(set));
+    return;
+  }
+  // Tighten the interval by the known bits: the smallest consistent value
+  // sets every unknown bit to 0, the largest sets every unknown bit to 1.
+  uint32_t minv = known_val;
+  uint32_t maxv = known_val | ~known_mask;
+  if (lo < minv) lo = minv;
+  if (hi > maxv) hi = maxv;
+  if (lo > hi) {
+    *this = bottom();
+    return;
+  }
+  if (lo == hi) {
+    *this = constant(lo);
+    return;
+  }
+  // Derive known bits from the interval: every bit above the highest
+  // differing bit of lo and hi is common to the whole range.
+  unsigned width = static_cast<unsigned>(std::bit_width(lo ^ hi));
+  uint32_t prefix = width >= 32 ? 0 : (~0u << width);
+  known_mask |= prefix;
+  known_val |= lo & prefix;
+}
+
+bool AbsValue::operator==(const AbsValue& other) const {
+  return has_set == other.has_set && set == other.set && lo == other.lo &&
+         hi == other.hi && known_mask == other.known_mask &&
+         known_val == other.known_val;
+}
+
+AbsValue abs_join(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  if (a.has_set && b.has_set) {
+    std::vector<uint32_t> merged = a.set;
+    merged.insert(merged.end(), b.set.begin(), b.set.end());
+    return AbsValue::from_values(std::move(merged));
+  }
+  AbsValue r;
+  r.lo = std::min(a.lo, b.lo);
+  r.hi = std::max(a.hi, b.hi);
+  uint32_t agree = a.known_mask & b.known_mask & ~(a.known_val ^ b.known_val);
+  r.known_mask = agree;
+  r.known_val = a.known_val & agree;
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_widen(const AbsValue& prev, const AbsValue& next) {
+  AbsValue j = abs_join(prev, next);
+  if (j == prev) return prev;
+  if (!j.has_set) {
+    // Interval bounds that moved jump to their extremes; the set and
+    // known-bits components are finite and left to plain joins.
+    if (j.lo < prev.lo) j.lo = 0;
+    if (j.hi > prev.hi) j.hi = ~0u;
+    j.normalize();
+  }
+  return j;
+}
+
+AbsValue abs_add(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x + y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  uint64_t lo = static_cast<uint64_t>(a.lo) + b.lo;
+  uint64_t hi = static_cast<uint64_t>(a.hi) + b.hi;
+  if (hi <= 0xffff'ffffu) {
+    r.lo = static_cast<uint32_t>(lo);
+    r.hi = static_cast<uint32_t>(hi);
+  }
+  known_bits_add(a, b, 0, &r);
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_sub(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x - y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  if (a.lo >= b.hi) {  // no unsigned wrap possible
+    r.lo = a.lo - b.hi;
+    r.hi = a.hi - b.lo;
+  }
+  // a - b == a + ~b + 1 with ~b's known bits complemented.
+  AbsValue nb = b;
+  nb.known_val = ~b.known_val & b.known_mask;
+  known_bits_add(a, nb, 1, &r);
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_and(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x & y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  uint32_t zero = (a.known_mask & ~a.known_val) | (b.known_mask & ~b.known_val);
+  uint32_t one = (a.known_mask & a.known_val) & (b.known_mask & b.known_val);
+  r.known_mask = zero | one;
+  r.known_val = one;
+  r.lo = 0;
+  r.hi = std::min(a.hi, b.hi);
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_or(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x | y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  uint32_t zero = (a.known_mask & ~a.known_val) & (b.known_mask & ~b.known_val);
+  uint32_t one = (a.known_mask & a.known_val) | (b.known_mask & b.known_val);
+  r.known_mask = zero | one;
+  r.known_val = one;
+  r.lo = std::max(a.lo, b.lo);
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_xor(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x ^ y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  r.known_mask = a.known_mask & b.known_mask;
+  r.known_val = (a.known_val ^ b.known_val) & r.known_mask;
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_mul(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) { return x * y; }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  uint64_t hi = static_cast<uint64_t>(a.hi) * b.hi;
+  if (hi <= 0xffff'ffffu) {
+    r.lo = a.lo * b.lo;
+    r.hi = static_cast<uint32_t>(hi);
+  }
+  // Trailing zeros of the factors add up in the product.
+  unsigned tz = std::min(32u, trailing_known_zeros(a) + trailing_known_zeros(b));
+  if (tz > 0) {
+    uint32_t mask = tz >= 32 ? ~0u : ((1u << tz) - 1);
+    r.known_mask |= mask;
+    r.known_val &= ~mask;
+  }
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_mulh(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) {
+        int64_t p = static_cast<int64_t>(static_cast<int32_t>(x)) *
+                    static_cast<int32_t>(y);
+        return static_cast<uint32_t>(static_cast<uint64_t>(p) >> 32);
+      }))
+    return *r;
+  return AbsValue::top();
+}
+
+AbsValue abs_mulhsu(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) {
+        int64_t p = static_cast<int64_t>(static_cast<int32_t>(x)) *
+                    static_cast<int64_t>(y);
+        return static_cast<uint32_t>(static_cast<uint64_t>(p) >> 32);
+      }))
+    return *r;
+  return AbsValue::top();
+}
+
+AbsValue abs_mulhu(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) {
+        return static_cast<uint32_t>(
+            (static_cast<uint64_t>(x) * y) >> 32);
+      }))
+    return *r;
+  AbsValue r;
+  r.has_set = false;
+  r.lo = 0;
+  r.hi = static_cast<uint32_t>((static_cast<uint64_t>(a.hi) * b.hi) >> 32);
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_sll(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(
+          a, b, [](uint32_t x, uint32_t y) { return x << (y & 31); }))
+    return *r;
+  if (auto c = b.as_constant()) {
+    unsigned sh = *c & 31;
+    AbsValue r;
+    r.has_set = false;
+    if ((static_cast<uint64_t>(a.hi) << sh) <= 0xffff'ffffu) {
+      r.lo = a.lo << sh;
+      r.hi = a.hi << sh;
+    }
+    r.known_mask = (a.known_mask << sh) | ((1u << sh) - 1);
+    r.known_val = a.known_val << sh;
+    r.normalize();
+    return r;
+  }
+  if (b.has_set) {
+    AbsValue r = AbsValue::bottom();
+    for (uint32_t sh : b.set) r = abs_join(r, abs_sll(a, AbsValue::constant(sh)));
+    return r;
+  }
+  // Unknown amount: shifting left can only keep or grow the run of known
+  // zero low bits.
+  AbsValue r;
+  r.has_set = false;
+  unsigned tz = trailing_known_zeros(a);
+  if (tz > 0 && tz < 32) {
+    r.known_mask = (1u << tz) - 1;
+    r.known_val = 0;
+  }
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_srl(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(
+          a, b, [](uint32_t x, uint32_t y) { return x >> (y & 31); }))
+    return *r;
+  if (auto c = b.as_constant()) {
+    unsigned sh = *c & 31;
+    AbsValue r;
+    r.has_set = false;
+    r.lo = a.lo >> sh;
+    r.hi = a.hi >> sh;
+    r.known_mask = (a.known_mask >> sh) | (sh ? (~0u << (32 - sh)) : 0);
+    r.known_val = a.known_val >> sh;
+    r.normalize();
+    return r;
+  }
+  if (b.has_set) {
+    AbsValue r = AbsValue::bottom();
+    for (uint32_t sh : b.set) r = abs_join(r, abs_srl(a, AbsValue::constant(sh)));
+    return r;
+  }
+  AbsValue r;
+  r.has_set = false;
+  r.lo = 0;
+  r.hi = a.hi;  // logical right shift never increases the value
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_sra(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, [](uint32_t x, uint32_t y) {
+        return static_cast<uint32_t>(static_cast<int32_t>(x) >> (y & 31));
+      }))
+    return *r;
+  bool sign_known_zero =
+      (a.known_mask & kSignBit) && !(a.known_val & kSignBit);
+  if (sign_known_zero) return abs_srl(a, b);  // non-negative: same result
+  if (auto c = b.as_constant()) {
+    unsigned sh = *c & 31;
+    bool sign_known_one =
+        (a.known_mask & kSignBit) && (a.known_val & kSignBit);
+    AbsValue r;
+    r.has_set = false;
+    r.known_mask = a.known_mask >> sh;
+    r.known_val = a.known_val >> sh;
+    if (sign_known_one && sh > 0) {
+      uint32_t fill = ~0u << (32 - sh);
+      r.known_mask |= fill;
+      r.known_val |= fill;
+    }
+    r.normalize();
+    return r;
+  }
+  return AbsValue::top();
+}
+
+AbsValue abs_divu(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, conc_divu)) return *r;
+  if (!b.contains(0)) {
+    uint32_t blo = std::max(b.lo, 1u);
+    return AbsValue::range(a.lo / b.hi, a.hi / blo);
+  }
+  return AbsValue::top();  // quotient range joined with the x/0 == ~0 case
+}
+
+AbsValue abs_remu(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, conc_remu)) return *r;
+  if (!b.contains(0)) return AbsValue::range(0, std::min(b.hi - 1, a.hi));
+  // x % 0 == x, so the dividend's own range joins in.
+  return AbsValue::range(0, std::max(a.hi, b.hi == 0 ? 0 : b.hi - 1));
+}
+
+AbsValue abs_div(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, conc_div)) return *r;
+  return AbsValue::top();
+}
+
+AbsValue abs_rem(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto r = set_product(a, b, conc_rem)) return *r;
+  return AbsValue::top();
+}
+
+AbsValue abs_sltu(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto d = abs_compare(CmpOp::kLtu, a, b))
+    return AbsValue::constant(*d ? 1 : 0);
+  return AbsValue::range(0, 1);
+}
+
+AbsValue abs_slt(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (auto d = abs_compare(CmpOp::kLt, a, b))
+    return AbsValue::constant(*d ? 1 : 0);
+  return AbsValue::range(0, 1);
+}
+
+std::optional<bool> abs_compare(CmpOp op, const AbsValue& a,
+                                const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return std::nullopt;
+  switch (op) {
+    case CmpOp::kEq: {
+      auto ca = a.as_constant(), cb = b.as_constant();
+      if (ca && cb) return *ca == *cb;
+      // Disjoint by interval or by a conflicting known bit: never equal.
+      if (a.hi < b.lo || b.hi < a.lo) return false;
+      if ((a.known_mask & b.known_mask) & (a.known_val ^ b.known_val))
+        return false;
+      if (a.has_set && b.has_set) {
+        std::vector<uint32_t> inter;
+        std::set_intersection(a.set.begin(), a.set.end(), b.set.begin(),
+                              b.set.end(), std::back_inserter(inter));
+        if (inter.empty()) return false;
+      }
+      return std::nullopt;
+    }
+    case CmpOp::kNe: {
+      auto eq = abs_compare(CmpOp::kEq, a, b);
+      if (eq) return !*eq;
+      return std::nullopt;
+    }
+    case CmpOp::kLtu:
+      if (a.hi < b.lo) return true;
+      if (a.lo >= b.hi) return false;
+      return std::nullopt;
+    case CmpOp::kGeu: {
+      auto lt = abs_compare(CmpOp::kLtu, a, b);
+      if (lt) return !*lt;
+      return std::nullopt;
+    }
+    case CmpOp::kLt:
+      if (smax(a) < smin(b)) return true;
+      if (smin(a) >= smax(b)) return false;
+      return std::nullopt;
+    case CmpOp::kGe: {
+      auto lt = abs_compare(CmpOp::kLt, a, b);
+      if (lt) return !*lt;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+AbsValue abs_refine(const AbsValue& v, CmpOp op, uint32_t c, bool taken) {
+  if (v.is_bottom()) return v;
+  // Normalize to the assumption that holds: "v op' c" with op' the taken
+  // direction.
+  CmpOp eff = op;
+  if (!taken) {
+    switch (op) {
+      case CmpOp::kEq: eff = CmpOp::kNe; break;
+      case CmpOp::kNe: eff = CmpOp::kEq; break;
+      case CmpOp::kLt: eff = CmpOp::kGe; break;
+      case CmpOp::kGe: eff = CmpOp::kLt; break;
+      case CmpOp::kLtu: eff = CmpOp::kGeu; break;
+      case CmpOp::kGeu: eff = CmpOp::kLtu; break;
+    }
+  }
+  auto holds = [&](uint32_t x) {
+    int64_t sx = static_cast<int32_t>(x), sc = static_cast<int32_t>(c);
+    switch (eff) {
+      case CmpOp::kEq: return x == c;
+      case CmpOp::kNe: return x != c;
+      case CmpOp::kLt: return sx < sc;
+      case CmpOp::kGe: return sx >= sc;
+      case CmpOp::kLtu: return x < c;
+      case CmpOp::kGeu: return x >= c;
+    }
+    return true;
+  };
+  if (v.has_set) {  // exact filter
+    std::vector<uint32_t> kept;
+    for (uint32_t x : v.set)
+      if (holds(x)) kept.push_back(x);
+    return AbsValue::from_values(std::move(kept));
+  }
+  AbsValue r = v;
+  switch (eff) {
+    case CmpOp::kEq:
+      return v.contains(c) ? AbsValue::constant(c) : AbsValue::bottom();
+    case CmpOp::kNe:
+      if (r.lo == c && r.lo < r.hi) ++r.lo;
+      if (r.hi == c && r.hi > r.lo) --r.hi;
+      break;
+    case CmpOp::kLtu:
+      if (c == 0) return AbsValue::bottom();
+      r.hi = std::min(r.hi, c - 1);
+      break;
+    case CmpOp::kGeu:
+      r.lo = std::max(r.lo, c);
+      break;
+    case CmpOp::kLt:
+      // Only refine when both sides stay in the non-negative signed range,
+      // where signed and unsigned order agree.
+      if (v.hi < kSignBit && c < kSignBit) {
+        if (c == 0) return AbsValue::bottom();
+        r.hi = std::min(r.hi, c - 1);
+      }
+      break;
+    case CmpOp::kGe:
+      if (v.hi < kSignBit && c < kSignBit) r.lo = std::max(r.lo, c);
+      break;
+  }
+  if (r.lo > r.hi) return AbsValue::bottom();
+  r.normalize();
+  return r;
+}
+
+namespace {
+
+CmpOp negate_op(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kLtu: return CmpOp::kGeu;
+    case CmpOp::kGeu: return CmpOp::kLtu;
+  }
+  return op;
+}
+
+}  // namespace
+
+AbsValue abs_meet(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom() || b.is_bottom()) return AbsValue::bottom();
+  if (a.has_set) {
+    std::vector<uint32_t> kept;
+    for (uint32_t x : a.set)
+      if (b.contains(x)) kept.push_back(x);
+    return AbsValue::from_values(std::move(kept));
+  }
+  if (b.has_set) return abs_meet(b, a);
+  if ((a.known_val ^ b.known_val) & a.known_mask & b.known_mask)
+    return AbsValue::bottom();
+  AbsValue r;
+  r.lo = std::max(a.lo, b.lo);
+  r.hi = std::min(a.hi, b.hi);
+  if (r.lo > r.hi) return AbsValue::bottom();
+  r.known_mask = a.known_mask | b.known_mask;
+  r.known_val = a.known_val | b.known_val;
+  r.normalize();
+  return r;
+}
+
+AbsValue abs_refine(const AbsValue& v, CmpOp op, const AbsValue& rhs,
+                    bool taken) {
+  if (v.is_bottom() || rhs.is_bottom()) return AbsValue::bottom();
+  if (auto c = rhs.as_constant()) return abs_refine(v, op, *c, taken);
+  CmpOp eff = taken ? op : negate_op(op);
+  switch (eff) {
+    case CmpOp::kEq:
+      return abs_meet(v, rhs);
+    case CmpOp::kNe:
+      return v;  // a non-constant rhs rules out no single value
+    case CmpOp::kLt: {
+      // v < rhs ≤ smax(rhs), so v < smax(rhs).
+      int64_t ub = smax(rhs);
+      if (ub == INT32_MIN) return AbsValue::bottom();
+      return abs_refine(v, CmpOp::kLt, static_cast<uint32_t>(ub), true);
+    }
+    case CmpOp::kGe:
+      // v ≥ rhs ≥ smin(rhs).
+      return abs_refine(v, CmpOp::kGe, static_cast<uint32_t>(smin(rhs)), true);
+    case CmpOp::kLtu:
+      if (rhs.hi == 0) return AbsValue::bottom();
+      return abs_refine(v, CmpOp::kLtu, rhs.hi, true);
+    case CmpOp::kGeu:
+      return abs_refine(v, CmpOp::kGeu, rhs.lo, true);
+  }
+  return v;
+}
+
+AbsValue abs_refine_rhs(const AbsValue& lhs, CmpOp op, const AbsValue& v,
+                        bool taken) {
+  if (v.is_bottom() || lhs.is_bottom()) return AbsValue::bottom();
+  CmpOp eff = taken ? op : negate_op(op);
+  switch (eff) {
+    case CmpOp::kEq:
+      return abs_meet(v, lhs);
+    case CmpOp::kNe:
+      if (auto c = lhs.as_constant()) return abs_refine(v, CmpOp::kNe, *c, true);
+      return v;
+    case CmpOp::kLt: {
+      // lhs < v, so v ≥ smin(lhs) + 1.
+      int64_t lb = smin(lhs);
+      if (lb == INT32_MAX) return AbsValue::bottom();
+      return abs_refine(v, CmpOp::kGe, static_cast<uint32_t>(lb + 1), true);
+    }
+    case CmpOp::kGe: {
+      // lhs ≥ v, so v ≤ smax(lhs).
+      int64_t ub = smax(lhs);
+      if (ub == INT32_MAX) return v;
+      return abs_refine(v, CmpOp::kLt, static_cast<uint32_t>(ub + 1), true);
+    }
+    case CmpOp::kLtu:
+      // lhs <u v, so v ≥u lhs.lo + 1.
+      if (lhs.lo == ~0u) return AbsValue::bottom();
+      return abs_refine(v, CmpOp::kGeu, lhs.lo + 1, true);
+    case CmpOp::kGeu:
+      // lhs ≥u v, so v ≤u lhs.hi.
+      if (lhs.hi == ~0u) return v;
+      return abs_refine(v, CmpOp::kLtu, lhs.hi + 1, true);
+  }
+  return v;
+}
+
+std::string abs_to_string(const AbsValue& v) {
+  if (v.is_bottom()) return "bot";
+  if (v.is_top()) return "top";
+  char buf[32];
+  std::string out;
+  if (auto c = v.as_constant()) {
+    std::snprintf(buf, sizeof buf, "0x%x", *c);
+    return buf;
+  }
+  if (v.has_set) {
+    out = "{";
+    for (size_t i = 0; i < v.set.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s0x%x", i ? "," : "", v.set[i]);
+      out += buf;
+    }
+    return out + "}";
+  }
+  std::snprintf(buf, sizeof buf, "[0x%x,0x%x]", v.lo, v.hi);
+  out = buf;
+  // The interval alone already pins the shared leading bits; only print the
+  // mask when it knows something the interval does not.
+  AbsValue bare = AbsValue::range(v.lo, v.hi);
+  if ((v.known_mask & ~bare.known_mask) != 0) {
+    std::snprintf(buf, sizeof buf, " &0x%x=0x%x", v.known_mask, v.known_val);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace binsym::analysis

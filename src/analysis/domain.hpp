@@ -1,0 +1,128 @@
+// Abstract value domain for the static analysis layer.
+//
+// AbsValue abstracts one 32-bit machine word as the reduced product of
+// three classic abstractions:
+//
+//   * a small exact value set ("kset", <= kMaxSet members) — precise for
+//     link registers, `la`/`li` results and resolved jump-table entries;
+//   * an unsigned interval [lo, hi] — proves loads/stores in-bounds;
+//   * known-bits (mask, value: the bits every concretization agrees on) —
+//     proves alignment after `andi`-style masking.
+//
+// Every transfer function over-approximates the concrete RV32 operation:
+// for all concrete x in gamma(a), y in gamma(b): op(x, y) in
+// gamma(abs_op(a, b)). tests/test_analysis_domain.cpp checks exactly this
+// against the golden concrete interpreter on randomized inputs; the
+// soundness of every downstream proof (docs/ANALYSIS.md) reduces to it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace binsym::analysis {
+
+struct AbsValue {
+  static constexpr size_t kMaxSet = 8;
+
+  // `set` is meaningful only when has_set; it is sorted and unique, and the
+  // interval/known-bits components are then exactly derived from it by
+  // normalize(). An empty set with has_set means bottom (unreachable).
+  bool has_set = false;
+  std::vector<uint32_t> set;
+  uint32_t lo = 0;
+  uint32_t hi = 0xffffffffu;
+  uint32_t known_mask = 0;  // bits whose value is the same in every member
+  uint32_t known_val = 0;   // their value (known_val & ~known_mask == 0)
+
+  static AbsValue top();
+  static AbsValue bottom();
+  static AbsValue constant(uint32_t c);
+  /// Exact abstraction of a finite set (drops to interval + known-bits,
+  /// still computed exactly from the values, when it exceeds kMaxSet).
+  static AbsValue from_values(std::vector<uint32_t> values);
+  /// [lo, hi] with no bit information beyond the interval.
+  static AbsValue range(uint32_t lo, uint32_t hi);
+
+  bool is_bottom() const { return has_set && set.empty(); }
+  bool is_top() const;
+  bool is_constant() const { return has_set && set.size() == 1; }
+  std::optional<uint32_t> as_constant() const;
+
+  /// Whether `c` is a possible concretization.
+  bool contains(uint32_t c) const;
+
+  /// Canonicalize the product: derive components from the set when present,
+  /// otherwise tighten interval and known-bits against each other.
+  void normalize();
+
+  bool operator==(const AbsValue& other) const;
+};
+
+/// Human rendering for `analyze --facts`: "bot", "top", "0x2a",
+/// "{0x0,0x4}", or "[0x100,0x1ff]" with a " &0x3=0x0" known-bits suffix
+/// when the mask adds information beyond the interval.
+std::string abs_to_string(const AbsValue& v);
+
+/// Least upper bound (set union while small, else component-wise hull).
+AbsValue abs_join(const AbsValue& a, const AbsValue& b);
+
+/// Widening join for loop heads: like abs_join, but an interval bound that
+/// grew jumps straight to its extreme so fixpoints terminate. The set and
+/// known-bits components are finite lattices and need no widening.
+AbsValue abs_widen(const AbsValue& prev, const AbsValue& next);
+
+// -- Transfer functions (all over-approximating, RV32 semantics). -------------
+
+AbsValue abs_add(const AbsValue& a, const AbsValue& b);
+AbsValue abs_sub(const AbsValue& a, const AbsValue& b);
+AbsValue abs_and(const AbsValue& a, const AbsValue& b);
+AbsValue abs_or(const AbsValue& a, const AbsValue& b);
+AbsValue abs_xor(const AbsValue& a, const AbsValue& b);
+AbsValue abs_mul(const AbsValue& a, const AbsValue& b);
+AbsValue abs_mulh(const AbsValue& a, const AbsValue& b);
+AbsValue abs_mulhsu(const AbsValue& a, const AbsValue& b);
+AbsValue abs_mulhu(const AbsValue& a, const AbsValue& b);
+// Shift amounts take the low 5 bits of `b` (RV32 semantics).
+AbsValue abs_sll(const AbsValue& a, const AbsValue& b);
+AbsValue abs_srl(const AbsValue& a, const AbsValue& b);
+AbsValue abs_sra(const AbsValue& a, const AbsValue& b);
+// RV32M division semantics: x/0 == ~0u (unsigned) or -1 (signed),
+// x%0 == x, INT_MIN/-1 wraps.
+AbsValue abs_divu(const AbsValue& a, const AbsValue& b);
+AbsValue abs_remu(const AbsValue& a, const AbsValue& b);
+AbsValue abs_div(const AbsValue& a, const AbsValue& b);
+AbsValue abs_rem(const AbsValue& a, const AbsValue& b);
+// Comparisons materialized as 0/1 register values (SLT family).
+AbsValue abs_sltu(const AbsValue& a, const AbsValue& b);
+AbsValue abs_slt(const AbsValue& a, const AbsValue& b);
+
+/// Truth of a comparison, when the abstraction decides it: nullopt when
+/// both outcomes are possible. `op` names follow the branch instructions.
+enum class CmpOp { kEq, kNe, kLt, kGe, kLtu, kGeu };
+std::optional<bool> abs_compare(CmpOp op, const AbsValue& a, const AbsValue& b);
+
+/// Refine `v` under the assumption `v op c` is `taken` (c a constant);
+/// used to sharpen branch arms. Returns a (possibly bottom) refinement —
+/// always a superset of the concretizations that satisfy the assumption.
+AbsValue abs_refine(const AbsValue& v, CmpOp op, uint32_t c, bool taken);
+
+/// Greatest-lower-bound over-approximation (set filtering when either side
+/// carries a set, else component-wise intersection). Exact for the
+/// `==`-refinement below.
+AbsValue abs_meet(const AbsValue& a, const AbsValue& b);
+
+/// abs_refine generalized to an abstract rhs: an exact meet for `==`, a
+/// bound refinement against rhs's extremes otherwise — what makes loops
+/// with non-constant trip bounds (`blt t2, t1, …`) converge tightly.
+AbsValue abs_refine(const AbsValue& v, CmpOp op, const AbsValue& rhs,
+                    bool taken);
+
+/// Mirror: refine the *right* operand `v` under the assumption that
+/// `lhs op v` is `taken` (the blez/bgtz pattern compares against x0 on the
+/// left).
+AbsValue abs_refine_rhs(const AbsValue& lhs, CmpOp op, const AbsValue& v,
+                        bool taken);
+
+}  // namespace binsym::analysis

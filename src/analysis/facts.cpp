@@ -1,0 +1,253 @@
+#include "analysis/facts.hpp"
+
+#include <algorithm>
+
+#include "core/syscalls.hpp"
+
+namespace binsym::analysis {
+
+namespace {
+
+int64_t smin(const AbsValue& v) {
+  if (v.has_set) {
+    int64_t m = INT32_MAX;
+    for (uint32_t x : v.set)
+      m = std::min(m, static_cast<int64_t>(static_cast<int32_t>(x)));
+    return m;
+  }
+  if (v.hi < 0x8000'0000u) return v.lo;  // all non-negative
+  if (v.lo >= 0x8000'0000u) return static_cast<int32_t>(v.lo);  // all negative
+  return INT32_MIN;  // straddles the sign wrap
+}
+
+int64_t smax(const AbsValue& v) {
+  if (v.has_set) {
+    int64_t m = INT32_MIN;
+    for (uint32_t x : v.set)
+      m = std::max(m, static_cast<int64_t>(static_cast<int32_t>(x)));
+    return m;
+  }
+  if (v.hi < 0x8000'0000u) return v.hi;
+  if (v.lo >= 0x8000'0000u) return static_cast<int32_t>(v.hi);
+  return INT32_MAX;
+}
+
+int64_t arith_exact(char op, int64_t a, int64_t b) {
+  return op == '+' ? a + b : op == '-' ? a - b : a * b;
+}
+
+/// Every concretization pair stays inside int32 under the signed op.
+bool never_overflows(const ArithFact& fact) {
+  const AbsValue& a = fact.a;
+  const AbsValue& b = fact.b;
+  if (a.is_bottom() || b.is_bottom()) return true;  // operation unreachable
+  if (a.has_set && b.has_set && a.set.size() * b.set.size() <= 64) {
+    for (uint32_t x : a.set)
+      for (uint32_t y : b.set) {
+        int64_t exact = arith_exact(fact.op, static_cast<int32_t>(x),
+                                    static_cast<int32_t>(y));
+        if (exact != static_cast<int32_t>(exact)) return false;
+      }
+    return true;
+  }
+  int64_t amin = smin(a), amax = smax(a);
+  int64_t bmin = smin(b), bmax = smax(b);
+  int64_t lo, hi;
+  if (fact.op == '+') {
+    lo = amin + bmin;
+    hi = amax + bmax;
+  } else if (fact.op == '-') {
+    lo = amin - bmax;
+    hi = amax - bmin;
+  } else {
+    int64_t corners[4] = {amin * bmin, amin * bmax, amax * bmin, amax * bmax};
+    lo = *std::min_element(corners, corners + 4);
+    hi = *std::max_element(corners, corners + 4);
+  }
+  return lo >= INT32_MIN && hi <= INT32_MAX;
+}
+
+/// Every concretization of `addr` keeps [addr, addr+bytes) inside one
+/// region — the same predicate MemoryMap::contains answers per address.
+bool always_in_bounds(const std::vector<core::MemRegion>& regions,
+                      const AbsValue& addr, unsigned bytes) {
+  if (addr.is_bottom()) return true;
+  auto contains = [&](const core::MemRegion& r, uint32_t a) {
+    return r.contains(a, bytes);
+  };
+  if (addr.has_set) {
+    for (uint32_t a : addr.set) {
+      bool ok = false;
+      for (const core::MemRegion& r : regions)
+        if (contains(r, a)) {
+          ok = true;
+          break;
+        }
+      if (!ok) return false;
+    }
+    return true;
+  }
+  // Interval: one region must contain the access at both extremes; every
+  // address in between is then inside that same contiguous region.
+  for (const core::MemRegion& r : regions)
+    if (contains(r, addr.lo) && contains(r, addr.hi)) return true;
+  return false;
+}
+
+/// Low `bytes-1` bits provably zero (normalize() derives known-bits
+/// exactly from small sets, so this covers the kset case too).
+bool always_aligned(const AbsValue& addr, unsigned bytes) {
+  uint32_t mask = bytes - 1;
+  return (addr.known_mask & mask) == mask && (addr.known_val & mask) == 0;
+}
+
+void add_facts_for(uint32_t pc, const isa::Decoded& d, const RegState& s,
+                   StaticFacts& facts) {
+  const uint32_t imm = d.immediate();
+  AbsValue pc_v = AbsValue::constant(pc);
+  auto arith = [&](char op, AbsValue a, AbsValue b) {
+    facts.arith[pc].push_back(ArithFact{op, std::move(a), std::move(b)});
+  };
+  auto access = [&](unsigned bytes, bool store) {
+    AbsValue addr = abs_add(s.regs[d.rs1()], AbsValue::constant(imm));
+    arith('+', s.regs[d.rs1()], AbsValue::constant(imm));
+    facts.mem.emplace(pc, MemAccessFact{std::move(addr), bytes, store});
+  };
+
+  if (d.id() >= isa::kNumBuiltinOps) return;  // incomplete gates all proofs
+  switch (static_cast<isa::Op>(d.id())) {
+    // The 32-bit add/sub/mul inventory below mirrors spec/rv32i.cpp and
+    // spec/rv32m.cpp exactly: these are the DSL operations the overflow
+    // oracle observes through on_binop (MULH runs at width 64 and SLT
+    // compares without subtracting, so neither appears here).
+    case isa::kAUIPC:
+      arith('+', pc_v, AbsValue::constant(imm));
+      return;
+    case isa::kJAL:
+      arith('+', pc_v, AbsValue::constant(d.size));
+      arith('+', pc_v, AbsValue::constant(imm));
+      return;
+    case isa::kJALR:
+      arith('+', s.regs[d.rs1()], AbsValue::constant(imm));
+      arith('+', pc_v, AbsValue::constant(d.size));
+      return;
+    case isa::kBEQ:
+    case isa::kBNE:
+    case isa::kBLT:
+    case isa::kBGE:
+    case isa::kBLTU:
+    case isa::kBGEU:
+      arith('+', pc_v, AbsValue::constant(imm));
+      return;
+
+    case isa::kLB:
+    case isa::kLBU:
+      access(1, false);
+      return;
+    case isa::kLH:
+    case isa::kLHU:
+      access(2, false);
+      return;
+    case isa::kLW:
+      access(4, false);
+      return;
+    case isa::kSB:
+      access(1, true);
+      return;
+    case isa::kSH:
+      access(2, true);
+      return;
+    case isa::kSW:
+      access(4, true);
+      return;
+
+    case isa::kADDI:
+      arith('+', s.regs[d.rs1()], AbsValue::constant(imm));
+      return;
+    case isa::kADD:
+      arith('+', s.regs[d.rs1()], s.regs[d.rs2()]);
+      return;
+    case isa::kSUB:
+      arith('-', s.regs[d.rs1()], s.regs[d.rs2()]);
+      return;
+    case isa::kMUL:
+      arith('*', s.regs[d.rs1()], s.regs[d.rs2()]);
+      return;
+
+    case isa::kDIV:
+    case isa::kDIVU:
+    case isa::kREM:
+    case isa::kREMU:
+      facts.divisor.emplace(pc, s.regs[d.rs2()]);
+      return;
+
+    case isa::kECALL: {
+      std::optional<uint32_t> number = s.regs[17].as_constant();  // a7
+      if (number == core::kSysAssert)
+        facts.assert_cond.emplace(pc, s.regs[10]);  // a0
+      if (number == core::kSysReach) facts.reach_sites.insert(pc);
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+StaticFacts compute_facts(const AbsIntResult& result,
+                          const oracles::MemoryMap& map) {
+  StaticFacts facts;
+  facts.complete = result.complete;
+  facts.regions = map.regions();
+  for (const auto& [pc, state] : result.states) {
+    auto it = result.code.find(pc);
+    if (it != result.code.end()) add_facts_for(pc, it->second, state, facts);
+  }
+  return facts;
+}
+
+bool StaticFacts::proves_safe(core::OracleKind kind, uint32_t pc) const {
+  if (!complete) return false;
+  switch (kind) {
+    case core::OracleKind::kOobLoad:
+    case core::OracleKind::kOobStore: {
+      auto it = mem.find(pc);
+      return it != mem.end() &&
+             it->second.store ==
+                 (kind == core::OracleKind::kOobStore) &&
+             always_in_bounds(regions, it->second.addr, it->second.bytes);
+    }
+    case core::OracleKind::kUnaligned: {
+      auto it = mem.find(pc);
+      return it != mem.end() && always_aligned(it->second.addr,
+                                               it->second.bytes);
+    }
+    case core::OracleKind::kDivByZero: {
+      auto it = divisor.find(pc);
+      return it != divisor.end() && !it->second.contains(0);
+    }
+    case core::OracleKind::kOverflow: {
+      auto it = arith.find(pc);
+      if (it == arith.end()) return false;  // unmodelled op at this pc
+      return std::all_of(it->second.begin(), it->second.end(),
+                         never_overflows);
+    }
+    case core::OracleKind::kAssertFail: {
+      auto it = assert_cond.find(pc);
+      return it != assert_cond.end() && !it->second.contains(0);
+    }
+    // Never proven: stack-smash needs the exact call-return pairing, a
+    // bad-jump candidate means resolution already failed, and reach is a
+    // marker, not a safety property.
+    case core::OracleKind::kStackSmash:
+    case core::OracleKind::kBadJump:
+    case core::OracleKind::kReach:
+    case core::OracleKind::kNumOracleKinds:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace binsym::analysis

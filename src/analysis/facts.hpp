@@ -1,0 +1,71 @@
+// Per-instruction static facts + the candidate prover.
+//
+// A pure function of the abstract-interpretation fixpoint: for every
+// reached instruction, the abstract address of its data access, the
+// abstract divisor of its division, the abstract operands of every 32-bit
+// add/sub/mul its semantics perform (the exact inventory the overflow
+// oracle instruments), and the abstract assert condition at assert ecalls.
+//
+// proves_safe(kind, pc) answers "can any OracleCandidate of this kind at
+// this pc ever be satisfiable?" — `true` means the engine may skip the
+// solver query outright. Soundness argument (docs/ANALYSIS.md): a sat
+// model of (path prefix ∧ cond) corresponds to a real concrete execution
+// reaching `pc` with the faulting value among its registers, every such
+// execution's state is inside the fixpoint's concretization, and the
+// proof shows every concretization is safe. An incomplete analysis
+// proves nothing, and a MemoryMap with extra (MMIO) regions must be the
+// same map the oracles check against.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "core/finding.hpp"
+#include "oracles/memory_map.hpp"
+
+namespace binsym::analysis {
+
+/// One data access: `addr` is the abstract rs1 + imm at the access site.
+struct MemAccessFact {
+  AbsValue addr;
+  unsigned bytes = 0;
+  bool store = false;
+};
+
+/// One 32-bit add/sub/mul performed by an instruction's semantics —
+/// including address computations, since the DSL evaluator (and thus the
+/// overflow oracle) sees those through the same `add` operator.
+struct ArithFact {
+  char op = '+';  // '+', '-', '*'
+  AbsValue a, b;
+};
+
+struct StaticFacts {
+  /// False when the abstract interpretation was incomplete; every
+  /// proves_safe() then answers false.
+  bool complete = false;
+
+  /// The oracle-side bounds regions (segments + stack + MMIO windows) the
+  /// proofs check against — the single source shared with check_bounds().
+  std::vector<core::MemRegion> regions;
+
+  std::unordered_map<uint32_t, MemAccessFact> mem;          // loads/stores
+  std::unordered_map<uint32_t, AbsValue> divisor;           // div/rem family
+  std::unordered_map<uint32_t, std::vector<ArithFact>> arith;
+  std::unordered_map<uint32_t, AbsValue> assert_cond;       // a0 at assert
+  std::unordered_set<uint32_t> reach_sites;                 // reach ecalls
+
+  /// True only when *no* candidate of `kind` raised at `pc` can be sat.
+  /// kStackSmash / kBadJump / kReach are never proven.
+  bool proves_safe(core::OracleKind kind, uint32_t pc) const;
+};
+
+/// Derive the facts from a converged fixpoint. `map` must be the exact
+/// MemoryMap the oracle manager checks accesses against.
+StaticFacts compute_facts(const AbsIntResult& result,
+                          const oracles::MemoryMap& map);
+
+}  // namespace binsym::analysis

@@ -1,0 +1,149 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+
+#include "core/syscalls.hpp"
+#include "support/format.hpp"
+
+namespace binsym::analysis {
+
+namespace {
+
+core::Finding make_lint(core::OracleKind oracle, const char* rule,
+                        uint32_t pc, std::string detail) {
+  core::Finding finding;
+  finding.oracle = oracle;
+  finding.pc = pc;
+  finding.detail = std::move(detail);
+  finding.origin = core::FindingOrigin::kStatic;
+  finding.rule = rule;
+  return finding;
+}
+
+/// Linear sweep of the executable segments: contiguous decodable runs the
+/// fixpoint never reached. One finding per run.
+void lint_unreachable(const core::Program& program, const AbsIntResult& result,
+                      const isa::Decoder& decoder,
+                      std::vector<core::Finding>& out) {
+  for (const core::MemRegion& region : program.regions) {
+    if (!(region.flags & core::MemRegion::kExec)) continue;
+    uint32_t run_start = 0;
+    unsigned run_insns = 0;
+    auto flush = [&] {
+      if (run_insns > 0)
+        out.push_back(make_lint(
+            core::OracleKind::kReach, "unreachable-block", run_start,
+            strprintf("%u instruction%s with no static path from the entry "
+                      "point",
+                      run_insns, run_insns == 1 ? "" : "s")));
+      run_insns = 0;
+    };
+    uint32_t pc = region.lo;
+    while (pc < region.hi) {
+      uint32_t word = static_cast<uint32_t>(program.image.read(pc, 4));
+      std::optional<isa::Decoded> decoded = decoder.decode(word);
+      if (!decoded) {  // padding / data: ends any code run
+        flush();
+        pc += 2;
+        continue;
+      }
+      if (result.reached(pc)) {
+        flush();
+      } else {
+        if (run_insns == 0) run_start = pc;
+        ++run_insns;
+      }
+      pc += decoded->size;
+    }
+    flush();
+  }
+}
+
+/// `li a7, kSysReach; ecall` sites found by linear sweep that the fixpoint
+/// never reached: the marker can never fire dynamically.
+void lint_no_path_to_reach(const core::Program& program,
+                           const AbsIntResult& result,
+                           const isa::Decoder& decoder,
+                           std::vector<core::Finding>& out) {
+  for (const core::MemRegion& region : program.regions) {
+    if (!(region.flags & core::MemRegion::kExec)) continue;
+    bool prev_sets_reach = false;
+    uint32_t pc = region.lo;
+    while (pc < region.hi) {
+      uint32_t word = static_cast<uint32_t>(program.image.read(pc, 4));
+      std::optional<isa::Decoded> decoded = decoder.decode(word);
+      if (!decoded) {
+        prev_sets_reach = false;
+        pc += 2;
+        continue;
+      }
+      if (decoded->id() == isa::kECALL && prev_sets_reach &&
+          !result.reached(pc))
+        out.push_back(make_lint(
+            core::OracleKind::kReach, "no-path-to-reach", pc,
+            "reach() marker with no static path from the entry point"));
+      prev_sets_reach = decoded->id() == isa::kADDI && decoded->rd() == 17 &&
+                        decoded->rs1() == 0 &&
+                        decoded->immediate() == core::kSysReach;
+      pc += decoded->size;
+    }
+  }
+}
+
+/// A function whose `ret` runs with sp provably different from its entry
+/// value — both sides must be static constants to fire.
+void lint_stack_imbalance(const AbsIntResult& result, const Cfg& cfg,
+                          std::vector<core::Finding>& out) {
+  for (uint32_t ret_pc : result.ret_sites) {
+    auto block = cfg.block_of_pc.find(ret_pc);
+    if (block == cfg.block_of_pc.end()) continue;
+    auto function = cfg.function_of_block.find(block->second);
+    if (function == cfg.function_of_block.end()) continue;
+    auto entry_state = result.states.find(function->second);
+    auto ret_state = result.states.find(ret_pc);
+    if (entry_state == result.states.end() || ret_state == result.states.end())
+      continue;
+    std::optional<uint32_t> sp_in = entry_state->second.regs[2].as_constant();
+    std::optional<uint32_t> sp_out = ret_state->second.regs[2].as_constant();
+    if (sp_in && sp_out && *sp_in != *sp_out)
+      out.push_back(make_lint(
+          core::OracleKind::kStackSmash, "stack-imbalance", ret_pc,
+          strprintf("function %s returns with sp off by %d bytes",
+                    hex32(function->second).c_str(),
+                    static_cast<int32_t>(*sp_out - *sp_in))));
+  }
+}
+
+/// assert(cond) whose condition is statically proven nonzero.
+void lint_always_true_assert(const StaticFacts& facts,
+                             std::vector<core::Finding>& out) {
+  for (const auto& [pc, cond] : facts.assert_cond)
+    if (!cond.contains(0))
+      out.push_back(make_lint(
+          core::OracleKind::kAssertFail, "always-true-assert", pc,
+          "assert condition statically proven nonzero (vacuous check)"));
+}
+
+}  // namespace
+
+std::vector<core::Finding> run_lints(const core::Program& program,
+                                     const AbsIntResult& result,
+                                     const Cfg& cfg, const StaticFacts& facts,
+                                     const isa::Decoder& decoder) {
+  std::vector<core::Finding> out;
+  // Every rule argues from "no static path" or "provably constant", and an
+  // incomplete fixpoint can claim neither.
+  if (!result.complete) return out;
+  lint_unreachable(program, result, decoder, out);
+  lint_no_path_to_reach(program, result, decoder, out);
+  lint_stack_imbalance(result, cfg, out);
+  lint_always_true_assert(facts, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::Finding& a, const core::Finding& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.pc < b.pc;
+                   });
+  return out;
+}
+
+}  // namespace binsym::analysis

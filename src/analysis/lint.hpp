@@ -1,0 +1,38 @@
+// The static lint tier: findings provable from the load-time fixpoint
+// alone, before a single instruction executes.
+//
+// Four rules, all emitted as core::Finding records with FindingOrigin::
+// kStatic and the rule name set (surfaced by `analyze --lint` and
+// `explore --static-lint`; never inserted into the engine's FindingLog,
+// so dynamic finding sets are invariant under linting):
+//
+//   unreachable-block   — executable-segment code with no static path from
+//                         the entry point (every workload's runtime `halt`
+//                         spin lands here: exit never falls through);
+//   no-path-to-reach    — a `reach()` marker site (li a7, 5; ecall) the
+//                         exploration can statically never hit;
+//   stack-imbalance     — a function whose `ret` executes with sp provably
+//                         different from its entry value;
+//   always-true-assert  — an assert(cond) whose condition is statically
+//                         proven nonzero (the check is vacuous).
+//
+// Every rule except unreachable-block requires a *complete* analysis; the
+// reachability sweep is also suppressed when incomplete, since unresolved
+// control flow could reach anything.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/facts.hpp"
+#include "core/finding.hpp"
+
+namespace binsym::analysis {
+
+/// Run every lint rule. Deterministic order: by rule, then by pc.
+std::vector<core::Finding> run_lints(const core::Program& program,
+                                     const AbsIntResult& result,
+                                     const Cfg& cfg, const StaticFacts& facts,
+                                     const isa::Decoder& decoder);
+
+}  // namespace binsym::analysis

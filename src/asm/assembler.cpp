@@ -48,9 +48,11 @@ class Assembler {
 
     AsmResult result;
     if (!text_.bytes.empty())
-      result.image.segments.push_back(elf::Segment{text_.base, text_.bytes});
+      result.image.segments.push_back(
+          elf::Segment{text_.base, text_.bytes, elf::kPfR | elf::kPfX});
     if (!data_.bytes.empty())
-      result.image.segments.push_back(elf::Segment{data_.base, data_.bytes});
+      result.image.segments.push_back(
+          elf::Segment{data_.base, data_.bytes, elf::kPfR | elf::kPfW});
     auto start = symbols_.find("_start");
     result.image.entry =
         start != symbols_.end() ? start->second : options_.text_base;

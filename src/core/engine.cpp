@@ -134,6 +134,9 @@ void EngineStats::merge(const EngineStats& other) {
   finding_dupes += other.finding_dupes;
   candidates_checked += other.candidates_checked;
   candidates_feasible += other.candidates_feasible;
+  static_proved += other.static_proved;
+  static_unknown += other.static_unknown;
+  static_mismatches += other.static_mismatches;
   solver.merge(other.solver);
 }
 
@@ -317,6 +320,20 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       // Already proven by some other path: skip the solver work. A racing
       // insert below still dedups correctly — this is only a fast path.
       if (shared.findings.contains(c.oracle, c.pc, c.call_depth)) continue;
+      // Static pre-prover (EngineOptions::candidate_prune): a candidate
+      // proven unsat never reaches the solver. In differential mode it
+      // does anyway, and a sat answer is counted as a soundness mismatch
+      // (the finding is still recorded, so behavior matches prune-off).
+      bool statically_proved = false;
+      if (shared.options.candidate_prune) {
+        statically_proved = shared.options.candidate_prune(c);
+        if (statically_proved) {
+          ++local.static_proved;
+          if (!shared.options.static_differential) continue;
+        } else {
+          ++local.static_unknown;
+        }
+      }
       ++local.candidates_checked;
       full_query.clear();
       for (size_t j = 0; j < c.branch_depth; ++j) {
@@ -329,6 +346,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       smt::Assignment model;
       if (solver.check(full_query, &model) != smt::CheckResult::kSat)
         continue;
+      if (statically_proved) ++local.static_mismatches;
       ++local.candidates_feasible;
       smt::Assignment witness = seed;
       for (const auto& [var, value] : model.values) witness.set(var, value);
@@ -520,7 +538,8 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
         "worker needs its own executor and context)");
 
   findings_.clear();
-  Shared shared(make_search_strategy(options_.search, options_.rng_seed),
+  Shared shared(make_search_strategy(options_.search, options_.rng_seed,
+                                     options_.cfg_hints),
                 options_, on_path, findings_);
   // The root job: all-zero input seed (every sym_input byte defaults to 0
   // under Assignment::get), nothing pinned.

@@ -96,6 +96,25 @@ struct EngineOptions {
   /// artifact (any SMT-LIB solver can replay the exploration's queries).
   /// Numbering is a global claim order across workers.
   std::string smtlib_dump_dir;
+  // -- Static analysis consumers (src/analysis). Like the solver-pipeline
+  // optimizations, pruning may change only cost, never behavior: candidates
+  // it skips are proven unsat, so path sets and finding sets are invariant
+  // (pinned by tests/test_analysis.cpp).
+  /// Oracle-candidate pre-prover: return true when the candidate is
+  /// statically proven unsat, and the worker skips its solver query.
+  /// Must be thread-safe (called concurrently from all workers). Leave
+  /// empty to disable; never set it for the vp engine (MMIO loads return
+  /// device values outside the static memory model).
+  std::function<bool(const OracleCandidate&)> candidate_prune;
+  /// Soundness-testing aid: solve statically-proven candidates anyway and
+  /// count any sat answer in EngineStats::static_mismatches (which the
+  /// differential tests then require to be zero).
+  bool static_differential = false;
+  /// Static CFG shape for coverage-guided search: score flips by distance
+  /// to the nearest statically-uncovered block instead of raw visit
+  /// counts. Independent of candidate_prune so schedules stay identical
+  /// across prune on/off. Null = visit-count scoring.
+  std::shared_ptr<const CfgHints> cfg_hints;
 };
 
 /// Exploration-wide counters. Each worker accumulates a private copy;
@@ -130,6 +149,11 @@ struct EngineStats {
   uint64_t finding_dupes = 0;        // detections collapsed by the dedup key
   uint64_t candidates_checked = 0;   // oracle candidates sent to the solver
   uint64_t candidates_feasible = 0;  // ... that came back sat (=> finding)
+  // -- Static candidate pruning (EngineOptions::candidate_prune). Zero
+  // unless a prover was installed.
+  uint64_t static_proved = 0;     // candidates proven unsat, solver skipped
+  uint64_t static_unknown = 0;    // candidates the prover passed through
+  uint64_t static_mismatches = 0; // differential mode: proven-yet-sat (bug!)
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration

@@ -6,19 +6,21 @@
 
 namespace binsym::core {
 
-void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words) {
+void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words,
+                         uint32_t flags) {
   for (size_t i = 0; i < words.size(); ++i)
     image.write(addr + static_cast<uint32_t>(4 * i), 4, words[i]);
   if (!words.empty())
     regions.push_back(
-        MemRegion{addr, addr + static_cast<uint32_t>(4 * words.size())});
+        MemRegion{addr, addr + static_cast<uint32_t>(4 * words.size()), flags});
 }
 
-void Program::load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes) {
+void Program::load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes,
+                         uint32_t flags) {
   image.load_image(addr, bytes);
   if (!bytes.empty())
     regions.push_back(
-        MemRegion{addr, addr + static_cast<uint32_t>(bytes.size())});
+        MemRegion{addr, addr + static_cast<uint32_t>(bytes.size()), flags});
 }
 
 BinSymExecutor::BinSymExecutor(smt::Context& ctx, const isa::Decoder& decoder,

@@ -30,8 +30,19 @@ namespace binsym::core {
 /// regions (plus the engine-tracked stack, plus any registered MMIO
 /// windows) as the only legal targets of a data access.
 struct MemRegion {
+  // Permission bits, ELF p_flags encoding (elf::kPfX/W/R match these).
+  static constexpr uint32_t kExec = 1;
+  static constexpr uint32_t kWrite = 2;
+  static constexpr uint32_t kRead = 4;
+  static constexpr uint32_t kAll = kRead | kWrite | kExec;
+
   uint32_t lo = 0;
   uint32_t hi = 0;
+  /// RWX metadata from the loader (ELF p_flags). The dynamic bounds check
+  /// (contains) deliberately ignores it — the machine has no MMU and the
+  /// oracles only police extents — but the static analysis layer uses it
+  /// to pick which segments to sweep for code vs. treat as data.
+  uint32_t flags = kAll;
 
   /// True when the whole access [addr, addr + bytes) lies inside the
   /// region (bytes >= 1; wrap-around accesses are never contained).
@@ -50,9 +61,11 @@ struct Program {
   std::vector<MemRegion> regions;
 
   /// Convenience: place raw words at an address (tests, examples). Both
-  /// loaders record the written extent as a region.
-  void load_words(uint32_t addr, const std::vector<uint32_t>& words);
-  void load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+  /// loaders record the written extent as a region with the given flags.
+  void load_words(uint32_t addr, const std::vector<uint32_t>& words,
+                  uint32_t flags = MemRegion::kAll);
+  void load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes,
+                  uint32_t flags = MemRegion::kAll);
 };
 
 struct MachineConfig {

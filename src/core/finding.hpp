@@ -77,6 +77,14 @@ struct OracleCandidate {
   std::string detail;
 };
 
+/// Where a finding came from: the dynamic exploration (an executed or
+/// solver-confirmed violation, with a witness input) or the static lint
+/// tier (src/analysis/lint.hpp — proven from the load-time fixpoint alone,
+/// before a single instruction executes; carries a `rule` instead of a
+/// witness). Static findings are reported separately and never enter the
+/// engine's FindingLog, so dynamic finding sets are invariant under them.
+enum class FindingOrigin : uint8_t { kDynamic, kStatic };
+
 /// A finalized, deduplicated detection: what engine_stats_report counts,
 /// explore prints, and --findings-dir serializes (one JSON record plus one
 /// replayable witness input file per finding).
@@ -90,6 +98,8 @@ struct Finding {
   std::vector<uint8_t> input; // witness input bytes, in sym_input order;
                               // replaying them reproduces the violation
                               // concretely (pinned by tests/test_oracles.cpp)
+  FindingOrigin origin = FindingOrigin::kDynamic;
+  std::string rule;           // static lint rule name, empty when dynamic
 };
 
 /// Packed dedup key: oracle × pc × call-depth.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/rng.hpp"
 
@@ -112,19 +113,35 @@ class RandomPathStrategy final : public SearchStrategy {
 // novelty heuristic (KLEE's covnew in spirit). Visit counts come from
 // observe(); ties break on insertion order so the schedule is deterministic
 // for a fixed arrival order.
+//
+// With static CfgHints the primary score becomes the CFG distance from the
+// flip's basic block to the nearest block no observed path has touched yet
+// (multi-source BFS over reverse edges, recomputed lazily when coverage
+// grows); visit counts and insertion order stay as tie-breakers, and flips
+// outside the static CFG sort last. Without hints — or once every block is
+// covered — scoring degrades to the classic visit-count behavior.
 class CoverageGuidedStrategy final : public SearchStrategy {
  public:
+  explicit CoverageGuidedStrategy(std::shared_ptr<const CfgHints> hints)
+      : hints_(std::move(hints)) {}
+
   const char* name() const override { return "coverage"; }
   void push(FlipJob job) override { jobs_.push_back(std::move(job)); }
 
   FlipJob pop() override {
+    if (hints_ && distances_stale_) refresh_distances();
     size_t best = 0;
+    uint32_t best_distance = distance(jobs_[0].flip_pc);
     uint64_t best_visits = visits(jobs_[0].flip_pc);
     for (size_t i = 1; i < jobs_.size(); ++i) {
+      uint32_t d = distance(jobs_[i].flip_pc);
       uint64_t v = visits(jobs_[i].flip_pc);
-      if (v < best_visits ||
-          (v == best_visits && jobs_[i].seq < jobs_[best].seq)) {
+      if (d < best_distance ||
+          (d == best_distance &&
+           (v < best_visits ||
+            (v == best_visits && jobs_[i].seq < jobs_[best].seq)))) {
         best = i;
+        best_distance = d;
         best_visits = v;
       }
     }
@@ -141,23 +158,63 @@ class CoverageGuidedStrategy final : public SearchStrategy {
   size_t size() const override { return jobs_.size(); }
 
   void observe(const PathTrace& trace) override {
-    for (const BranchRecord& branch : trace.branches) ++visits_[branch.pc];
+    for (const BranchRecord& branch : trace.branches) {
+      ++visits_[branch.pc];
+      if (!hints_) continue;
+      auto it = hints_->block_of_pc.find(branch.pc);
+      if (it != hints_->block_of_pc.end() && covered_.insert(it->second).second)
+        distances_stale_ = true;
+    }
   }
 
  private:
+  static constexpr uint32_t kFar = ~0u;
+
   uint64_t visits(uint32_t pc) const {
     auto it = visits_.find(pc);
     return it == visits_.end() ? 0 : it->second;
   }
 
+  uint32_t distance(uint32_t pc) const {
+    if (!hints_) return 0;  // pure visit-count mode: all distances tie
+    auto it = hints_->block_of_pc.find(pc);
+    return it != hints_->block_of_pc.end() ? distances_[it->second] : kFar;
+  }
+
+  /// distances_[b] = shortest forward path (in blocks) from b to any
+  /// still-uncovered block: BFS from the uncovered set over reverse edges.
+  void refresh_distances() {
+    distances_.assign(hints_->num_blocks(), kFar);
+    std::deque<uint32_t> queue;
+    for (uint32_t block = 0; block < hints_->num_blocks(); ++block)
+      if (!covered_.count(block)) {
+        distances_[block] = 0;
+        queue.push_back(block);
+      }
+    while (!queue.empty()) {
+      uint32_t block = queue.front();
+      queue.pop_front();
+      for (uint32_t pred : hints_->preds[block])
+        if (distances_[pred] == kFar) {
+          distances_[pred] = distances_[block] + 1;
+          queue.push_back(pred);
+        }
+    }
+    distances_stale_ = false;
+  }
+
+  std::shared_ptr<const CfgHints> hints_;
   std::vector<FlipJob> jobs_;
   std::unordered_map<uint32_t, uint64_t> visits_;
+  std::unordered_set<uint32_t> covered_;  // block ids an observed path hit
+  std::vector<uint32_t> distances_;       // per block, kFar = can't reach
+  bool distances_stale_ = true;
 };
 
 }  // namespace
 
-std::unique_ptr<SearchStrategy> make_search_strategy(SearchKind kind,
-                                                     uint64_t rng_seed) {
+std::unique_ptr<SearchStrategy> make_search_strategy(
+    SearchKind kind, uint64_t rng_seed, std::shared_ptr<const CfgHints> hints) {
   switch (kind) {
     case SearchKind::kDepthFirst:
       return std::make_unique<DepthFirstStrategy>();
@@ -166,7 +223,7 @@ std::unique_ptr<SearchStrategy> make_search_strategy(SearchKind kind,
     case SearchKind::kRandomPath:
       return std::make_unique<RandomPathStrategy>(rng_seed);
     case SearchKind::kCoverageGuided:
-      return std::make_unique<CoverageGuidedStrategy>();
+      return std::make_unique<CoverageGuidedStrategy>(std::move(hints));
   }
   return nullptr;
 }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/path.hpp"
@@ -78,6 +79,19 @@ FlipJob make_flip_job(const smt::Context& ctx, const smt::Assignment& seed,
 /// Rebind a portable job onto `ctx`, interning variables as needed.
 smt::Assignment seed_from_job(smt::Context& ctx, const FlipJob& job);
 
+/// Static CFG shape for coverage-guided scoring, produced by the analysis
+/// layer (analysis::StaticAnalysis::make_hints). Core must not depend on
+/// src/analysis, so this is a plain POD: block ids are dense indices,
+/// `preds` is the reverse block adjacency (the direction the uncovered-
+/// distance BFS walks), and `block_of_pc` maps every statically reached
+/// instruction to its block. Immutable once built; shared across workers.
+struct CfgHints {
+  std::unordered_map<uint32_t, uint32_t> block_of_pc;
+  std::vector<std::vector<uint32_t>> preds;
+
+  size_t num_blocks() const { return preds.size(); }
+};
+
 /// Path-selection policy over pending FlipJobs. Not thread-safe by itself;
 /// the Frontier serializes every call under its own mutex, so
 /// implementations stay simple single-threaded containers.
@@ -98,8 +112,11 @@ class SearchStrategy {
   virtual void observe(const PathTrace& trace) { (void)trace; }
 };
 
-/// Instantiate a strategy. `rng_seed` only affects kRandomPath.
-std::unique_ptr<SearchStrategy> make_search_strategy(SearchKind kind,
-                                                     uint64_t rng_seed = 0);
+/// Instantiate a strategy. `rng_seed` only affects kRandomPath; `hints`
+/// only affects kCoverageGuided (static distance-to-uncovered-block
+/// scoring instead of visit counts; null keeps the classic behavior).
+std::unique_ptr<SearchStrategy> make_search_strategy(
+    SearchKind kind, uint64_t rng_seed = 0,
+    std::shared_ptr<const CfgHints> hints = nullptr);
 
 }  // namespace binsym::core

@@ -56,6 +56,14 @@ std::string engine_stats_report(const EngineStats& stats) {
         u(stats.findings), u(stats.finding_dupes),
         u(stats.candidates_checked), u(stats.candidates_feasible));
   }
+  // Static candidate pruning (EngineOptions::candidate_prune). Elided when
+  // no prover was installed (all three counters zero); mismatches count
+  // proven-yet-sat candidates seen in differential mode and must stay 0.
+  if (stats.static_proved || stats.static_unknown || stats.static_mismatches) {
+    out += strprintf("static: proved=%llu unknown=%llu mismatches=%llu\n",
+                     u(stats.static_proved), u(stats.static_unknown),
+                     u(stats.static_mismatches));
+  }
   if (stats.query_nodes_total) {
     out += strprintf(
         "query-nodes: total=%llu max=%llu avg=%.1f\n",

@@ -6,7 +6,7 @@ core::Program to_program(const Image& image) {
   core::Program program;
   program.entry = image.entry;
   for (const Segment& segment : image.segments)
-    program.load_bytes(segment.addr, segment.bytes);
+    program.load_bytes(segment.addr, segment.bytes, segment.flags);
   return program;
 }
 

@@ -18,6 +18,11 @@ namespace binsym::elf {
 struct Segment {
   uint32_t addr = 0;
   std::vector<uint8_t> bytes;
+  /// ELF p_flags permission bits (kPfR/kPfW/kPfX). The writer emits them
+  /// verbatim, the reader parses them back, and to_program() forwards them
+  /// to core::MemRegion::flags so every consumer (oracle MemoryMap, static
+  /// analysis) shares the loader's single source of segment metadata.
+  uint32_t flags = 7;  // kPfR | kPfW | kPfX; see below.
 };
 
 struct Image {

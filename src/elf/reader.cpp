@@ -48,10 +48,12 @@ bool parse(const std::vector<uint8_t>& bytes, Image* image,
     uint32_t vaddr = get32(bytes, ph + 8);
     uint32_t filesz = get32(bytes, ph + 16);
     uint32_t memsz = get32(bytes, ph + 20);
+    uint32_t pflags = get32(bytes, ph + 24);
     if (static_cast<size_t>(offset) + filesz > bytes.size())
       return fail(error, "segment payload outside file");
     Segment segment;
     segment.addr = vaddr;
+    segment.flags = pflags & (kPfR | kPfW | kPfX);
     segment.bytes.assign(bytes.begin() + offset,
                          bytes.begin() + offset + filesz);
     // BSS-style trailing zeroes (memsz > filesz).

@@ -56,7 +56,7 @@ std::vector<uint8_t> write_elf(const Image& image) {
     put32(out, segment.addr);    // p_paddr
     put32(out, size);            // p_filesz
     put32(out, size);            // p_memsz
-    put32(out, kPfR | kPfW | kPfX);
+    put32(out, segment.flags);   // p_flags
     put32(out, 4);               // p_align
     offset += size;
   }

@@ -47,6 +47,14 @@ smt::Assignment witness_seed(smt::Context& ctx,
 }
 
 std::string finding_to_line(const core::Finding& finding) {
+  if (finding.origin == core::FindingOrigin::kStatic) {
+    // Static lint findings carry a rule and no witness: proven from the
+    // load-time fixpoint alone, there is no input to replay.
+    return strprintf("lint %s [%s] pc=%s depth=%u: %s",
+                     core::oracle_kind_name(finding.oracle),
+                     finding.rule.c_str(), hex32(finding.pc).c_str(),
+                     finding.call_depth, finding.detail.c_str());
+  }
   std::string line = strprintf(
       "finding %s pc=%s depth=%u path=%llu: %s; witness:",
       core::oracle_kind_name(finding.oracle), hex32(finding.pc).c_str(),

@@ -1,0 +1,261 @@
+// Differential validation of the abstract domain (src/analysis/domain.hpp)
+// against the independent RV32 golden model (tests/oracle/rv32_oracle.hpp),
+// over randomized abstractions and concretizations.
+//
+// The property under test is the one every static proof reduces to: for
+// all concrete x in gamma(a), y in gamma(b), the concrete result of the
+// operation — as the *oracle* computes it, not our own interpreter — is in
+// gamma(abs_op(a, b)). The same containment discipline covers join, meet,
+// widen, comparison decisions and branch refinement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/domain.hpp"
+#include "isa/decoder.hpp"
+#include "oracle/rv32_oracle.hpp"
+#include "support/rng.hpp"
+
+namespace binsym::analysis {
+namespace {
+
+using AbsFn = AbsValue (*)(const AbsValue&, const AbsValue&);
+
+/// The R-format ALU/M operations the abstract interpreter dispatches on,
+/// paired with their transfer functions. Shift-immediates ride along via
+/// a constant right operand (exactly how absint models them).
+AbsFn abs_fn_for(isa::OpcodeId id) {
+  switch (id) {
+    case isa::kADD:    return abs_add;
+    case isa::kSUB:    return abs_sub;
+    case isa::kSLL:    return abs_sll;
+    case isa::kSLT:    return abs_slt;
+    case isa::kSLTU:   return abs_sltu;
+    case isa::kXOR:    return abs_xor;
+    case isa::kSRL:    return abs_srl;
+    case isa::kSRA:    return abs_sra;
+    case isa::kOR:     return abs_or;
+    case isa::kAND:    return abs_and;
+    case isa::kMUL:    return abs_mul;
+    case isa::kMULH:   return abs_mulh;
+    case isa::kMULHSU: return abs_mulhsu;
+    case isa::kMULHU:  return abs_mulhu;
+    case isa::kDIV:    return abs_div;
+    case isa::kDIVU:   return abs_divu;
+    case isa::kREM:    return abs_rem;
+    case isa::kREMU:   return abs_remu;
+    default:           return nullptr;
+  }
+}
+
+/// A small concrete sample set with the usual corner values over-weighted.
+std::vector<uint32_t> random_samples(Rng& rng) {
+  std::vector<uint32_t> s(1 + rng.below(6));
+  for (uint32_t& x : s) {
+    x = rng.next32();
+    switch (rng.below(8)) {
+      case 0: x = 0; break;
+      case 1: x = 0xffffffffu; break;
+      case 2: x = 0x80000000u; break;
+      case 3: x = 0x7fffffffu; break;
+      case 4: x &= 0xff; break;  // small values: the common loop/index case
+      default: break;
+    }
+  }
+  return s;
+}
+
+/// Build some abstraction of `samples` — every constructor in the domain
+/// must produce a gamma that covers its inputs, so the test may pick any.
+AbsValue abstraction_of(const std::vector<uint32_t>& samples, Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return AbsValue::from_values(samples);
+    case 1:
+      return AbsValue::range(*std::min_element(samples.begin(), samples.end()),
+                             *std::max_element(samples.begin(), samples.end()));
+    case 2: {
+      AbsValue v = AbsValue::bottom();
+      for (uint32_t x : samples) v = abs_join(v, AbsValue::constant(x));
+      return v;
+    }
+    default: {
+      AbsValue v = AbsValue::constant(samples.front());
+      for (uint32_t x : samples)
+        v = abs_widen(v, abs_join(v, AbsValue::constant(x)));
+      return v;
+    }
+  }
+}
+
+bool concrete_cmp(CmpOp op, uint32_t x, uint32_t y) {
+  switch (op) {
+    case CmpOp::kEq:  return x == y;
+    case CmpOp::kNe:  return x != y;
+    case CmpOp::kLt:  return static_cast<int32_t>(x) < static_cast<int32_t>(y);
+    case CmpOp::kGe:  return static_cast<int32_t>(x) >= static_cast<int32_t>(y);
+    case CmpOp::kLtu: return x < y;
+    case CmpOp::kGeu: return x >= y;
+  }
+  return false;
+}
+
+constexpr CmpOp kAllCmps[] = {CmpOp::kEq,  CmpOp::kNe,  CmpOp::kLt,
+                              CmpOp::kGe,  CmpOp::kLtu, CmpOp::kGeu};
+
+class AnalysisDomainTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  isa::OpcodeTable table;
+  isa::Decoder decoder{table};
+};
+
+TEST_P(AnalysisDomainTest, TransferFunctionsOverapproximateOracle) {
+  Rng rng(GetParam());
+  for (const isa::OpcodeInfo& info : table.entries()) {
+    AbsFn fn = abs_fn_for(info.id);
+    if (!fn || info.format != isa::Format::kR) continue;
+    // rd = x3, rs1 = x1, rs2 = x2.
+    auto d = decoder.decode(info.match | (3u << 7) | (1u << 15) | (2u << 20));
+    ASSERT_TRUE(d.has_value()) << info.name;
+
+    for (int round = 0; round < 40; ++round) {
+      std::vector<uint32_t> xs = random_samples(rng);
+      std::vector<uint32_t> ys = random_samples(rng);
+      AbsValue a = abstraction_of(xs, rng);
+      AbsValue b = abstraction_of(ys, rng);
+      AbsValue r = fn(a, b);
+      for (uint32_t x : xs)
+        for (uint32_t y : ys) {
+          oracle::OracleState s;
+          s.regs[1] = x;
+          s.regs[2] = y;
+          ASSERT_TRUE(oracle::oracle_step(s, *d)) << info.name;
+          EXPECT_TRUE(r.contains(s.regs[3]))
+              << info.name << " of " << x << ", " << y << " = " << s.regs[3]
+              << " not in " << abs_to_string(r) << " (a=" << abs_to_string(a)
+              << " b=" << abs_to_string(b) << ")";
+        }
+    }
+  }
+}
+
+TEST_P(AnalysisDomainTest, ShiftImmediatesOverapproximateOracle) {
+  Rng rng(GetParam() ^ 0x5157u);
+  for (const isa::OpcodeInfo& info : table.entries()) {
+    AbsFn fn = info.id == isa::kSLLI   ? abs_sll
+               : info.id == isa::kSRLI ? abs_srl
+               : info.id == isa::kSRAI ? abs_sra
+                                       : nullptr;
+    if (!fn) continue;
+    for (int round = 0; round < 40; ++round) {
+      uint32_t shamt = rng.below(32);
+      auto d = decoder.decode(info.match | (3u << 7) | (1u << 15) |
+                              (shamt << 20));
+      ASSERT_TRUE(d.has_value()) << info.name;
+      ASSERT_EQ(d->info->id, info.id);
+      std::vector<uint32_t> xs = random_samples(rng);
+      AbsValue a = abstraction_of(xs, rng);
+      AbsValue r = fn(a, AbsValue::constant(shamt));
+      for (uint32_t x : xs) {
+        oracle::OracleState s;
+        s.regs[1] = x;
+        ASSERT_TRUE(oracle::oracle_step(s, *d)) << info.name;
+        EXPECT_TRUE(r.contains(s.regs[3]))
+            << info.name << " of " << x << " >> " << shamt;
+      }
+    }
+  }
+}
+
+TEST_P(AnalysisDomainTest, JoinMeetWidenContainment) {
+  Rng rng(GetParam() ^ 0x1019u);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<uint32_t> xs = random_samples(rng);
+    std::vector<uint32_t> ys = random_samples(rng);
+    AbsValue a = abstraction_of(xs, rng);
+    AbsValue b = abstraction_of(ys, rng);
+
+    AbsValue j = abs_join(a, b);
+    AbsValue w = abs_widen(a, j);
+    for (uint32_t x : xs) {
+      EXPECT_TRUE(j.contains(x)) << "join lost a left member";
+      EXPECT_TRUE(w.contains(x)) << "widen lost a left member";
+    }
+    for (uint32_t y : ys) {
+      EXPECT_TRUE(j.contains(y)) << "join lost a right member";
+      EXPECT_TRUE(w.contains(y)) << "widen lost a right member";
+    }
+
+    // Meet must keep everything both sides contain.
+    AbsValue m = abs_meet(a, b);
+    for (uint32_t x : xs)
+      if (a.contains(x) && b.contains(x)) {
+        EXPECT_TRUE(m.contains(x)) << "meet lost a common member";
+      }
+  }
+}
+
+TEST_P(AnalysisDomainTest, CompareDecisionsMatchConcrete) {
+  Rng rng(GetParam() ^ 0xc3a7u);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<uint32_t> xs = random_samples(rng);
+    std::vector<uint32_t> ys = random_samples(rng);
+    AbsValue a = abstraction_of(xs, rng);
+    AbsValue b = abstraction_of(ys, rng);
+    for (CmpOp op : kAllCmps) {
+      std::optional<bool> decided = abs_compare(op, a, b);
+      if (!decided) continue;
+      for (uint32_t x : xs)
+        for (uint32_t y : ys)
+          EXPECT_EQ(*decided, concrete_cmp(op, x, y))
+              << "decided comparison contradicts a concretization";
+    }
+  }
+}
+
+TEST_P(AnalysisDomainTest, RefinementKeepsSatisfyingValues) {
+  Rng rng(GetParam() ^ 0xbeefu);
+  for (int round = 0; round < 400; ++round) {
+    std::vector<uint32_t> xs = random_samples(rng);
+    std::vector<uint32_t> ys = random_samples(rng);
+    AbsValue v = abstraction_of(xs, rng);
+    AbsValue rhs = abstraction_of(ys, rng);
+    uint32_t c = ys.front();
+    bool taken = rng.below(2) == 0;
+    for (CmpOp op : kAllCmps) {
+      // Constant refinement: every sample that satisfies the assumption
+      // must survive it.
+      AbsValue rc = abs_refine(v, op, c, taken);
+      for (uint32_t x : xs)
+        if (concrete_cmp(op, x, c) == taken) {
+          EXPECT_TRUE(rc.contains(x))
+              << "constant refinement lost x=" << x << " c=" << c;
+        }
+
+      // Abstract-rhs refinement, left operand.
+      AbsValue ra = abs_refine(v, op, rhs, taken);
+      for (uint32_t x : xs)
+        for (uint32_t y : ys)
+          if (concrete_cmp(op, x, y) == taken) {
+            EXPECT_TRUE(ra.contains(x))
+                << "lhs refinement lost x=" << x << " y=" << y;
+          }
+
+      // Abstract-lhs refinement, right operand.
+      AbsValue rb = abs_refine_rhs(rhs, op, v, taken);
+      for (uint32_t x : xs)
+        for (uint32_t y : ys)
+          if (concrete_cmp(op, y, x) == taken) {
+            EXPECT_TRUE(rb.contains(x))
+                << "rhs refinement lost x=" << x << " lhs y=" << y;
+          }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisDomainTest,
+                         ::testing::Values(1u, 2u, 3u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace binsym::analysis

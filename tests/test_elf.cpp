@@ -2,6 +2,7 @@
 // malformed-input rejection and program materialization.
 #include <gtest/gtest.h>
 
+#include "core/executor.hpp"
 #include "elf/elf32.hpp"
 
 namespace binsym::elf {
@@ -62,6 +63,31 @@ TEST(Elf, RejectsTruncatedPayload) {
   bytes.resize(bytes.size() - 4);
   std::string error;
   EXPECT_FALSE(read_elf(bytes, &error).has_value());
+}
+
+TEST(Elf, SegmentFlagsRoundTripToMemRegions) {
+  // p_flags survive write -> read -> to_program: the per-segment RWX
+  // metadata must land verbatim on the program's MemRegions (the static
+  // analysis keys its code-vs-data sweeps off it).
+  Image original = sample_image();
+  original.segments[0].flags = kPfR | kPfX;   // text
+  original.segments[1].flags = kPfR | kPfW;   // data
+  auto loaded = read_elf(write_elf(original));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->segments.size(), 2u);
+  EXPECT_EQ(loaded->segments[0].flags, kPfR | kPfX);
+  EXPECT_EQ(loaded->segments[1].flags, kPfR | kPfW);
+
+  core::Program program = to_program(*loaded);
+  ASSERT_EQ(program.regions.size(), 2u);
+  EXPECT_EQ(program.regions[0].flags,
+            core::MemRegion::kRead | core::MemRegion::kExec);
+  EXPECT_EQ(program.regions[1].flags,
+            core::MemRegion::kRead | core::MemRegion::kWrite);
+  // The ELF encoding and MemRegion share bit values by design.
+  EXPECT_EQ(static_cast<uint32_t>(kPfX), core::MemRegion::kExec);
+  EXPECT_EQ(static_cast<uint32_t>(kPfW), core::MemRegion::kWrite);
+  EXPECT_EQ(static_cast<uint32_t>(kPfR), core::MemRegion::kRead);
 }
 
 TEST(Elf, ToProgramLoadsSegments) {

@@ -177,6 +177,9 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
   stats.finding_dupes = 31;
   stats.candidates_checked = 32;
   stats.candidates_feasible = 33;
+  stats.static_proved = 34;
+  stats.static_unknown = 35;
+  stats.static_mismatches = 36;
   stats.solver_name = "test-solver";
   stats.solver.queries = 40;
   stats.solver.sat = 41;
@@ -197,6 +200,7 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
       "hits=25",           "misses=26",          "captures=27",
       "evictions=28",      "pages-copied=29",    "findings=30",
       "dupes=31",          "candidates=32",      "feasible=33",
+      "proved=34",         "unknown=35",         "mismatches=36",
       "queries=40",        "sat=41",             "unsat=42",
       "unknown=43",        "cache-hits=44",      "cache-misses=45",
       "incremental-checks=46", "reused-assertions=47", "test-solver",
@@ -214,6 +218,7 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   std::string report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "snapshots:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "oracles:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "static:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "query-nodes:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "paths="), 1u);
   EXPECT_EQ(occurrences(report, "flips:"), 1u);
@@ -228,6 +233,10 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   stats.candidates_checked = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "oracles:"), 1u);
+  EXPECT_EQ(occurrences(report, "static:"), 0u);
+  stats.static_proved = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "static:"), 1u);
   stats.query_nodes_total = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "query-nodes:"), 1u);

@@ -11,7 +11,8 @@ Four checks, all hard failures:
 
 2. `explore --help` flag coverage. Every `--flag` the explore CLI
    advertises must be documented in docs/BENCHMARKS.md, so the CLI can
-   never grow an undocumented knob.
+   never grow an undocumented knob. With --analyze, the same check runs
+   for the analyze CLI against docs/ANALYSIS.md.
 
 3. Oracle reference coverage (with --explore). Every oracle `explore
    --list-oracles` reports must have a "## `name`" section in
@@ -24,7 +25,8 @@ Four checks, all hard failures:
    must actually work against the build tree.
 
 Usage:
-    tools/check_docs.py [--explore build/explore] [--run-quickstart]
+    tools/check_docs.py [--explore build/explore] [--analyze build/analyze]
+                        [--run-quickstart]
 
 Run from anywhere; paths are resolved relative to the repository root
 (the parent of this script's directory).
@@ -110,17 +112,18 @@ def check_links():
     return errors
 
 
-def check_explore_flags(explore_binary):
-    result = subprocess.run([explore_binary, "--help"], capture_output=True,
+def check_cli_flags(binary, doc_name):
+    """Every `--flag` in `binary --help` must appear in docs/<doc_name>."""
+    result = subprocess.run([binary, "--help"], capture_output=True,
                             text=True, timeout=60)
     if result.returncode != 0:
-        return [f"{explore_binary} --help exited {result.returncode}"]
+        return [f"{binary} --help exited {result.returncode}"]
     advertised = sorted(set(FLAG_RE.findall(result.stdout)))
     if not advertised:
-        return [f"{explore_binary} --help advertised no flags (bad parse?)"]
-    documented = (REPO / "docs" / "BENCHMARKS.md").read_text(encoding="utf-8")
+        return [f"{binary} --help advertised no flags (bad parse?)"]
+    documented = (REPO / "docs" / doc_name).read_text(encoding="utf-8")
     return [
-        f"docs/BENCHMARKS.md: explore flag not documented: {flag}"
+        f"docs/{doc_name}: flag not documented: {flag}"
         for flag in advertised
         if flag not in documented
     ]
@@ -187,6 +190,9 @@ def main():
     parser.add_argument("--explore", metavar="BINARY",
                         help="path to the built explore example; enables the "
                              "flag-coverage and oracle-reference checks")
+    parser.add_argument("--analyze", metavar="BINARY",
+                        help="path to the built analyze example; enables its "
+                             "flag-coverage check against docs/ANALYSIS.md")
     parser.add_argument("--run-quickstart", action="store_true",
                         help="execute docs/USER_GUIDE.md's fenced sh blocks "
                              "against the build tree")
@@ -194,11 +200,15 @@ def main():
 
     errors = check_links()
     if args.explore:
-        errors += check_explore_flags(args.explore)
+        errors += check_cli_flags(args.explore, "BENCHMARKS.md")
         errors += check_oracle_reference(args.explore)
     else:
         print("note: --explore not given, skipping the flag-coverage and "
               "oracle-reference checks")
+    if args.analyze:
+        errors += check_cli_flags(args.analyze, "ANALYSIS.md")
+    else:
+        print("note: --analyze not given, skipping its flag-coverage check")
     if args.run_quickstart:
         errors += run_quickstart()
 
