@@ -36,6 +36,10 @@ struct EngineSetup {
   const isa::Decoder& decoder;
   const spec::Registry& registry;
   const core::Program& program;
+  /// Per-machine knobs (micro-op fast path, step budget, stack top) applied
+  /// to every worker built from this setup. Defaulted so three-member
+  /// aggregate initialization keeps working.
+  core::MachineConfig config{};
 };
 
 /// CLI spellings accepted by every harness: binsym, vp, binsec, angr,
@@ -57,11 +61,12 @@ inline core::WorkerResources build_worker(
   if (!known_engine(engine)) return r;
   r.ctx = std::make_unique<smt::Context>();
   if (engine == "binsym") {
-    r.executor = std::make_unique<core::BinSymExecutor>(*r.ctx, s.decoder,
-                                                        s.registry, s.program);
+    r.executor = std::make_unique<core::BinSymExecutor>(
+        *r.ctx, s.decoder, s.registry, s.program, s.config);
   } else if (engine == "vp") {
     r.executor = std::make_unique<vp::VpExecutor>(*r.ctx, s.decoder,
-                                                  s.registry, s.program);
+                                                  s.registry, s.program,
+                                                  s.config);
   } else if (engine == "binsec" || engine == "angr" ||
              engine == "angr-buggy") {
     if (engine == "angr-buggy") bugs = baseline::LifterBugs::all();
@@ -230,6 +235,25 @@ inline bool parse_solver_opt_flag(const char* arg,
     options->presolve_models = false;
   } else if (std::strcmp(arg, "--no-cache") == 0) {
     options->cache_queries = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Micro-op fast-path knobs, shared by every harness: --no-uop disables the
+/// block-compiled fast path (pure per-instruction spec interpretation),
+/// --uop-cache-size N bounds the per-worker block cache. Consumes the value
+/// argument (advancing *i) for the latter. Returns false when argv[*i] is
+/// neither.
+inline bool parse_uop_flag(int argc, char** argv, int* i,
+                           core::MachineConfig* config) {
+  const char* arg = argv[*i];
+  if (std::strcmp(arg, "--no-uop") == 0) {
+    config->uop_fastpath = false;
+  } else if (std::strcmp(arg, "--uop-cache-size") == 0 && *i + 1 < argc) {
+    config->uop_cache_blocks = std::max(
+        1u, static_cast<unsigned>(std::strtoul(argv[++*i], nullptr, 0)));
   } else {
     return false;
   }

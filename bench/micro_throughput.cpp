@@ -4,11 +4,14 @@
 // solver backends on a representative branch-flip query.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "asm/assembler.hpp"
 #include "baseline/ir_exec.hpp"
 #include "core/executor.hpp"
 #include "elf/elf32.hpp"
 #include "interp/concrete.hpp"
+#include "interp/taint.hpp"
 #include "isa/decoder.hpp"
 #include "isa/disasm.hpp"
 #include "smt/solver.hpp"
@@ -28,13 +31,24 @@ struct Fixture {
   Fixture() {
     spec::install_rv32im(registry, table);
     // A pool of valid instruction words covering the RV32IM ALU space.
+    // CSR/System formats are deliberately excluded (their randomized
+    // operand fields would mostly be invalid CSR numbers); log how many
+    // opcodes that skips so the pool's coverage is visible, not silent.
     Rng rng(99);
+    unsigned skipped = 0;
     for (const isa::OpcodeInfo& info : table.entries()) {
-      if (info.format == isa::Format::kCsr || info.format == isa::Format::kSystem)
+      if (info.format == isa::Format::kCsr ||
+          info.format == isa::Format::kSystem) {
+        ++skipped;
         continue;
+      }
       for (int i = 0; i < 4; ++i)
         words.push_back(info.match | (rng.next32() & ~info.mask));
     }
+    if (skipped)
+      std::fprintf(stderr,
+                   "note: instruction pool skips %u CSR/System opcode(s)\n",
+                   skipped);
   }
 };
 
@@ -82,11 +96,11 @@ loop:
     ecall
 )";
 
-void BM_ConcreteSpecInterp(benchmark::State& state) {
+void concrete_interp(benchmark::State& state, bool uop_fastpath) {
   Fixture& f = fixture();
   rvasm::AsmResult assembled = rvasm::assemble_or_die(f.table, kLoopSource);
   for (auto _ : state) {
-    interp::Iss iss(f.decoder, f.registry);
+    interp::Iss iss(f.decoder, f.registry, uop_fastpath);
     for (const elf::Segment& seg : assembled.image.segments)
       for (size_t i = 0; i < seg.bytes.size(); ++i)
         iss.machine().memory_.write8(seg.addr + static_cast<uint32_t>(i),
@@ -97,7 +111,44 @@ void BM_ConcreteSpecInterp(benchmark::State& state) {
                             static_cast<int64_t>(steps));
   }
 }
+
+void BM_ConcreteSpecInterp(benchmark::State& state) {
+  // Fast path off: this pins the per-instruction spec-walk baseline.
+  concrete_interp(state, /*uop_fastpath=*/false);
+}
 BENCHMARK(BM_ConcreteSpecInterp);
+
+void BM_ConcreteBlockInterp(benchmark::State& state) {
+  // Micro-op block compilation + threaded dispatch (the default mode).
+  concrete_interp(state, /*uop_fastpath=*/true);
+}
+BENCHMARK(BM_ConcreteBlockInterp);
+
+void taint_interp(benchmark::State& state, bool uop_fastpath) {
+  Fixture& f = fixture();
+  rvasm::AsmResult assembled = rvasm::assemble_or_die(f.table, kLoopSource);
+  for (auto _ : state) {
+    interp::TaintTracker tracker(f.decoder, f.registry, uop_fastpath);
+    for (const elf::Segment& seg : assembled.image.segments)
+      for (size_t i = 0; i < seg.bytes.size(); ++i)
+        tracker.machine().memory_[seg.addr + static_cast<uint32_t>(i)] =
+            seg.bytes[i];
+    tracker.machine().pc_ = assembled.image.entry;
+    uint64_t steps = tracker.run();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(steps));
+  }
+}
+
+void BM_TaintSpecInterp(benchmark::State& state) {
+  taint_interp(state, /*uop_fastpath=*/false);
+}
+BENCHMARK(BM_TaintSpecInterp);
+
+void BM_TaintBlockInterp(benchmark::State& state) {
+  taint_interp(state, /*uop_fastpath=*/true);
+}
+BENCHMARK(BM_TaintBlockInterp);
 
 void BM_ConcolicSpecInterp(benchmark::State& state) {
   Fixture& f = fixture();

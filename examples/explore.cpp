@@ -6,6 +6,7 @@
 //           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
+//           [--no-uop] [--uop-cache-size N]
 //           [--show-failures] [--oracles LIST] [--findings-dir DIR]
 //           [--replay FILE] [--list-oracles] [--static-lint]
 //           [--no-static-prune]
@@ -46,6 +47,9 @@ void print_usage(std::FILE* out, const char* prog) {
       "                           replay per flip)\n"
       "  --snapshot-budget N      live checkpoints kept per worker\n"
       "  --snapshot-interval N    min branch records between checkpoints\n"
+      "  --no-uop                 disable the micro-op block fast path\n"
+      "                           (pure per-instruction spec interpretation)\n"
+      "  --uop-cache-size N       cached micro-op blocks per worker\n"
       "  --show-failures          print report_fail events with inputs\n"
       "  --oracles LIST           enable bug-finding oracles: 'all' or a\n"
       "                           comma list (see --list-oracles and\n"
@@ -125,6 +129,7 @@ int main(int argc, char** argv) {
   std::string target = argv[1];
   std::string engine_name = "binsym";
   core::EngineOptions options;
+  core::MachineConfig mconfig;
   bool show_failures = false;
   bool static_lint = false;
   bool static_prune = true;
@@ -141,6 +146,8 @@ int main(int argc, char** argv) {
     } else if (bench::parse_solver_opt_flag(argv[i], &options)) {
       // handled
     } else if (bench::parse_snapshot_flag(argc, argv, &i, &options)) {
+      // handled
+    } else if (bench::parse_uop_flag(argc, argv, &i, &mconfig)) {
       // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
       show_failures = true;
@@ -209,7 +216,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::EngineSetup setup{decoder, registry, program};
+  bench::EngineSetup setup{decoder, registry, program, mconfig};
   if (!bench::known_engine(engine_name)) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;

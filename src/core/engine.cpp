@@ -137,6 +137,11 @@ void EngineStats::merge(const EngineStats& other) {
   static_proved += other.static_proved;
   static_unknown += other.static_unknown;
   static_mismatches += other.static_mismatches;
+  uop_blocks_compiled += other.uop_blocks_compiled;
+  uop_cache_hits += other.uop_cache_hits;
+  uop_guard_bails += other.uop_guard_bails;
+  uop_invalidations += other.uop_invalidations;
+  pages_clean_skipped += other.pages_clean_skipped;
   solver.merge(other.solver);
 }
 
@@ -222,6 +227,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   PathTrace trace;
   const uint64_t instructions_before = executor.instructions_retired();
   const uint64_t pages_copied_before = executor.pages_copied();
+  const interp::UopCounters uop_before = executor.uop_counters();
 
   // Per-worker solver-pipeline state (workers never share any of it; the
   // cache is keyed by node ids, which are per-context, so it could not be
@@ -517,6 +523,13 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   local.snapshot_evictions = snapshot_pool.evictions();
   local.snapshot_pages_copied = executor.pages_copied() - pages_copied_before;
   local.instructions = executor.instructions_retired() - instructions_before;
+  const interp::UopCounters uop_after = executor.uop_counters();
+  local.uop_blocks_compiled = uop_after.blocks_compiled - uop_before.blocks_compiled;
+  local.uop_cache_hits = uop_after.cache_hits - uop_before.cache_hits;
+  local.uop_guard_bails = uop_after.guard_bails - uop_before.guard_bails;
+  local.uop_invalidations = uop_after.invalidations - uop_before.invalidations;
+  local.pages_clean_skipped =
+      uop_after.pages_clean_skipped - uop_before.pages_clean_skipped;
   local.solver = solver.stats();
   // Queries answered from the cache count as logical queries, exactly as
   // the CachingSolver wrapper reports them in standalone use.

@@ -154,6 +154,14 @@ struct EngineStats {
   uint64_t static_proved = 0;     // candidates proven unsat, solver skipped
   uint64_t static_unknown = 0;    // candidates the prover passed through
   uint64_t static_mismatches = 0; // differential mode: proven-yet-sat (bug!)
+  // -- Micro-op fast path (interp/uop.hpp). Zero with uop_fastpath off or
+  // for executors without the fast path.
+  uint64_t uop_blocks_compiled = 0;  // straight-line blocks lowered
+  uint64_t uop_cache_hits = 0;       // block lookups served from the cache
+  uint64_t uop_guard_bails = 0;      // mid-block exits to the spec path
+  uint64_t uop_invalidations = 0;    // blocks dropped by stores into them
+  uint64_t pages_clean_skipped = 0;  // shadow lookups skipped via clean
+                                     // page summaries
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration

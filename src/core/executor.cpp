@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "core/snapshot.hpp"
+#include "interp/uop_run.hpp"
 
 namespace binsym::core {
+
+namespace {
+
+/// run_block policy over SymMachine: guards fail on any symbolic consumed
+/// operand (register or shadowed memory page), so the fast path only ever
+/// runs through fully-concrete dataflow. That is why it adds no branch
+/// records and no assumptions — exactly what the spec path computes for the
+/// same concrete values.
+struct ConcolicPolicy {
+  SymMachine& m;
+  interp::BlockCache& cache;
+
+  bool reg(unsigned index, uint32_t* out) { return m.reg_concrete(index, out); }
+  void set_reg(unsigned index, uint32_t value) {
+    m.set_reg_concrete(index, value);
+  }
+  bool load(uint32_t addr, unsigned bytes, uint32_t* out) {
+    const ConcolicMemory& mem = m.memory();
+    if (!mem.range_concrete(addr, bytes)) return false;
+    *out = static_cast<uint32_t>(mem.read_concrete(addr, bytes));
+    return true;
+  }
+  void store(uint32_t addr, unsigned bytes, uint32_t value, bool* exit_block) {
+    m.memory().store_concrete(addr, bytes, value);
+    if (cache.on_guest_store(addr, bytes)) *exit_block = true;
+  }
+};
+
+}  // namespace
 
 void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words,
                          uint32_t flags) {
@@ -31,7 +61,10 @@ BinSymExecutor::BinSymExecutor(smt::Context& ctx, const isa::Decoder& decoder,
       registry_(registry),
       program_(program),
       config_(config),
-      machine_(ctx) {}
+      machine_(ctx),
+      cache_(config.uop_cache_blocks) {
+  if (config_.uop_fastpath) machine_.set_store_watch(&cache_);
+}
 
 void BinSymExecutor::run(const smt::Assignment& seed, PathTrace& trace) {
   trace.clear();
@@ -66,8 +99,36 @@ uint64_t BinSymExecutor::pages_copied() const {
   return machine_.memory().concrete().pages_copied();
 }
 
+const interp::BlockCache::Block* BinSymExecutor::lookup_or_compile(
+    uint32_t pc) {
+  if (cache_.page_poisoned(pc)) return nullptr;
+  if (const interp::BlockCache::Block* block = cache_.lookup(pc)) return block;
+  // Lowering fetch mirrors the slow loop: only the leader byte's page must
+  // be mapped (reads zero-fill past it), and fetch never consults the
+  // symbolic shadow (like fetch_word). Poisoned pages are refused for the
+  // whole word so a block never covers a page that has been stored to.
+  auto fetch = [this](uint32_t p, uint32_t* word) {
+    if (!machine_.memory().mapped(p)) return false;
+    if (cache_.page_poisoned(p) || cache_.page_poisoned(p + 3)) return false;
+    *word = static_cast<uint32_t>(machine_.memory().read_concrete(p, 4));
+    return true;
+  };
+  interp::Uop* buffer = cache_.begin_compile();
+  uint32_t bytes = 0;
+  unsigned count =
+      lower_block(decoder_, registry_, fetch, pc, buffer,
+                  interp::BlockCache::kMaxBlockUops, &bytes);
+  return cache_.finish_compile(pc, count, bytes);
+}
+
 void BinSymExecutor::loop(const SnapshotPlan* plan, uint64_t next_capture) {
   PathTrace& trace = machine_.trace();
+  // The fast path never fires the per-instruction hooks, so it must stay
+  // off while any are attached. It is safe across capture points: a block
+  // adds no branch records (symbolic conditions bail), so the capture
+  // condition below cannot become true at an intra-block boundary.
+  const bool fast = config_.uop_fastpath && !trace_hook_ && !observer_;
+  ConcolicPolicy policy{machine_, cache_};
   while (machine_.running()) {
     if (plan && trace.branches.size() >= next_capture) {
       auto snap = std::make_shared<Snapshot>();
@@ -82,6 +143,27 @@ void BinSymExecutor::loop(const SnapshotPlan* plan, uint64_t next_capture) {
     if (!machine_.fetch_mapped()) {
       machine_.stop(ExitReason::kBadFetch);
       break;
+    }
+    if (fast) {
+      const interp::BlockCache::Block* block =
+          lookup_or_compile(machine_.pc());
+      if (block && block->count) {
+        interp::UopRun r = interp::run_block(
+            block->uops, block->count, config_.max_steps - trace.steps,
+            policy);
+        trace.steps += r.steps;
+        retired_ += r.steps;
+        if (r.exit != interp::UopExit::kBail) {
+          machine_.set_next_pc(r.next_pc);
+          machine_.advance();
+          continue;  // kStepLimit re-enters the budget check above
+        }
+        // Re-execute the bailing instruction on the spec path in this same
+        // iteration (continuing would re-enter the block and bail forever).
+        machine_.set_next_pc(r.bail_pc);
+        machine_.advance();
+        ++guard_bails_;
+      }
     }
     uint32_t word = machine_.fetch_word();
 

@@ -18,7 +18,9 @@
 
 #include "core/machine.hpp"
 #include "core/path.hpp"
+#include "interp/block_cache.hpp"
 #include "interp/evaluator.hpp"
+#include "interp/uop.hpp"
 #include "isa/decoder.hpp"
 #include "smt/context.hpp"
 #include "spec/registry.hpp"
@@ -71,6 +73,14 @@ struct Program {
 struct MachineConfig {
   uint32_t stack_top = 0x0010'0000;
   uint64_t max_steps = 10'000'000;
+  /// Micro-op fast path (uop.hpp): compile straight-line runs to threaded
+  /// micro-op blocks and execute them while all consumed operands are
+  /// concrete. Off = pure per-instruction spec interpretation. Behavior is
+  /// bit-identical either way; this only trades compile/cache overhead
+  /// against per-instruction dispatch cost.
+  bool uop_fastpath = true;
+  /// Cached blocks per executor before the block cache flushes.
+  uint32_t uop_cache_blocks = 4096;
 };
 
 struct Snapshot;
@@ -127,6 +137,10 @@ class Executor {
   /// Pages physically duplicated by guest-memory copy-on-write breaks
   /// across all runs (0 for executors without CoW state).
   virtual uint64_t pages_copied() const { return 0; }
+
+  /// Micro-op fast-path counters across all runs (all zero for executors
+  /// without the fast path, or with it disabled).
+  virtual interp::UopCounters uop_counters() const { return {}; }
 };
 
 /// The paper's engine: per-instruction interpretation of the formal
@@ -148,6 +162,10 @@ class BinSymExecutor final : public Executor {
   bool resume(const Snapshot& snap, const smt::Assignment& seed,
               PathTrace& trace, const SnapshotPlan& plan) override;
   uint64_t pages_copied() const override;
+  interp::UopCounters uop_counters() const override {
+    return {cache_.blocks_compiled(), cache_.cache_hits(), guard_bails_,
+            cache_.invalidations(), machine_.memory().pages_clean_skipped()};
+  }
 
   bool supports_observer() const override { return true; }
   void set_observer(ExecObserver* observer) override {
@@ -166,6 +184,8 @@ class BinSymExecutor final : public Executor {
   /// the trace has reached `next_capture` branch records.
   void loop(const SnapshotPlan* plan, uint64_t next_capture);
 
+  const interp::BlockCache::Block* lookup_or_compile(uint32_t pc);
+
   TraceHook trace_hook_;
   ExecObserver* observer_ = nullptr;
   smt::Context& ctx_;
@@ -179,6 +199,8 @@ class BinSymExecutor final : public Executor {
   // infrastructure, not part of the translation under comparison).
   std::unordered_map<uint32_t, isa::Decoded> decode_cache_;
   uint64_t retired_ = 0;
+  interp::BlockCache cache_;
+  uint64_t guard_bails_ = 0;
 };
 
 }  // namespace binsym::core

@@ -171,6 +171,9 @@ void SymMachine::ecall() {
         memory_.poke_symbolic(a0 + i, var, conc);
         trace_->input_vars.push_back(var->var_id);
       }
+      // Guest-visible memory write like any store: cached code under the
+      // input buffer must be dropped.
+      if (store_watch_ && a1 != 0) store_watch_->on_guest_store(a0, a1);
       break;
     }
     default:

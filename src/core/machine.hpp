@@ -22,6 +22,7 @@
 #include "core/path.hpp"
 #include "core/syscalls.hpp"
 #include "dsl/ast.hpp"
+#include "interp/uop.hpp"
 #include "interp/value.hpp"
 #include "smt/eval.hpp"
 
@@ -96,6 +97,32 @@ class SymMachine {
   /// Total global symbolic input bytes created so far (stable naming).
   unsigned input_counter() const { return input_counter_; }
 
+  /// Attach a guest-store watch (the executor's BlockCache), or null. Every
+  /// byte-range the guest writes — spec-path stores, fast-path stores,
+  /// sym_input bindings — is reported, which is what keeps cached micro-op
+  /// blocks sound against self-modifying code.
+  void set_store_watch(interp::GuestStoreWatch* watch) { store_watch_ = watch; }
+
+  // -- Micro-op fast-path support (executor.cpp's concolic policy). -------------
+
+  /// Concrete view of register `index` if it holds no symbolic expression;
+  /// returns false (a fast-path guard bail) otherwise.
+  bool reg_concrete(unsigned index, uint32_t* out) const {
+    if (index == 0) {
+      *out = 0;
+      return true;
+    }
+    const Value& v = regs_[index];
+    if (v.symbolic()) return false;
+    *out = static_cast<uint32_t>(v.conc);
+    return true;
+  }
+
+  /// Fast-path register write: a plain 32-bit concrete value.
+  void set_reg_concrete(unsigned index, uint32_t value) {
+    if (index != 0) regs_[index] = interp::sval(value, 32);
+  }
+
   // -- Primitives (interp::Evaluator interface). --------------------------------
 
   Value constant(uint64_t value, unsigned width) {
@@ -138,6 +165,7 @@ class SymMachine {
     if (observer_) observer_->on_store(addr, bytes, value);
     uint32_t a = static_cast<uint32_t>(concretize(addr));
     memory_.store(a, bytes, value);
+    if (store_watch_) store_watch_->on_guest_store(a, bytes);
   }
 
   Value apply_un(dsl::ExprOp op, const Value& a, unsigned aux0, unsigned aux1) {
@@ -196,6 +224,7 @@ class SymMachine {
   const smt::Assignment* seed_ = nullptr;
   PathTrace* trace_ = nullptr;
   ExecObserver* observer_ = nullptr;
+  interp::GuestStoreWatch* store_watch_ = nullptr;
 };
 
 }  // namespace binsym::core

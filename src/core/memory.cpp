@@ -30,6 +30,9 @@ void ConcreteMemory::load_image(uint32_t addr,
 interp::SymValue ConcolicMemory::load(uint32_t addr, unsigned bytes) const {
   uint64_t conc = concrete_.read(addr, bytes);
 
+  // Clean-page summary first (one lookup per page), per-byte check only on
+  // dirty pages.
+  if (range_concrete(addr, bytes)) return interp::sval(conc, bytes * 8);
   bool any_symbolic = false;
   for (unsigned i = 0; i < bytes && !any_symbolic; ++i)
     any_symbolic = symbolic_.count(addr + i) != 0;
@@ -55,19 +58,26 @@ interp::SymValue ConcolicMemory::load(uint32_t addr, unsigned bytes) const {
 void ConcolicMemory::store(uint32_t addr, unsigned bytes,
                            const interp::SymValue& value) {
   assert(value.width == bytes * 8);
-  concrete_.write(addr, bytes, value.conc);
   if (!value.symbolic()) {
-    for (unsigned i = 0; i < bytes; ++i) symbolic_.erase(addr + i);
+    store_concrete(addr, bytes, value.conc);
     return;
   }
+  concrete_.write(addr, bytes, value.conc);
   for (unsigned i = 0; i < bytes; ++i) {
     smt::ExprRef byte_expr = ctx_.extract(value.sym, 8 * i + 7, 8 * i);
     if (byte_expr->is_const()) {
-      symbolic_.erase(addr + i);
+      erase_symbolic_byte(addr + i);
     } else {
-      symbolic_[addr + i] = byte_expr;
+      set_symbolic_byte(addr + i, byte_expr);
     }
   }
+}
+
+void ConcolicMemory::store_concrete(uint32_t addr, unsigned bytes,
+                                    uint64_t value) {
+  concrete_.write(addr, bytes, value);
+  if (range_concrete(addr, bytes)) return;  // clean pages: no shadow to clear
+  for (unsigned i = 0; i < bytes; ++i) erase_symbolic_byte(addr + i);
 }
 
 void ConcolicMemory::reshadow(smt::CachingEvaluator& eval) {
@@ -81,9 +91,9 @@ void ConcolicMemory::poke_symbolic(uint32_t addr, smt::ExprRef byte_expr,
                                    uint8_t conc) {
   concrete_.write8(addr, conc);
   if (byte_expr->is_const()) {
-    symbolic_.erase(addr);
+    erase_symbolic_byte(addr);
   } else {
-    symbolic_[addr] = byte_expr;
+    set_symbolic_byte(addr, byte_expr);
   }
 }
 

@@ -116,6 +116,7 @@ class ConcolicMemory {
   void reset(const ConcreteMemory& image) {
     concrete_.rebind(image);
     symbolic_.clear();
+    symbolic_page_counts_.clear();
   }
 
   const ConcreteMemory& concrete() const { return concrete_; }
@@ -134,6 +135,31 @@ class ConcolicMemory {
   /// Store a (bytes*8)-wide value at a concrete address.
   void store(uint32_t addr, unsigned bytes, const interp::SymValue& value);
 
+  /// Fully-concrete store: writes the concrete bytes and clears any shadow
+  /// under them. The micro-op fast path's store primitive.
+  void store_concrete(uint32_t addr, unsigned bytes, uint64_t value);
+
+  /// True when no byte of [addr, addr+bytes) carries a symbolic expression,
+  /// decided from per-page symbolic-byte counts alone — the clean-page
+  /// summary that lets hot loads/stores skip per-byte shadow lookups.
+  /// Conservative: a dirty page makes it return false even if the specific
+  /// bytes are concrete. Counts every positive answer in
+  /// pages_clean_skipped().
+  bool range_concrete(uint32_t addr, unsigned bytes) const {
+    if (!symbolic_page_counts_.empty()) {
+      uint32_t first = addr >> ConcreteMemory::kPageBits;
+      uint32_t last = (addr + bytes - 1) >> ConcreteMemory::kPageBits;
+      if (last < first) return false;  // address-space wrap: stay byte-exact
+      for (uint32_t page = first; page <= last; ++page)
+        if (symbolic_page_counts_.count(page) != 0) return false;
+    }
+    ++pages_clean_skipped_;
+    return true;
+  }
+
+  /// Accesses answered by the clean-page summary (skipped per-byte lookups).
+  uint64_t pages_clean_skipped() const { return pages_clean_skipped_; }
+
   /// Bind one byte to a symbolic expression with concrete shadow `conc`
   /// (used by sym_input).
   void poke_symbolic(uint32_t addr, smt::ExprRef byte_expr, uint8_t conc);
@@ -150,6 +176,7 @@ class ConcolicMemory {
                const std::unordered_map<uint32_t, smt::ExprRef>& symbolic) {
     concrete_.rebind(concrete);
     symbolic_ = symbolic;
+    rebuild_page_counts();
   }
 
   /// Recompute the concrete shadow of every symbolic byte under `eval`'s
@@ -160,9 +187,35 @@ class ConcolicMemory {
   size_t num_symbolic_bytes() const { return symbolic_.size(); }
 
  private:
+  // All shadow mutation funnels through these two so the per-page counts
+  // can never drift from symbolic_.
+  void set_symbolic_byte(uint32_t addr, smt::ExprRef expr) {
+    auto [it, inserted] = symbolic_.insert_or_assign(addr, std::move(expr));
+    (void)it;
+    if (inserted)
+      ++symbolic_page_counts_[addr >> ConcreteMemory::kPageBits];
+  }
+
+  void erase_symbolic_byte(uint32_t addr) {
+    if (symbolic_.erase(addr) == 0) return;
+    auto it = symbolic_page_counts_.find(addr >> ConcreteMemory::kPageBits);
+    if (--it->second == 0) symbolic_page_counts_.erase(it);
+  }
+
+  void rebuild_page_counts() {
+    symbolic_page_counts_.clear();
+    for (const auto& [addr, expr] : symbolic_) {
+      (void)expr;
+      ++symbolic_page_counts_[addr >> ConcreteMemory::kPageBits];
+    }
+  }
+
   smt::Context& ctx_;
   ConcreteMemory concrete_;
   std::unordered_map<uint32_t, smt::ExprRef> symbolic_;
+  // page -> number of symbolic bytes on it; absent = clean page.
+  std::unordered_map<uint32_t, uint32_t> symbolic_page_counts_;
+  mutable uint64_t pages_clean_skipped_ = 0;
 };
 
 }  // namespace binsym::core

@@ -64,6 +64,18 @@ std::string engine_stats_report(const EngineStats& stats) {
                      u(stats.static_proved), u(stats.static_unknown),
                      u(stats.static_mismatches));
   }
+  // Micro-op fast path (interp/uop.hpp). Elided when the fast path never
+  // ran (disabled via uop_fastpath=false, or a spec-only executor).
+  if (stats.uop_blocks_compiled || stats.uop_cache_hits ||
+      stats.uop_guard_bails || stats.uop_invalidations ||
+      stats.pages_clean_skipped) {
+    out += strprintf(
+        "uops: blocks=%llu hits=%llu bails=%llu invalidations=%llu "
+        "clean-pages=%llu\n",
+        u(stats.uop_blocks_compiled), u(stats.uop_cache_hits),
+        u(stats.uop_guard_bails), u(stats.uop_invalidations),
+        u(stats.pages_clean_skipped));
+  }
   if (stats.query_nodes_total) {
     out += strprintf(
         "query-nodes: total=%llu max=%llu avg=%.1f\n",

@@ -15,7 +15,9 @@
 #include "core/memory.hpp"
 #include "core/path.hpp"
 #include "core/syscalls.hpp"
+#include "interp/block_cache.hpp"
 #include "interp/evaluator.hpp"
+#include "interp/uop.hpp"
 #include "interp/value.hpp"
 #include "isa/decoder.hpp"
 #include "spec/registry.hpp"
@@ -54,6 +56,8 @@ class ConcreteMachine {
 
   void store(unsigned bytes, const Value& addr, const Value& value) {
     memory_.write(static_cast<uint32_t>(addr.v), bytes, value.v);
+    if (store_watch_)
+      store_watch_->on_guest_store(static_cast<uint32_t>(addr.v), bytes);
   }
 
   Value apply_un(dsl::ExprOp op, const Value& a, unsigned aux0, unsigned aux1) {
@@ -85,6 +89,9 @@ class ConcreteMachine {
   /// Concrete values handed out for sym_input bytes, in call order.
   std::function<uint8_t(unsigned index)> input_provider_;
   unsigned input_counter_ = 0;
+  /// Every guest store (spec path, fast path, sym_input) is reported here
+  /// so cached micro-op blocks stay sound against self-modifying code.
+  GuestStoreWatch* store_watch_ = nullptr;
 
   void stop(core::ExitReason reason, uint32_t code = 0) {
     exit_ = reason;
@@ -93,10 +100,21 @@ class ConcreteMachine {
 };
 
 /// Fetch/decode/execute driver around ConcreteMachine.
+///
+/// With `uop_fastpath` on (the default), straight-line runs are lowered once
+/// into micro-op blocks (uop.hpp) and executed with threaded dispatch;
+/// system/CSR instructions and anything undecodable drop back to the spec
+/// path per instruction. Behavior is bit-identical either way.
 class Iss {
  public:
-  Iss(const isa::Decoder& decoder, const spec::Registry& registry)
-      : decoder_(decoder), registry_(registry) {}
+  Iss(const isa::Decoder& decoder, const spec::Registry& registry,
+      bool uop_fastpath = true, uint32_t uop_cache_blocks = 4096)
+      : decoder_(decoder),
+        registry_(registry),
+        uop_fastpath_(uop_fastpath),
+        cache_(uop_cache_blocks) {
+    if (uop_fastpath_) machine_.store_watch_ = &cache_;
+  }
 
   ConcreteMachine& machine() { return machine_; }
 
@@ -107,11 +125,22 @@ class Iss {
   /// Run from machine().pc_ until exit or `max_steps`. Returns steps taken.
   uint64_t run(uint64_t max_steps = 10'000'000);
 
+  /// Micro-op fast-path counters (all zero with the fast path off).
+  UopCounters uop_counters() const {
+    return {cache_.blocks_compiled(), cache_.cache_hits(), guard_bails_,
+            cache_.invalidations(), 0};
+  }
+
  private:
+  const BlockCache::Block* lookup_or_compile(uint32_t pc);
+
   const isa::Decoder& decoder_;
   const spec::Registry& registry_;
   ConcreteMachine machine_;
   Evaluator<ConcreteMachine> evaluator_;
+  bool uop_fastpath_;
+  BlockCache cache_;
+  uint64_t guard_bails_ = 0;
 };
 
 }  // namespace binsym::interp

@@ -1,6 +1,50 @@
 #include "interp/taint.hpp"
 
+#include "interp/uop_run.hpp"
+
 namespace binsym::interp {
+
+namespace {
+
+/// run_block policy over TaintMachine: guards fail on any tainted consumed
+/// operand (register or loaded byte), so the fast path only ever runs
+/// through taint-free dataflow and its results are untainted — exactly what
+/// the spec path would compute.
+struct TaintPolicy {
+  TaintMachine& m;
+
+  bool reg(unsigned index, uint32_t* out) {
+    if (index == 0) {
+      *out = 0;
+      return true;
+    }
+    const TaintValue& v = m.regs_[index];
+    if (v.tainted) return false;
+    *out = static_cast<uint32_t>(v.v);
+    return true;
+  }
+  void set_reg(unsigned index, uint32_t value) {
+    if (index != 0) m.regs_[index] = TaintValue{value, 32, false};
+  }
+  bool load(uint32_t addr, unsigned bytes, uint32_t* out) {
+    if (!m.range_untainted(addr, bytes)) return false;
+    uint32_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+      value |= static_cast<uint32_t>(m.memory_byte(addr + i)) << (8 * i);
+    *out = value;
+    return true;
+  }
+  void store(uint32_t addr, unsigned bytes, uint32_t value, bool* exit_block) {
+    for (unsigned i = 0; i < bytes; ++i)
+      m.memory_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    if (!m.range_untainted(addr, bytes))
+      for (unsigned i = 0; i < bytes; ++i) m.untaint_byte(addr + i);
+    if (m.store_watch_ && m.store_watch_->on_guest_store(addr, bytes))
+      *exit_block = true;
+  }
+};
+
+}  // namespace
 
 void TaintMachine::ecall() {
   uint32_t number = static_cast<uint32_t>(read_register(17).v);
@@ -35,8 +79,10 @@ void TaintMachine::ecall() {
             input_provider_ ? input_provider_(input_counter_) : 0;
         ++input_counter_;
         memory_[a0 + i] = value;
-        taint_bytes_.insert(a0 + i);
+        taint_byte(a0 + i);
       }
+      // Guest-visible write: cached code under the buffer must be dropped.
+      if (store_watch_ && a1 != 0) store_watch_->on_guest_store(a0, a1);
       break;
     default:
       exit_ = core::ExitReason::kBadSyscall;
@@ -45,12 +91,50 @@ void TaintMachine::ecall() {
   }
 }
 
+const BlockCache::Block* TaintTracker::lookup_or_compile(uint32_t pc) {
+  if (cache_.page_poisoned(pc)) return nullptr;
+  if (const BlockCache::Block* block = cache_.lookup(pc)) return block;
+  // Lowering fetch mirrors the slow loop: absent bytes read as zero (and
+  // zero never decodes, ending the block). Poisoned pages are refused for
+  // the whole word so a block never covers a page that has been stored to.
+  auto fetch = [this](uint32_t p, uint32_t* word) {
+    if (cache_.page_poisoned(p) || cache_.page_poisoned(p + 3)) return false;
+    uint32_t w = 0;
+    for (unsigned i = 0; i < 4; ++i)
+      w |= static_cast<uint32_t>(machine_.memory_byte(p + i)) << (8 * i);
+    *word = w;
+    return true;
+  };
+  Uop* buffer = cache_.begin_compile();
+  uint32_t bytes = 0;
+  unsigned count = lower_block(decoder_, registry_, fetch, pc, buffer,
+                               BlockCache::kMaxBlockUops, &bytes);
+  return cache_.finish_compile(pc, count, bytes);
+}
+
 uint64_t TaintTracker::run(uint64_t max_steps) {
   uint64_t steps = 0;
+  TaintPolicy policy{machine_};
   while (machine_.exit_ == core::ExitReason::kRunning) {
     if (steps >= max_steps) {
       machine_.exit_ = core::ExitReason::kMaxSteps;
       break;
+    }
+    if (uop_fastpath_) {
+      const BlockCache::Block* block = lookup_or_compile(machine_.pc_);
+      if (block && block->count) {
+        UopRun r =
+            run_block(block->uops, block->count, max_steps - steps, policy);
+        steps += r.steps;
+        if (r.exit != UopExit::kBail) {
+          machine_.pc_ = machine_.next_pc_ = r.next_pc;
+          continue;  // kStepLimit re-enters the budget check above
+        }
+        // Re-execute the bailing instruction on the spec path in this same
+        // iteration (continuing would re-enter the block and bail forever).
+        machine_.pc_ = machine_.next_pc_ = r.bail_pc;
+        ++guard_bails_;
+      }
     }
     uint32_t word = 0;
     for (unsigned i = 0; i < 4; ++i)

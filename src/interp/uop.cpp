@@ -1,0 +1,139 @@
+#include "interp/uop.hpp"
+
+#include "isa/decoder.hpp"
+#include "spec/registry.hpp"
+
+namespace binsym::interp {
+
+namespace {
+
+/// Classify one decoded builtin instruction. Returns false for anything the
+/// fast path does not model (system/CSR ops end the block; lowering also
+/// refuses ids >= kNumBuiltinOps before calling this).
+bool lower_one(const isa::Decoded& d, Uop* out) {
+  UKind kind;
+  bool has_rs2 = false;
+  bool shamt_imm = false;
+  switch (d.id()) {
+    case isa::kADDI:  kind = UKind::kAddi; break;
+    case isa::kSLTI:  kind = UKind::kSlti; break;
+    case isa::kSLTIU: kind = UKind::kSltiu; break;
+    case isa::kXORI:  kind = UKind::kXori; break;
+    case isa::kORI:   kind = UKind::kOri; break;
+    case isa::kANDI:  kind = UKind::kAndi; break;
+    case isa::kSLLI:  kind = UKind::kSlli; shamt_imm = true; break;
+    case isa::kSRLI:  kind = UKind::kSrli; shamt_imm = true; break;
+    case isa::kSRAI:  kind = UKind::kSrai; shamt_imm = true; break;
+    case isa::kLUI:   kind = UKind::kLui; break;
+    case isa::kAUIPC: kind = UKind::kAuipc; break;
+    case isa::kADD:   kind = UKind::kAdd; has_rs2 = true; break;
+    case isa::kSUB:   kind = UKind::kSub; has_rs2 = true; break;
+    case isa::kSLL:   kind = UKind::kSll; has_rs2 = true; break;
+    case isa::kSLT:   kind = UKind::kSlt; has_rs2 = true; break;
+    case isa::kSLTU:  kind = UKind::kSltu; has_rs2 = true; break;
+    case isa::kXOR:   kind = UKind::kXor; has_rs2 = true; break;
+    case isa::kSRL:   kind = UKind::kSrl; has_rs2 = true; break;
+    case isa::kSRA:   kind = UKind::kSra; has_rs2 = true; break;
+    case isa::kOR:    kind = UKind::kOr; has_rs2 = true; break;
+    case isa::kAND:   kind = UKind::kAnd; has_rs2 = true; break;
+    case isa::kMUL:    kind = UKind::kMul; has_rs2 = true; break;
+    case isa::kMULH:   kind = UKind::kMulh; has_rs2 = true; break;
+    case isa::kMULHSU: kind = UKind::kMulhsu; has_rs2 = true; break;
+    case isa::kMULHU:  kind = UKind::kMulhu; has_rs2 = true; break;
+    case isa::kDIV:    kind = UKind::kDiv; has_rs2 = true; break;
+    case isa::kDIVU:   kind = UKind::kDivu; has_rs2 = true; break;
+    case isa::kREM:    kind = UKind::kRem; has_rs2 = true; break;
+    case isa::kREMU:   kind = UKind::kRemu; has_rs2 = true; break;
+    case isa::kLB:  kind = UKind::kLb; break;
+    case isa::kLH:  kind = UKind::kLh; break;
+    case isa::kLW:  kind = UKind::kLw; break;
+    case isa::kLBU: kind = UKind::kLbu; break;
+    case isa::kLHU: kind = UKind::kLhu; break;
+    case isa::kSB:  kind = UKind::kSb; has_rs2 = true; break;
+    case isa::kSH:  kind = UKind::kSh; has_rs2 = true; break;
+    case isa::kSW:  kind = UKind::kSw; has_rs2 = true; break;
+    case isa::kFENCE: kind = UKind::kFence; break;
+    case isa::kBEQ:  kind = UKind::kBeq; has_rs2 = true; break;
+    case isa::kBNE:  kind = UKind::kBne; has_rs2 = true; break;
+    case isa::kBLT:  kind = UKind::kBlt; has_rs2 = true; break;
+    case isa::kBGE:  kind = UKind::kBge; has_rs2 = true; break;
+    case isa::kBLTU: kind = UKind::kBltu; has_rs2 = true; break;
+    case isa::kBGEU: kind = UKind::kBgeu; has_rs2 = true; break;
+    case isa::kJAL:  kind = UKind::kJal; break;
+    case isa::kJALR: kind = UKind::kJalr; break;
+    default:
+      return false;  // ECALL/EBREAK/MRET/WFI/CSR*: spec path only
+  }
+  out->kind = kind;
+  // Operand fields are format-checked accessors; only read the ones the
+  // micro-op consumes (the rest stay 0).
+  switch (kind) {
+    case UKind::kLui:
+      out->rd = static_cast<uint8_t>(d.rd());
+      out->imm = static_cast<int32_t>(d.immediate());
+      break;
+    case UKind::kAuipc:
+    case UKind::kJal:
+      out->rd = static_cast<uint8_t>(d.rd());
+      out->imm = static_cast<int32_t>(d.immediate());
+      break;
+    case UKind::kFence:
+      break;
+    case UKind::kBeq: case UKind::kBne: case UKind::kBlt:
+    case UKind::kBge: case UKind::kBltu: case UKind::kBgeu:
+      out->rs1 = static_cast<uint8_t>(d.rs1());
+      out->rs2 = static_cast<uint8_t>(d.rs2());
+      out->imm = static_cast<int32_t>(d.immediate());
+      break;
+    case UKind::kSb: case UKind::kSh: case UKind::kSw:
+      out->rs1 = static_cast<uint8_t>(d.rs1());
+      out->rs2 = static_cast<uint8_t>(d.rs2());
+      out->imm = static_cast<int32_t>(d.immediate());
+      break;
+    default:
+      out->rd = static_cast<uint8_t>(d.rd());
+      out->rs1 = static_cast<uint8_t>(d.rs1());
+      if (has_rs2) out->rs2 = static_cast<uint8_t>(d.rs2());
+      out->imm = shamt_imm ? static_cast<int32_t>(d.shamt())
+                           : static_cast<int32_t>(d.immediate());
+      break;
+  }
+  return true;
+}
+
+bool is_terminator(UKind kind) {
+  return kind >= UKind::kBeq && kind <= UKind::kJalr;
+}
+
+}  // namespace
+
+unsigned lower_block(const isa::Decoder& decoder, const spec::Registry& registry,
+                     const UopFetchFn& fetch, uint32_t start_pc, Uop* out,
+                     unsigned max_uops, uint32_t* byte_length) {
+  unsigned count = 0;
+  uint32_t pc = start_pc;
+  while (count < max_uops) {
+    uint32_t word = 0;
+    if (!fetch(pc, &word)) break;
+    auto decoded = decoder.decode(word);
+    // Undecodable, custom and system instructions end the block *before*
+    // themselves: the spec path owns them (and produces kIllegalInstr for
+    // the first two exactly like the per-instruction loop would). The
+    // registry check mirrors the slow path's `!semantics` stop, so a
+    // partially-installed registry behaves identically fast and slow.
+    if (!decoded || decoded->id() >= isa::kNumBuiltinOps ||
+        !registry.get(decoded->id()))
+      break;
+    Uop uop;
+    uop.pc = pc;
+    uop.size = static_cast<uint8_t>(decoded->size);
+    if (!lower_one(*decoded, &uop)) break;
+    out[count++] = uop;
+    pc += decoded->size;
+    if (is_terminator(uop.kind)) break;
+  }
+  *byte_length = pc - start_pc;
+  return count;
+}
+
+}  // namespace binsym::interp

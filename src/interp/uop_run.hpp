@@ -1,0 +1,404 @@
+// Threaded-code execution of one micro-op block (uop.hpp) over a Policy.
+//
+// The Policy supplies guarded register/memory access:
+//
+//   bool reg(unsigned idx, uint32_t* out);      // false => guard bail
+//   void set_reg(unsigned idx, uint32_t value); // must ignore idx == 0
+//   bool load(uint32_t addr, unsigned bytes, uint32_t* out);  // false => bail
+//   void store(uint32_t addr, unsigned bytes, uint32_t value,
+//              bool* exit_block);               // sets *exit_block when the
+//                                               // store dropped cached code
+//
+// A bail leaves the machine exactly at the faulting instruction with no
+// partial effects (guards run before any write), so the caller re-executes
+// that instruction on the spec path and the architectural state is
+// bit-identical to never having taken the fast path.
+//
+// Dispatch is computed-goto threaded code on GNU-compatible compilers; the
+// portable switch fallback is selected by defining BINSYM_UOP_SWITCH_DISPATCH
+// (and is what the differential tests pin the goto variant against).
+//
+// Handler semantics transcribe the RISC-V unprivileged manual exactly like
+// tests/oracle/rv32_oracle.hpp: JALR computes the target before writing the
+// link register, register shifts mask to 5 bits, the M-extension edge cases
+// (x/0, INT_MIN/-1) follow Table 7.1.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/uop.hpp"
+
+namespace binsym::interp {
+
+enum class UopExit : uint8_t {
+  kDone,       // block completed; next_pc is the successor
+  kBail,       // guard failure; bail_pc is the faulting instruction
+  kStepLimit,  // step budget exhausted mid-block; next_pc is unexecuted
+};
+
+struct UopRun {
+  UopExit exit = UopExit::kDone;
+  uint32_t next_pc = 0;  // kDone / kStepLimit
+  uint32_t bail_pc = 0;  // kBail
+  uint32_t steps = 0;    // micro-ops fully retired
+};
+
+template <typename Policy>
+inline UopRun run_block(const Uop* uops, uint32_t count, uint64_t budget,
+                        Policy& pol) {
+  const Uop* u = uops;
+  const Uop* const end = uops + count;
+  uint32_t steps = 0;
+  // Scratch declared up front: the computed-goto variant jumps across
+  // handler bodies, which forbids locals with initializers inside them.
+  uint32_t a = 0;
+  uint32_t b = 0;
+  bool exit_block = false;
+
+#define BINSYM_UOP_BAIL() \
+  return UopRun { UopExit::kBail, 0, u->pc, steps }
+#define BINSYM_UOP_TERM(next) \
+  return UopRun { UopExit::kDone, (next), 0, steps + 1 }
+// Retire the current micro-op and advance; returns on block end or budget.
+#define BINSYM_UOP_ADVANCE()                                                 \
+  do {                                                                       \
+    ++steps;                                                                 \
+    if (++u == end)                                                          \
+      return UopRun{UopExit::kDone, u[-1].pc + u[-1].size, 0, steps};        \
+    if (steps >= budget)                                                     \
+      return UopRun{UopExit::kStepLimit, u->pc, 0, steps};                   \
+  } while (0)
+
+#if defined(__GNUC__) && !defined(BINSYM_UOP_SWITCH_DISPATCH)
+  // Label order mirrors UKind exactly (pinned by the static_assert below).
+  static const void* const table[] = {
+      &&h_kAddi, &&h_kSlti, &&h_kSltiu, &&h_kXori, &&h_kOri, &&h_kAndi,
+      &&h_kSlli, &&h_kSrli, &&h_kSrai, &&h_kLui, &&h_kAuipc,
+      &&h_kAdd, &&h_kSub, &&h_kSll, &&h_kSlt, &&h_kSltu, &&h_kXor,
+      &&h_kSrl, &&h_kSra, &&h_kOr, &&h_kAnd,
+      &&h_kMul, &&h_kMulh, &&h_kMulhsu, &&h_kMulhu, &&h_kDiv, &&h_kDivu,
+      &&h_kRem, &&h_kRemu,
+      &&h_kLb, &&h_kLh, &&h_kLw, &&h_kLbu, &&h_kLhu, &&h_kSb, &&h_kSh,
+      &&h_kSw,
+      &&h_kFence,
+      &&h_kBeq, &&h_kBne, &&h_kBlt, &&h_kBge, &&h_kBltu, &&h_kBgeu,
+      &&h_kJal, &&h_kJalr,
+  };
+  static_assert(sizeof(table) / sizeof(table[0]) ==
+                    static_cast<size_t>(UKind::kNumUKinds),
+                "dispatch table out of sync with UKind");
+#define BINSYM_UOP_CASE(name) h_##name
+#define BINSYM_UOP_DISPATCH() goto* table[static_cast<unsigned>(u->kind)]
+#define BINSYM_UOP_NEXT()   \
+  do {                      \
+    BINSYM_UOP_ADVANCE();   \
+    BINSYM_UOP_DISPATCH();  \
+  } while (0)
+#define BINSYM_UOP_BEGIN() BINSYM_UOP_DISPATCH();
+#define BINSYM_UOP_END()
+#else
+#define BINSYM_UOP_CASE(name) case UKind::name
+#define BINSYM_UOP_NEXT() \
+  {                       \
+    BINSYM_UOP_ADVANCE(); \
+    break;                \
+  }
+#define BINSYM_UOP_BEGIN() \
+  for (;;) switch (u->kind) {
+#define BINSYM_UOP_END() \
+  default:               \
+    BINSYM_UOP_BAIL();   \
+    }
+#endif
+
+  BINSYM_UOP_BEGIN()
+
+  // -- Register-immediate ALU. ------------------------------------------------
+  BINSYM_UOP_CASE(kAddi) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a + static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSlti) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, static_cast<int32_t>(a) < u->imm ? 1 : 0);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSltiu) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a < static_cast<uint32_t>(u->imm) ? 1 : 0);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kXori) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a ^ static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kOri) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a | static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kAndi) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a & static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSlli) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a << u->imm);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSrli) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a >> u->imm);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSrai) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, static_cast<uint32_t>(static_cast<int32_t>(a) >> u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kLui) : {
+    pol.set_reg(u->rd, static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kAuipc) : {
+    pol.set_reg(u->rd, u->pc + static_cast<uint32_t>(u->imm));
+    BINSYM_UOP_NEXT();
+  }
+
+  // -- Register-register ALU. -------------------------------------------------
+  BINSYM_UOP_CASE(kAdd) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a + b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSub) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a - b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSll) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a << (b & 31));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSlt) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                static_cast<int32_t>(a) < static_cast<int32_t>(b) ? 1 : 0);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSltu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a < b ? 1 : 0);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kXor) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a ^ b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSrl) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a >> (b & 31));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSra) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kOr) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a | b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kAnd) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a & b);
+    BINSYM_UOP_NEXT();
+  }
+
+  // -- M extension (manual Table 7.1 edge cases). -----------------------------
+  BINSYM_UOP_CASE(kMul) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, a * b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kMulh) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, static_cast<uint32_t>(
+                           (static_cast<int64_t>(static_cast<int32_t>(a)) *
+                            static_cast<int64_t>(static_cast<int32_t>(b))) >>
+                           32));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kMulhsu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, static_cast<uint32_t>(
+                           (static_cast<int64_t>(static_cast<int32_t>(a)) *
+                            static_cast<int64_t>(static_cast<uint64_t>(b))) >>
+                           32));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kMulhu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                static_cast<uint32_t>((static_cast<uint64_t>(a) *
+                                       static_cast<uint64_t>(b)) >>
+                                      32));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kDiv) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                b == 0 ? 0xffffffffu
+                : a == 0x80000000u && b == 0xffffffffu
+                    ? 0x80000000u
+                    : static_cast<uint32_t>(static_cast<int32_t>(a) /
+                                            static_cast<int32_t>(b)));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kDivu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, b == 0 ? 0xffffffffu : a / b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kRem) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                b == 0 ? a
+                : a == 0x80000000u && b == 0xffffffffu
+                    ? 0
+                    : static_cast<uint32_t>(static_cast<int32_t>(a) %
+                                            static_cast<int32_t>(b)));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kRemu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, b == 0 ? a : a % b);
+    BINSYM_UOP_NEXT();
+  }
+
+  // -- Loads (guards cover base register and the loaded bytes). ---------------
+  BINSYM_UOP_CASE(kLb) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    if (!pol.load(a + static_cast<uint32_t>(u->imm), 1, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                static_cast<uint32_t>(static_cast<int8_t>(b & 0xff)));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kLh) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    if (!pol.load(a + static_cast<uint32_t>(u->imm), 2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd,
+                static_cast<uint32_t>(static_cast<int16_t>(b & 0xffff)));
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kLw) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    if (!pol.load(a + static_cast<uint32_t>(u->imm), 4, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, b);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kLbu) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    if (!pol.load(a + static_cast<uint32_t>(u->imm), 1, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, b & 0xff);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kLhu) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    if (!pol.load(a + static_cast<uint32_t>(u->imm), 2, &b)) BINSYM_UOP_BAIL();
+    pol.set_reg(u->rd, b & 0xffff);
+    BINSYM_UOP_NEXT();
+  }
+
+  // -- Stores (the policy reports dropped cached code via exit_block). --------
+  BINSYM_UOP_CASE(kSb) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    exit_block = false;
+    pol.store(a + static_cast<uint32_t>(u->imm), 1, b, &exit_block);
+    if (exit_block) BINSYM_UOP_TERM(u->pc + u->size);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSh) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    exit_block = false;
+    pol.store(a + static_cast<uint32_t>(u->imm), 2, b, &exit_block);
+    if (exit_block) BINSYM_UOP_TERM(u->pc + u->size);
+    BINSYM_UOP_NEXT();
+  }
+  BINSYM_UOP_CASE(kSw) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    exit_block = false;
+    pol.store(a + static_cast<uint32_t>(u->imm), 4, b, &exit_block);
+    if (exit_block) BINSYM_UOP_TERM(u->pc + u->size);
+    BINSYM_UOP_NEXT();
+  }
+
+  BINSYM_UOP_CASE(kFence) : { BINSYM_UOP_NEXT(); }
+
+  // -- Terminators (always the last micro-op of their block). -----------------
+  BINSYM_UOP_CASE(kBeq) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(a == b ? u->pc + static_cast<uint32_t>(u->imm)
+                           : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kBne) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(a != b ? u->pc + static_cast<uint32_t>(u->imm)
+                           : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kBlt) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(static_cast<int32_t>(a) < static_cast<int32_t>(b)
+                        ? u->pc + static_cast<uint32_t>(u->imm)
+                        : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kBge) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(static_cast<int32_t>(a) >= static_cast<int32_t>(b)
+                        ? u->pc + static_cast<uint32_t>(u->imm)
+                        : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kBltu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(a < b ? u->pc + static_cast<uint32_t>(u->imm)
+                          : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kBgeu) : {
+    if (!pol.reg(u->rs1, &a) || !pol.reg(u->rs2, &b)) BINSYM_UOP_BAIL();
+    BINSYM_UOP_TERM(a >= b ? u->pc + static_cast<uint32_t>(u->imm)
+                           : u->pc + u->size);
+  }
+  BINSYM_UOP_CASE(kJal) : {
+    pol.set_reg(u->rd, u->pc + u->size);
+    BINSYM_UOP_TERM(u->pc + static_cast<uint32_t>(u->imm));
+  }
+  BINSYM_UOP_CASE(kJalr) : {
+    if (!pol.reg(u->rs1, &a)) BINSYM_UOP_BAIL();
+    // Target from the *pre-link* rs1 (rd may alias rs1), low bit cleared.
+    a = (a + static_cast<uint32_t>(u->imm)) & ~1u;
+    pol.set_reg(u->rd, u->pc + u->size);
+    BINSYM_UOP_TERM(a);
+  }
+
+  BINSYM_UOP_END()
+
+#undef BINSYM_UOP_BAIL
+#undef BINSYM_UOP_TERM
+#undef BINSYM_UOP_ADVANCE
+#undef BINSYM_UOP_CASE
+#undef BINSYM_UOP_NEXT
+#undef BINSYM_UOP_BEGIN
+#undef BINSYM_UOP_END
+#ifdef BINSYM_UOP_DISPATCH
+#undef BINSYM_UOP_DISPATCH
+#endif
+}
+
+}  // namespace binsym::interp

@@ -180,6 +180,11 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
   stats.static_proved = 34;
   stats.static_unknown = 35;
   stats.static_mismatches = 36;
+  stats.uop_blocks_compiled = 48;
+  stats.uop_cache_hits = 49;
+  stats.uop_guard_bails = 50;
+  stats.uop_invalidations = 51;
+  stats.pages_clean_skipped = 52;
   stats.solver_name = "test-solver";
   stats.solver.queries = 40;
   stats.solver.sat = 41;
@@ -201,6 +206,8 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
       "evictions=28",      "pages-copied=29",    "findings=30",
       "dupes=31",          "candidates=32",      "feasible=33",
       "proved=34",         "unknown=35",         "mismatches=36",
+      "blocks=48",         "hits=49",            "bails=50",
+      "invalidations=51",  "clean-pages=52",
       "queries=40",        "sat=41",             "unsat=42",
       "unknown=43",        "cache-hits=44",      "cache-misses=45",
       "incremental-checks=46", "reused-assertions=47", "test-solver",
@@ -219,6 +226,7 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   EXPECT_EQ(occurrences(report, "snapshots:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "oracles:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "static:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "uops:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "query-nodes:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "paths="), 1u);
   EXPECT_EQ(occurrences(report, "flips:"), 1u);
@@ -237,6 +245,10 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   stats.static_proved = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "static:"), 1u);
+  EXPECT_EQ(occurrences(report, "uops:"), 0u);
+  stats.uop_cache_hits = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "uops:"), 1u);
   stats.query_nodes_total = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "query-nodes:"), 1u);
