@@ -32,6 +32,16 @@
 
 namespace binsym::bench {
 
+/// Solver-robustness knobs (docs/ROBUSTNESS.md) applied to every worker's
+/// backend stack. With a per-query deadline set, each worker's solver is
+/// wrapped in a FailoverSolver: a kUnknown (timeout) or thrown backend
+/// failure on the primary retries once, statelessly, on the other backend.
+struct RobustnessOptions {
+  std::string solver = "z3";      // primary backend: "z3" | "bitblast"
+  uint32_t query_timeout_ms = 0;  // per-query deadline; 0 = none
+  bool failover = true;           // retry unknowns on the other backend
+};
+
 struct EngineSetup {
   const isa::Decoder& decoder;
   const spec::Registry& registry;
@@ -40,7 +50,38 @@ struct EngineSetup {
   /// to every worker built from this setup. Defaulted so three-member
   /// aggregate initialization keeps working.
   core::MachineConfig config{};
+  /// Solver deadline/failover knobs, also defaulted (no deadline, plain z3
+  /// backend) so existing aggregate initializations keep working.
+  RobustnessOptions robust{};
 };
+
+/// A primary backend by CLI name ("z3" | "bitblast"); null on other names.
+inline std::unique_ptr<smt::Solver> make_named_solver(const std::string& name,
+                                                      smt::Context& ctx) {
+  if (name == "z3") return smt::make_z3_solver(ctx);
+  if (name == "bitblast") return smt::make_bitblast_solver(ctx);
+  return nullptr;
+}
+
+/// Build the worker solver stack described by `robust` on `ctx`: the named
+/// primary, with the per-query deadline applied, wrapped in a FailoverSolver
+/// (lazily constructing the *other* backend) when a deadline is set and
+/// failover is on. Without a deadline the stack is just the primary, so the
+/// default configuration is byte-identical to the pre-robustness one.
+inline std::unique_ptr<smt::Solver> make_robust_solver(
+    const RobustnessOptions& robust, smt::Context& ctx) {
+  std::unique_ptr<smt::Solver> solver = make_named_solver(robust.solver, ctx);
+  if (!solver) return nullptr;
+  if (robust.query_timeout_ms == 0) return solver;
+  if (robust.failover) {
+    const std::string secondary = robust.solver == "z3" ? "bitblast" : "z3";
+    solver = std::make_unique<smt::FailoverSolver>(
+        std::move(solver),
+        [secondary, &ctx] { return make_named_solver(secondary, ctx); });
+  }
+  solver->set_deadline_ms(robust.query_timeout_ms);
+  return solver;
+}
 
 /// CLI spellings accepted by every harness: binsym, vp, binsec, angr,
 /// angr-buggy.
@@ -80,7 +121,7 @@ inline core::WorkerResources build_worker(
     }
     r.keepalive = std::move(lifter);
   }
-  if (with_solver) r.solver = smt::make_z3_solver(*r.ctx);
+  if (with_solver) r.solver = make_robust_solver(s.robust, *r.ctx);
   return r;
 }
 
@@ -275,6 +316,42 @@ inline bool parse_snapshot_flag(int argc, char** argv, int* i,
   } else if (std::strcmp(arg, "--snapshot-interval") == 0 && *i + 1 < argc) {
     options->snapshot_interval = std::max(
         1u, static_cast<unsigned>(std::strtoul(argv[++*i], nullptr, 0)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Robustness knobs, shared by every harness (docs/ROBUSTNESS.md):
+///   --solver NAME          primary backend (z3 | bitblast)
+///   --query-timeout-ms N   per-solver-query deadline (0 = none)
+///   --no-failover          don't retry unknowns on the other backend
+///   --deadline-secs N      wall-clock budget for the whole exploration
+///   --memory-budget-mb N   stop when resident set exceeds N MiB
+/// Consumes the value argument (advancing *i) for the valued flags. Returns
+/// false when argv[*i] is none of them; prints a diagnostic and sets *ok to
+/// false on a bad value (unknown solver name, missing argument).
+inline bool parse_robustness_flag(int argc, char** argv, int* i,
+                                  RobustnessOptions* robust,
+                                  core::EngineOptions* options, bool* ok) {
+  const char* arg = argv[*i];
+  *ok = true;
+  if (std::strcmp(arg, "--solver") == 0 && *i + 1 < argc) {
+    robust->solver = argv[++*i];
+    if (robust->solver != "z3" && robust->solver != "bitblast") {
+      std::fprintf(stderr, "unknown solver '%s' (want z3 or bitblast)\n",
+                   robust->solver.c_str());
+      *ok = false;
+    }
+  } else if (std::strcmp(arg, "--query-timeout-ms") == 0 && *i + 1 < argc) {
+    robust->query_timeout_ms =
+        static_cast<uint32_t>(std::strtoul(argv[++*i], nullptr, 0));
+  } else if (std::strcmp(arg, "--no-failover") == 0) {
+    robust->failover = false;
+  } else if (std::strcmp(arg, "--deadline-secs") == 0 && *i + 1 < argc) {
+    options->deadline_secs = std::strtoull(argv[++*i], nullptr, 0);
+  } else if (std::strcmp(arg, "--memory-budget-mb") == 0 && *i + 1 < argc) {
+    options->memory_budget_mb = std::strtoull(argv[++*i], nullptr, 0);
   } else {
     return false;
   }

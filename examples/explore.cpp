@@ -7,6 +7,8 @@
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
 //           [--no-uop] [--uop-cache-size N]
+//           [--solver z3|bitblast] [--query-timeout-ms N] [--no-failover]
+//           [--deadline-secs N] [--memory-budget-mb N] [--fault-inject SPEC]
 //           [--show-failures] [--oracles LIST] [--findings-dir DIR]
 //           [--replay FILE] [--list-oracles] [--static-lint]
 //           [--no-static-prune]
@@ -23,6 +25,7 @@
 #include "core/stats.hpp"
 #include "elf/elf32.hpp"
 #include "oracles/report.hpp"
+#include "support/fault.hpp"
 
 using namespace binsym;
 
@@ -50,6 +53,20 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --no-uop                 disable the micro-op block fast path\n"
       "                           (pure per-instruction spec interpretation)\n"
       "  --uop-cache-size N       cached micro-op blocks per worker\n"
+      "  --solver z3|bitblast     primary SMT backend (default z3)\n"
+      "  --query-timeout-ms N     per-solver-query deadline; a query that\n"
+      "                           exceeds it returns unknown and the flip\n"
+      "                           is skipped, never treated as infeasible\n"
+      "  --no-failover            do not retry unknown/failed queries on\n"
+      "                           the other backend\n"
+      "  --deadline-secs N        wall-clock budget for the exploration;\n"
+      "                           the partial report is marked incomplete\n"
+      "  --memory-budget-mb N     stop exploring when resident memory\n"
+      "                           exceeds N MiB (partial report, as above)\n"
+      "  --fault-inject SPEC      deterministic fault injection for testing\n"
+      "                           (comma list of site@N / site@N+ /\n"
+      "                           site@N:M; sites: solver, solver-throw,\n"
+      "                           snapshot, alloc — see docs/ROBUSTNESS.md)\n"
       "  --show-failures          print report_fail events with inputs\n"
       "  --oracles LIST           enable bug-finding oracles: 'all' or a\n"
       "                           comma list (see --list-oracles and\n"
@@ -96,6 +113,16 @@ int replay_witness(const std::string& engine, const bench::EngineSetup& setup,
   core::PathTrace trace;
   r.executor->run(seed, trace);
 
+  // A witness of the wrong length silently replays the wrong input (short
+  // files zero-fill, long files have bytes ignored) — diagnose instead.
+  if (bytes.size() != trace.input_vars.size()) {
+    std::fprintf(stderr,
+                 "witness %s is %zu byte(s) but the program consumed %zu "
+                 "input byte(s): truncated or mismatched witness file\n",
+                 path.c_str(), bytes.size(), trace.input_vars.size());
+    return 1;
+  }
+
   std::printf("replay %s: %zu input byte(s), exit=%s, %zu detection(s)\n",
               path.c_str(), bytes.size(), core::exit_reason_name(trace.exit),
               trace.oracle_hits.size());
@@ -130,6 +157,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "binsym";
   core::EngineOptions options;
   core::MachineConfig mconfig;
+  bench::RobustnessOptions robust;
   bool show_failures = false;
   bool static_lint = false;
   bool static_prune = true;
@@ -147,6 +175,17 @@ int main(int argc, char** argv) {
       // handled
     } else if (bench::parse_snapshot_flag(argc, argv, &i, &options)) {
       // handled
+    } else if (bool ok;
+               bench::parse_robustness_flag(argc, argv, &i, &robust, &options,
+                                            &ok)) {
+      if (!ok) return 2;
+    } else if (std::strcmp(argv[i], "--fault-inject") == 0 && i + 1 < argc) {
+      std::string error;
+      options.fault_plan = support::FaultPlan::parse(argv[++i], &error);
+      if (!options.fault_plan) {
+        std::fprintf(stderr, "--fault-inject: %s\n", error.c_str());
+        return 2;
+      }
     } else if (bench::parse_uop_flag(argc, argv, &i, &mconfig)) {
       // handled
     } else if (std::strcmp(argv[i], "--show-failures") == 0) {
@@ -216,7 +255,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::EngineSetup setup{decoder, registry, program, mconfig};
+  bench::EngineSetup setup{decoder, registry, program, mconfig, robust};
   if (!bench::known_engine(engine_name)) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;

@@ -6,6 +6,7 @@
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -14,7 +15,9 @@
 #include "core/snapshot.hpp"
 #include "smt/slice.hpp"
 #include "smt/smtlib.hpp"
+#include "support/fault.hpp"
 #include "support/format.hpp"
+#include "support/resource.hpp"
 
 namespace binsym::core {
 
@@ -142,6 +145,15 @@ void EngineStats::merge(const EngineStats& other) {
   uop_guard_bails += other.uop_guard_bails;
   uop_invalidations += other.uop_invalidations;
   pages_clean_skipped += other.pages_clean_skipped;
+  queries_unknown += other.queries_unknown;
+  flips_skipped_unknown += other.flips_skipped_unknown;
+  worker_errors += other.worker_errors;
+  jobs_requeued += other.jobs_requeued;
+  jobs_poisoned += other.jobs_poisoned;
+  if (other.incomplete) {
+    incomplete = true;
+    if (incomplete_reason.empty()) incomplete_reason = other.incomplete_reason;
+  }
   solver.merge(other.solver);
 }
 
@@ -177,7 +189,9 @@ struct DseEngine::Shared {
   std::atomic<uint64_t> dump_counter{0};
   std::mutex sink_mutex;
   EngineStats totals;
-  std::exception_ptr first_error;
+  // Resource budgets (worker_loop polls both between jobs).
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
 
   Shared(std::unique_ptr<SearchStrategy> strategy, const EngineOptions& opts,
          const PathCallback& callback, FindingLog& log)
@@ -185,6 +199,14 @@ struct DseEngine::Shared {
         options(opts),
         on_path(callback),
         findings(log) {}
+
+  /// Flag the exploration as partial; the first reason wins.
+  void mark_incomplete(std::string reason) {
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    totals.incomplete = true;
+    if (totals.incomplete_reason.empty())
+      totals.incomplete_reason = std::move(reason);
+  }
 };
 
 DseEngine::DseEngine(Executor& executor, std::unique_ptr<smt::Solver> solver,
@@ -213,6 +235,12 @@ std::unique_ptr<smt::Solver> DseEngine::wrap_solver(
     std::unique_ptr<smt::Solver> raw) {
   if (options_.validate_models)
     raw = std::make_unique<smt::ValidatingSolver>(std::move(raw));
+  // Fault injection wraps innermost-facing: injected kUnknown/throws reach
+  // the worker loop exactly as a real backend failure would (through any
+  // validating wrapper above).
+  if (options_.fault_plan)
+    raw = std::make_unique<smt::FaultInjectingSolver>(std::move(raw),
+                                                      options_.fault_plan);
   // Query caching is managed by the worker loop itself (not a CachingSolver
   // wrapper): the engine keys the cache by the *effective* query — the
   // sliced one when slicing is on — and serves hits before the scoped
@@ -250,10 +278,52 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   SnapshotPool snapshot_pool(use_snapshots ? opts.snapshot_budget : 0);
   std::vector<std::shared_ptr<const Snapshot>> captures;
   const SnapshotPlan plan{use_snapshots ? &captures : nullptr,
-                          std::max(1u, opts.snapshot_interval)};
+                          std::max(1u, opts.snapshot_interval),
+                          opts.fault_plan.get()};
 
+  // Per-job crash isolation: a job whose processing threw is recorded and
+  // requeued (snapshot handle dropped — re-execution from the entry point
+  // avoids whatever state the failure left behind) until its retry budget
+  // is spent, then dropped as poisonous. Either way the run continues and
+  // the merged result is marked incomplete.
   FlipJob job;
+  auto on_job_error = [&](const char* what) {
+    ++local.worker_errors;
+    shared.mark_incomplete(std::string("worker error: ") + what);
+    if (job.retries < opts.max_job_retries) {
+      FlipJob retry;
+      retry.seed = job.seed;
+      retry.bound = job.bound;
+      retry.flip_pc = job.flip_pc;
+      retry.retries = job.retries + 1;
+      ++local.jobs_requeued;
+      shared.frontier.push(std::move(retry));
+    } else {
+      ++local.jobs_poisoned;
+    }
+  };
+
   while (shared.frontier.pop(&job)) {
+    // Cooperative resource budgets, polled between jobs (the granularity
+    // every stop already has: a path run is never interrupted mid-flight).
+    if (shared.has_deadline &&
+        std::chrono::steady_clock::now() >= shared.deadline) {
+      shared.mark_incomplete("wall-clock deadline (--deadline-secs) reached");
+      shared.frontier.stop();
+      break;
+    }
+    if (opts.memory_budget_mb > 0) {
+      const uint64_t rss = support::current_rss_bytes();
+      if (rss > opts.memory_budget_mb * 1024 * 1024) {
+        shared.mark_incomplete(strprintf(
+            "memory budget exceeded: rss %llu MiB > --memory-budget-mb %llu",
+            static_cast<unsigned long long>(rss >> 20),
+            static_cast<unsigned long long>(opts.memory_budget_mb)));
+        shared.frontier.stop();
+        break;
+      }
+    }
+
     // Claim a slot in the path budget before running; the first claim past
     // the budget ends the whole exploration.
     const uint64_t index = shared.path_counter.fetch_add(1);
@@ -262,6 +332,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       break;
     }
 
+    try {
     smt::Assignment seed = seed_from_job(ctx, job);
 
     // Resume from the job's checkpoint when it is still alive and owned by
@@ -350,8 +421,9 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         full_query.push_back(trace.assumptions[j].expr);
       full_query.push_back(c.cond);
       smt::Assignment model;
-      if (solver.check(full_query, &model) != smt::CheckResult::kSat)
-        continue;
+      const smt::CheckResult cres = solver.check(full_query, &model);
+      if (cres == smt::CheckResult::kUnknown) ++local.queries_unknown;
+      if (cres != smt::CheckResult::kSat) continue;
       if (statically_proved) ++local.static_mismatches;
       ++local.candidates_feasible;
       smt::Assignment witness = seed;
@@ -480,8 +552,16 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
                      ? solver.check_assuming(std::span(&negated, 1), &model)
                      : solver.check(*query, &model);
         from_solver = true;
+        if (result == smt::CheckResult::kUnknown) ++local.queries_unknown;
         if (cache && result != smt::CheckResult::kUnknown)
           cache->insert(key, smt::QueryCache::Entry{result, model});
+      }
+      // An unknown verdict (deadline expiry, exhausted failover) is *not*
+      // infeasible: the flip is skipped explicitly, never cached, and
+      // counted so a timeout cannot silently masquerade as unsat.
+      if (result == smt::CheckResult::kUnknown) {
+        ++local.flips_skipped_unknown;
+        continue;
       }
       if (result != smt::CheckResult::kSat) {
         ++local.infeasible_flips;
@@ -501,6 +581,12 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       // (all unconstrained at this flip point either way).
       smt::Assignment next_seed = seed;
       for (const auto& [var, value] : model.values) next_seed.set(var, value);
+      // Fault site: building the child job is the allocation-heaviest step
+      // of the flip loop (portable seed copy), so the kAlloc site fires
+      // here as well as at snapshot captures.
+      if (opts.fault_plan &&
+          opts.fault_plan->fire(support::FaultSite::kAlloc))
+        throw std::bad_alloc();
       FlipJob child = make_flip_job(ctx, next_seed, i + 1,
                                     trace.branches[i].pc);
       // Hand the child the deepest checkpoint at or above its flip point
@@ -517,6 +603,11 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       shared.frontier.push(std::move(child));
     }
     scope.reset();
+    } catch (const std::exception& e) {
+      on_job_error(e.what());
+    } catch (...) {
+      on_job_error("unknown exception");
+    }
     shared.frontier.job_done();
   }
 
@@ -557,6 +648,35 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
   // The root job: all-zero input seed (every sym_input byte defaults to 0
   // under Assignment::get), nothing pinned.
   shared.frontier.push(FlipJob{});
+  if (options_.deadline_secs > 0) {
+    shared.has_deadline = true;
+    shared.deadline = start + std::chrono::seconds(options_.deadline_secs);
+  }
+
+  // Crash isolation, outer ring: worker_loop already isolates per-job
+  // failures, so anything escaping it is infrastructure-level (executor
+  // construction state, frontier corruption, bad_alloc outside a job).
+  // The run degrades to a partial report instead of rethrowing.
+  auto guarded_loop = [this, &shared](Executor& executor, smt::Solver& solver,
+                                      unsigned worker_index) {
+    try {
+      worker_loop(executor, solver, shared, worker_index);
+    } catch (const std::exception& e) {
+      shared.mark_incomplete(std::string("worker died: ") + e.what());
+      {
+        std::lock_guard<std::mutex> lock(shared.sink_mutex);
+        ++shared.totals.worker_errors;
+      }
+      shared.frontier.stop();
+    } catch (...) {
+      shared.mark_incomplete("worker died: unknown exception");
+      {
+        std::lock_guard<std::mutex> lock(shared.sink_mutex);
+        ++shared.totals.worker_errors;
+      }
+      shared.frontier.stop();
+    }
+  };
 
   std::string solver_name;
   if (jobs == 1) {
@@ -566,10 +686,10 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
       WorkerResources res = factory_(0);
       std::unique_ptr<smt::Solver> solver = wrap_solver(std::move(res.solver));
       solver_name = solver->name();
-      worker_loop(*res.executor, *solver, shared, 0);
+      guarded_loop(*res.executor, *solver, 0);
     } else {
       solver_name = solver_->name();
-      worker_loop(*executor_, *solver_, shared, 0);
+      guarded_loop(*executor_, *solver_, 0);
     }
   } else {
     // Build every worker's resources up front (the factory need not be
@@ -592,21 +712,11 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
     pool.reserve(jobs);
     for (unsigned i = 0; i < jobs; ++i) {
       Worker& w = workers[i];
-      pool.emplace_back([this, &w, &shared, i] {
-        try {
-          worker_loop(*w.res.executor, *w.solver, shared, i);
-        } catch (...) {
-          {
-            std::lock_guard<std::mutex> lock(shared.sink_mutex);
-            if (!shared.first_error)
-              shared.first_error = std::current_exception();
-          }
-          shared.frontier.stop();
-        }
+      pool.emplace_back([&guarded_loop, &w, i] {
+        guarded_loop(*w.res.executor, *w.solver, i);
       });
     }
     for (std::thread& t : pool) t.join();
-    if (shared.first_error) std::rethrow_exception(shared.first_error);
   }
 
   // The engine-managed query cache is part of the effective solver stack;

@@ -115,6 +115,26 @@ struct EngineOptions {
   /// counts. Independent of candidate_prune so schedules stay identical
   /// across prune on/off. Null = visit-count scoring.
   std::shared_ptr<const CfgHints> cfg_hints;
+  // -- Robustness (docs/ROBUSTNESS.md). Hardening changes only how an
+  // exploration *degrades*; a fault-free run within budget explores a
+  // bit-identical path set with these at their defaults or not.
+  /// Wall-clock budget for the whole exploration in seconds (0 = none).
+  /// On expiry workers cooperatively stop, completed work is kept, and
+  /// the result is marked incomplete. CLI: --deadline-secs.
+  uint64_t deadline_secs = 0;
+  /// RSS watermark in MiB (0 = none), polled by the workers between jobs.
+  /// Crossing it stops the exploration like the deadline does. On
+  /// platforms without an RSS probe the budget is never enforced.
+  /// CLI: --memory-budget-mb.
+  uint64_t memory_budget_mb = 0;
+  /// How many times a FlipJob whose processing threw is requeued before it
+  /// is dropped as poisonous (so a deterministic crasher cannot loop the
+  /// run forever). Every such error marks the result incomplete.
+  unsigned max_job_retries = 1;
+  /// Deterministic fault injection (support/fault.hpp): fail the Nth
+  /// solver check / snapshot capture / instrumented allocation. Null
+  /// disables every site. CLI: explore --fault-inject SPEC.
+  std::shared_ptr<support::FaultPlan> fault_plan;
 };
 
 /// Exploration-wide counters. Each worker accumulates a private copy;
@@ -162,9 +182,25 @@ struct EngineStats {
   uint64_t uop_invalidations = 0;    // blocks dropped by stores into them
   uint64_t pages_clean_skipped = 0;  // shadow lookups skipped via clean
                                      // page summaries
+  // -- Robustness (docs/ROBUSTNESS.md). Zero on a healthy run with no
+  // deadlines configured.
+  uint64_t queries_unknown = 0;      // solver checks that came back kUnknown
+                                     // (deadline, theory limit, injected)
+  uint64_t flips_skipped_unknown = 0;  // flips explicitly skipped on kUnknown
+                                       // (never counted as infeasible)
+  uint64_t worker_errors = 0;        // jobs whose processing threw
+  uint64_t jobs_requeued = 0;        // errored jobs retried on the frontier
+  uint64_t jobs_poisoned = 0;        // errored jobs dropped after the retry
+                                     // budget (max_job_retries)
   uint64_t peak_frontier = 0;    // worklist high-water mark (pending jobs)
   unsigned workers = 1;          // worker count the exploration ran with
   double seconds = 0;            // wall-clock for the whole exploration
+  /// True when the exploration ended before exhausting the frontier for a
+  /// reason other than the configured path budget: wall-clock deadline,
+  /// memory budget, or a worker error. The counters above then describe a
+  /// *partial* exploration; `incomplete_reason` names the first cause.
+  bool incomplete = false;
+  std::string incomplete_reason;
   std::string solver_name;       // backend name incl. wrappers, for reports
   smt::SolverStats solver;       // merged across workers
 

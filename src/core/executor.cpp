@@ -1,9 +1,13 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <new>
+#include <stdexcept>
 
 #include "core/snapshot.hpp"
 #include "interp/uop_run.hpp"
+#include "support/fault.hpp"
+#include "support/format.hpp"
 
 namespace binsym::core {
 
@@ -36,8 +40,23 @@ struct ConcolicPolicy {
 
 }  // namespace
 
+namespace {
+
+/// Loader hardening, shared by both raw loaders: a payload whose end would
+/// wrap the 32-bit address space would alias low memory (and record a
+/// region with hi < lo, which `contains` can never match).
+void check_load_extent(const char* loader, uint32_t addr, size_t size) {
+  if (static_cast<uint64_t>(addr) + size > 0x100000000ull)
+    throw std::runtime_error(strprintf(
+        "%s: load of %llu byte(s) at 0x%x wraps the 32-bit address space",
+        loader, static_cast<unsigned long long>(size), addr));
+}
+
+}  // namespace
+
 void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words,
                          uint32_t flags) {
+  check_load_extent("load_words", addr, 4 * words.size());
   for (size_t i = 0; i < words.size(); ++i)
     image.write(addr + static_cast<uint32_t>(4 * i), 4, words[i]);
   if (!words.empty())
@@ -47,6 +66,7 @@ void Program::load_words(uint32_t addr, const std::vector<uint32_t>& words,
 
 void Program::load_bytes(uint32_t addr, const std::vector<uint8_t>& bytes,
                          uint32_t flags) {
+  check_load_extent("load_bytes", addr, bytes.size());
   image.load_image(addr, bytes);
   if (!bytes.empty())
     regions.push_back(
@@ -131,9 +151,17 @@ void BinSymExecutor::loop(const SnapshotPlan* plan, uint64_t next_capture) {
   ConcolicPolicy policy{machine_, cache_};
   while (machine_.running()) {
     if (plan && trace.branches.size() >= next_capture) {
-      auto snap = std::make_shared<Snapshot>();
-      machine_.capture(snap.get());
-      plan->sink->push_back(std::move(snap));
+      // Fault sites (SnapshotPlan::faults): an injected allocation failure
+      // propagates like a real one; an injected capture fault just drops
+      // this checkpoint (the affected flips replay from the entry point).
+      if (plan->faults && plan->faults->fire(support::FaultSite::kAlloc))
+        throw std::bad_alloc();
+      if (!plan->faults ||
+          !plan->faults->fire(support::FaultSite::kSnapshot)) {
+        auto snap = std::make_shared<Snapshot>();
+        machine_.capture(snap.get());
+        plan->sink->push_back(std::move(snap));
+      }
       next_capture = trace.branches.size() + plan->interval;
     }
     if (trace.steps >= config_.max_steps) {

@@ -60,6 +60,8 @@ struct FlipJob {
   size_t bound = 0;     // first flippable branch index on this run
   uint32_t flip_pc = 0; // pc of the branch whose flip produced this job
   uint64_t seq = 0;     // global insertion order, assigned by the Frontier
+  uint32_t retries = 0; // times this job errored and was requeued (the
+                        // engine drops it past EngineOptions::max_job_retries)
 
   /// Deepest reusable checkpoint for this flip (snapshot.hpp), weak so the
   /// owning worker's SnapshotPool controls lifetime: an evicted handle

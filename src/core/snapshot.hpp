@@ -37,6 +37,10 @@
 #include "core/path.hpp"
 #include "interp/value.hpp"
 
+namespace binsym::support {
+class FaultPlan;
+}
+
 namespace binsym::core {
 
 /// One checkpoint: machine state at an instruction boundary plus the trace
@@ -84,6 +88,11 @@ struct Snapshot {
 struct SnapshotPlan {
   std::vector<std::shared_ptr<const Snapshot>>* sink = nullptr;
   uint64_t interval = 4;  // min branch records between captures (>= 1)
+  /// Fault injection (support/fault.hpp): at each capture site the
+  /// executor fires kAlloc (throws std::bad_alloc, as a real allocation
+  /// failure would) then kSnapshot (the capture is silently skipped — the
+  /// affected flips degrade to replay). Null disables both.
+  support::FaultPlan* faults = nullptr;
 };
 
 /// The deepest snapshot with depth() <= `depth` among `captures`, which

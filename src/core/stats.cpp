@@ -84,6 +84,28 @@ std::string engine_stats_report(const EngineStats& stats) {
             ? static_cast<double>(stats.query_nodes_total) / stats.flip_attempts
             : 0.0);
   }
+  // Robustness machinery (docs/ROBUSTNESS.md): unknown-verdict accounting,
+  // backend failover rescues, and crash-isolation bookkeeping. Elided on a
+  // fully clean run (every counter zero).
+  if (stats.queries_unknown || stats.flips_skipped_unknown ||
+      stats.solver.failover_rescues || stats.worker_errors ||
+      stats.jobs_requeued || stats.jobs_poisoned) {
+    out += strprintf(
+        "robust: queries-unknown=%llu skipped-unknown=%llu "
+        "failover-rescues=%llu worker-errors=%llu requeued=%llu "
+        "poisoned=%llu\n",
+        u(stats.queries_unknown), u(stats.flips_skipped_unknown),
+        u(stats.solver.failover_rescues), u(stats.worker_errors),
+        u(stats.jobs_requeued), u(stats.jobs_poisoned));
+  }
+  // Partial-run marker: any budget stop or worker error flags the report so
+  // "0 findings" can never be mistaken for "0 findings in a full search".
+  if (stats.incomplete) {
+    out += strprintf("incomplete: %s\n",
+                     stats.incomplete_reason.empty()
+                         ? "(unspecified)"
+                         : stats.incomplete_reason.c_str());
+  }
   return out;
 }
 

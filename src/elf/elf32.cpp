@@ -1,12 +1,30 @@
 #include "elf/elf32.hpp"
 
+#include <stdexcept>
+
+#include "support/format.hpp"
+
 namespace binsym::elf {
 
 core::Program to_program(const Image& image) {
   core::Program program;
   program.entry = image.entry;
-  for (const Segment& segment : image.segments)
+  for (const Segment& segment : image.segments) {
+    // read_elf validated each segment in isolation; overlap is a property
+    // of the set. Overlapping PT_LOADs would silently clobber one another
+    // in the flat guest image, so a malformed file fails loudly here.
+    const uint64_t begin = segment.addr;
+    const uint64_t end = begin + segment.bytes.size();
+    for (const core::MemRegion& prior : program.regions) {
+      if (begin < prior.hi && prior.lo < end)
+        throw std::runtime_error(strprintf(
+            "overlapping PT_LOAD segments: [0x%llx, 0x%llx) collides with "
+            "[0x%x, 0x%x)",
+            static_cast<unsigned long long>(begin),
+            static_cast<unsigned long long>(end), prior.lo, prior.hi));
+    }
     program.load_bytes(segment.addr, segment.bytes, segment.flags);
+  }
   return program;
 }
 

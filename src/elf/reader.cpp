@@ -51,6 +51,13 @@ bool parse(const std::vector<uint8_t>& bytes, Image* image,
     uint32_t pflags = get32(bytes, ph + 24);
     if (static_cast<size_t>(offset) + filesz > bytes.size())
       return fail(error, "segment payload outside file");
+    // Malformed-header hardening: a p_memsz below p_filesz has no valid
+    // meaning, and a segment whose end wraps the 32-bit address space
+    // would alias low memory when loaded.
+    if (memsz < filesz)
+      return fail(error, "segment p_memsz smaller than p_filesz");
+    if (static_cast<uint64_t>(vaddr) + memsz > 0x100000000ull)
+      return fail(error, "segment end wraps the 32-bit address space");
     Segment segment;
     segment.addr = vaddr;
     segment.flags = pflags & (kPfR | kPfW | kPfX);

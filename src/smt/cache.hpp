@@ -97,6 +97,10 @@ class CachingSolver final : public Solver {
                              Assignment* model) override;
 
   std::string name() const override { return inner_->name() + "+cache"; }
+  void set_deadline_ms(uint32_t ms) override {
+    Solver::set_deadline_ms(ms);
+    inner_->set_deadline_ms(ms);
+  }
 
   Solver& inner() { return *inner_; }
   QueryCache& cache() { return *cache_; }

@@ -213,9 +213,18 @@ SatResult CdclSolver::solve() {
 
   uint64_t conflicts_until_restart = 100;
   uint64_t conflicts_since_restart = 0;
+  uint64_t ticks = 0;
   std::vector<Lit> learned;
 
   for (;;) {
+    // Deadline probe: every 512 search-loop iterations (each iteration is
+    // one propagation burst plus a conflict or a decision, so the clock
+    // read is amortized to noise). kUnknown leaves the solver state valid
+    // but the search unfinished; callers must not read a model.
+    if (deadline_ && (++ticks & 0x1ff) == 0 &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return SatResult::kUnknown;
+    }
     int conflict = propagate();
     if (conflict != kUndef) {
       ++stats_.conflicts;

@@ -7,8 +7,10 @@
 // cross-check it against Z3 on engine-generated queries.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace binsym::smt::sat {
@@ -22,7 +24,7 @@ constexpr Var lit_var(Lit lit) { return lit >> 1; }
 constexpr bool lit_negated(Lit lit) { return lit & 1; }
 constexpr Lit lit_not(Lit lit) { return lit ^ 1; }
 
-enum class SatResult : uint8_t { kSat, kUnsat };
+enum class SatResult : uint8_t { kSat, kUnsat, kUnknown /* deadline hit */ };
 
 struct CdclStats {
   uint64_t decisions = 0;
@@ -40,6 +42,13 @@ class CdclSolver {
   /// Add a clause; returns false if the formula became trivially unsat
   /// (empty clause after simplification against root-level assignments).
   bool add_clause(std::vector<Lit> lits);
+
+  /// Abandon the search (returning kUnknown) once this instant passes.
+  /// Probed every few hundred search-loop iterations, so the overrun is
+  /// bounded by one propagation burst, not by total query hardness.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
 
   SatResult solve();
 
@@ -84,6 +93,7 @@ class CdclSolver {
   size_t propagate_head_ = 0;
   double activity_inc_ = 1.0;
   bool unsat_ = false;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   CdclStats stats_;
 };
 

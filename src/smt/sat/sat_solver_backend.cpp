@@ -25,6 +25,12 @@ class BitblastSolver final : public Solver {
     ++stats_.queries;
 
     sat::CdclSolver solver;
+    // The per-query deadline covers the whole check (blasting + search);
+    // only the CDCL loop probes it, but blasting is polynomial in the DAG
+    // so the search dominates every hard query.
+    if (deadline_ms_ > 0) {
+      solver.set_deadline(start + std::chrono::milliseconds(deadline_ms_));
+    }
     sat::BitBlaster blaster(solver);
     for (ExprRef assertion : assertions) blaster.assert_true(assertion);
 
@@ -32,8 +38,12 @@ class BitblastSolver final : public Solver {
     if (blaster.inconsistent()) {
       result = CheckResult::kUnsat;
     } else {
-      result = solver.solve() == sat::SatResult::kSat ? CheckResult::kSat
-                                                      : CheckResult::kUnsat;
+      switch (solver.solve()) {
+        case sat::SatResult::kSat:     result = CheckResult::kSat; break;
+        case sat::SatResult::kUnsat:   result = CheckResult::kUnsat; break;
+        case sat::SatResult::kUnknown: result = CheckResult::kUnknown; break;
+        default:                       result = CheckResult::kUnknown; break;
+      }
     }
 
     if (result == CheckResult::kSat) {
@@ -47,6 +57,8 @@ class BitblastSolver final : public Solver {
       }
     } else if (result == CheckResult::kUnsat) {
       ++stats_.unsat;
+    } else {
+      ++stats_.unknown;
     }
 
     stats_.solve_seconds +=

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -15,6 +16,7 @@
 #include "smt/context.hpp"
 #include "smt/eval.hpp"
 #include "smt/expr.hpp"
+#include "support/fault.hpp"
 
 namespace binsym::smt {
 
@@ -38,6 +40,9 @@ struct SolverStats {
   uint64_t incremental_checks = 0;  // check_assuming() calls reaching a backend
   uint64_t reused_assertions = 0;   // scoped assertions live per such check,
                                     // summed (the assumption-reuse depth)
+  uint64_t failover_rescues = 0;    // FailoverSolver: queries the primary
+                                    // backend gave up on (unknown/timeout/
+                                    // exception) that the secondary decided
   double solve_seconds = 0;         // wall time spent inside check*()
 
   /// Fold another solver's counters in (per-worker stats aggregation).
@@ -50,6 +55,7 @@ struct SolverStats {
     cache_misses += other.cache_misses;
     incremental_checks += other.incremental_checks;
     reused_assertions += other.reused_assertions;
+    failover_rescues += other.failover_rescues;
     solve_seconds += other.solve_seconds;
   }
 };
@@ -91,6 +97,15 @@ class Solver {
   virtual CheckResult check_assuming(std::span<const ExprRef> assumptions,
                                      Assignment* model);
 
+  /// Per-query wall-clock deadline in milliseconds; 0 disables (the
+  /// default). Applies to every subsequent check*() call. A check that
+  /// exceeds the deadline returns kUnknown — never a wrong verdict — so
+  /// the engine treats it as an explicitly skipped query. Backends honor
+  /// it natively (Z3: solver `timeout` param; bitblast: a periodic
+  /// interrupt probe in the CDCL search loop); wrappers forward it.
+  virtual void set_deadline_ms(uint32_t ms) { deadline_ms_ = ms; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
+
   /// All currently live scoped assertions, oldest first.
   std::span<const ExprRef> scoped_assertions() const { return scoped_; }
   size_t num_scopes() const { return scope_marks_.size(); }
@@ -108,6 +123,7 @@ class Solver {
   SolverStats stats_;
   std::vector<ExprRef> scoped_;      // live scoped assertions
   std::vector<size_t> scope_marks_;  // scoped_.size() at each push()
+  uint32_t deadline_ms_ = 0;         // per-query deadline, 0 = none
 };
 
 /// Construct the Z3-backed solver (see z3_solver.cpp).
@@ -131,12 +147,93 @@ class ValidatingSolver final : public Solver {
   CheckResult check_assuming(std::span<const ExprRef> assumptions,
                              Assignment* model) override;
   std::string name() const override { return inner_->name() + "+validate"; }
+  void set_deadline_ms(uint32_t ms) override {
+    Solver::set_deadline_ms(ms);
+    inner_->set_deadline_ms(ms);
+  }
 
  private:
   CheckResult validate(std::span<const ExprRef> assumptions,
                        CheckResult result, const Assignment& model);
 
   std::unique_ptr<Solver> inner_;
+};
+
+/// Backend failover: every query goes to the primary backend first; when
+/// the primary gives up — kUnknown (deadline, theory limits) or a thrown
+/// backend error — the query is retried once on a lazily built secondary
+/// backend before kUnknown is surfaced to the caller. The secondary is
+/// stateless from the wrapper's point of view: it answers each rescue as
+/// one standalone check over the client-side scoped assertions plus the
+/// assumptions (the base class keeps that set for every backend), so it
+/// needs no scope replay and no native incrementality. A decided rescue
+/// counts into SolverStats::failover_rescues.
+class FailoverSolver final : public Solver {
+ public:
+  using SecondaryFactory = std::function<std::unique_ptr<Solver>()>;
+
+  /// `secondary` is invoked at most once, on the first rescue attempt; the
+  /// built solver inherits the wrapper's current deadline.
+  FailoverSolver(std::unique_ptr<Solver> primary, SecondaryFactory secondary)
+      : primary_(std::move(primary)), secondary_factory_(std::move(secondary)) {}
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override;
+  void push() override;
+  void pop() override;
+  void assert_(ExprRef assertion) override;
+  CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                             Assignment* model) override;
+  std::string name() const override { return primary_->name() + "+failover"; }
+  void set_deadline_ms(uint32_t ms) override;
+
+ private:
+  /// Retry `scoped_ ∧ assumptions` on the secondary backend; kUnknown when
+  /// the secondary also fails (then nothing rescued the query).
+  CheckResult rescue(std::span<const ExprRef> assumptions, Assignment* model);
+  void refresh_stats();
+
+  std::unique_ptr<Solver> primary_;
+  SecondaryFactory secondary_factory_;
+  std::unique_ptr<Solver> secondary_;  // built on first rescue
+  uint64_t rescues_ = 0;
+  uint64_t logical_queries_ = 0;  // checks as the caller sees them
+};
+
+/// Deterministic failure injection at the solver boundary (see
+/// support/fault.hpp): before each check the plan's solver sites are
+/// consulted — kSolverUnknown degrades the answer to kUnknown without
+/// touching the backend, kSolverThrow raises support::FaultInjected as a
+/// stand-in for a crashing backend. Both model real failure modes the
+/// engine must absorb; the robustness tests drive every one of them.
+class FaultInjectingSolver final : public Solver {
+ public:
+  FaultInjectingSolver(std::unique_ptr<Solver> inner,
+                       std::shared_ptr<support::FaultPlan> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override;
+  void push() override;
+  void pop() override;
+  void assert_(ExprRef assertion) override;
+  CheckResult check_assuming(std::span<const ExprRef> assumptions,
+                             Assignment* model) override;
+  std::string name() const override { return inner_->name(); }
+  void set_deadline_ms(uint32_t ms) override {
+    Solver::set_deadline_ms(ms);
+    inner_->set_deadline_ms(ms);
+  }
+
+ private:
+  /// Fires the solver fault sites; returns true when this check must
+  /// degrade to kUnknown (throws on an injected backend crash).
+  bool inject();
+  void refresh_stats();
+
+  std::unique_ptr<Solver> inner_;
+  std::shared_ptr<support::FaultPlan> plan_;
+  uint64_t injected_unknown_ = 0;  // checks degraded without reaching inner_
 };
 
 }  // namespace binsym::smt

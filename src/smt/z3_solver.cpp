@@ -99,6 +99,19 @@ class Z3Solver final : public Solver {
 
   std::string name() const override { return "z3"; }
 
+  void set_deadline_ms(uint32_t ms) override {
+    Solver::set_deadline_ms(ms);
+    // Native per-query timeout: Z3 interrupts the active check and returns
+    // Z3_L_UNDEF, which record() maps to kUnknown. 0 restores "no limit"
+    // (Z3's own default is UINT_MAX milliseconds).
+    Z3_params params = Z3_mk_params(z3_);
+    Z3_params_inc_ref(z3_, params);
+    Z3_params_set_uint(z3_, params, Z3_mk_string_symbol(z3_, "timeout"),
+                       ms == 0 ? 0xFFFFFFFFu : ms);
+    Z3_solver_set_params(z3_, solver_, params);
+    Z3_params_dec_ref(z3_, params);
+  }
+
  private:
   Z3_ast bv_const(uint64_t value, unsigned width) {
     Z3_sort sort = Z3_mk_bv_sort(z3_, width);

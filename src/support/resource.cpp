@@ -1,0 +1,27 @@
+#include "support/resource.hpp"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace binsym::support {
+
+uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (in pages).
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (!file) return 0;
+  unsigned long long size = 0, resident = 0;
+  int matched = std::fscanf(file, "%llu %llu", &size, &resident);
+  std::fclose(file);
+  if (matched != 2) return 0;
+  static const long page = sysconf(_SC_PAGESIZE);
+  return resident * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace binsym::support

@@ -1,0 +1,14 @@
+// Process resource probes for the engine's cooperative budgets.
+#pragma once
+
+#include <cstdint>
+
+namespace binsym::support {
+
+/// Resident set size of this process in bytes, or 0 when the platform
+/// offers no cheap probe (the engine then treats a memory budget as
+/// unenforceable and never trips it). Cheap enough to poll per explored
+/// path (one small /proc read on Linux).
+uint64_t current_rss_bytes();
+
+}  // namespace binsym::support

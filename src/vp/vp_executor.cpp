@@ -1,8 +1,10 @@
 #include "vp/vp_executor.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "core/snapshot.hpp"
+#include "support/fault.hpp"
 
 namespace binsym::vp {
 
@@ -72,10 +74,16 @@ void VpExecutor::loop(const core::SnapshotPlan* plan, uint64_t next_capture) {
   core::PathTrace& trace = machine_.trace();
   while (machine_.running()) {
     if (plan && trace.branches.size() >= next_capture) {
-      auto snap = std::make_shared<core::Snapshot>();
-      machine_.capture(snap.get());
-      snap->extra = std::make_shared<const QuantumKeeper>(keeper_);
-      plan->sink->push_back(std::move(snap));
+      // Same fault sites as BinSymExecutor::loop (SnapshotPlan::faults).
+      if (plan->faults && plan->faults->fire(support::FaultSite::kAlloc))
+        throw std::bad_alloc();
+      if (!plan->faults ||
+          !plan->faults->fire(support::FaultSite::kSnapshot)) {
+        auto snap = std::make_shared<core::Snapshot>();
+        machine_.capture(snap.get());
+        snap->extra = std::make_shared<const QuantumKeeper>(keeper_);
+        plan->sink->push_back(std::move(snap));
+      }
       next_capture = trace.branches.size() + plan->interval;
     }
     if (trace.steps >= config_.max_steps) {

@@ -65,6 +65,66 @@ TEST(Elf, RejectsTruncatedPayload) {
   EXPECT_FALSE(read_elf(bytes, &error).has_value());
 }
 
+// -- Malformed program-header hardening. -------------------------------------
+
+uint32_t read32(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint32_t>(b[off]) |
+         (static_cast<uint32_t>(b[off + 1]) << 8) |
+         (static_cast<uint32_t>(b[off + 2]) << 16) |
+         (static_cast<uint32_t>(b[off + 3]) << 24);
+}
+
+void write32(std::vector<uint8_t>& b, size_t off, uint32_t v) {
+  b[off] = static_cast<uint8_t>(v);
+  b[off + 1] = static_cast<uint8_t>(v >> 8);
+  b[off + 2] = static_cast<uint8_t>(v >> 16);
+  b[off + 3] = static_cast<uint8_t>(v >> 24);
+}
+
+/// Byte offset of program header `index` in a serialized ELF.
+size_t ph_offset(const std::vector<uint8_t>& b, size_t index) {
+  uint32_t phoff = read32(b, 28);
+  uint16_t phentsize = static_cast<uint16_t>(b[42] | (b[43] << 8));
+  return static_cast<size_t>(phoff) + index * phentsize;
+}
+
+TEST(Elf, RejectsMemszSmallerThanFilesz) {
+  std::vector<uint8_t> bytes = write_elf(sample_image());
+  size_t ph = ph_offset(bytes, 0);
+  uint32_t filesz = read32(bytes, ph + 16);
+  ASSERT_GT(filesz, 0u);
+  write32(bytes, ph + 20, filesz - 1);  // p_memsz below p_filesz
+  std::string error;
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+  EXPECT_NE(error.find("p_memsz"), std::string::npos) << error;
+}
+
+TEST(Elf, RejectsSegmentWrappingAddressSpace) {
+  std::vector<uint8_t> bytes = write_elf(sample_image());
+  size_t ph = ph_offset(bytes, 0);
+  // First segment carries 5 bytes; an end past 2^32 must be refused, not
+  // silently aliased onto low memory.
+  write32(bytes, ph + 8, 0xfffffffcu);  // p_vaddr
+  std::string error;
+  EXPECT_FALSE(read_elf(bytes, &error).has_value());
+  EXPECT_NE(error.find("wraps"), std::string::npos) << error;
+}
+
+TEST(Elf, ToProgramRejectsOverlappingSegments) {
+  Image image;
+  image.entry = 0x1000;
+  image.segments.push_back(Segment{0x1000, {1, 2, 3, 4, 5, 6, 7, 8}});
+  image.segments.push_back(Segment{0x1004, {9, 9}});  // inside the first
+  try {
+    to_program(image);
+    FAIL() << "overlapping PT_LOADs must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping PT_LOAD"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Elf, SegmentFlagsRoundTripToMemRegions) {
   // p_flags survive write -> read -> to_program: the per-segment RWX
   // metadata must land verbatim on the program's MemRegions (the static

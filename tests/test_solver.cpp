@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -317,6 +318,142 @@ TEST(Assignment, DefaultsToZero) {
   EXPECT_EQ(a.get(123), 0u);
   a.set(123, 7);
   EXPECT_EQ(a.get(123), 7u);
+}
+
+// -- Robustness: unknown verdicts, deadlines, and backend failover. ----------
+
+/// Scripted backend standing in for a solver that gives up (deadline hit)
+/// or crashes outright. check_assuming() goes through the base-class
+/// adapter, so it funnels into check() here.
+class StubSolver final : public Solver {
+ public:
+  enum class Mode { kUnknown, kThrow };
+  explicit StubSolver(Mode mode) : mode_(mode) {}
+
+  CheckResult check(std::span<const ExprRef>, Assignment*) override {
+    ++stats_.queries;
+    if (mode_ == Mode::kThrow) throw std::runtime_error("stub backend crash");
+    ++stats_.unknown;
+    return CheckResult::kUnknown;
+  }
+  std::string name() const override { return "stub"; }
+
+ private:
+  Mode mode_;
+};
+
+TEST(CachingSolver, UnknownVerdictsAreNeverCached) {
+  // A deadline-induced unknown must not poison the cache: the same query
+  // re-asked later (more time, another backend) must reach a backend again.
+  Context ctx;
+  CachingSolver cache(std::make_unique<StubSolver>(StubSolver::Mode::kUnknown));
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.ult(x, ctx.constant(10, 8))};
+
+  EXPECT_EQ(cache.check(query, nullptr), CheckResult::kUnknown);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.check(query, nullptr), CheckResult::kUnknown);
+  EXPECT_EQ(cache.stats().cache_hits, 0u);
+  EXPECT_EQ(cache.stats().cache_misses, 2u);
+  EXPECT_EQ(cache.inner().stats().queries, 2u);  // both reached the backend
+}
+
+TEST(FailoverSolver, SecondaryRescuesUnknownPrimary) {
+  Context ctx;
+  FailoverSolver solver(
+      std::make_unique<StubSolver>(StubSolver::Mode::kUnknown),
+      [&ctx] { return make_z3_solver(ctx); });
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.eq(x, ctx.constant(42, 8))};
+  Assignment model;
+  EXPECT_EQ(solver.check(query, &model), CheckResult::kSat);
+  EXPECT_EQ(model.get(x->var_id), 42u);
+  // One *logical* query, classified by the final (rescued) verdict.
+  EXPECT_EQ(solver.stats().queries, 1u);
+  EXPECT_EQ(solver.stats().sat, 1u);
+  EXPECT_EQ(solver.stats().failover_rescues, 1u);
+  EXPECT_EQ(solver.name(), "stub+failover");
+}
+
+TEST(FailoverSolver, ThrowingPrimaryIsRescuedToo) {
+  Context ctx;
+  FailoverSolver solver(std::make_unique<StubSolver>(StubSolver::Mode::kThrow),
+                        [&ctx] { return make_z3_solver(ctx); });
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.eq(x, ctx.constant(1, 8)),
+                                ctx.eq(x, ctx.constant(2, 8))};
+  EXPECT_EQ(solver.check(query, nullptr), CheckResult::kUnsat);
+  EXPECT_EQ(solver.stats().unsat, 1u);
+  EXPECT_EQ(solver.stats().failover_rescues, 1u);
+}
+
+TEST(FailoverSolver, UnknownWhenBothBackendsGiveUp) {
+  Context ctx;
+  FailoverSolver solver(
+      std::make_unique<StubSolver>(StubSolver::Mode::kUnknown),
+      [] {
+        return std::unique_ptr<Solver>(
+            new StubSolver(StubSolver::Mode::kThrow));
+      });
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.ult(x, ctx.constant(10, 8))};
+  EXPECT_EQ(solver.check(query, nullptr), CheckResult::kUnknown);
+  EXPECT_EQ(solver.stats().unknown, 1u);
+  EXPECT_EQ(solver.stats().failover_rescues, 0u);  // nothing was rescued
+}
+
+TEST(FailoverSolver, RescueSeesScopedAssertions) {
+  // The secondary has no scope state of its own; the wrapper must hand it
+  // the client-side scoped conjunction alongside the assumptions.
+  Context ctx;
+  FailoverSolver solver(
+      std::make_unique<StubSolver>(StubSolver::Mode::kUnknown),
+      [&ctx] { return make_z3_solver(ctx); });
+  ExprRef x = ctx.var("x", 8);
+  solver.push();
+  solver.assert_(ctx.ult(x, ctx.constant(10, 8)));
+  Assignment model;
+  std::vector<ExprRef> assumption = {ctx.ugt(x, ctx.constant(3, 8))};
+  ASSERT_EQ(solver.check_assuming(assumption, &model), CheckResult::kSat);
+  EXPECT_GT(model.get(x->var_id), 3u);
+  EXPECT_LT(model.get(x->var_id), 10u);
+  solver.pop();
+  EXPECT_EQ(solver.stats().failover_rescues, 1u);
+}
+
+TEST(SolverDeadline, BitblastHonorsExpiredDeadline) {
+  // A deadline already in the past forces the CDCL loop's periodic probe
+  // to give up on the first batch of conflicts — the check must come back
+  // kUnknown, never a wrong verdict and never a hang.
+  Context ctx;
+  auto solver = make_bitblast_solver(ctx);
+  solver->set_deadline_ms(1);
+  // A multiply chain is hard enough that the search cannot finish within
+  // a millisecond-scale budget (and certainly not before the first probe).
+  ExprRef x = ctx.var("x", 32);
+  ExprRef y = ctx.var("y", 32);
+  ExprRef product = ctx.mul(ctx.mul(x, y), ctx.mul(y, x));
+  std::vector<ExprRef> query = {
+      ctx.eq(product, ctx.constant(0xdeadbeef, 32)),
+      ctx.ugt(x, ctx.constant(2, 32)), ctx.ugt(y, ctx.constant(2, 32))};
+  CheckResult result = solver->check(query, nullptr);
+  if (result == CheckResult::kUnknown) {
+    EXPECT_EQ(solver->stats().unknown, 1u);
+  }
+  // Either verdict must be reached quickly; the deadline machinery makes
+  // this test terminate rather than proving which side wins on fast CI.
+}
+
+TEST(SolverDeadline, Z3AcceptsAndClearsDeadline) {
+  Context ctx;
+  auto solver = make_z3_solver(ctx);
+  solver->set_deadline_ms(10'000);
+  EXPECT_EQ(solver->deadline_ms(), 10'000u);
+  ExprRef x = ctx.var("x", 8);
+  std::vector<ExprRef> query = {ctx.eq(x, ctx.constant(7, 8))};
+  EXPECT_EQ(solver->check(query, nullptr), CheckResult::kSat);
+  solver->set_deadline_ms(0);  // back to unlimited
+  EXPECT_EQ(solver->check(query, nullptr), CheckResult::kSat);
 }
 
 }  // namespace

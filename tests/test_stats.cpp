@@ -194,6 +194,14 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
   stats.solver.cache_misses = 45;
   stats.solver.incremental_checks = 46;
   stats.solver.reused_assertions = 47;
+  stats.queries_unknown = 53;
+  stats.flips_skipped_unknown = 54;
+  stats.solver.failover_rescues = 55;
+  stats.worker_errors = 56;
+  stats.jobs_requeued = 57;
+  stats.jobs_poisoned = 58;
+  stats.incomplete = true;
+  stats.incomplete_reason = "test-incomplete-reason";
 
   std::string report = engine_stats_report(stats);
   const std::vector<std::string> counters = {
@@ -211,6 +219,9 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
       "queries=40",        "sat=41",             "unsat=42",
       "unknown=43",        "cache-hits=44",      "cache-misses=45",
       "incremental-checks=46", "reused-assertions=47", "test-solver",
+      "queries-unknown=53", "skipped-unknown=54", "failover-rescues=55",
+      "worker-errors=56",  "requeued=57",        "poisoned=58",
+      "incomplete: test-incomplete-reason",
   };
   for (const std::string& counter : counters)
     EXPECT_EQ(occurrences(report, counter), 1u) << counter << "\n" << report;
@@ -228,6 +239,8 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   EXPECT_EQ(occurrences(report, "static:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "uops:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "query-nodes:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "robust:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "incomplete:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "paths="), 1u);
   EXPECT_EQ(occurrences(report, "flips:"), 1u);
   EXPECT_EQ(occurrences(report, "solver[z3]:"), 1u);
@@ -252,6 +265,15 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   stats.query_nodes_total = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "query-nodes:"), 1u);
+  EXPECT_EQ(occurrences(report, "robust:"), 0u);
+  stats.flips_skipped_unknown = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "robust:"), 1u);
+  EXPECT_EQ(occurrences(report, "incomplete:"), 0u);
+  stats.incomplete = true;
+  stats.incomplete_reason = "wall-clock deadline";
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "incomplete: wall-clock deadline"), 1u);
 }
 
 TEST_F(StatsTest, TraceHookSeesEveryRetiredInstruction) {

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/executor.hpp"
 #include "isa/decoder.hpp"
 #include "spec/registry.hpp"
 #include "workloads/workloads.hpp"
@@ -137,6 +138,37 @@ TEST(LoadWorkload, Table1NamesAllResolve) {
   spec::install_rv32im(registry, table);
   for (const auto& info : workloads::table1_workloads())
     EXPECT_NO_THROW(workloads::load_workload(table, info.name)) << info.name;
+}
+
+// -- Raw-loader hardening (core::Program, the layer under every loader). -----
+
+TEST(RawLoader, LoadBytesRejectsAddressSpaceWrap) {
+  core::Program program;
+  try {
+    program.load_bytes(0xfffffffe, {1, 2, 3});
+    FAIL() << "expected std::runtime_error for a wrapping payload";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("load_bytes"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("wraps"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(program.regions.empty());  // nothing partially loaded
+}
+
+TEST(RawLoader, LoadWordsRejectsAddressSpaceWrap) {
+  core::Program program;
+  EXPECT_THROW(program.load_words(0xfffffff8, {1, 2, 3}), std::runtime_error);
+  EXPECT_TRUE(program.regions.empty());
+}
+
+TEST(RawLoader, BoundaryLoadStillAccepted) {
+  // A payload ending exactly at 2^32 is legal; only crossing it is not.
+  core::Program program;
+  EXPECT_NO_THROW(program.load_bytes(0xfffffffc, {1, 2, 3, 4}));
+  ASSERT_EQ(program.regions.size(), 1u);
+  EXPECT_EQ(program.regions[0].lo, 0xfffffffcu);
+  EXPECT_EQ(program.regions[0].hi, 0u);  // hi wraps to 0 == 2^32
 }
 
 }  // namespace

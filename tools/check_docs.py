@@ -152,6 +152,31 @@ def check_oracle_reference(explore_binary):
     return errors
 
 
+def check_robustness_doc(explore_binary):
+    """docs/ROBUSTNESS.md must document every robustness flag and every
+    fault-injection site the binary implements. The site list is recovered
+    from the CLI's own bad-spec diagnostic, so the doc tracks the code,
+    not a hardcoded list in this checker."""
+    doc = (REPO / "docs" / "ROBUSTNESS.md").read_text(encoding="utf-8")
+    errors = []
+    for flag in ("--solver", "--query-timeout-ms", "--no-failover",
+                 "--deadline-secs", "--memory-budget-mb", "--fault-inject"):
+        if flag not in doc:
+            errors.append(f"docs/ROBUSTNESS.md: flag not documented: {flag}")
+    result = subprocess.run(
+        [explore_binary, "bubble-sort", "--fault-inject", "bogus-site@1"],
+        capture_output=True, text=True, timeout=60)
+    match = re.search(r"want ([a-z, -]+?)\)", result.stderr + result.stdout)
+    if not match:
+        return errors + [f"{explore_binary}: could not recover the fault-site "
+                         f"list from the --fault-inject diagnostic"]
+    for site in re.split(r",\s*|\s+or\s+", match.group(1)):
+        if f"`{site}`" not in doc:
+            errors.append(
+                f"docs/ROBUSTNESS.md: fault site not documented: {site}")
+    return errors
+
+
 def quickstart_blocks():
     """The fenced `sh` blocks of docs/USER_GUIDE.md, in order."""
     blocks, current, in_sh = [], [], False
@@ -202,6 +227,7 @@ def main():
     if args.explore:
         errors += check_cli_flags(args.explore, "BENCHMARKS.md")
         errors += check_oracle_reference(args.explore)
+        errors += check_robustness_doc(args.explore)
     else:
         print("note: --explore not given, skipping the flag-coverage and "
               "oracle-reference checks")
