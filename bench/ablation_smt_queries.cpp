@@ -9,11 +9,13 @@
 //
 // For every Table I workload the harness explores with BinSym (DSL
 // semantics) and the BINSEC-like engine (lifter IR) under a cumulative
-// sweep {baseline, +incremental, +slice, +presolve} and measures the
-// *effective* branch-flip queries: distinct DAG nodes per query (sliced
-// queries shrink), cumulative solver seconds, presolve hits and cache
-// hits. Path counts are printed so every row doubles as a determinism
-// check — they must not move across configurations.
+// sweep {baseline, +incremental, +slice, +presolve} — plus a "no-intern"
+// row re-running the full pipeline with expression hash-consing disabled
+// (smt/context.hpp) — and measures the *effective* branch-flip queries:
+// distinct DAG nodes per query (sliced queries shrink), cumulative solver
+// seconds, presolve hits and cache hits. Path counts are printed so every
+// row doubles as a determinism check — they must not move across
+// configurations, the intern toggle included.
 //
 // Besides the table, each row is emitted as a JSON line into
 // BENCH_smt_queries.json (cwd), the trajectory file CI's perf-smoke step
@@ -30,15 +32,19 @@ namespace {
 
 struct Config {
   const char* name;
-  bool incremental, slice, presolve;
+  bool incremental, slice, presolve, intern;
 };
 
-// Cumulative: each stage adds one optimization to the previous stage.
+// Cumulative: each stage adds one optimization to the previous stage. The
+// final row re-runs the full pipeline with expression hash-consing off
+// (the legacy fresh-node-per-call allocator), isolating how much of the
+// query DAG size the intern arena's structural sharing removes.
 constexpr Config kConfigs[] = {
-    {"baseline", false, false, false},
-    {"+incremental", true, false, false},
-    {"+slice", true, true, false},
-    {"+presolve", true, true, true},
+    {"baseline", false, false, false, true},
+    {"+incremental", true, false, false, true},
+    {"+slice", true, true, false, true},
+    {"+presolve", true, true, true, true},
+    {"no-intern", true, true, true, false},
 };
 
 core::EngineStats measure(const std::string& engine,
@@ -49,6 +55,7 @@ core::EngineStats measure(const std::string& engine,
   options.incremental_solving = config.incremental;
   options.slice_queries = config.slice;
   options.presolve_models = config.presolve;
+  options.intern_exprs = config.intern;
   options.measure_query_nodes = true;
   return bench::explore_parallel(engine, setup, options);
 }
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "ABLATION: SMT QUERY COMPLEXITY — translation strategy x solver "
-      "pipeline {baseline, +incremental, +slice, +presolve}%s\n",
+      "pipeline {baseline, +incremental, +slice, +presolve, no-intern}%s\n",
       quick ? " (quick)" : "");
   std::printf("%-16s %-8s %-13s %8s %8s %10s %9s %10s %9s %10s\n", "Benchmark",
               "engine", "config", "paths", "queries", "avg nodes", "max nodes",
@@ -83,14 +90,32 @@ int main(int argc, char** argv) {
 
     for (const char* engine : {"binsym", "binsec"}) {
       uint64_t baseline_paths = 0;
+      uint64_t interned_nodes_total = 0;  // "+presolve" row (intern on)
       for (const Config& config : kConfigs) {
         core::EngineStats s = measure(engine, setup, config, max_paths);
         if (config.incremental == false && config.slice == false &&
             config.presolve == false)
           baseline_paths = s.paths;
         // Determinism guard: the optimizations may only change cost, never
-        // the explored path set's size.
+        // the explored path set's size. The intern toggle is held to the
+        // same bar — hash-consing must be purely representational.
         if (s.paths != baseline_paths) ++failures;
+        if (std::strcmp(config.name, "+presolve") == 0)
+          interned_nodes_total = s.query_nodes_total;
+        // Sharing guard: the legacy allocator duplicates structurally equal
+        // nodes (re-read bytes, re-minted constants), so on the byte-heavy
+        // workloads the interned pipeline must ship strictly smaller query
+        // DAGs than the otherwise identical no-intern row.
+        if (std::strcmp(config.name, "no-intern") == 0 &&
+            (info.name == "base64-encode" || info.name == "uri-parser") &&
+            interned_nodes_total >= s.query_nodes_total) {
+          std::printf("FAIL: %s/%s intern on did not reduce query nodes "
+                      "(%llu >= %llu)\n",
+                      info.name.c_str(), engine,
+                      static_cast<unsigned long long>(interned_nodes_total),
+                      static_cast<unsigned long long>(s.query_nodes_total));
+          ++failures;
+        }
 
         double avg_nodes =
             s.flip_attempts
@@ -110,13 +135,16 @@ int main(int argc, char** argv) {
           std::fprintf(
               json,
               "{\"workload\":\"%s\",\"engine\":\"%s\",\"config\":\"%s\","
-              "\"quick\":%s,\"paths\":%llu,\"queries\":%llu,"
+              "\"quick\":%s,\"intern\":%s,\"paths\":%llu,\"queries\":%llu,"
+              "\"query_nodes_total\":%llu,"
               "\"avg_query_nodes\":%.2f,\"max_query_nodes\":%llu,"
               "\"solver_seconds\":%.6f,\"presolve_hits\":%llu,"
               "\"cache_hits\":%llu,\"sliced_out\":%llu}\n",
               info.name.c_str(), engine, config.name, quick ? "true" : "false",
+              config.intern ? "true" : "false",
               static_cast<unsigned long long>(s.paths),
-              static_cast<unsigned long long>(s.flip_attempts), avg_nodes,
+              static_cast<unsigned long long>(s.flip_attempts),
+              static_cast<unsigned long long>(s.query_nodes_total), avg_nodes,
               static_cast<unsigned long long>(s.query_nodes_max),
               s.solver.solve_seconds,
               static_cast<unsigned long long>(s.presolve_hits),
@@ -132,7 +160,9 @@ int main(int argc, char** argv) {
       "\nNotes: identical expression layer + folding on both engines, so "
       "equal node counts answer the paper's open question; the config sweep "
       "is cumulative, and `avg nodes` drops at +slice because sliced-out "
-      "constraints leave the query. JSON lines: BENCH_smt_queries.json\n");
+      "constraints leave the query. The no-intern row re-runs +presolve with "
+      "hash-consing off; paths must not move and query nodes must not "
+      "shrink. JSON lines: BENCH_smt_queries.json\n");
   if (failures) {
     std::printf("FAIL: %d configuration(s) drifted from the baseline path "
                 "count\n", failures);

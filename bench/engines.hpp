@@ -53,6 +53,10 @@ struct EngineSetup {
   /// Solver deadline/failover knobs, also defaulted (no deadline, plain z3
   /// backend) so existing aggregate initializations keep working.
   RobustnessOptions robust{};
+  /// Hash-cons expression nodes in every worker Context built from this
+  /// setup (smt/context.hpp). Off = legacy fresh-node-per-call allocator,
+  /// for the differential harness and the --no-intern ablation.
+  bool intern_exprs = true;
 };
 
 /// A primary backend by CLI name ("z3" | "bitblast"); null on other names.
@@ -100,7 +104,7 @@ inline core::WorkerResources build_worker(
     bool with_solver = true) {
   core::WorkerResources r;
   if (!known_engine(engine)) return r;
-  r.ctx = std::make_unique<smt::Context>();
+  r.ctx = std::make_unique<smt::Context>(s.intern_exprs);
   if (engine == "binsym") {
     r.executor = std::make_unique<core::BinSymExecutor>(
         *r.ctx, s.decoder, s.registry, s.program, s.config);
@@ -240,7 +244,12 @@ inline core::EngineStats explore_parallel(
     const std::string& engine, const EngineSetup& s,
     core::EngineOptions options,
     const core::DseEngine::PathCallback& on_path = nullptr) {
-  core::DseEngine dse(make_worker_factory(engine, s), options);
+  // The intern toggle lives on EngineOptions for CLI/engine consumers, but
+  // contexts are built by the factory — mirror it into the setup so the two
+  // can never disagree for a run.
+  EngineSetup setup = s;
+  setup.intern_exprs = options.intern_exprs;
+  core::DseEngine dse(make_worker_factory(engine, setup), options);
   return dse.explore(on_path);
 }
 
@@ -264,8 +273,8 @@ inline unsigned parse_jobs_arg(const char* arg) {
 }
 
 /// Solver-pipeline optimization toggles, shared by every harness:
-/// --no-incremental, --no-slice, --no-presolve (and --no-cache for
-/// completeness). Returns false when `arg` is none of them.
+/// --no-incremental, --no-slice, --no-presolve (and --no-cache and
+/// --no-intern for completeness). Returns false when `arg` is none of them.
 inline bool parse_solver_opt_flag(const char* arg,
                                   core::EngineOptions* options) {
   if (std::strcmp(arg, "--no-incremental") == 0) {
@@ -276,6 +285,8 @@ inline bool parse_solver_opt_flag(const char* arg,
     options->presolve_models = false;
   } else if (std::strcmp(arg, "--no-cache") == 0) {
     options->cache_queries = false;
+  } else if (std::strcmp(arg, "--no-intern") == 0) {
+    options->intern_exprs = false;
   } else {
     return false;
   }

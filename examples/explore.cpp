@@ -5,6 +5,7 @@
 //   explore <workload|path.elf> [binsym|vp|binsec|angr|angr-buggy]
 //           [--max-paths N] [--jobs N] [--search dfs|bfs|random|coverage]
 //           [--no-incremental] [--no-slice] [--no-presolve] [--no-cache]
+//           [--no-intern]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
 //           [--no-uop] [--uop-cache-size N]
 //           [--solver z3|bitblast] [--query-timeout-ms N] [--no-failover]
@@ -46,6 +47,8 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --no-slice               disable constraint-independence slicing\n"
       "  --no-presolve            disable the model-reuse pre-check\n"
       "  --no-cache               disable the per-worker query cache\n"
+      "  --no-intern              disable expression hash-consing (legacy\n"
+      "                           fresh-node-per-call allocator)\n"
       "  --no-snapshot            disable snapshot/fork execution (full\n"
       "                           replay per flip)\n"
       "  --snapshot-budget N      live checkpoints kept per worker\n"
@@ -256,6 +259,7 @@ int main(int argc, char** argv) {
   }
 
   bench::EngineSetup setup{decoder, registry, program, mconfig, robust};
+  setup.intern_exprs = options.intern_exprs;
   if (!bench::known_engine(engine_name)) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;

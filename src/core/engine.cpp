@@ -145,6 +145,9 @@ void EngineStats::merge(const EngineStats& other) {
   uop_guard_bails += other.uop_guard_bails;
   uop_invalidations += other.uop_invalidations;
   pages_clean_skipped += other.pages_clean_skipped;
+  exprs_interned += other.exprs_interned;
+  intern_hits += other.intern_hits;
+  arena_bytes += other.arena_bytes;
   queries_unknown += other.queries_unknown;
   flips_skipped_unknown += other.flips_skipped_unknown;
   worker_errors += other.worker_errors;
@@ -256,10 +259,12 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   const uint64_t instructions_before = executor.instructions_retired();
   const uint64_t pages_copied_before = executor.pages_copied();
   const interp::UopCounters uop_before = executor.uop_counters();
+  const uint64_t nodes_before = ctx.num_nodes();
+  const uint64_t intern_hits_before = ctx.intern_hits();
 
   // Per-worker solver-pipeline state (workers never share any of it; the
-  // cache is keyed by node ids, which are per-context, so it could not be
-  // shared across workers anyway).
+  // cache keys are structural content hashes, so sharing across workers
+  // would be sound — it is kept per-worker for lock-free locality).
   const EngineOptions& opts = shared.options;
   const bool incremental = opts.incremental_solving;
   smt::QuerySlicer slicer;
@@ -510,7 +515,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       //   3. the solver — through the scoped incremental API when enabled.
       smt::Assignment model;
       smt::CheckResult result = smt::CheckResult::kUnknown;
-      std::vector<uint32_t> key;
+      smt::QueryCache::Key key;
       bool answered = false;
       bool from_solver = false;
       if (cache) {
@@ -621,6 +626,9 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   local.uop_invalidations = uop_after.invalidations - uop_before.invalidations;
   local.pages_clean_skipped =
       uop_after.pages_clean_skipped - uop_before.pages_clean_skipped;
+  local.exprs_interned = ctx.num_nodes() - nodes_before;
+  local.intern_hits = ctx.intern_hits() - intern_hits_before;
+  local.arena_bytes = ctx.arena_bytes();
   local.solver = solver.stats();
   // Queries answered from the cache count as logical queries, exactly as
   // the CachingSolver wrapper reports them in standalone use.

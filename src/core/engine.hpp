@@ -53,6 +53,13 @@ struct EngineOptions {
   /// Keep a per-worker query cache keyed by the effective (sliced) flip
   /// query — identical queries recur across sibling flips.
   bool cache_queries = true;
+  /// Hash-cons expression nodes in each worker's Context (the default).
+  /// Off preserves the legacy fresh-node-per-call allocator for the
+  /// differential test harness; the explored path set is invariant.
+  /// Takes effect where worker contexts are built (the worker factory) —
+  /// the single-executor constructor inherits its caller's Context as-is.
+  /// CLI: --no-intern.
+  bool intern_exprs = true;
   /// Validate every sat model by concrete evaluation (testing aid).
   bool validate_models = false;
   // -- Solver-pipeline optimizations (independently toggleable; the path
@@ -182,6 +189,11 @@ struct EngineStats {
   uint64_t uop_invalidations = 0;    // blocks dropped by stores into them
   uint64_t pages_clean_skipped = 0;  // shadow lookups skipped via clean
                                      // page summaries
+  // -- Expression arena (smt/context.hpp), summed over worker contexts.
+  uint64_t exprs_interned = 0;  // nodes allocated in the arena
+  uint64_t intern_hits = 0;     // builder calls answered from the intern
+                                // table (zero with intern_exprs off)
+  uint64_t arena_bytes = 0;     // bytes held by arenas + intern tables
   // -- Robustness (docs/ROBUSTNESS.md). Zero on a healthy run with no
   // deadlines configured.
   uint64_t queries_unknown = 0;      // solver checks that came back kUnknown

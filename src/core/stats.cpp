@@ -84,6 +84,14 @@ std::string engine_stats_report(const EngineStats& stats) {
             ? static_cast<double>(stats.query_nodes_total) / stats.flip_attempts
             : 0.0);
   }
+  // Expression arena (smt/context.hpp): nodes allocated across worker
+  // contexts, builder calls answered by the intern table, and resident
+  // arena + table bytes. Elided when no worker allocated a node.
+  if (stats.exprs_interned || stats.intern_hits || stats.arena_bytes) {
+    out += strprintf("intern: interned=%llu hits=%llu arena-bytes=%llu\n",
+                     u(stats.exprs_interned), u(stats.intern_hits),
+                     u(stats.arena_bytes));
+  }
   // Robustness machinery (docs/ROBUSTNESS.md): unknown-verdict accounting,
   // backend failover rescues, and crash-isolation bookkeeping. Elided on a
   // fully clean run (every counter zero).

@@ -18,18 +18,18 @@ QueryCache::QueryCache(size_t shards)
     : shard_count_(round_up_pow2(std::max<size_t>(shards, 1))),
       shards_(std::make_unique<Shard[]>(shard_count_)) {}
 
-std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> assertions) {
+QueryCache::Key QueryCache::key_for(std::span<const ExprRef> assertions) {
   return key_for(assertions, {});
 }
 
-std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> scoped,
-                                          std::span<const ExprRef> assumptions) {
-  std::vector<uint32_t> key;
+QueryCache::Key QueryCache::key_for(std::span<const ExprRef> scoped,
+                                    std::span<const ExprRef> assumptions) {
+  Key key;
   key.reserve(scoped.size() + assumptions.size());
   for (std::span<const ExprRef> part : {scoped, assumptions}) {
     for (ExprRef assertion : part) {
       if (assertion->is_true()) continue;
-      key.push_back(assertion->id);
+      key.push_back(assertion->hash);
     }
   }
   std::sort(key.begin(), key.end());
@@ -37,14 +37,14 @@ std::vector<uint32_t> QueryCache::key_for(std::span<const ExprRef> scoped,
   return key;
 }
 
-QueryCache::Shard& QueryCache::shard_for(const std::vector<uint32_t>& key) {
-  // FNV-1a over the id sequence; shard count is a power of two.
+QueryCache::Shard& QueryCache::shard_for(const Key& key) {
+  // FNV-1a over the hash sequence; shard count is a power of two.
   uint64_t h = 0xcbf29ce484222325ull;
-  for (uint32_t id : key) h = (h ^ id) * 0x100000001b3ull;
+  for (uint64_t hash : key) h = (h ^ hash) * 0x100000001b3ull;
   return shards_[h & (shard_count_ - 1)];
 }
 
-bool QueryCache::lookup(const std::vector<uint32_t>& key, Entry* out) {
+bool QueryCache::lookup(const Key& key, Entry* out) {
   Shard& shard = shard_for(key);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -58,7 +58,7 @@ bool QueryCache::lookup(const std::vector<uint32_t>& key, Entry* out) {
   return false;
 }
 
-void QueryCache::insert(const std::vector<uint32_t>& key, Entry entry) {
+void QueryCache::insert(const Key& key, Entry entry) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.entries.emplace(key, std::move(entry));
@@ -80,7 +80,7 @@ void QueryCache::clear() {
   }
 }
 
-CheckResult CachingSolver::serve(const std::vector<uint32_t>& key,
+CheckResult CachingSolver::serve(const QueryCache::Key& key,
                                  std::span<const ExprRef> assertions,
                                  bool via_assumptions, Assignment* model) {
   auto account = [this](CheckResult result) {

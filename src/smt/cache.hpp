@@ -1,14 +1,17 @@
 // Query cache.
 //
-// DFS path exploration re-checks many structurally identical prefixes;
-// because expressions are hash-consed, a query is identified by the sorted
-// multiset of its assertion node ids, making cache lookups O(n log n) in the
-// number of assertions with no re-hashing of the DAG. Sat results keep their
-// model so a hit can reseed execution without a solver round trip.
+// DFS path exploration re-checks many structurally identical prefixes; a
+// query is identified by the sorted set of its assertions' 64-bit structural
+// content hashes (computed once at node construction by the Context arena),
+// making cache lookups O(n log n) in the number of assertions with no
+// re-hashing of the DAG. Sat results keep their model so a hit can reseed
+// execution without a solver round trip.
 //
-// QueryCache is the storage: sharded and thread-safe, so it can be shared
-// by several CachingSolvers over the *same* Context (node ids are
-// per-context, so solvers over different contexts must not share one).
+// QueryCache is the storage: sharded and thread-safe. Because content
+// hashes are stable across contexts and across the intern toggle (see
+// context.hpp), a cache may be shared by CachingSolvers over *different*
+// contexts, and keys survive a context teardown — the property the
+// persistent content-addressed cache of ROADMAP item 4 builds on.
 // CachingSolver is the smt::Solver wrapper the engine layers over a
 // backend; it keeps per-solver hit/miss counters in its SolverStats while
 // the cache keeps process-wide atomic totals.
@@ -31,25 +34,27 @@ class QueryCache {
     Assignment model;  // valid when result == kSat
   };
 
+  /// Canonical query key: the sorted, deduplicated content hashes of the
+  /// assertions, with `true` assertions dropped (they cannot affect
+  /// satisfiability and would fragment keys).
+  using Key = std::vector<uint64_t>;
+
   /// `shards` is rounded up to a power of two; more shards mean less lock
   /// contention when many solvers share one cache.
   explicit QueryCache(size_t shards = 8);
 
-  /// Canonical cache key for a query: sorted, deduplicated assertion ids
-  /// with `true` assertions dropped (they cannot affect satisfiability and
-  /// would fragment keys).
-  static std::vector<uint32_t> key_for(std::span<const ExprRef> assertions);
+  static Key key_for(std::span<const ExprRef> assertions);
 
   /// Same canonical key over the conjunction of two assertion lists (the
   /// incremental path: scoped assertions ∧ check assumptions).
-  static std::vector<uint32_t> key_for(std::span<const ExprRef> scoped,
-                                       std::span<const ExprRef> assumptions);
+  static Key key_for(std::span<const ExprRef> scoped,
+                     std::span<const ExprRef> assumptions);
 
   /// True (and fills *out) on a hit. Counts a hit or a miss.
-  bool lookup(const std::vector<uint32_t>& key, Entry* out);
+  bool lookup(const Key& key, Entry* out);
 
   /// Insert (first writer wins on a racing duplicate).
-  void insert(const std::vector<uint32_t>& key, Entry entry);
+  void insert(const Key& key, Entry entry);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -60,10 +65,10 @@ class QueryCache {
  private:
   struct Shard {
     mutable std::mutex mutex;
-    std::map<std::vector<uint32_t>, Entry> entries;
+    std::map<Key, Entry> entries;
   };
 
-  Shard& shard_for(const std::vector<uint32_t>& key);
+  Shard& shard_for(const Key& key);
 
   size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
@@ -77,7 +82,7 @@ class CachingSolver final : public Solver {
   explicit CachingSolver(std::unique_ptr<Solver> inner)
       : CachingSolver(std::move(inner), std::make_shared<QueryCache>()) {}
 
-  /// Shared cache; every sharing solver must run over the same Context.
+  /// Shared cache; content-hash keys make sharing safe across contexts.
   CachingSolver(std::unique_ptr<Solver> inner, std::shared_ptr<QueryCache> cache)
       : inner_(std::move(inner)), cache_(std::move(cache)) {}
 
@@ -111,7 +116,7 @@ class CachingSolver final : public Solver {
   /// Common serve path: answer `key` from the cache or forward to the inner
   /// solver (stateless check when `via_assumptions` is false, scoped
   /// check_assuming otherwise) and fill the cache with the verdict.
-  CheckResult serve(const std::vector<uint32_t>& key,
+  CheckResult serve(const QueryCache::Key& key,
                     std::span<const ExprRef> assertions, bool via_assumptions,
                     Assignment* model);
 

@@ -1,45 +1,114 @@
 #include "smt/context.hpp"
 
 #include <cassert>
+#include <string_view>
 
 #include "support/bits.hpp"
 
 namespace binsym::smt {
 
-size_t Context::NodeKeyHash::operator()(const NodeKey& k) const {
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing so the low bits of the
+/// content hash are usable directly as intern-table probe indices.
+uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a over the variable name: the cross-context-stable part of a kVar
+/// node's identity (per-context var ids depend on declaration order).
+uint64_t name_hash(std::string_view name) {
   uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t v) {
-    h ^= v;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
     h *= 0x100000001b3ull;
-    h ^= h >> 29;
-  };
-  mix(static_cast<uint64_t>(k.kind));
-  mix(k.width);
-  mix(k.constant);
-  mix(k.var_id);
-  mix((uint64_t{k.aux0} << 32) | k.aux1);
-  for (uint32_t id : k.op_ids) mix(id);
-  return static_cast<size_t>(h);
+  }
+  return h;
+}
+
+/// The structural content hash. Depends only on the node's shape and its
+/// children's hashes (kVar: the variable name), never on per-context ids —
+/// the stability contract documented in context.hpp.
+uint64_t content_hash(Kind kind, unsigned width, uint64_t payload,
+                      uint32_t aux0, uint32_t aux1, ExprRef a, ExprRef b,
+                      ExprRef c) {
+  uint64_t h = mix64((static_cast<uint64_t>(kind) << 8) | width);
+  h = mix64(h ^ ((uint64_t{aux0} << 32) | aux1));
+  h = mix64(h ^ payload);
+  if (a) h = mix64(h ^ a->hash);
+  if (b) h = mix64(h ^ b->hash);
+  if (c) h = mix64(h ^ c->hash);
+  return h;
+}
+
+}  // namespace
+
+ExprRef Context::lookup_var(const std::string& name) const {
+  auto it = var_by_name_.find(name);
+  return it == var_by_name_.end() ? nullptr : var_nodes_[it->second];
+}
+
+size_t Context::arena_bytes() const {
+  return blocks_.size() * kBlockSize * sizeof(Expr) +
+         table_.capacity() * sizeof(uint32_t);
+}
+
+void Context::grow_table() {
+  size_t new_size = table_.empty() ? 1024 : table_.size() * 2;
+  std::vector<uint32_t> old = std::move(table_);
+  table_.assign(new_size, 0);
+  size_t mask = new_size - 1;
+  for (uint32_t id : old) {
+    if (!id) continue;
+    size_t slot = node_at(id)->hash & mask;
+    while (table_[slot]) slot = (slot + 1) & mask;
+    table_[slot] = id;
+  }
 }
 
 ExprRef Context::intern(Kind kind, unsigned width, uint64_t constant,
                         uint32_t var_id, uint32_t aux0, uint32_t aux1,
                         ExprRef a, ExprRef b, ExprRef c) {
   assert(width >= 1 && width <= kMaxWidth);
-  NodeKey key{kind,
-              static_cast<uint8_t>(width),
-              constant,
-              var_id,
-              aux0,
-              aux1,
-              {a ? a->id : 0, b ? b->id : 0, c ? c->id : 0}};
-  if (auto it = interned_.find(key); it != interned_.end()) return it->second;
+  uint64_t payload = kind == Kind::kVar ? name_hash(vars_[var_id].name)
+                                        : constant;
+  uint64_t hash = content_hash(kind, width, payload, aux0, aux1, a, b, c);
 
-  auto node = std::make_unique<Expr>();
+  size_t slot = 0;
+  if (intern_) {
+    if (table_used_ * 4 >= table_.size() * 3) grow_table();
+    size_t mask = table_.size() - 1;
+    slot = hash & mask;
+    while (table_[slot]) {
+      Expr* n = node_at(table_[slot]);
+      // Children are interned first, so comparing child pointers is the
+      // full structural equality check.
+      if (n->hash == hash && n->kind == kind && n->width == width &&
+          n->constant == constant && n->var_id == var_id && n->aux0 == aux0 &&
+          n->aux1 == aux1 && n->ops[0] == a && n->ops[1] == b &&
+          n->ops[2] == c) {
+        ++intern_hits_;
+        return n;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  size_t index = num_nodes_;
+  if ((index >> kBlockShift) == blocks_.size())
+    blocks_.push_back(std::make_unique<Expr[]>(kBlockSize));
+  Expr* node = &blocks_[index >> kBlockShift][index & (kBlockSize - 1)];
+  ++num_nodes_;
   node->kind = kind;
   node->width = static_cast<uint8_t>(width);
   node->num_ops = static_cast<uint8_t>(a ? (b ? (c ? 3 : 2) : 1) : 0);
-  node->id = static_cast<uint32_t>(nodes_.size()) + 1;  // 0 reserved for "no op"
+  node->id = static_cast<uint32_t>(num_nodes_);  // 1-based, dense
+  node->hash = hash;
   node->constant = constant;
   node->var_id = var_id;
   node->aux0 = aux0;
@@ -47,10 +116,11 @@ ExprRef Context::intern(Kind kind, unsigned width, uint64_t constant,
   node->ops[0] = a;
   node->ops[1] = b;
   node->ops[2] = c;
-  ExprRef ref = node.get();
-  nodes_.push_back(std::move(node));
-  interned_.emplace(key, ref);
-  return ref;
+  if (intern_) {
+    table_[slot] = node->id;
+    ++table_used_;
+  }
+  return node;
 }
 
 ExprRef Context::constant(uint64_t value, unsigned width) {
@@ -60,12 +130,14 @@ ExprRef Context::constant(uint64_t value, unsigned width) {
 ExprRef Context::var(const std::string& name, unsigned width) {
   if (auto it = var_by_name_.find(name); it != var_by_name_.end()) {
     assert(vars_[it->second].width == width && "variable redeclared with a different width");
-    return intern(Kind::kVar, vars_[it->second].width, 0, it->second, 0, 0);
+    return var_nodes_[it->second];
   }
   uint32_t id = static_cast<uint32_t>(vars_.size());
   vars_.push_back(VarInfo{name, width});
   var_by_name_.emplace(name, id);
-  return intern(Kind::kVar, width, 0, id, 0, 0);
+  ExprRef node = intern(Kind::kVar, width, 0, id, 0, 0);
+  var_nodes_.push_back(node);
+  return node;
 }
 
 ExprRef Context::fresh_var(const std::string& prefix, unsigned width) {

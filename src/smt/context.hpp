@@ -1,8 +1,25 @@
-// Expression context: owns all Expr nodes, interns them (hash-consing) and
-// exposes the building API. Builders perform constant folding and local
-// peephole simplification, so trivially-true branch conditions never reach
-// the solver — this mirrors the "encode" step optimisations the paper's
-// BINSEC baseline is credited with, and is shared by all engines here.
+// Expression context: owns all Expr nodes in a chunked arena and, by
+// default, hash-conses them — structurally-equal nodes are pointer-equal at
+// construction, so every downstream pass (NodeMarker traversals, slicing,
+// query-cache keys) scales with the number of *distinct* subterms. Builders
+// perform constant folding and local peephole simplification, so
+// trivially-true branch conditions never reach the solver — this mirrors the
+// "encode" step optimisations the paper's BINSEC baseline is credited with,
+// and is shared by all engines here.
+//
+// Interning can be disabled (`Context(/*intern_exprs=*/false)`, surfaced as
+// `explore --no-intern`): the legacy allocator hands out a fresh node per
+// builder call (variables stay deduplicated by name, as in SMT-LIB) and is
+// kept purely as the reference world for the differential test harness.
+//
+// Every node carries a 64-bit structural content hash, computed at
+// construction in both modes from (kind, width, aux payload, constant,
+// child hashes) — with kVar hashing the variable *name*, not its
+// per-context id. The hash is therefore stable across contexts and across
+// the intern toggle, which is what makes it usable as a query-cache key
+// today and as the address of a persistent content-addressed cache later
+// (ROADMAP item 4). Within one context it doubles as the intern-table
+// probe hash. See docs/SMT.md.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +39,7 @@ struct VarInfo {
 
 class Context {
  public:
-  Context() = default;
+  explicit Context(bool intern_exprs = true) : intern_(intern_exprs) {}
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
@@ -33,15 +50,29 @@ class Context {
   ExprRef bool_const(bool value) { return constant(value ? 1 : 0, 1); }
 
   /// Named free variable. Calling twice with the same name returns the same
-  /// node (the name is the identity, as in SMT-LIB).
+  /// node (the name is the identity, as in SMT-LIB) — in both intern modes.
   ExprRef var(const std::string& name, unsigned width);
 
   /// Fresh variable with a unique generated name built from `prefix`.
   ExprRef fresh_var(const std::string& prefix, unsigned width);
 
+  /// The node for an already-declared variable, or nullptr if the name is
+  /// unknown (the SMT-LIB parser's symbol lookup).
+  ExprRef lookup_var(const std::string& name) const;
+
   const VarInfo& var_info(uint32_t var_id) const { return vars_[var_id]; }
   size_t num_vars() const { return vars_.size(); }
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Whether this context hash-conses (true) or uses the legacy
+  /// fresh-node-per-call allocator (false).
+  bool interning() const { return intern_; }
+
+  /// Builder calls answered from the intern table instead of allocating.
+  uint64_t intern_hits() const { return intern_hits_; }
+
+  /// Bytes held by the node arena and the intern table.
+  size_t arena_bytes() const;
 
   // -- Unary. ------------------------------------------------------------------
 
@@ -92,18 +123,15 @@ class Context {
   ExprRef logical_or(ExprRef a, ExprRef b) { return or_(a, b); }
 
  private:
-  struct NodeKey {
-    Kind kind;
-    uint8_t width;
-    uint64_t constant;
-    uint32_t var_id;
-    uint32_t aux0, aux1;
-    uint32_t op_ids[3];
-    bool operator==(const NodeKey&) const = default;
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey& k) const;
-  };
+  // 1024 nodes per arena block: blocks never move, so ExprRef pointers are
+  // stable for the lifetime of the context.
+  static constexpr size_t kBlockShift = 10;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockShift;
+
+  Expr* node_at(uint32_t id) {
+    size_t index = id - 1;  // ids are 1-based; 0 is reserved for "no op"
+    return &blocks_[index >> kBlockShift][index & (kBlockSize - 1)];
+  }
 
   ExprRef intern(Kind kind, unsigned width, uint64_t constant, uint32_t var_id,
                  uint32_t aux0, uint32_t aux1, ExprRef a = nullptr,
@@ -111,9 +139,20 @@ class Context {
 
   ExprRef binary(Kind kind, ExprRef a, ExprRef b);
 
-  std::vector<std::unique_ptr<Expr>> nodes_;
-  std::unordered_map<NodeKey, ExprRef, NodeKeyHash> interned_;
+  void grow_table();
+
+  const bool intern_;
+  std::vector<std::unique_ptr<Expr[]>> blocks_;
+  size_t num_nodes_ = 0;
+  // Open-addressing intern table of node ids (0 = empty slot), probed by
+  // the stored content hash; power-of-two sized. Slot equality compares
+  // the structural key directly — children are interned first, so child
+  // *pointers* are the canonical child identity.
+  std::vector<uint32_t> table_;
+  size_t table_used_ = 0;
+  uint64_t intern_hits_ = 0;
   std::vector<VarInfo> vars_;
+  std::vector<ExprRef> var_nodes_;  // one node per name, in both modes
   std::unordered_map<std::string, uint32_t> var_by_name_;
   uint64_t fresh_counter_ = 0;
 };

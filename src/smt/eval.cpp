@@ -47,35 +47,40 @@ uint64_t apply(ExprRef node, const uint64_t* op) {
   return 0;
 }
 
+// The memo keys on the structural content hash: in an interning context it
+// is equivalent to keying on the node id (one node per structure), while in
+// the legacy allocator it shares work across structural clones — two nodes
+// with equal hashes are structurally equal and thus evaluate identically
+// under any fixed assignment.
 void evaluate_into(ExprRef root, const Assignment& assignment,
-                   std::unordered_map<uint32_t, uint64_t>& memo) {
+                   std::unordered_map<uint64_t, uint64_t>& memo) {
   postorder(root, [&](ExprRef node) {
-    if (memo.count(node->id)) return;
+    if (memo.count(node->hash)) return;
     uint64_t result;
     if (node->kind == Kind::kVar) {
       result = truncate(assignment.get(node->var_id), node->width);
     } else {
       uint64_t op[3] = {0, 0, 0};
       for (unsigned i = 0; i < node->num_ops; ++i)
-        op[i] = memo.at(node->ops[i]->id);
+        op[i] = memo.at(node->ops[i]->hash);
       result = apply(node, op);
     }
-    memo.emplace(node->id, result);
+    memo.emplace(node->hash, result);
   });
 }
 
 }  // namespace
 
 uint64_t evaluate(ExprRef root, const Assignment& assignment) {
-  std::unordered_map<uint32_t, uint64_t> memo;
+  std::unordered_map<uint64_t, uint64_t> memo;
   evaluate_into(root, assignment, memo);
-  return memo.at(root->id);
+  return memo.at(root->hash);
 }
 
 uint64_t CachingEvaluator::evaluate(ExprRef root) {
-  if (auto it = memo_.find(root->id); it != memo_.end()) return it->second;
+  if (auto it = memo_.find(root->hash); it != memo_.end()) return it->second;
   evaluate_into(root, assignment_, memo_);
-  return memo_.at(root->id);
+  return memo_.at(root->hash);
 }
 
 }  // namespace binsym::smt

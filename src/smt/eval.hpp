@@ -31,7 +31,10 @@ struct Assignment {
 uint64_t evaluate(ExprRef root, const Assignment& assignment);
 
 /// Evaluator with a persistent memo table, for callers that evaluate many
-/// roots over one fixed assignment (e.g. a whole path condition).
+/// roots over one fixed assignment (e.g. a whole path condition). The memo
+/// keys on the arena's structural content hash, so structural clones from a
+/// non-interning context share entries; distinct structures never alias
+/// (equal hashes imply equal structure, pinned by test_smt_property.cpp).
 class CachingEvaluator {
  public:
   explicit CachingEvaluator(const Assignment& assignment)
@@ -41,7 +44,7 @@ class CachingEvaluator {
 
  private:
   const Assignment& assignment_;
-  std::unordered_map<uint32_t, uint64_t> memo_;
+  std::unordered_map<uint64_t, uint64_t> memo_;
 };
 
 }  // namespace binsym::smt

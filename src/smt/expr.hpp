@@ -62,6 +62,7 @@ struct Expr {
   uint8_t width;     // result width in bits
   uint8_t num_ops;   // 0..3
   uint32_t id;       // dense per-context id, usable as a map key
+  uint64_t hash;     // structural content hash; see Context for the contract
   uint64_t constant; // kConst payload (canonical for `width`)
   uint32_t var_id;   // kVar payload: index into Context's variable table
   uint32_t aux0;     // kExtract: hi
@@ -152,5 +153,11 @@ inline std::vector<uint32_t> collect_vars(const std::vector<ExprRef>& roots) {
 /// per call) and reusing `marker` scratch space; the slicer's inner loop.
 void collect_vars_into(ExprRef root, NodeMarker& marker,
                        std::vector<uint32_t>& out);
+
+/// Deep structural comparison, independent of interning. kVar compares by
+/// var_id, so the result is only meaningful for nodes of the same Context
+/// (an interning Context guarantees `a == b` instead; this exists for the
+/// legacy-allocator differential harness).
+bool structurally_equal(ExprRef a, ExprRef b);
 
 }  // namespace binsym::smt

@@ -29,4 +29,23 @@ std::string query_string(const Context& ctx,
                          const std::vector<ExprRef>& assertions,
                          bool with_check_sat = true);
 
+/// Parse the expression subset the printer emits — `let` bindings, indexed
+/// extract/extensions, the Bool/BitVec-1 coercions, #b/#x literals and bare
+/// symbols — rebuilding through `ctx`'s folding builders (so parsing a
+/// printed expression back into its interning context returns the original
+/// node: the round-trip property pinned by test_smtlib.cpp). Free variables
+/// must already be declared in `ctx`; use parse_query for self-contained
+/// text. Returns nullptr on a syntax error or unknown symbol, with a
+/// diagnostic in *error when given.
+ExprRef parse_smtlib(Context& ctx, const std::string& text,
+                     std::string* error = nullptr);
+
+/// Parse a complete printed query: `declare-const` lines declare variables
+/// in `ctx`, each `assert` contributes one expression to *assertions
+/// (`set-logic` and `check-sat` are accepted and ignored). Returns false on
+/// error.
+bool parse_query(Context& ctx, const std::string& text,
+                 std::vector<ExprRef>* assertions,
+                 std::string* error = nullptr);
+
 }  // namespace binsym::smt

@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/executor.hpp"
 #include "isa/decoder.hpp"
+#include "smt/cache.hpp"
 #include "smt/slice.hpp"
 #include "smt/solver.hpp"
 #include "spec/registry.hpp"
@@ -192,6 +193,40 @@ TEST_F(SliceTest, FlipQueryReferenceConstructionSlicesLikeTheEngine) {
   EXPECT_EQ(sliced.dropped, 2u);
   EXPECT_EQ(sliced.query,
             (std::vector<ExprRef>{link(c, d), ctx.not_(lt(c, 30))}));
+}
+
+TEST_F(SliceTest, SlicedCacheKeysCollapseSiblingFlipsInBothInternModes) {
+  // Sibling flips whose prefixes differ only in a variable-disjoint group
+  // slice down to the same effective query, so their cache keys coincide.
+  // The keys are structural content hashes, so the collapse is identical
+  // with the expression arena interning and with the legacy allocator —
+  // even though the legacy world builds the shared constraint as two
+  // distinct nodes.
+  smt::QueryCache::Key keys[2];
+  int mode = 0;
+  for (bool intern : {true, false}) {
+    Context c(intern);
+    ExprRef x = c.var("x", 8);
+    ExprRef y = c.var("y", 8);
+    ExprRef z = c.var("z", 8);
+    auto lt8 = [&](ExprRef v, uint64_t k) {
+      return c.ult(v, c.constant(k, 8));
+    };
+    std::vector<ExprRef> taken = {lt8(x, 10), lt8(y, 20)};
+    std::vector<ExprRef> flipped = {c.not_(lt8(x, 10)), lt8(y, 20)};
+    ExprRef target = c.eq(z, y);
+    smt::QuerySlicer slicer;
+    smt::QuerySlicer::Result r1 = slicer.slice(taken, target);
+    smt::QuerySlicer::Result r2 = slicer.slice(flipped, target);
+    EXPECT_EQ(r1.dropped, 1u);
+    EXPECT_EQ(r2.dropped, 1u);
+    smt::QueryCache::Key key = smt::QueryCache::key_for(r1.query);
+    EXPECT_EQ(key, smt::QueryCache::key_for(r2.query))
+        << (intern ? "intern" : "legacy")
+        << ": sibling flips did not collapse onto one key";
+    keys[mode++] = key;
+  }
+  EXPECT_EQ(keys[0], keys[1]) << "cache keys drift across the intern toggle";
 }
 
 // -- End-to-end: sliced and unsliced exploration are indistinguishable. -------

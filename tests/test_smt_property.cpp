@@ -2,9 +2,12 @@
 //   * the simplifier preserves concrete evaluation,
 //   * simplification is idempotent,
 //   * builder folding agrees with the evaluator,
-//   * Z3 agrees with the concrete evaluator on forced-value queries.
+//   * Z3 agrees with the concrete evaluator on forced-value queries,
+//   * interning is idempotent and content hashes are context-independent,
+//   * CachingEvaluator memos never alias distinct structures.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "smt/context.hpp"
@@ -182,6 +185,76 @@ TEST_P(SmtProperty, Z3AgreesWithEvaluator) {
   // unsat under the same pinning.
   assertions.back() = ctx.eq(root, ctx.constant(value + 1, root->width));
   EXPECT_EQ(solver->check(assertions, nullptr), CheckResult::kUnsat);
+}
+
+TEST_P(SmtProperty, InterningIsIdempotent) {
+  // Replay the exact same build sequence twice against one interning
+  // context: every builder call of the second pass must be answered from
+  // the intern table, so the roots (and the whole pools behind them) are
+  // pointer-identical and the node count does not move.
+  uint64_t seed = GetParam() ^ 0x1d01a;
+  Context ctx;
+  Rng rng1(seed);
+  DagGen gen1(ctx, rng1, 4);
+  ExprRef first = gen1.grow(50);
+  size_t nodes_after_first = ctx.num_nodes();
+  Rng rng2(seed);
+  DagGen gen2(ctx, rng2, 4);
+  ExprRef second = gen2.grow(50);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(ctx.num_nodes(), nodes_after_first);
+  EXPECT_GT(ctx.intern_hits(), 0u);
+}
+
+TEST_P(SmtProperty, ContentHashStableAcrossContexts) {
+  // The same build sequence in a second context whose variable ids are
+  // shifted by padding declarations: content hashes key on the variable
+  // *name*, so every hash must match — the property that makes the hash
+  // usable as a cross-context (and future persistent) cache key.
+  uint64_t seed = GetParam() ^ 0xc0ffee;
+  Context plain;
+  Context padded;
+  for (int i = 0; i < 5; ++i) padded.var("pad" + std::to_string(i), 8);
+  Rng rng1(seed);
+  DagGen gen1(plain, rng1, 4);
+  ExprRef a = gen1.grow(40);
+  Rng rng2(seed);
+  DagGen gen2(padded, rng2, 4);
+  ExprRef b = gen2.grow(40);
+  ASSERT_EQ(a->width, b->width);
+  EXPECT_EQ(a->hash, b->hash);
+  EXPECT_NE(a->hash, 0u);
+  // The shifted ids prove the hash ignores them.
+  EXPECT_NE(plain.num_vars(), padded.num_vars());
+}
+
+TEST_P(SmtProperty, CachingEvaluatorMemosNeverAliasDistinctNodes) {
+  // The evaluator memo keys on the content hash. In an interning context
+  // equal hashes are the same pointer; in a legacy context structural
+  // clones share entries. Either way, the memoized value for every node in
+  // the DAG must equal a fresh, memo-free evaluation of that node.
+  Rng rng(GetParam() ^ 0xeea1);
+  for (bool intern : {true, false}) {
+    Context ctx(intern);
+    DagGen gen(ctx, rng, 4);
+    ExprRef root = gen.grow(80);
+    Assignment a = random_assignment(ctx, rng);
+    CachingEvaluator cached(a);
+    std::unordered_map<uint64_t, ExprRef> by_hash;
+    postorder(root, [&](ExprRef n) {
+      EXPECT_EQ(cached.evaluate(n), evaluate(n, a))
+          << kind_name(n->kind) << " id " << n->id;
+      auto [it, inserted] = by_hash.emplace(n->hash, n);
+      if (!inserted && intern) {
+        // Interning: one hash, one node.
+        EXPECT_EQ(it->second, n);
+      } else if (!inserted) {
+        // Legacy clones may share a hash — then they must be structural
+        // twins, which is exactly what makes the shared memo entry sound.
+        EXPECT_TRUE(structurally_equal(it->second, n));
+      }
+    });
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SmtProperty,

@@ -169,7 +169,7 @@ TEST(QueryCache, ConcurrentLookupsAndInsertsAreConsistent) {
     pool.emplace_back([&cache] {
       for (int round = 0; round < kRounds; ++round) {
         for (uint32_t k = 0; k < kKeys; ++k) {
-          std::vector<uint32_t> key = {k, k + 1000};
+          QueryCache::Key key = {k, k + 1000};
           QueryCache::Entry entry;
           if (!cache.lookup(key, &entry)) {
             entry.result = CheckResult::kSat;

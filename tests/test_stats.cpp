@@ -185,6 +185,9 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
   stats.uop_guard_bails = 50;
   stats.uop_invalidations = 51;
   stats.pages_clean_skipped = 52;
+  stats.exprs_interned = 59;
+  stats.intern_hits = 60;
+  stats.arena_bytes = 61;
   stats.solver_name = "test-solver";
   stats.solver.queries = 40;
   stats.solver.sat = 41;
@@ -221,6 +224,7 @@ TEST_F(StatsTest, ReportListsEveryCounterExactlyOnce) {
       "incremental-checks=46", "reused-assertions=47", "test-solver",
       "queries-unknown=53", "skipped-unknown=54", "failover-rescues=55",
       "worker-errors=56",  "requeued=57",        "poisoned=58",
+      "interned=59",       "hits=60",            "arena-bytes=61",
       "incomplete: test-incomplete-reason",
   };
   for (const std::string& counter : counters)
@@ -239,6 +243,7 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   EXPECT_EQ(occurrences(report, "static:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "uops:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "query-nodes:"), 0u) << report;
+  EXPECT_EQ(occurrences(report, "intern:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "robust:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "incomplete:"), 0u) << report;
   EXPECT_EQ(occurrences(report, "paths="), 1u);
@@ -265,6 +270,10 @@ TEST_F(StatsTest, ReportElidesZeroValuedOptionalSections) {
   stats.query_nodes_total = 1;
   report = engine_stats_report(stats);
   EXPECT_EQ(occurrences(report, "query-nodes:"), 1u);
+  EXPECT_EQ(occurrences(report, "intern:"), 0u);
+  stats.exprs_interned = 1;
+  report = engine_stats_report(stats);
+  EXPECT_EQ(occurrences(report, "intern:"), 1u);
   EXPECT_EQ(occurrences(report, "robust:"), 0u);
   stats.flips_skipped_unknown = 1;
   report = engine_stats_report(stats);
