@@ -17,14 +17,26 @@
 // row doubles as a determinism check — they must not move across
 // configurations, the intern toggle included.
 //
+// Two backend-layer rows extend the sweep (see docs/SOLVERS.md): a
+// "portfolio" row re-running the full pipeline with the racing solver
+// portfolio (path counts must not move — the race may only change who
+// answers, never what is explored), and a "persistent" row running the
+// full pipeline twice over one content-addressed solver store — the
+// reported stats are the warm second run, and on the query-heavy
+// base64-encode/uri-parser workloads the warm run must issue at least 5x
+// fewer backend checks than its cold twin while exploring the identical
+// path count.
+//
 // Besides the table, each row is emitted as a JSON line into
 // BENCH_smt_queries.json (cwd), the trajectory file CI's perf-smoke step
 // appends to.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "engines.hpp"
+#include "smt/store.hpp"
 
 using namespace binsym;
 
@@ -33,23 +45,40 @@ namespace {
 struct Config {
   const char* name;
   bool incremental, slice, presolve, intern;
+  bool portfolio = false;   // race z3 + bitblast per query
+  bool persistent = false;  // cold + warm pair over one solver store
 };
 
 // Cumulative: each stage adds one optimization to the previous stage. The
-// final row re-runs the full pipeline with expression hash-consing off
-// (the legacy fresh-node-per-call allocator), isolating how much of the
-// query DAG size the intern arena's structural sharing removes.
+// "no-intern" row re-runs the full pipeline with expression hash-consing
+// off (the legacy fresh-node-per-call allocator), isolating how much of
+// the query DAG size the intern arena's structural sharing removes; the
+// "portfolio" and "persistent" rows swap the backend layer under the full
+// pipeline (docs/SOLVERS.md).
 constexpr Config kConfigs[] = {
     {"baseline", false, false, false, true},
     {"+incremental", true, false, false, true},
     {"+slice", true, true, false, true},
     {"+presolve", true, true, true, true},
     {"no-intern", true, true, true, false},
+    {"portfolio", true, true, true, true, /*portfolio=*/true},
+    {"persistent", true, true, true, true, false, /*persistent=*/true},
 };
 
+/// Checks the backend actually ran: queries it neither answered from the
+/// in-memory cache nor from the persistent store.
+uint64_t backend_calls(const core::EngineStats& s) {
+  return s.solver.queries - s.solver.cache_hits - s.store_hits;
+}
+
+/// One measured exploration. A "persistent" config runs twice over one
+/// private store directory — cold (populates the store; stats to
+/// *cold_out) then warm (returned) — so the row shows what a restart pays.
 core::EngineStats measure(const std::string& engine,
                           const bench::EngineSetup& setup,
-                          const Config& config, uint64_t max_paths) {
+                          const Config& config, uint64_t max_paths,
+                          const std::string& store_tag,
+                          core::EngineStats* cold_out) {
   core::EngineOptions options;
   options.max_paths = max_paths;
   options.incremental_solving = config.incremental;
@@ -57,7 +86,23 @@ core::EngineStats measure(const std::string& engine,
   options.presolve_models = config.presolve;
   options.intern_exprs = config.intern;
   options.measure_query_nodes = true;
-  return bench::explore_parallel(engine, setup, options);
+
+  bench::EngineSetup local = setup;
+  local.robust.portfolio = config.portfolio;
+  if (!config.persistent)
+    return bench::explore_parallel(engine, local, options);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("binsym-bench-store-" + store_tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  options.solver_store = smt::SolverStore::open(dir);
+  *cold_out = bench::explore_parallel(engine, local, options);
+  options.solver_store = smt::SolverStore::open(dir);
+  core::EngineStats warm = bench::explore_parallel(engine, local, options);
+  std::filesystem::remove_all(dir);
+  return warm;
 }
 
 }  // namespace
@@ -92,7 +137,10 @@ int main(int argc, char** argv) {
       uint64_t baseline_paths = 0;
       uint64_t interned_nodes_total = 0;  // "+presolve" row (intern on)
       for (const Config& config : kConfigs) {
-        core::EngineStats s = measure(engine, setup, config, max_paths);
+        core::EngineStats cold{};
+        core::EngineStats s =
+            measure(engine, setup, config, max_paths,
+                    info.name + "-" + engine, &cold);
         if (config.incremental == false && config.slice == false &&
             config.presolve == false)
           baseline_paths = s.paths;
@@ -115,6 +163,23 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(interned_nodes_total),
                       static_cast<unsigned long long>(s.query_nodes_total));
           ++failures;
+        }
+        // Warm-vs-cold guard: the persistent row's reported stats are the
+        // warm second run; its cold twin must have explored the same path
+        // count, and on the query-heavy workloads the store must absorb at
+        // least 80% of the backend traffic a restart would otherwise repay.
+        if (config.persistent) {
+          if (cold.paths != baseline_paths) ++failures;
+          if ((info.name == "base64-encode" || info.name == "uri-parser") &&
+              5 * backend_calls(s) > backend_calls(cold)) {
+            std::printf(
+                "FAIL: %s/%s warm store run did not cut backend calls 5x "
+                "(cold %llu, warm %llu)\n",
+                info.name.c_str(), engine,
+                static_cast<unsigned long long>(backend_calls(cold)),
+                static_cast<unsigned long long>(backend_calls(s)));
+            ++failures;
+          }
         }
 
         double avg_nodes =
@@ -139,7 +204,8 @@ int main(int argc, char** argv) {
               "\"query_nodes_total\":%llu,"
               "\"avg_query_nodes\":%.2f,\"max_query_nodes\":%llu,"
               "\"solver_seconds\":%.6f,\"presolve_hits\":%llu,"
-              "\"cache_hits\":%llu,\"sliced_out\":%llu}\n",
+              "\"cache_hits\":%llu,\"sliced_out\":%llu,"
+              "\"store_hits\":%llu,\"backend_calls\":%llu}\n",
               info.name.c_str(), engine, config.name, quick ? "true" : "false",
               config.intern ? "true" : "false",
               static_cast<unsigned long long>(s.paths),
@@ -149,7 +215,9 @@ int main(int argc, char** argv) {
               s.solver.solve_seconds,
               static_cast<unsigned long long>(s.presolve_hits),
               static_cast<unsigned long long>(s.solver.cache_hits),
-              static_cast<unsigned long long>(s.sliced_constraints));
+              static_cast<unsigned long long>(s.sliced_constraints),
+              static_cast<unsigned long long>(s.store_hits),
+              static_cast<unsigned long long>(backend_calls(s)));
         }
       }
     }
@@ -162,7 +230,11 @@ int main(int argc, char** argv) {
       "is cumulative, and `avg nodes` drops at +slice because sliced-out "
       "constraints leave the query. The no-intern row re-runs +presolve with "
       "hash-consing off; paths must not move and query nodes must not "
-      "shrink. JSON lines: BENCH_smt_queries.json\n");
+      "shrink. The portfolio row races z3 + bitblast per query; the "
+      "persistent row is the warm second run over a solver store its cold "
+      "twin populated (docs/SOLVERS.md) — on base64-encode/uri-parser the "
+      "warm run must issue >=5x fewer backend calls. JSON lines: "
+      "BENCH_smt_queries.json\n");
   if (failures) {
     std::printf("FAIL: %d configuration(s) drifted from the baseline path "
                 "count\n", failures);

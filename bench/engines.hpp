@@ -25,6 +25,8 @@
 #include "core/engine.hpp"
 #include "isa/decoder.hpp"
 #include "oracles/manager.hpp"
+#include "smt/pipe.hpp"
+#include "smt/portfolio.hpp"
 #include "smt/solver.hpp"
 #include "spec/registry.hpp"
 #include "vp/vp_executor.hpp"
@@ -37,10 +39,31 @@ namespace binsym::bench {
 /// wrapped in a FailoverSolver: a kUnknown (timeout) or thrown backend
 /// failure on the primary retries once, statelessly, on the other backend.
 struct RobustnessOptions {
-  std::string solver = "z3";      // primary backend: "z3" | "bitblast"
+  std::string solver = "z3";      // primary backend: "z3" | "bitblast" |
+                                  // "pipe:CMD" (docs/SOLVERS.md)
   uint32_t query_timeout_ms = 0;  // per-query deadline; 0 = none
   bool failover = true;           // retry unknowns on the other backend
+  // -- Solver portfolio (smt/portfolio.hpp). When on, each worker's backend
+  // is a portfolio racing `portfolio_backends` per query; `solver` and
+  // `failover` are ignored (a portfolio is already as strong as its
+  // strongest member, so layering a failover on top would be redundant).
+  bool portfolio = false;                          // CLI: --portfolio
+  std::string portfolio_backends = "z3,bitblast";  // comma list of backend
+                                                   // names as in `solver`
 };
+
+/// Split a --portfolio-backends comma list into backend names.
+inline std::vector<std::string> split_backend_list(const std::string& list) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > pos) names.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return names;
+}
 
 struct EngineSetup {
   const isa::Decoder& decoder;
@@ -59,12 +82,21 @@ struct EngineSetup {
   bool intern_exprs = true;
 };
 
-/// A primary backend by CLI name ("z3" | "bitblast"); null on other names.
+/// A backend by CLI name — "z3", "bitblast", or "pipe:CMD" (an external
+/// SMT-LIB solver command, e.g. "pipe:z3 -in"; see smt/pipe.hpp); null on
+/// other names.
 inline std::unique_ptr<smt::Solver> make_named_solver(const std::string& name,
                                                       smt::Context& ctx) {
   if (name == "z3") return smt::make_z3_solver(ctx);
   if (name == "bitblast") return smt::make_bitblast_solver(ctx);
+  if (name.rfind("pipe:", 0) == 0)
+    return smt::make_pipe_solver(ctx, name.substr(5));
   return nullptr;
+}
+
+/// True when `name` is a backend make_named_solver can build.
+inline bool known_backend(const std::string& name) {
+  return name == "z3" || name == "bitblast" || name.rfind("pipe:", 0) == 0;
 }
 
 /// Build the worker solver stack described by `robust` on `ctx`: the named
@@ -74,6 +106,20 @@ inline std::unique_ptr<smt::Solver> make_named_solver(const std::string& name,
 /// default configuration is byte-identical to the pre-robustness one.
 inline std::unique_ptr<smt::Solver> make_robust_solver(
     const RobustnessOptions& robust, smt::Context& ctx) {
+  if (robust.portfolio) {
+    std::vector<std::unique_ptr<smt::Solver>> members;
+    for (const std::string& name : split_backend_list(robust.portfolio_backends)) {
+      std::unique_ptr<smt::Solver> member = make_named_solver(name, ctx);
+      if (!member) return nullptr;
+      members.push_back(std::move(member));
+    }
+    if (members.empty()) return nullptr;
+    std::unique_ptr<smt::Solver> solver =
+        smt::make_portfolio_solver(std::move(members));
+    if (robust.query_timeout_ms > 0)
+      solver->set_deadline_ms(robust.query_timeout_ms);
+    return solver;
+  }
   std::unique_ptr<smt::Solver> solver = make_named_solver(robust.solver, ctx);
   if (!solver) return nullptr;
   if (robust.query_timeout_ms == 0) return solver;
@@ -333,12 +379,15 @@ inline bool parse_snapshot_flag(int argc, char** argv, int* i,
   return true;
 }
 
-/// Robustness knobs, shared by every harness (docs/ROBUSTNESS.md):
-///   --solver NAME          primary backend (z3 | bitblast)
-///   --query-timeout-ms N   per-solver-query deadline (0 = none)
-///   --no-failover          don't retry unknowns on the other backend
-///   --deadline-secs N      wall-clock budget for the whole exploration
-///   --memory-budget-mb N   stop when resident set exceeds N MiB
+/// Robustness knobs, shared by every harness (docs/ROBUSTNESS.md,
+/// docs/SOLVERS.md):
+///   --solver NAME             primary backend (z3 | bitblast | pipe:CMD)
+///   --query-timeout-ms N      per-solver-query deadline (0 = none)
+///   --no-failover             don't retry unknowns on the other backend
+///   --portfolio               race backends per query (smt/portfolio.hpp)
+///   --portfolio-backends LIST comma list of portfolio members
+///   --deadline-secs N         wall-clock budget for the whole exploration
+///   --memory-budget-mb N      stop when resident set exceeds N MiB
 /// Consumes the value argument (advancing *i) for the valued flags. Returns
 /// false when argv[*i] is none of them; prints a diagnostic and sets *ok to
 /// false on a bad value (unknown solver name, missing argument).
@@ -349,10 +398,31 @@ inline bool parse_robustness_flag(int argc, char** argv, int* i,
   *ok = true;
   if (std::strcmp(arg, "--solver") == 0 && *i + 1 < argc) {
     robust->solver = argv[++*i];
-    if (robust->solver != "z3" && robust->solver != "bitblast") {
-      std::fprintf(stderr, "unknown solver '%s' (want z3 or bitblast)\n",
+    if (!known_backend(robust->solver)) {
+      std::fprintf(stderr,
+                   "unknown solver '%s' (want z3, bitblast or pipe:CMD)\n",
                    robust->solver.c_str());
       *ok = false;
+    }
+  } else if (std::strcmp(arg, "--portfolio") == 0) {
+    robust->portfolio = true;
+  } else if (std::strcmp(arg, "--portfolio-backends") == 0 && *i + 1 < argc) {
+    robust->portfolio_backends = argv[++*i];
+    robust->portfolio = true;  // naming members implies wanting the portfolio
+    const std::vector<std::string> names =
+        split_backend_list(robust->portfolio_backends);
+    if (names.empty()) {
+      std::fprintf(stderr, "--portfolio-backends: empty backend list\n");
+      *ok = false;
+    }
+    for (const std::string& name : names) {
+      if (!known_backend(name)) {
+        std::fprintf(
+            stderr,
+            "unknown portfolio backend '%s' (want z3, bitblast or pipe:CMD)\n",
+            name.c_str());
+        *ok = false;
+      }
     }
   } else if (std::strcmp(arg, "--query-timeout-ms") == 0 && *i + 1 < argc) {
     robust->query_timeout_ms =

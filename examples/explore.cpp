@@ -8,7 +8,9 @@
 //           [--no-intern]
 //           [--no-snapshot] [--snapshot-budget N] [--snapshot-interval N]
 //           [--no-uop] [--uop-cache-size N]
-//           [--solver z3|bitblast] [--query-timeout-ms N] [--no-failover]
+//           [--solver z3|bitblast|pipe:CMD] [--query-timeout-ms N]
+//           [--no-failover] [--portfolio] [--portfolio-backends LIST]
+//           [--solver-store DIR]
 //           [--deadline-secs N] [--memory-budget-mb N] [--fault-inject SPEC]
 //           [--show-failures] [--oracles LIST] [--findings-dir DIR]
 //           [--replay FILE] [--list-oracles] [--static-lint]
@@ -56,12 +58,25 @@ void print_usage(std::FILE* out, const char* prog) {
       "  --no-uop                 disable the micro-op block fast path\n"
       "                           (pure per-instruction spec interpretation)\n"
       "  --uop-cache-size N       cached micro-op blocks per worker\n"
-      "  --solver z3|bitblast     primary SMT backend (default z3)\n"
+      "  --solver NAME            primary SMT backend (default z3); one of\n"
+      "                           z3, bitblast, pipe:CMD (external SMT-LIB\n"
+      "                           solver command, e.g. 'pipe:z3 -in' — see\n"
+      "                           docs/SOLVERS.md)\n"
       "  --query-timeout-ms N     per-solver-query deadline; a query that\n"
       "                           exceeds it returns unknown and the flip\n"
       "                           is skipped, never treated as infeasible\n"
       "  --no-failover            do not retry unknown/failed queries on\n"
       "                           the other backend\n"
+      "  --portfolio              race the portfolio backends per query and\n"
+      "                           keep the first definitive answer\n"
+      "  --portfolio-backends LIST\n"
+      "                           comma list of portfolio members, each one\n"
+      "                           of z3, bitblast, pipe:CMD (default\n"
+      "                           z3,bitblast; implies --portfolio)\n"
+      "  --solver-store DIR       persistent content-addressed query/model\n"
+      "                           store: load prior verdicts from\n"
+      "                           DIR/store.bin, record new ones, flush at\n"
+      "                           exit (see docs/SOLVERS.md)\n"
       "  --deadline-secs N        wall-clock budget for the exploration;\n"
       "                           the partial report is marked incomplete\n"
       "  --memory-budget-mb N     stop exploring when resident memory\n"
@@ -182,6 +197,14 @@ int main(int argc, char** argv) {
                bench::parse_robustness_flag(argc, argv, &i, &robust, &options,
                                             &ok)) {
       if (!ok) return 2;
+    } else if (std::strcmp(argv[i], "--solver-store") == 0 && i + 1 < argc) {
+      options.solver_store = smt::SolverStore::open(argv[++i]);
+      if (!options.solver_store->load_error().empty())
+        std::fprintf(stderr,
+                     "--solver-store: ignoring invalid %s (%s), starting "
+                     "cold\n",
+                     options.solver_store->path().c_str(),
+                     options.solver_store->load_error().c_str());
     } else if (std::strcmp(argv[i], "--fault-inject") == 0 && i + 1 < argc) {
       std::string error;
       options.fault_plan = support::FaultPlan::parse(argv[++i], &error);

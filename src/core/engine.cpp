@@ -125,6 +125,9 @@ void EngineStats::merge(const EngineStats& other) {
   instructions += other.instructions;
   presolve_hits += other.presolve_hits;
   presolve_misses += other.presolve_misses;
+  store_hits += other.store_hits;
+  store_misses += other.store_misses;
+  store_entries += other.store_entries;
   sliced_constraints += other.sliced_constraints;
   query_nodes_total += other.query_nodes_total;
   query_nodes_max = std::max(query_nodes_max, other.query_nodes_max);
@@ -271,7 +274,9 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   ModelPool pool(opts.presolve_models ? opts.presolve_pool : 0);
   std::optional<smt::QueryCache> cache;
   if (opts.cache_queries) cache.emplace(/*shards=*/1);
+  smt::SolverStore* const store = opts.solver_store.get();
   uint64_t cache_hits_sat = 0, cache_hits_unsat = 0, cache_misses = 0;
+  uint64_t store_hits_sat = 0, store_hits_unsat = 0;
   std::vector<smt::ExprRef> prefix;      // as-taken prefix ∧ assumptions
   std::vector<smt::ExprRef> full_query;  // scratch for the unsliced paths
 
@@ -493,7 +498,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         local.sliced_constraints += sliced.dropped;
         query = &sliced.query;
       } else if (!incremental || opts.presolve_models || opts.cache_queries ||
-                 opts.measure_query_nodes ||
+                 store || opts.measure_query_nodes ||
                  !shared.options.smtlib_dump_dir.empty()) {
         full_query.assign(prefix.begin(), prefix.end());
         full_query.push_back(negated);
@@ -511,15 +516,19 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       // Answer the flip, cheapest source first:
       //   1. query cache, keyed by the effective (sliced) query — sibling
       //      flips over disjoint constraint groups collapse onto one key;
-      //   2. model-reuse pre-check against recently returned models;
-      //   3. the solver — through the scoped incremental API when enabled.
+      //   2. the persistent store (same key — content hashes survive the
+      //      process boundary), its name-keyed model translated back
+      //      through this context's variable table;
+      //   3. model-reuse pre-check against recently returned models;
+      //   4. the solver — through the scoped incremental API when enabled.
       smt::Assignment model;
       smt::CheckResult result = smt::CheckResult::kUnknown;
       smt::QueryCache::Key key;
       bool answered = false;
       bool from_solver = false;
+      bool from_store = false;
+      if (cache || store) key = smt::QueryCache::key_for(*query);
       if (cache) {
-        key = smt::QueryCache::key_for(*query);
         smt::QueryCache::Entry entry;
         if (cache->lookup(key, &entry)) {
           result = entry.result;
@@ -532,6 +541,35 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
           answered = true;
         } else {
           ++cache_misses;
+        }
+      }
+      if (!answered && store) {
+        smt::SolverStore::Entry stored;
+        if (store->lookup(key, &stored)) {
+          result = stored.verdict;
+          if (result == smt::CheckResult::kSat) {
+            // Stored models are name-keyed; every variable of a query is
+            // declared in this context by the time the query exists, so
+            // the translation back to var_ids is total (an unknown name
+            // would mean a colliding key from a different target — the
+            // value is simply dropped and the seed merge keeps the parent
+            // value, which stays sound).
+            for (const auto& [name, value] : stored.model)
+              if (smt::ExprRef var = ctx.lookup_var(name))
+                model.set(var->var_id, value);
+            ++store_hits_sat;
+          } else {
+            ++store_hits_unsat;
+          }
+          // Promote into the session cache so sibling flips re-answer
+          // without the store's lock.
+          if (cache)
+            cache->insert(key, smt::QueryCache::Entry{result, model});
+          answered = true;
+          from_store = true;
+          ++local.store_hits;
+        } else {
+          ++local.store_misses;
         }
       }
       if (!answered && opts.presolve_models) {
@@ -553,6 +591,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         }
       }
       if (!answered) {
+        const auto solve_start = std::chrono::steady_clock::now();
         result = incremental
                      ? solver.check_assuming(std::span(&negated, 1), &model)
                      : solver.check(*query, &model);
@@ -560,6 +599,25 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         if (result == smt::CheckResult::kUnknown) ++local.queries_unknown;
         if (cache && result != smt::CheckResult::kUnknown)
           cache->insert(key, smt::QueryCache::Entry{result, model});
+        // Record the definitive verdict for future *processes* (kUnknown is
+        // rejected both here and inside the store — a weak answer is never
+        // worth persisting). Models go in by variable name; var_ids are
+        // meaningless outside this context.
+        if (store && result != smt::CheckResult::kUnknown) {
+          smt::SolverStore::Entry persisted;
+          persisted.verdict = result;
+          persisted.backend = solver.last_backend();
+          persisted.solve_seconds = std::chrono::duration<double>(
+                                        std::chrono::steady_clock::now() -
+                                        solve_start)
+                                        .count();
+          if (result == smt::CheckResult::kSat) {
+            persisted.model.reserve(model.values.size());
+            for (const auto& [var, value] : model.values)
+              persisted.model.emplace_back(ctx.var_info(var).name, value);
+          }
+          store->insert(key, std::move(persisted));
+        }
       }
       // An unknown verdict (deadline expiry, exhausted failover) is *not*
       // infeasible: the flip is skipped explicitly, never cached, and
@@ -573,7 +631,9 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         continue;
       }
       ++local.feasible_flips;
-      if (from_solver) pool.add(model);
+      // Store hits feed the model pool like fresh solver models: a prior
+      // run's models pre-answer this run's sibling flips.
+      if (from_solver || from_store) pool.add(model);
       // With slicing the model must not leak values for sliced-out
       // variables: those constraints were never sent (or, pre-checked
       // against a model of some other query), and the parent seed is the
@@ -630,11 +690,13 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
   local.intern_hits = ctx.intern_hits() - intern_hits_before;
   local.arena_bytes = ctx.arena_bytes();
   local.solver = solver.stats();
-  // Queries answered from the cache count as logical queries, exactly as
-  // the CachingSolver wrapper reports them in standalone use.
-  local.solver.queries += cache_hits_sat + cache_hits_unsat;
-  local.solver.sat += cache_hits_sat;
-  local.solver.unsat += cache_hits_unsat;
+  // Queries answered from the cache (or the persistent store — a cache
+  // whose hits crossed a process boundary) count as logical queries,
+  // exactly as the CachingSolver wrapper reports them in standalone use.
+  local.solver.queries +=
+      cache_hits_sat + cache_hits_unsat + store_hits_sat + store_hits_unsat;
+  local.solver.sat += cache_hits_sat + store_hits_sat;
+  local.solver.unsat += cache_hits_unsat + store_hits_unsat;
   local.solver.cache_hits = cache_hits_sat + cache_hits_unsat;
   local.solver.cache_misses = cache_misses;
   std::lock_guard<std::mutex> lock(shared.sink_mutex);
@@ -730,8 +792,16 @@ EngineStats DseEngine::explore(const PathCallback& on_path) {
   // The engine-managed query cache is part of the effective solver stack;
   // reports keep the wrapper-style suffix.
   if (options_.cache_queries) solver_name += "+cache";
+  if (options_.solver_store) solver_name += "+store";
 
   EngineStats stats = std::move(shared.totals);
+  if (options_.solver_store) {
+    // One atomic flush at the end of the exploration (partial runs flush
+    // too: their verdicts are just as definitive). A failed write keeps
+    // the in-memory store and the previous file intact.
+    options_.solver_store->flush();
+    stats.store_entries = options_.solver_store->size();
+  }
   stats.workers = jobs;
   stats.peak_frontier = shared.frontier.peak_size();
   stats.solver_name = std::move(solver_name);

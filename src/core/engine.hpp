@@ -34,6 +34,7 @@
 #include "core/search.hpp"
 #include "smt/cache.hpp"
 #include "smt/solver.hpp"
+#include "smt/store.hpp"
 
 namespace binsym::core {
 
@@ -78,6 +79,15 @@ struct EngineOptions {
   bool presolve_models = true;
   /// Per-worker recent-model pool size for the pre-check (0 disables).
   unsigned presolve_pool = 8;
+  /// Persistent content-addressed query/model store (smt/store.hpp),
+  /// shared across workers (internally locked) and across *processes*:
+  /// flip queries answer from it before reaching a solver, definitive
+  /// solver verdicts are recorded into it, and explore() flushes it to its
+  /// backing file at the end — so a warm rerun of the same target replays
+  /// prior solver work instead of redoing it. Like the cache, it can only
+  /// change cost, never the explored path set. Null disables.
+  /// CLI: --solver-store DIR.
+  std::shared_ptr<smt::SolverStore> solver_store;
   // -- Snapshot/fork execution (snapshot.hpp). Like the solver-pipeline
   // optimizations, snapshots may change only cost, never the explored path
   // set — resumed runs are bit-identical to full replays.
@@ -158,6 +168,10 @@ struct EngineStats {
   uint64_t instructions = 0;
   uint64_t presolve_hits = 0;    // flips answered by the recent-model pool
   uint64_t presolve_misses = 0;  // pre-checked flips that still hit the solver
+  // -- Persistent store (EngineOptions::solver_store). Zero without one.
+  uint64_t store_hits = 0;     // flips answered by the persistent store
+  uint64_t store_misses = 0;   // store-consulted flips that went further
+  uint64_t store_entries = 0;  // entries held after the final flush
   uint64_t sliced_constraints = 0;  // prefix constraints dropped by slicing,
                                     // summed over all flip queries
   uint64_t query_nodes_total = 0;   // effective query DAG nodes, summed

@@ -102,9 +102,18 @@ class CachingSolver final : public Solver {
                              Assignment* model) override;
 
   std::string name() const override { return inner_->name() + "+cache"; }
+  std::string last_backend() const override { return inner_->last_backend(); }
   void set_deadline_ms(uint32_t ms) override {
     Solver::set_deadline_ms(ms);
     inner_->set_deadline_ms(ms);
+  }
+  void cancel() override {
+    Solver::cancel();
+    inner_->cancel();
+  }
+  void reset_cancel() override {
+    Solver::reset_cancel();
+    inner_->reset_cancel();
   }
 
   Solver& inner() { return *inner_; }

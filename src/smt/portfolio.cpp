@@ -1,0 +1,296 @@
+#include "smt/portfolio.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace binsym::smt {
+
+namespace {
+
+/// Query features the router buckets on: a log2 size class and whether the
+/// query contains the "heavy" operators (mul/div/rem) that separate the
+/// backends most sharply — the bit-blaster's multiplier circuits are where
+/// it loses to Z3, and vice versa for shallow bitwise queries.
+uint32_t feature_bucket(std::span<const ExprRef> assertions, size_t* nodes_out) {
+  size_t nodes = 0;
+  bool heavy = false;
+  NodeMarker marker;
+  for (ExprRef root : assertions) {
+    postorder(root, marker, [&](ExprRef node) {
+      ++nodes;
+      switch (node->kind) {
+        case Kind::kMul:
+        case Kind::kUDiv:
+        case Kind::kURem:
+        case Kind::kSDiv:
+        case Kind::kSRem:
+          heavy = true;
+          break;
+        default:
+          break;
+      }
+    });
+  }
+  *nodes_out = nodes;
+  uint32_t size_class = 0;
+  for (size_t n = nodes; n > 1; n >>= 1) ++size_class;
+  return (size_class << 1) | (heavy ? 1u : 0u);
+}
+
+class PortfolioSolver final : public Solver {
+ public:
+  PortfolioSolver(std::vector<std::unique_ptr<Solver>> members,
+                  PortfolioConfig config)
+      : config_(config) {
+    runners_.reserve(members.size());
+    for (auto& member : members)
+      runners_.push_back(std::make_unique<Runner>(std::move(member)));
+    for (size_t i = 0; i < runners_.size(); ++i)
+      runners_[i]->thread =
+          std::thread([this, i] { runner_loop(*runners_[i]); });
+  }
+
+  ~PortfolioSolver() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& runner : runners_)
+      if (runner->thread.joinable()) runner->thread.join();
+  }
+
+  CheckResult check(std::span<const ExprRef> assertions,
+                    Assignment* model) override {
+    const auto start = std::chrono::steady_clock::now();
+    ++stats_.queries;
+    CheckResult result = CheckResult::kUnknown;
+    if (!cancel_requested() && !runners_.empty()) {
+      size_t nodes = 0;
+      const uint32_t bucket = feature_bucket(assertions, &nodes);
+      const int routed = route_target(bucket, nodes);
+      if (routed >= 0) {
+        ++stats_.portfolio_routed;
+        result = run_single(static_cast<size_t>(routed), assertions, model);
+      }
+      // A routed member that gave up is not the last word: fall back to the
+      // full race, which is as strong as the strongest member.
+      if (result == CheckResult::kUnknown && !cancel_requested())
+        result = run_race(bucket, assertions, model);
+    }
+    switch (result) {
+      case CheckResult::kSat:     ++stats_.sat; break;
+      case CheckResult::kUnsat:   ++stats_.unsat; break;
+      case CheckResult::kUnknown: ++stats_.unknown; break;
+    }
+    stats_.solve_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+  }
+
+  void set_deadline_ms(uint32_t ms) override {
+    Solver::set_deadline_ms(ms);
+    for (auto& runner : runners_) runner->member->set_deadline_ms(ms);
+  }
+
+  void cancel() override {
+    Solver::cancel();
+    for (auto& runner : runners_) runner->member->cancel();
+  }
+
+  void reset_cancel() override {
+    Solver::reset_cancel();
+    for (auto& runner : runners_) runner->member->reset_cancel();
+  }
+
+  std::string name() const override {
+    std::string joined = "portfolio[";
+    for (size_t i = 0; i < runners_.size(); ++i) {
+      if (i) joined += ',';
+      joined += runners_[i]->member->name();
+    }
+    return joined + "]";
+  }
+
+  std::string last_backend() const override { return last_backend_; }
+
+ private:
+  struct Runner {
+    explicit Runner(std::unique_ptr<Solver> m) : member(std::move(m)) {}
+    std::unique_ptr<Solver> member;
+    std::thread thread;
+    uint64_t seen_generation = 0;
+    Assignment model;  // per-runner scratch, winner's copy handed out
+    CheckResult result = CheckResult::kUnknown;
+  };
+
+  struct Bucket {
+    uint64_t races = 0;
+    std::vector<uint64_t> wins;  // indexed by runner
+  };
+
+  /// Runner index the router sends this query to, or -1 for a full race.
+  /// Tiny queries go to the bucket leader if one is known, else the first
+  /// member; measured buckets route once the leader's win share clears the
+  /// configured threshold.
+  int route_target(uint32_t bucket_key, size_t nodes) const {
+    if (runners_.size() < 2) return 0;
+    const auto it = buckets_.find(bucket_key);
+    const Bucket* bucket = it == buckets_.end() ? nullptr : &it->second;
+    int leader = -1;
+    if (bucket && bucket->races >= config_.route_min_races) {
+      for (size_t i = 0; i < bucket->wins.size(); ++i) {
+        if (bucket->wins[i] * config_.route_win_denom >=
+            bucket->races * config_.route_win_num) {
+          leader = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (nodes <= config_.cheap_node_threshold)
+      return leader >= 0 ? leader : 0;
+    return leader;
+  }
+
+  /// One member, on the coordinator thread (its runner is idle between
+  /// dispatches, so there is no concurrent access to hand off).
+  CheckResult run_single(size_t index, std::span<const ExprRef> assertions,
+                         Assignment* model) {
+    Solver& member = *runners_[index]->member;
+    member.reset_cancel();
+    member.set_deadline_ms(deadline_ms_);
+    CheckResult result = CheckResult::kUnknown;
+    try {
+      result = member.check(assertions, model);
+    } catch (...) {
+      // A crashing member weakens the answer (the race below still runs);
+      // it must not take the portfolio down with it.
+    }
+    if (result != CheckResult::kUnknown) last_backend_ = member.last_backend();
+    return result;
+  }
+
+  /// Race every member over the query; first definitive verdict wins and
+  /// cancels the rest. Always waits for all members to return, so no member
+  /// thread touches the query after this call completes.
+  CheckResult run_race(uint32_t bucket_key, std::span<const ExprRef> assertions,
+                       Assignment* model) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& runner : runners_) {
+        runner->member->reset_cancel();
+        runner->member->set_deadline_ms(deadline_ms_);
+        runner->result = CheckResult::kUnknown;
+        runner->model.values.clear();
+      }
+      job_assertions_ = assertions;
+      job_want_model_ = model != nullptr;
+      decided_ = false;
+      winner_ = -1;
+      pending_ = runners_.size();
+      ++generation_;
+    }
+    job_cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+
+    ++stats_.portfolio_races;
+    Bucket& bucket = buckets_[bucket_key];
+    if (bucket.wins.size() != runners_.size())
+      bucket.wins.assign(runners_.size(), 0);
+    if (winner_ < 0) return CheckResult::kUnknown;
+
+    Runner& winner = *runners_[static_cast<size_t>(winner_)];
+    ++bucket.races;
+    ++bucket.wins[static_cast<size_t>(winner_)];
+    ++stats_.portfolio_wins[winner.member->name()];
+    for (auto& runner : runners_)
+      if (runner.get() != &winner && runner->result == CheckResult::kUnknown)
+        ++stats_.portfolio_cancelled;
+    last_backend_ = winner.member->last_backend();
+    if (model && winner.result == CheckResult::kSat) *model = winner.model;
+    return winner.result;
+  }
+
+  void runner_loop(Runner& self) {
+    for (;;) {
+      std::span<const ExprRef> assertions;
+      bool want_model = false;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job_cv_.wait(lock, [&] {
+          return stop_ || self.seen_generation != generation_;
+        });
+        if (stop_) return;
+        self.seen_generation = generation_;
+        assertions = job_assertions_;
+        want_model = job_want_model_;
+        if (decided_) {
+          // Another member already won before this runner woke: skip the
+          // check entirely (counted as cancelled, like a mid-flight loser).
+          self.result = CheckResult::kUnknown;
+          finish_job();
+          continue;
+        }
+      }
+      CheckResult result = CheckResult::kUnknown;
+      try {
+        result = self.member->check(assertions,
+                                    want_model ? &self.model : nullptr);
+      } catch (...) {
+        result = CheckResult::kUnknown;  // a crashing member just loses
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        self.result = result;
+        if (result != CheckResult::kUnknown && !decided_) {
+          decided_ = true;
+          for (size_t i = 0; i < runners_.size(); ++i) {
+            if (runners_[i].get() == &self)
+              winner_ = static_cast<int>(i);
+            else
+              runners_[i]->member->cancel();
+          }
+        }
+        finish_job();
+      }
+    }
+  }
+
+  /// Caller holds mutex_.
+  void finish_job() {
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+
+  const PortfolioConfig config_;
+  std::vector<std::unique_ptr<Runner>> runners_;
+  std::unordered_map<uint32_t, Bucket> buckets_;  // coordinator-thread only
+  std::string last_backend_ = "portfolio";        // coordinator-thread only
+
+  // Race coordination (all guarded by mutex_; Solver::cancel_flag_ and the
+  // members' flags are the only lock-free channel).
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // runners wait for a new generation
+  std::condition_variable done_cv_;  // coordinator waits for pending_ == 0
+  uint64_t generation_ = 0;
+  std::span<const ExprRef> job_assertions_;
+  bool job_want_model_ = false;
+  bool decided_ = false;
+  int winner_ = -1;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_portfolio_solver(
+    std::vector<std::unique_ptr<Solver>> members, PortfolioConfig config) {
+  return std::make_unique<PortfolioSolver>(std::move(members), config);
+}
+
+}  // namespace binsym::smt

@@ -1,0 +1,62 @@
+// Solver portfolio: race several backends per query, keep the first
+// definitive answer.
+//
+// Every member backend gets a persistent runner thread. A check publishes
+// the query to all runners, which call their member's check() concurrently;
+// the first definitive verdict (sat/unsat) wins the race and cancel()s the
+// losers through the cooperative cancellation substrate in solver.hpp. The
+// coordinator always waits for every member to return before the check
+// completes, so no member is still touching the (single-threaded) query
+// state when the engine resumes — the race is invisible to the caller,
+// which sees an ordinary smt::Solver that is as strong as its strongest
+// member: kUnknown only when *every* member gave up.
+//
+// Racing is sound because member checks only read the shared Context (the
+// expression DAG is immutable and node construction never happens inside a
+// backend's check); each member Solver object itself is confined to its
+// runner thread, with the coordinator's mutex providing the happens-before
+// edges between dispatches.
+//
+// A feature-based router avoids burning cores on queries one backend
+// reliably wins: per query-feature bucket (size class x heavy-op mix) the
+// portfolio keeps a win table from the races it has measured, and once one
+// member has won at least `route_min_races` races in a bucket with a
+// `route_win_share` share, subsequent queries in that bucket go to that
+// member alone. A routed query that comes back kUnknown falls back to a
+// full race, so routing can cost at most one redundant check, never an
+// answer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smt/context.hpp"
+#include "smt/solver.hpp"
+
+namespace binsym::smt {
+
+/// Router tuning; the defaults are deliberately conservative (route only
+/// after clear evidence).
+struct PortfolioConfig {
+  /// Queries at or under this node count skip the race entirely and go to
+  /// the first member — racing threads cost more than a tiny query.
+  size_t cheap_node_threshold = 24;
+  /// Minimum decided races in a feature bucket before routing there.
+  uint64_t route_min_races = 8;
+  /// Required win share (numerator/denominator) for routing: the leading
+  /// member must have won at least wins * denom >= races * num.
+  uint64_t route_win_num = 3;
+  uint64_t route_win_denom = 4;
+};
+
+/// Construct a portfolio over the given members (at least one). Member
+/// names (their name()) label race wins in stats and in the persistent
+/// store. Ownership of the members transfers to the portfolio; their
+/// runner threads are joined in the destructor.
+std::unique_ptr<Solver> make_portfolio_solver(
+    std::vector<std::unique_ptr<Solver>> members,
+    PortfolioConfig config = {});
+
+}  // namespace binsym::smt

@@ -217,13 +217,16 @@ SatResult CdclSolver::solve() {
   std::vector<Lit> learned;
 
   for (;;) {
-    // Deadline probe: every 512 search-loop iterations (each iteration is
-    // one propagation burst plus a conflict or a decision, so the clock
-    // read is amortized to noise). kUnknown leaves the solver state valid
-    // but the search unfinished; callers must not read a model.
-    if (deadline_ && (++ticks & 0x1ff) == 0 &&
-        std::chrono::steady_clock::now() >= *deadline_) {
-      return SatResult::kUnknown;
+    // Deadline/interrupt probe: every 64 search-loop iterations (each
+    // iteration is one propagation burst plus a conflict or a decision, so
+    // the clock read and relaxed load are amortized to noise). kUnknown
+    // leaves the solver state valid but the search unfinished; callers must
+    // not read a model.
+    if ((++ticks & 0x3f) == 0) {
+      if (interrupt_ && interrupt_->load(std::memory_order_relaxed))
+        return SatResult::kUnknown;
+      if (deadline_ && std::chrono::steady_clock::now() >= *deadline_)
+        return SatResult::kUnknown;
     }
     int conflict = propagate();
     if (conflict != kUndef) {

@@ -184,6 +184,9 @@ class Parser {
       std::string cmd = symbol();
       if (cmd == "set-logic") {
         symbol();
+      } else if (cmd == "set-option") {
+        symbol();  // option keyword, e.g. :produce-models
+        symbol();  // value
       } else if (cmd == "check-sat") {
         // no operands
       } else if (cmd == "declare-const") {

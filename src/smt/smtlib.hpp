@@ -42,8 +42,8 @@ ExprRef parse_smtlib(Context& ctx, const std::string& text,
 
 /// Parse a complete printed query: `declare-const` lines declare variables
 /// in `ctx`, each `assert` contributes one expression to *assertions
-/// (`set-logic` and `check-sat` are accepted and ignored). Returns false on
-/// error.
+/// (`set-logic`, `set-option` and `check-sat` are accepted and ignored).
+/// Returns false on error.
 bool parse_query(Context& ctx, const std::string& text,
                  std::vector<ExprRef>* assertions,
                  std::string* error = nullptr);

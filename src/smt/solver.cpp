@@ -110,6 +110,9 @@ void FailoverSolver::refresh_stats() {
 
 CheckResult FailoverSolver::rescue(std::span<const ExprRef> assumptions,
                                    Assignment* model) {
+  // A cancelled check's kUnknown is the caller's request, not a backend
+  // failure — retrying it on the secondary would defeat the cancellation.
+  if (cancel_requested()) return CheckResult::kUnknown;
   if (!secondary_ && secondary_factory_) {
     secondary_ = secondary_factory_();
     if (secondary_) secondary_->set_deadline_ms(deadline_ms_);
@@ -125,13 +128,17 @@ CheckResult FailoverSolver::rescue(std::span<const ExprRef> assumptions,
   } catch (const std::exception&) {
     result = CheckResult::kUnknown;
   }
-  if (result != CheckResult::kUnknown) ++rescues_;
+  if (result != CheckResult::kUnknown) {
+    ++rescues_;
+    last_rescued_ = true;
+  }
   return result;
 }
 
 CheckResult FailoverSolver::check(std::span<const ExprRef> assertions,
                                   Assignment* model) {
   ++logical_queries_;
+  last_rescued_ = false;
   CheckResult result = CheckResult::kUnknown;
   try {
     result = primary_->check(assertions, model);
@@ -168,6 +175,7 @@ void FailoverSolver::assert_(ExprRef assertion) {
 CheckResult FailoverSolver::check_assuming(std::span<const ExprRef> assumptions,
                                            Assignment* model) {
   ++logical_queries_;
+  last_rescued_ = false;
   CheckResult result = CheckResult::kUnknown;
   try {
     result = primary_->check_assuming(assumptions, model);

@@ -6,8 +6,10 @@
 // bit-blasting backend, and lets the caching wrapper interpose transparently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -43,6 +45,13 @@ struct SolverStats {
   uint64_t failover_rescues = 0;    // FailoverSolver: queries the primary
                                     // backend gave up on (unknown/timeout/
                                     // exception) that the secondary decided
+  // -- PortfolioSolver (portfolio.hpp). Zero for every other stack.
+  uint64_t portfolio_races = 0;      // checks decided by racing the members
+  uint64_t portfolio_routed = 0;     // checks sent to one member by the router
+  uint64_t portfolio_cancelled = 0;  // member checks cancelled (or skipped)
+                                     // after another member won the race
+  std::map<std::string, uint64_t> portfolio_wins;  // decided checks per
+                                                   // winning member backend
   double solve_seconds = 0;         // wall time spent inside check*()
 
   /// Fold another solver's counters in (per-worker stats aggregation).
@@ -56,6 +65,11 @@ struct SolverStats {
     incremental_checks += other.incremental_checks;
     reused_assertions += other.reused_assertions;
     failover_rescues += other.failover_rescues;
+    portfolio_races += other.portfolio_races;
+    portfolio_routed += other.portfolio_routed;
+    portfolio_cancelled += other.portfolio_cancelled;
+    for (const auto& [backend, wins] : other.portfolio_wins)
+      portfolio_wins[backend] += wins;
     solve_seconds += other.solve_seconds;
   }
 };
@@ -106,6 +120,28 @@ class Solver {
   virtual void set_deadline_ms(uint32_t ms) { deadline_ms_ = ms; }
   uint32_t deadline_ms() const { return deadline_ms_; }
 
+  // -- Cooperative cancellation (the portfolio's racing substrate). -----------
+  //
+  // cancel() asks the in-flight — or not-yet-started — check*() call to give
+  // up and return kUnknown as soon as possible; like a deadline expiry it may
+  // only weaken the verdict, never change it. Unlike every other method it is
+  // safe to call from another thread while a check runs: Z3 interrupts the
+  // active search, the bit-blaster probes the flag in its CDCL loop next to
+  // the deadline, the pipe backend kills its child process. The request is
+  // sticky until reset_cancel() so a cancel landing before the loser's check
+  // even starts still takes effect (no lost-cancel race).
+
+  /// Request cancellation (thread-safe; wrappers forward to their inner
+  /// backend).
+  virtual void cancel() { cancel_flag_.store(true, std::memory_order_relaxed); }
+  /// Re-arm for the next check (called by the owner thread between checks).
+  virtual void reset_cancel() {
+    cancel_flag_.store(false, std::memory_order_relaxed);
+  }
+  bool cancel_requested() const {
+    return cancel_flag_.load(std::memory_order_relaxed);
+  }
+
   /// All currently live scoped assertions, oldest first.
   std::span<const ExprRef> scoped_assertions() const { return scoped_; }
   size_t num_scopes() const { return scope_marks_.size(); }
@@ -113,6 +149,11 @@ class Solver {
   /// Human-readable backend name for reports (wrappers append suffixes,
   /// e.g. "z3+validate").
   virtual std::string name() const = 0;
+
+  /// Backend that decided the most recent definitive check — the race winner
+  /// for a portfolio, name() for a plain backend; wrappers forward. The
+  /// persistent store records it per query.
+  virtual std::string last_backend() const { return name(); }
 
   /// Counters accumulated so far (see SolverStats).
   const SolverStats& stats() const { return stats_; }
@@ -124,6 +165,8 @@ class Solver {
   std::vector<ExprRef> scoped_;      // live scoped assertions
   std::vector<size_t> scope_marks_;  // scoped_.size() at each push()
   uint32_t deadline_ms_ = 0;         // per-query deadline, 0 = none
+  std::atomic<bool> cancel_flag_{false};  // sticky cancel request (the one
+                                          // cross-thread-written member)
 };
 
 /// Construct the Z3-backed solver (see z3_solver.cpp).
@@ -147,9 +190,18 @@ class ValidatingSolver final : public Solver {
   CheckResult check_assuming(std::span<const ExprRef> assumptions,
                              Assignment* model) override;
   std::string name() const override { return inner_->name() + "+validate"; }
+  std::string last_backend() const override { return inner_->last_backend(); }
   void set_deadline_ms(uint32_t ms) override {
     Solver::set_deadline_ms(ms);
     inner_->set_deadline_ms(ms);
+  }
+  void cancel() override {
+    Solver::cancel();
+    inner_->cancel();
+  }
+  void reset_cancel() override {
+    Solver::reset_cancel();
+    inner_->reset_cancel();
   }
 
  private:
@@ -185,7 +237,26 @@ class FailoverSolver final : public Solver {
   CheckResult check_assuming(std::span<const ExprRef> assumptions,
                              Assignment* model) override;
   std::string name() const override { return primary_->name() + "+failover"; }
+  /// The backend that actually decided the last check: the secondary when
+  /// that check was rescued, the primary otherwise.
+  std::string last_backend() const override {
+    return last_rescued_ && secondary_ ? secondary_->last_backend()
+                                       : primary_->last_backend();
+  }
   void set_deadline_ms(uint32_t ms) override;
+  /// A cancelled primary check returns kUnknown like a deadline expiry, but
+  /// must not trigger a rescue: rescue() observes the sticky flag and
+  /// declines, so cancellation wins over failover.
+  void cancel() override {
+    Solver::cancel();
+    primary_->cancel();
+    if (secondary_) secondary_->cancel();
+  }
+  void reset_cancel() override {
+    Solver::reset_cancel();
+    primary_->reset_cancel();
+    if (secondary_) secondary_->reset_cancel();
+  }
 
  private:
   /// Retry `scoped_ ∧ assumptions` on the secondary backend; kUnknown when
@@ -198,6 +269,7 @@ class FailoverSolver final : public Solver {
   std::unique_ptr<Solver> secondary_;  // built on first rescue
   uint64_t rescues_ = 0;
   uint64_t logical_queries_ = 0;  // checks as the caller sees them
+  bool last_rescued_ = false;     // last decided check came from secondary_
 };
 
 /// Deterministic failure injection at the solver boundary (see
@@ -220,9 +292,18 @@ class FaultInjectingSolver final : public Solver {
   CheckResult check_assuming(std::span<const ExprRef> assumptions,
                              Assignment* model) override;
   std::string name() const override { return inner_->name(); }
+  std::string last_backend() const override { return inner_->last_backend(); }
   void set_deadline_ms(uint32_t ms) override {
     Solver::set_deadline_ms(ms);
     inner_->set_deadline_ms(ms);
+  }
+  void cancel() override {
+    Solver::cancel();
+    inner_->cancel();
+  }
+  void reset_cancel() override {
+    Solver::reset_cancel();
+    inner_->reset_cancel();
   }
 
  private:

@@ -16,6 +16,14 @@ namespace binsym::smt {
 
 namespace {
 
+/// Z3's default error handler prints and exits the process. A cross-thread
+/// Z3_interrupt (the portfolio cancelling a race loser) can land while the
+/// loser is inside a non-search API call — model evaluation just after its
+/// search finished, an assert, a pop — which then raises Z3_CANCELED as an
+/// *error* rather than returning Z3_L_UNDEF. Record instead of exit; the
+/// check path inspects Z3_get_error_code and degrades to kUnknown.
+void record_z3_error(Z3_context, Z3_error_code) {}
+
 class Z3Solver final : public Solver {
  public:
   explicit Z3Solver(Context& ctx) : ctx_(ctx) {
@@ -23,6 +31,7 @@ class Z3Solver final : public Solver {
     Z3_set_param_value(cfg, "model", "true");
     z3_ = Z3_mk_context(cfg);
     Z3_del_config(cfg);
+    Z3_set_error_handler(z3_, record_z3_error);
     // One incremental QF_BV solver reused across all queries (fresh
     // general-purpose solvers pay multi-millisecond setup per check).
     solver_ = Z3_mk_solver_for_logic(z3_, Z3_mk_string_symbol(z3_, "QF_BV"));
@@ -41,12 +50,24 @@ class Z3Solver final : public Solver {
                     Assignment* model) override {
     auto start = std::chrono::steady_clock::now();
     ++stats_.queries;
+    if (cancel_requested()) {
+      ++stats_.unknown;
+      return CheckResult::kUnknown;
+    }
 
     Z3_solver_push(z3_, solver_);
+    if (Z3_get_error_code(z3_) != Z3_OK) {
+      // A concurrent cancel aborted the push: nothing was pushed and nothing
+      // may be asserted (a base-level assertion would outlive this check).
+      ++stats_.unknown;
+      return CheckResult::kUnknown;
+    }
     for (ExprRef assertion : assertions)
       Z3_solver_assert(z3_, solver_, boolean(assertion));
 
-    CheckResult out = record(Z3_solver_check(z3_, solver_), model);
+    CheckResult out = Z3_get_error_code(z3_) != Z3_OK
+                          ? record(Z3_L_UNDEF, nullptr)
+                          : record(Z3_solver_check(z3_, solver_), model);
 
     Z3_solver_pop(z3_, solver_, 1);
     stats_.solve_seconds +=
@@ -81,6 +102,10 @@ class Z3Solver final : public Solver {
     ++stats_.queries;
     ++stats_.incremental_checks;
     stats_.reused_assertions += scoped_.size();
+    if (cancel_requested()) {
+      ++stats_.unknown;
+      return CheckResult::kUnknown;
+    }
 
     assumption_lits_.clear();
     for (ExprRef assumption : assumptions)
@@ -98,6 +123,15 @@ class Z3Solver final : public Solver {
   }
 
   std::string name() const override { return "z3"; }
+
+  /// Z3_interrupt is the one Z3 entry point documented as callable from
+  /// another thread while a check runs: it aborts the active search, which
+  /// returns Z3_L_UNDEF and maps to kUnknown. The sticky base-class flag
+  /// covers the window where the cancel lands before the check starts.
+  void cancel() override {
+    Solver::cancel();
+    Z3_interrupt(z3_);
+  }
 
   void set_deadline_ms(uint32_t ms) override {
     Solver::set_deadline_ms(ms);
@@ -146,7 +180,10 @@ class Z3Solver final : public Solver {
       return it->second;
     postorder(root, [&](ExprRef node) {
       if (translation_.count(node->id)) return;
-      translation_.emplace(node->id, translate_node(node));
+      Z3_ast ast = translate_node(node);
+      // Never memoize a null AST (a constructor aborted by a concurrent
+      // cancel): a poisoned memo entry would outlive the cancelled check.
+      if (ast != nullptr) translation_.emplace(node->id, ast);
     });
     return translation_.at(root->id);
   }
@@ -204,6 +241,7 @@ class Z3Solver final : public Solver {
 
   void extract_model(Z3_solver solver, Assignment* model) {
     Z3_model z3_model = Z3_solver_get_model(z3_, solver);
+    if (z3_model == nullptr) return;  // cancelled mid-extraction
     Z3_model_inc_ref(z3_, z3_model);
     for (const auto& [var_id, ast] : var_consts_) {
       Z3_ast value_ast = nullptr;

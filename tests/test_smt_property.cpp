@@ -4,16 +4,22 @@
 //   * builder folding agrees with the evaluator,
 //   * Z3 agrees with the concrete evaluator on forced-value queries,
 //   * interning is idempotent and content hashes are context-independent,
-//   * CachingEvaluator memos never alias distinct structures.
+//   * CachingEvaluator memos never alias distinct structures,
+//   * persistent-store keys are stable across contexts, the intern toggle
+//     and simulated restarts,
+//   * a portfolio is observationally an smt::Solver (stateless and scoped).
 #include <gtest/gtest.h>
 
 #include <unordered_map>
 #include <vector>
 
+#include "smt/cache.hpp"
 #include "smt/context.hpp"
 #include "smt/eval.hpp"
+#include "smt/portfolio.hpp"
 #include "smt/simplify.hpp"
 #include "smt/solver.hpp"
+#include "smt/store.hpp"
 #include "support/bits.hpp"
 #include "support/rng.hpp"
 
@@ -254,6 +260,122 @@ TEST_P(SmtProperty, CachingEvaluatorMemosNeverAliasDistinctNodes) {
         EXPECT_TRUE(structurally_equal(it->second, n));
       }
     });
+  }
+}
+
+TEST_P(SmtProperty, StoreKeysStableAcrossContextsInternToggleAndRestarts) {
+  // The persistent store inherits the QueryCache keyspace: the sorted
+  // content hashes of a query's assertions. Replaying the same build stream
+  // in an id-shifted context AND in a legacy (non-interning) context must
+  // produce the identical key — that is what makes a store entry written by
+  // one process answer the same query in the next, whatever allocator or
+  // declaration order that process used.
+  uint64_t seed = GetParam() ^ 0x57072e;
+  Context plain(/*intern_exprs=*/true);
+  Context padded(/*intern_exprs=*/true);
+  Context legacy(/*intern_exprs=*/false);
+  for (int i = 0; i < 7; ++i) padded.var("pad" + std::to_string(i), 16);
+
+  auto build_query = [&](Context& ctx) {
+    Rng rng(seed);
+    DagGen gen(ctx, rng, 4);
+    ExprRef root = gen.grow(40);
+    std::vector<ExprRef> assertions;
+    assertions.push_back(ctx.eq(root, ctx.constant(0, root->width)));
+    assertions.push_back(
+        ctx.ult(ctx.zext(root, root->width == 64 ? 64 : root->width + 1),
+                ctx.constant(5, root->width == 64 ? 64 : root->width + 1)));
+    // Anchor over a fresh variable: whatever the random root folds to
+    // (sometimes both assertions above become literal `true` and are
+    // dropped from the key), this one always survives.
+    assertions.push_back(ctx.ult(ctx.var("anchor", 8), ctx.constant(200, 8)));
+    return assertions;
+  };
+
+  std::vector<ExprRef> a = build_query(plain);
+  std::vector<ExprRef> b = build_query(padded);
+  std::vector<ExprRef> c = build_query(legacy);
+  QueryCache::Key key = QueryCache::key_for(a);
+  EXPECT_FALSE(key.empty());
+  EXPECT_EQ(key, QueryCache::key_for(b));
+  EXPECT_EQ(key, QueryCache::key_for(c));
+
+  // Restart simulation: an entry stored under the plain context's key,
+  // flushed and reopened, answers the legacy context's key.
+  const std::string dir = ::testing::TempDir() + "binsym-keystab-" +
+                          std::to_string(GetParam());
+  {
+    auto store = SolverStore::open(dir);
+    SolverStore::Entry entry;
+    entry.verdict = CheckResult::kUnsat;
+    entry.backend = "property";
+    store->insert(key, entry);
+    ASSERT_TRUE(store->flush());
+  }
+  auto reopened = SolverStore::open(dir);
+  SolverStore::Entry entry;
+  ASSERT_TRUE(reopened->lookup(QueryCache::key_for(c), &entry));
+  EXPECT_EQ(entry.verdict, CheckResult::kUnsat);
+  EXPECT_EQ(entry.backend, "property");
+}
+
+TEST_P(SmtProperty, PortfolioIsObservationallyASolver) {
+  // Whatever the race decides internally, a portfolio must behave exactly
+  // like any other smt::Solver: same verdicts as a reference backend on
+  // forced-value queries, valid models, and the scoped push/assert_/
+  // check_assuming API answering like the stateless check over the same
+  // conjunction.
+  Rng rng(GetParam() ^ 0xf0110);
+  Context ctx;
+  DagGen gen(ctx, rng, 3);
+  ExprRef root = gen.grow(30);
+  auto reference = make_z3_solver(ctx);
+  std::vector<std::unique_ptr<Solver>> members;
+  members.push_back(make_z3_solver(ctx));
+  members.push_back(make_bitblast_solver(ctx));
+  auto portfolio = make_portfolio_solver(std::move(members));
+
+  Assignment a = random_assignment(ctx, rng);
+  uint64_t value = evaluate(root, a);
+  std::vector<ExprRef> pins;
+  for (uint32_t id = 0; id < ctx.num_vars(); ++id) {
+    const VarInfo& info = ctx.var_info(id);
+    pins.push_back(ctx.eq(ctx.var(info.name, info.width),
+                          ctx.constant(a.get(id), info.width)));
+  }
+
+  for (uint64_t offset : {uint64_t{0}, uint64_t{1}}) {
+    std::vector<ExprRef> assertions = pins;
+    assertions.push_back(
+        ctx.eq(root, ctx.constant(value + offset, root->width)));
+    Assignment expected_model;
+    const CheckResult expected =
+        reference->check(assertions, &expected_model);
+    ASSERT_NE(expected, CheckResult::kUnknown);
+
+    // Stateless contract.
+    Assignment model;
+    ASSERT_EQ(portfolio->check(assertions, &model), expected);
+    if (expected == CheckResult::kSat) {
+      for (ExprRef assertion : assertions)
+        EXPECT_EQ(evaluate(assertion, model), 1u);
+    }
+
+    // Scoped contract: pins become scoped assertions, the forced value
+    // travels as an assumption; the verdict must not change, and the scope
+    // must unwind cleanly for the next round.
+    portfolio->push();
+    for (ExprRef pin : pins) portfolio->assert_(pin);
+    std::vector<ExprRef> assumption{assertions.back()};
+    model.values.clear();
+    EXPECT_EQ(portfolio->check_assuming(assumption, &model), expected);
+    if (expected == CheckResult::kSat) {
+      for (ExprRef assertion : assertions)
+        EXPECT_EQ(evaluate(assertion, model), 1u);
+    }
+    portfolio->pop();
+    EXPECT_EQ(portfolio->num_scopes(), 0u);
+    EXPECT_TRUE(portfolio->scoped_assertions().empty());
   }
 }
 

@@ -10,6 +10,7 @@
 #include "smt/cache.hpp"
 #include "smt/eval.hpp"
 #include "smt/solver.hpp"
+#include "solver_test_util.hpp"
 
 namespace binsym::smt {
 namespace {
@@ -322,25 +323,9 @@ TEST(Assignment, DefaultsToZero) {
 
 // -- Robustness: unknown verdicts, deadlines, and backend failover. ----------
 
-/// Scripted backend standing in for a solver that gives up (deadline hit)
-/// or crashes outright. check_assuming() goes through the base-class
-/// adapter, so it funnels into check() here.
-class StubSolver final : public Solver {
- public:
-  enum class Mode { kUnknown, kThrow };
-  explicit StubSolver(Mode mode) : mode_(mode) {}
-
-  CheckResult check(std::span<const ExprRef>, Assignment*) override {
-    ++stats_.queries;
-    if (mode_ == Mode::kThrow) throw std::runtime_error("stub backend crash");
-    ++stats_.unknown;
-    return CheckResult::kUnknown;
-  }
-  std::string name() const override { return "stub"; }
-
- private:
-  Mode mode_;
-};
+// StubSolver (solver_test_util.hpp) stands in for a backend that gives up
+// (deadline hit) or crashes outright. check_assuming() goes through the
+// base-class adapter, so it funnels into check() there.
 
 TEST(CachingSolver, UnknownVerdictsAreNeverCached) {
   // A deadline-induced unknown must not poison the cache: the same query

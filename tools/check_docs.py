@@ -177,6 +177,38 @@ def check_robustness_doc(explore_binary):
     return errors
 
 
+def check_solvers_doc(explore_binary):
+    """docs/SOLVERS.md must document the portfolio/store flags and every
+    backend the binary offers as a portfolio member. The backend list is
+    recovered from the CLI's own --portfolio-backends help text, so the
+    doc tracks the code, not a hardcoded roster in this checker."""
+    doc = (REPO / "docs" / "SOLVERS.md").read_text(encoding="utf-8")
+    errors = []
+    for flag in ("--solver", "--portfolio", "--portfolio-backends",
+                 "--solver-store"):
+        if flag not in doc:
+            errors.append(f"docs/SOLVERS.md: flag not documented: {flag}")
+    result = subprocess.run([explore_binary, "--help"], capture_output=True,
+                            text=True, timeout=60)
+    help_text = result.stdout + result.stderr
+    match = re.search(
+        r"--portfolio-backends.*?each one\s+of\s+(.+?)\s*\(default",
+        help_text, re.DOTALL)
+    if not match:
+        return errors + [f"{explore_binary}: could not recover the backend "
+                         f"list from the --portfolio-backends help text"]
+    backends = [b.strip() for b in re.split(r",\s*", match.group(1))
+                if b.strip()]
+    if not backends:
+        return errors + [f"{explore_binary}: --portfolio-backends help "
+                         f"listed no backends (bad parse?)"]
+    for backend in backends:
+        if f"`{backend}`" not in doc:
+            errors.append(
+                f"docs/SOLVERS.md: backend not documented: {backend}")
+    return errors
+
+
 def quickstart_blocks():
     """The fenced `sh` blocks of docs/USER_GUIDE.md, in order."""
     blocks, current, in_sh = [], [], False
@@ -228,6 +260,7 @@ def main():
         errors += check_cli_flags(args.explore, "BENCHMARKS.md")
         errors += check_oracle_reference(args.explore)
         errors += check_robustness_doc(args.explore)
+        errors += check_solvers_doc(args.explore)
     else:
         print("note: --explore not given, skipping the flag-coverage and "
               "oracle-reference checks")
