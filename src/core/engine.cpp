@@ -518,7 +518,8 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       //      flips over disjoint constraint groups collapse onto one key;
       //   2. the persistent store (same key — content hashes survive the
       //      process boundary), its name-keyed model translated back
-      //      through this context's variable table;
+      //      through this context's variable table — but only after the
+      //      entry survives the collision checks below;
       //   3. model-reuse pre-check against recently returned models;
       //   4. the solver — through the scoped incremental API when enabled.
       smt::Assignment model;
@@ -528,6 +529,18 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
       bool from_solver = false;
       bool from_store = false;
       if (cache || store) key = smt::QueryCache::key_for(*query);
+      // The query's distinct variables, for the store's collision
+      // discriminator (lookup and insert both record it).
+      std::vector<uint32_t> store_vars_storage;
+      const std::vector<uint32_t>* store_vars = nullptr;
+      if (store) {
+        if (opts.slice_queries) {
+          store_vars = &sliced.vars;
+        } else {
+          store_vars_storage = smt::collect_vars(*query);
+          store_vars = &store_vars_storage;
+        }
+      }
       if (cache) {
         smt::QueryCache::Entry entry;
         if (cache->lookup(key, &entry)) {
@@ -544,19 +557,37 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
         }
       }
       if (!answered && store) {
+        // The key is a content hash, and a persisted keyspace shared across
+        // targets and runs widens the collision exposure, so a hit is never
+        // trusted blindly: the lookup itself rejects entries whose recorded
+        // variable count differs, and a kSat entry's translated model must
+        // satisfy the query under concrete evaluation. Either mismatch is a
+        // colliding key from a different query — treated as a miss, the
+        // solver decides (a wrong unsat would silently prune feasible
+        // paths; a wrong model would corrupt the child seed).
         smt::SolverStore::Entry stored;
-        if (store->lookup(key, &stored)) {
+        bool hit = store->lookup(
+            key, static_cast<uint32_t>(store_vars->size()), &stored);
+        if (hit && stored.verdict == smt::CheckResult::kSat) {
+          // Stored models are name-keyed; every variable of a query is
+          // declared in this context by the time the query exists, so the
+          // translation back to var_ids is total for a genuine hit (an
+          // unknown name can only come from a colliding key, which the
+          // evaluation below rejects).
+          for (const auto& [name, value] : stored.model)
+            if (smt::ExprRef var = ctx.lookup_var(name))
+              model.set(var->var_id, value);
+          for (smt::ExprRef assertion : *query) {
+            if (smt::evaluate(assertion, model) != 1) {
+              hit = false;
+              model.values.clear();
+              break;
+            }
+          }
+        }
+        if (hit) {
           result = stored.verdict;
           if (result == smt::CheckResult::kSat) {
-            // Stored models are name-keyed; every variable of a query is
-            // declared in this context by the time the query exists, so
-            // the translation back to var_ids is total (an unknown name
-            // would mean a colliding key from a different target — the
-            // value is simply dropped and the seed merge keeps the parent
-            // value, which stays sound).
-            for (const auto& [name, value] : stored.model)
-              if (smt::ExprRef var = ctx.lookup_var(name))
-                model.set(var->var_id, value);
             ++store_hits_sat;
           } else {
             ++store_hits_unsat;
@@ -607,6 +638,7 @@ void DseEngine::worker_loop(Executor& executor, smt::Solver& solver,
           smt::SolverStore::Entry persisted;
           persisted.verdict = result;
           persisted.backend = solver.last_backend();
+          persisted.var_count = static_cast<uint32_t>(store_vars->size());
           persisted.solve_seconds = std::chrono::duration<double>(
                                         std::chrono::steady_clock::now() -
                                         solve_start)

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <unordered_set>
 
 #include "smt/smtlib.hpp"
 #include "support/bits.hpp"
@@ -130,6 +131,18 @@ class PipeSolver final : public Solver {
     set_nonblocking(write_fd);
     set_nonblocking(read_fd);
 
+    // A child that dies before draining stdin (execvp failure, a crashed
+    // solver, one that answers without reading everything) widows the write
+    // pipe; the write below must then fail with EPIPE — end of write, keep
+    // reading — not raise SIGPIPE and kill the engine. Checking POLLERR
+    // first is not enough (the child can exit between poll() and write()),
+    // so the signal is blocked for this thread around the I/O loop and any
+    // instance our writes generated is drained before the mask is restored.
+    sigset_t sigpipe_only, prev_mask;
+    sigemptyset(&sigpipe_only);
+    sigaddset(&sigpipe_only, SIGPIPE);
+    pthread_sigmask(SIG_BLOCK, &sigpipe_only, &prev_mask);
+
     // Interleave writing the query and reading the answer (a large query
     // can exceed the pipe buffer while the child already answers), polling
     // the deadline and the cancel flag every slice.
@@ -189,6 +202,15 @@ class PipeSolver final : public Solver {
 
     if (write_fd >= 0) close(write_fd);
     close(read_fd);
+    if (sigismember(&prev_mask, SIGPIPE) == 0) {
+      // Consume any SIGPIPE our writes left pending on this thread, then
+      // restore the caller's mask. If the caller had it blocked already,
+      // both the mask and any pending instance are theirs to handle.
+      struct timespec no_wait = {0, 0};
+      while (sigtimedwait(&sigpipe_only, nullptr, &no_wait) == SIGPIPE) {
+      }
+      pthread_sigmask(SIG_SETMASK, &prev_mask, nullptr);
+    }
     if (abandoned) kill(pid, SIGKILL);
     int status = 0;
     waitpid(pid, &status, 0);
@@ -251,7 +273,7 @@ class PipeSolver final : public Solver {
     skip_ws();
     if (i >= text.size() || text[i] != '(') return false;
     ++i;  // outer list
-    size_t parsed = 0;
+    std::unordered_set<uint32_t> decoded;
     for (;;) {
       skip_ws();
       if (i < text.size() && text[i] == ')') break;
@@ -291,12 +313,16 @@ class PipeSolver final : public Solver {
       ExprRef var = ctx_.lookup_var(name);
       if (var) {
         model->set(var->var_id, truncate(value, var->width));
-        ++parsed;
+        decoded.insert(var->var_id);
       }
     }
-    // Every requested variable must have decoded, or the model could be
-    // silently incomplete (a missing variable reads as zero downstream).
-    return parsed >= vars.size();
+    // Every requested variable must have decoded — counting bindings is not
+    // enough, since a duplicate binding could mask a missing variable — or
+    // the model could be silently incomplete (a missing variable reads as
+    // zero downstream).
+    for (uint32_t var : vars)
+      if (decoded.count(var) == 0) return false;
+    return true;
   }
 
   Context& ctx_;

@@ -7,8 +7,10 @@
 // cooperative cancel flag both kill the child — like every backend, a
 // timed-out or cancelled check returns kUnknown, never a wrong verdict. A
 // command that cannot be spawned (missing binary) degrades every check to
-// kUnknown instead of failing, so a misconfigured portfolio member is inert,
-// not fatal.
+// kUnknown instead of failing, and a child that dies mid-query merely ends
+// the exchange (SIGPIPE is blocked around the pipe I/O, so a widowed write
+// surfaces as EPIPE, never a fatal signal) — a misconfigured or crashing
+// portfolio member is inert, not fatal.
 //
 // The in-tree `smtcheck` CLI (examples/smtcheck.cpp) speaks exactly this
 // protocol over the in-tree backends, so the pipe can be exercised — in

@@ -77,9 +77,25 @@ class PortfolioSolver final : public Solver {
         result = run_single(static_cast<size_t>(routed), assertions, model);
       }
       // A routed member that gave up is not the last word: fall back to the
-      // full race, which is as strong as the strongest member.
-      if (result == CheckResult::kUnknown && !cancel_requested())
-        result = run_race(bucket, assertions, model);
+      // full race, which is as strong as the strongest member. The race runs
+      // on whatever is left of the per-query deadline — the routed attempt
+      // already spent part of it, and one logical check must never exceed
+      // the configured budget.
+      if (result == CheckResult::kUnknown && !cancel_requested()) {
+        uint32_t race_deadline = deadline_ms_;
+        bool budget_left = true;
+        if (routed >= 0 && deadline_ms_ > 0) {
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (elapsed >= deadline_ms_)
+            budget_left = false;
+          else
+            race_deadline = deadline_ms_ - static_cast<uint32_t>(elapsed);
+        }
+        if (budget_left) result = run_race(bucket, race_deadline, assertions, model);
+      }
     }
     switch (result) {
       case CheckResult::kSat:     ++stats_.sat; break;
@@ -174,16 +190,17 @@ class PortfolioSolver final : public Solver {
     return result;
   }
 
-  /// Race every member over the query; first definitive verdict wins and
-  /// cancels the rest. Always waits for all members to return, so no member
-  /// thread touches the query after this call completes.
-  CheckResult run_race(uint32_t bucket_key, std::span<const ExprRef> assertions,
-                       Assignment* model) {
+  /// Race every member over the query under `deadline_ms` (the caller's
+  /// remaining per-query budget); first definitive verdict wins and cancels
+  /// the rest. Always waits for all members to return, so no member thread
+  /// touches the query after this call completes.
+  CheckResult run_race(uint32_t bucket_key, uint32_t deadline_ms,
+                       std::span<const ExprRef> assertions, Assignment* model) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (auto& runner : runners_) {
         runner->member->reset_cancel();
-        runner->member->set_deadline_ms(deadline_ms_);
+        runner->member->set_deadline_ms(deadline_ms);
         runner->result = CheckResult::kUnknown;
         runner->model.values.clear();
       }

@@ -24,7 +24,9 @@
 // `route_win_share` share, subsequent queries in that bucket go to that
 // member alone. A routed query that comes back kUnknown falls back to a
 // full race, so routing can cost at most one redundant check, never an
-// answer.
+// answer — and the fallback race is armed with only the *remaining* slice
+// of the per-query deadline, so a routed check never spends more than the
+// one configured budget (no budget left ⇒ the race is skipped entirely).
 #pragma once
 
 #include <cstdint>

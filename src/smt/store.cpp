@@ -105,6 +105,19 @@ bool SolverStore::lookup(const QueryCache::Key& key, Entry* out) {
   return true;
 }
 
+bool SolverStore::lookup(const QueryCache::Key& key, uint32_t var_count,
+                         Entry* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.var_count != var_count) {
+    ++misses_;  // a var-count mismatch is a colliding key, not our entry
+    return false;
+  }
+  ++hits_;
+  if (out) *out = it->second;
+  return true;
+}
+
 void SolverStore::insert(const QueryCache::Key& key, Entry entry) {
   if (entry.verdict == CheckResult::kUnknown) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -136,6 +149,7 @@ std::string SolverStore::serialize() const {
     put_u32(out, static_cast<uint32_t>(key.size()));
     for (uint64_t hash : key) put_u64(out, hash);
     out.push_back(entry.verdict == CheckResult::kSat ? 1 : 0);
+    put_u32(out, entry.var_count);
     put_string(out, entry.backend);
     put_u64(out, std::bit_cast<uint64_t>(entry.solve_seconds));
     put_u32(out, static_cast<uint32_t>(entry.model.size()));
@@ -180,6 +194,7 @@ bool SolverStore::deserialize(const std::string& bytes, std::string* error) {
     if (!r.take(1)) break;
     entry.verdict =
         bytes[r.pos++] ? CheckResult::kSat : CheckResult::kUnsat;
+    entry.var_count = r.u32();
     entry.backend = r.str();
     entry.solve_seconds = std::bit_cast<double>(r.u64());
     const uint32_t model_size = r.u32();

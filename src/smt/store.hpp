@@ -44,11 +44,17 @@ class SolverStore {
     std::string backend;
     /// Wall seconds the deciding check took when first solved.
     double solve_seconds = 0;
+    /// Distinct free variables in the query — a cheap discriminator against
+    /// content-hash key collisions, stable across contexts, the intern
+    /// toggle and restarts (unlike node counts, which depend on sharing).
+    /// The discriminating lookup() overload treats a mismatch as a miss.
+    uint32_t var_count = 0;
   };
 
   /// On-disk format version; bumped on any layout change. A file with a
   /// different version is ignored (cold start), not migrated.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2: entries carry the query's variable count as a collision check.
+  static constexpr uint32_t kFormatVersion = 2;
   static constexpr const char* kFileName = "store.bin";
 
   /// Open (and load) the store under `dir`, creating the directory if
@@ -58,6 +64,12 @@ class SolverStore {
 
   /// True (and fills *out) on a hit; counts a hit or a miss.
   bool lookup(const QueryCache::Key& key, Entry* out);
+
+  /// Discriminating lookup: a key match whose stored var_count differs from
+  /// `var_count` is a hash collision with a different query — counted and
+  /// reported as a miss, never surfaced. The engine uses this overload; the
+  /// plain one exists for tests and callers without the query at hand.
+  bool lookup(const QueryCache::Key& key, uint32_t var_count, Entry* out);
 
   /// Record a decided query. kUnknown entries are rejected (dropped), and
   /// an existing entry for the key is kept — first verdict wins.

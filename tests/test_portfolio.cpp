@@ -297,6 +297,56 @@ TEST(PortfolioRouter, RoutedUnknownFallsBackToTheFullRace) {
   EXPECT_EQ(portfolio->last_backend(), "closer");
 }
 
+TEST(PortfolioRace, FallbackRaceRunsOnTheRemainingDeadlineBudget) {
+  // Regression: a routed member that burns part of the per-query deadline
+  // and gives up must not re-arm the fallback race with the full deadline
+  // again — one logical check may spend at most one configured budget.
+  Context ctx;
+  std::vector<ExprRef> query{ctx.var("x", 1)};  // tiny: routed to member 0
+  auto burner = std::make_unique<StubSolver>(
+      StubSolver::Mode::kUnknown, std::chrono::milliseconds(80), "burner");
+  auto closer = std::make_unique<StubSolver>(
+      StubSolver::Mode::kSat, std::chrono::milliseconds(0), "closer");
+  StubSolver* closer_raw = closer.get();
+  std::vector<std::unique_ptr<Solver>> members;
+  members.push_back(std::move(burner));
+  members.push_back(std::move(closer));
+  auto portfolio = make_portfolio_solver(std::move(members));  // defaults
+
+  portfolio->set_deadline_ms(10'000);
+  EXPECT_EQ(portfolio->check(query, nullptr), CheckResult::kSat);
+  EXPECT_EQ(portfolio->stats().portfolio_routed, 1u);
+  EXPECT_EQ(portfolio->stats().portfolio_races, 1u);
+  // The race members were armed with deadline − elapsed, not the full 10 s
+  // (the routed burner provably spent ≥ 80 ms of the budget first).
+  EXPECT_GT(closer_raw->deadline_ms(), 0u);
+  EXPECT_LE(closer_raw->deadline_ms(), 10'000u - 80u);
+}
+
+TEST(PortfolioRace, ExhaustedDeadlineSkipsTheFallbackRace) {
+  // The degenerate case of the budget contract: when the routed attempt
+  // consumed the whole deadline there is nothing left to race on — the
+  // check answers kUnknown immediately instead of doubling the budget.
+  Context ctx;
+  std::vector<ExprRef> query{ctx.var("x", 1)};
+  auto burner = std::make_unique<StubSolver>(
+      StubSolver::Mode::kUnknown, std::chrono::milliseconds(120), "burner");
+  auto closer = std::make_unique<StubSolver>(
+      StubSolver::Mode::kSat, std::chrono::milliseconds(0), "closer");
+  StubSolver* closer_raw = closer.get();
+  std::vector<std::unique_ptr<Solver>> members;
+  members.push_back(std::move(burner));
+  members.push_back(std::move(closer));
+  auto portfolio = make_portfolio_solver(std::move(members));  // defaults
+
+  portfolio->set_deadline_ms(50);  // the burner (stub: no deadline honor)
+                                   // overshoots it by construction
+  EXPECT_EQ(portfolio->check(query, nullptr), CheckResult::kUnknown);
+  EXPECT_EQ(portfolio->stats().portfolio_routed, 1u);
+  EXPECT_EQ(portfolio->stats().portfolio_races, 0u);
+  EXPECT_EQ(closer_raw->stats().queries, 0u);  // never woken
+}
+
 // -- Cross-backend differential harness. --------------------------------------
 
 /// Directory of the running test binary (the build tree), where the in-tree
@@ -438,6 +488,77 @@ TEST_P(BackendDifferential, RandomizedQueriesAgreeAcrossAllBackends) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendDifferential,
                          ::testing::Range<uint64_t>(1, 9));
+
+// -- Pipe backend failure modes. ----------------------------------------------
+
+/// A query whose SMT-LIB text comfortably exceeds the 64 KiB pipe buffer,
+/// so the writer still has bytes in flight whenever the child dies early.
+std::vector<ExprRef> oversized_query(Context& ctx, const std::string& tag) {
+  std::vector<ExprRef> query;
+  for (int i = 0; i < 4000; ++i) {
+    ExprRef v = ctx.var(tag + std::to_string(i), 32);
+    query.push_back(ctx.eq(v, ctx.constant(static_cast<uint64_t>(i), 32)));
+  }
+  return query;
+}
+
+TEST(PipeSolver, ChildDyingBeforeDrainingStdinIsInertNotFatal) {
+  // Regression: a child that exits without reading its stdin — a crashed
+  // solver, or execvp's _exit(127) for a missing binary — widows the write
+  // pipe mid-query. The write must surface as EPIPE and degrade the check
+  // to kUnknown, not raise SIGPIPE and kill the whole engine process.
+  Context ctx;
+  const std::vector<ExprRef> query = oversized_query(ctx, "widow");
+  auto exits = make_pipe_solver(ctx, "true");  // exits, never reads stdin
+  Assignment model;
+  EXPECT_EQ(exits->check(query, &model), CheckResult::kUnknown);
+  EXPECT_EQ(exits->stats().unknown, 1u);
+
+  auto missing =
+      make_pipe_solver(ctx, "binsym-definitely-not-a-solver-binary");
+  EXPECT_EQ(missing->check(query, &model), CheckResult::kUnknown);
+  // ... and both stay usable for the next check (inert, not fatal).
+  EXPECT_EQ(exits->check(query, nullptr), CheckResult::kUnknown);
+}
+
+/// Write an executable shell script that ignores its stdin and prints the
+/// given response; returns the script path (usable as a pipe command).
+std::string scripted_solver(const std::string& dir,
+                            const std::string& response) {
+  const std::string path = dir + "/fake-solver.sh";
+  {
+    std::ofstream out(path);
+    out << "#!/bin/sh\ncat >/dev/null\nprintf '%s\\n' '" << response << "'\n";
+  }
+  fs::permissions(path, fs::perms::owner_all);
+  return path;
+}
+
+TEST(PipeSolver, DuplicateModelBindingCannotMaskAMissingVariable) {
+  // Regression: a solver that binds x twice while omitting y must degrade
+  // to kUnknown — counting (name value) pairs would accept the incomplete
+  // model, and y would silently read as zero downstream.
+  const std::string dir = fresh_dir("dup-binding");
+  Context ctx;
+  ExprRef x = ctx.var("x", 8);
+  ExprRef y = ctx.var("y", 8);
+  const std::vector<ExprRef> query{ctx.eq(x, ctx.constant(1, 8)),
+                                   ctx.eq(y, ctx.constant(2, 8))};
+
+  auto duplicated = make_pipe_solver(
+      ctx, scripted_solver(dir, "sat\n((x (_ bv1 8)) (x (_ bv2 8)))"));
+  Assignment model;
+  EXPECT_EQ(duplicated->check(query, &model), CheckResult::kUnknown);
+
+  // Control: the same script shape with both variables bound is a real
+  // model and sails through.
+  auto complete = make_pipe_solver(
+      ctx, scripted_solver(dir, "sat\n((x (_ bv1 8)) (y (_ bv2 8)))"));
+  Assignment good;
+  ASSERT_EQ(complete->check(query, &good), CheckResult::kSat);
+  EXPECT_EQ(good.get(x->var_id), 1u);
+  EXPECT_EQ(good.get(y->var_id), 2u);
+}
 
 }  // namespace
 }  // namespace binsym::smt
@@ -627,6 +748,100 @@ TEST_F(PortfolioEngineTest, WarmStoreAnswersWithoutBackendCallsOrPathDrift) {
   EXPECT_LE(5 * backend_calls(warm.stats), backend_calls(cold.stats));
 }
 
+/// Mirror of the store.bin v2 layout, just deep enough to find every model
+/// value, overwrite it with `value`, and re-seal the trailing FNV-1a
+/// checksum — simulating a content-hash collision: right key, wrong model.
+/// Zero is the reliably-wrong replacement here: every sat flip query mined
+/// off the all-zero seed path negates a branch that path took, so the
+/// all-zero assignment violates it by construction.
+std::string clobber_store_models(std::string bytes, uint64_t value) {
+  auto u32_at = [&](size_t pos) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    return v;
+  };
+  auto u64_at = [&](size_t pos) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[pos + i]))
+           << (8 * i);
+    return v;
+  };
+  size_t pos = 8 + 4;  // magic + version
+  const uint64_t count = u64_at(pos);
+  pos += 8;
+  for (uint64_t e = 0; e < count; ++e) {
+    pos += 4 + size_t{u32_at(pos)} * 8;  // key size + hashes
+    pos += 1;                            // verdict
+    pos += 4;                            // var_count (left intact)
+    pos += 4 + u32_at(pos);              // backend string
+    pos += 8;                            // solve seconds
+    const uint32_t model_size = u32_at(pos);
+    pos += 4;
+    for (uint32_t m = 0; m < model_size; ++m) {
+      pos += 4 + u32_at(pos);  // variable name
+      for (int i = 0; i < 8; ++i)
+        bytes[pos + i] = static_cast<char>(value >> (8 * i));
+      pos += 8;
+    }
+  }
+  uint64_t checksum = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < bytes.size() - 8; ++i) {
+    checksum ^= static_cast<unsigned char>(bytes[i]);
+    checksum *= 0x100000001b3ull;
+  }
+  for (int i = 0; i < 8; ++i)
+    bytes[bytes.size() - 8 + i] = static_cast<char>(checksum >> (8 * i));
+  return bytes;
+}
+
+TEST_F(PortfolioEngineTest, CollidingStoreEntriesNeverCorruptExploration) {
+  // A key collision hands the engine a persisted entry for a *different*
+  // query: keys and verdicts plausible, models wrong. Simulate it by
+  // corrupting every model value inside a genuinely warm store file (and
+  // re-sealing the checksum, so only the engine's validation can object).
+  // The engine must reject each bogus sat model by evaluation, fall back to
+  // the solver, and explore the exact same path set.
+  const std::string store_dir = smt::fresh_dir("collision");
+  core::Program program = load_asm(kThreeBranchGuest);
+  core::EngineOptions options;
+  // No model-reuse pre-check: a rejected store hit must fall through to the
+  // backend, so the assertion below can observe the fallback directly.
+  options.presolve_models = false;
+  options.solver_store = smt::SolverStore::open(store_dir);
+  Exploration cold = explore(program, SolverSetup::kPlain, options);
+  EXPECT_GT(cold.stats.store_entries, 0u);
+
+  const std::string file = options.solver_store->path();
+  std::string bytes;
+  {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    const std::string tampered = clobber_store_models(bytes, 0);
+    out.write(tampered.data(),
+              static_cast<std::streamsize>(tampered.size()));
+  }
+
+  options.solver_store = smt::SolverStore::open(store_dir);
+  ASSERT_TRUE(options.solver_store->load_error().empty());  // checksum holds
+  Exploration warm = explore(program, SolverSetup::kPlain, options);
+  EXPECT_EQ(warm.path_keys, cold.path_keys);
+  EXPECT_EQ(warm.failures, cold.failures);
+  EXPECT_EQ(warm.stats.paths, cold.stats.paths);
+  // Every zeroed sat model violates its query (each flip negates a branch
+  // the all-zero seed path took), so validation provably fired and sent
+  // work back to the solver instead of trusting the store.
+  EXPECT_GT(backend_calls(warm.stats), 0u);
+  EXPECT_GT(warm.stats.store_misses, 0u);
+}
+
 TEST_F(PortfolioEngineTest, InjectedUnknownsAreNeverPersisted) {
   // Fault injection forces *every* solver check to degrade to kUnknown
   // ("solver" site, all occurrences): nothing definitive is ever produced,
@@ -756,6 +971,7 @@ SolverStore::Entry sat_entry(std::string backend = "z3") {
   entry.model = {{"sym_input_0", 42}, {"sym_input_1", 7}};
   entry.backend = std::move(backend);
   entry.solve_seconds = 0.125;
+  entry.var_count = 2;
   return entry;
 }
 
@@ -783,6 +999,7 @@ TEST(SolverStoreTest, RoundTripsThroughTheBackingFile) {
   EXPECT_EQ(entry.verdict, CheckResult::kSat);
   EXPECT_EQ(entry.backend, "z3");
   EXPECT_EQ(entry.solve_seconds, 0.125);
+  EXPECT_EQ(entry.var_count, 2u);
   ASSERT_EQ(entry.model.size(), 2u);
   EXPECT_EQ(entry.model[0], (std::pair<std::string, uint64_t>{"sym_input_0", 42}));
   ASSERT_TRUE(reopened->lookup(key_of({0xdeadbeef}), &entry));
@@ -806,6 +1023,22 @@ TEST(SolverStoreTest, UnknownIsNeverAdmittedAndFirstVerdictWins) {
   ASSERT_TRUE(store->lookup(key_of({5}), &entry));
   EXPECT_EQ(entry.backend, "first");
   EXPECT_EQ(store->size(), 1u);
+}
+
+TEST(SolverStoreTest, VarCountMismatchIsServedAsAMiss) {
+  // Two different queries can collide on the 64-bit content-hash key; the
+  // recorded distinct-variable count is the cheap discriminator that keeps
+  // such an entry from answering the wrong query. The engine uses this
+  // overload for every store consultation.
+  auto store = SolverStore::open(fresh_dir("discriminator"));
+  store->insert(key_of({77}), sat_entry());  // var_count == 2
+
+  SolverStore::Entry out;
+  EXPECT_FALSE(store->lookup(key_of({77}), /*var_count=*/3, &out));
+  EXPECT_TRUE(store->lookup(key_of({77}), /*var_count=*/2, &out));
+  EXPECT_EQ(out.backend, "z3");
+  EXPECT_EQ(store->hits(), 1u);
+  EXPECT_EQ(store->misses(), 1u);  // the collision counted as a miss
 }
 
 TEST(SolverStoreTest, MissingFileIsACleanColdStart) {
